@@ -1,0 +1,91 @@
+// Command benchsuite regenerates the paper's tables and figures: it
+// runs the HiBench and TPC-H workloads on both engines at the chosen
+// data scale, replays the traces through the cluster model and prints
+// each experiment's rows/series.
+//
+// Usage:
+//
+//	benchsuite [-scale N] [-exp list] [-quick]
+//
+// -scale sets bytes generated per paper-GB (default 1 MiB = 1:1000).
+// -exp selects experiments by name (comma separated), e.g.
+// "table1,fig9,table2"; default runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hivempi/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
+	scale := fs.Int64("scale", 1<<20, "bytes generated per paper-GB (1<<20 = 1:1000)")
+	quick := fs.Bool("quick", false, "shortcut for -scale 131072 (1:8000)")
+	expList := fs.String("exp", "all", "experiments: table1,fig1,fig2,fig6,fig8,fig9,fig10,table2,fig11,fig12,fig13,table3,ablations")
+	seed := fs.Int64("seed", 42, "dataset generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.DefaultConfig()
+	cfg.BytesPerGB = *scale
+	if *quick {
+		cfg.BytesPerGB = 128 << 10
+	}
+	cfg.Seed = *seed
+	r := bench.NewRunner(cfg)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (fmt.Stringer, error) { return r.TableI([]int{5, 10, 20, 40}, []int{10, 20, 40}) }},
+		{"fig1", func() (fmt.Stringer, error) { return r.Figure1() }},
+		{"fig2", func() (fmt.Stringer, error) { return r.Figure2() }},
+		{"fig6", func() (fmt.Stringer, error) { return r.Figure6() }},
+		{"fig8", func() (fmt.Stringer, error) { return r.Figure8() }},
+		{"fig9", func() (fmt.Stringer, error) { return r.Figure9([]int{5, 10, 20, 40}) }},
+		{"fig10", func() (fmt.Stringer, error) { return r.Figure10() }},
+		{"table2", func() (fmt.Stringer, error) { return r.TableII(nil) }},
+		{"fig11", func() (fmt.Stringer, error) { return r.Figure11(nil) }},
+		{"fig12", func() (fmt.Stringer, error) { return r.Figure12([]int{10, 20, 40}, nil) }},
+		{"fig13", func() (fmt.Stringer, error) { return r.Figure13() }},
+		{"table3", func() (fmt.Stringer, error) { return r.TableIII() }},
+		{"ablations", func() (fmt.Stringer, error) { return r.Ablations() }},
+	}
+
+	fmt.Printf("hivempi benchsuite: scale=%d bytes/GB (1:%d), seed=%d\n\n",
+		cfg.BytesPerGB, (1<<30)/cfg.BytesPerGB, cfg.Seed)
+	for _, e := range experiments {
+		if !sel(e.name) {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("  [%s completed in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

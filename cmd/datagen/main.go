@@ -1,0 +1,97 @@
+// Command datagen generates the benchmark datasets (TPC-H dbgen-style
+// or HiBench web logs) as delimited text files on the local filesystem,
+// for inspection or for loading into other systems.
+//
+// Usage:
+//
+//	datagen -dataset tpch -sf 0.01 -out ./tpch-data
+//	datagen -dataset hibench -bytes 20971520 -out ./hibench-data
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hivempi/internal/hibench"
+	"hivempi/internal/tpch"
+	"hivempi/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	dataset := fs.String("dataset", "tpch", "tpch or hibench")
+	sf := fs.Float64("sf", 0.01, "TPC-H scale factor (1.0 ~ 1 GB)")
+	bytes := fs.Int64("bytes", 20<<20, "HiBench total dataset bytes")
+	out := fs.String("out", "./data", "output directory")
+	seed := fs.Int64("seed", 42, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	switch *dataset {
+	case "tpch":
+		g := tpch.NewGenerator(tpch.ScaleFactor(*sf), *seed)
+		orders, lines := g.OrderAndLines()
+		tables := map[string][]types.Row{
+			"region":   g.Region(),
+			"nation":   g.Nation(),
+			"supplier": g.Supplier(),
+			"customer": g.Customer(),
+			"part":     g.Part(),
+			"partsupp": g.PartSupp(),
+			"orders":   orders,
+			"lineitem": lines,
+		}
+		for name, rows := range tables {
+			if err := writeTable(filepath.Join(*out, name+".tbl"), rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s: %d rows\n", name+".tbl", len(rows))
+		}
+	case "hibench":
+		nr, nu := hibench.Sizes(*bytes)
+		g := &hibench.Generator{Seed: *seed, Rankings: nr, UserVisits: nu}
+		for name, rows := range map[string][]types.Row{
+			"rankings":   g.GenRankings(),
+			"uservisits": g.GenUserVisits(),
+		} {
+			if err := writeTable(filepath.Join(*out, name+".tbl"), rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s: %d rows\n", name+".tbl", len(rows))
+		}
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	return nil
+}
+
+func writeTable(path string, rows []types.Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, r := range rows {
+		if _, err := w.WriteString(r.Text('|')); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

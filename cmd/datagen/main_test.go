@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDatagenTPCH(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "tpch", "-sf", "0.001", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{"region", "nation", "supplier", "customer",
+		"part", "partsupp", "orders", "lineitem"} {
+		path := filepath.Join(dir, table+".tbl")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s missing: %v", table, err)
+		}
+		sc := bufio.NewScanner(f)
+		lines := 0
+		for sc.Scan() && lines < 3 {
+			if !strings.Contains(sc.Text(), "|") {
+				t.Errorf("%s line not pipe-delimited: %q", table, sc.Text())
+			}
+			lines++
+		}
+		f.Close()
+		if lines == 0 {
+			t.Errorf("%s is empty", table)
+		}
+	}
+}
+
+func TestDatagenHiBench(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "hibench", "-bytes", "65536", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{"rankings", "uservisits"} {
+		if _, err := os.Stat(filepath.Join(dir, table+".tbl")); err != nil {
+			t.Errorf("%s missing: %v", table, err)
+		}
+	}
+}
+
+func TestDatagenBadFlags(t *testing.T) {
+	if err := run([]string{"-dataset", "nope", "-out", t.TempDir()}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}

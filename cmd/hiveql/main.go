@@ -1,0 +1,166 @@
+// Command hiveql runs HiveQL statements against an in-process warehouse
+// on the chosen execution engine. Without a script it provisions a demo
+// dataset and drops into a line-oriented REPL.
+//
+// Usage:
+//
+//	hiveql [-engine hadoop|datampi] [-dataset tpch|hibench|none]
+//	       [-size GB] [-format textfile|sequencefile|orc] [-f script.sql]
+//	       [-explain]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hivempi/internal/core"
+	"hivempi/internal/dfs"
+	"hivempi/internal/exec"
+	"hivempi/internal/hibench"
+	"hivempi/internal/hive"
+	"hivempi/internal/mrengine"
+	"hivempi/internal/tpch"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hiveql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hiveql", flag.ContinueOnError)
+	engineName := fs.String("engine", "datampi", "execution engine: datampi or hadoop")
+	dataset := fs.String("dataset", "tpch", "preloaded dataset: tpch, hibench or none")
+	sizeGB := fs.Int("size", 1, "dataset size in paper-GB (generated at 1:1000)")
+	format := fs.String("format", "textfile", "table format: textfile, sequencefile or orc")
+	script := fs.String("f", "", "script file to execute (default: interactive)")
+	explain := fs.Bool("explain", false, "print the plan for each statement instead of running it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var engine exec.Engine
+	switch *engineName {
+	case "datampi":
+		engine = core.New()
+	case "hadoop":
+		engine = mrengine.New()
+	default:
+		return fmt.Errorf("unknown engine %q", *engineName)
+	}
+
+	env := &exec.Env{FS: dfs.New(dfs.Config{
+		BlockSize: 64 << 10,
+		Nodes: []string{"slave1", "slave2", "slave3", "slave4",
+			"slave5", "slave6", "slave7"},
+	})}
+	conf := exec.DefaultEngineConf()
+	conf.SpillDir = os.TempDir()
+	d := hive.NewDriver(env, engine, conf)
+
+	bytesPerGB := int64(1 << 20)
+	switch *dataset {
+	case "tpch":
+		sf := tpch.ScaleFactor(float64(*sizeGB) * float64(bytesPerGB) / float64(1<<30))
+		if err := tpch.Load(d, sf, 42, *format, 4); err != nil {
+			return err
+		}
+		fmt.Printf("loaded TPC-H (%d paper-GB, %s) on engine %s\n", *sizeGB, *format, engine.Name())
+	case "hibench":
+		if err := hibench.Load(d, int64(*sizeGB)*bytesPerGB, 42, *format, 4); err != nil {
+			return err
+		}
+		fmt.Printf("loaded HiBench (%d paper-GB, %s) on engine %s\n", *sizeGB, *format, engine.Name())
+	case "none":
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			return err
+		}
+		return execute(d, string(data), *explain)
+	}
+	return repl(d, *explain)
+}
+
+func execute(d *hive.Driver, script string, explain bool) error {
+	for _, stmt := range hive.SplitStatements(script) {
+		if explain && !strings.HasPrefix(strings.ToLower(stmt), "explain") {
+			stmt = "EXPLAIN " + stmt
+		}
+		start := time.Now()
+		res, err := d.Execute(stmt)
+		if err != nil {
+			return err
+		}
+		printResult(res, time.Since(start))
+	}
+	return nil
+}
+
+func printResult(res *hive.Result, elapsed time.Duration) {
+	if res.Plan != "" {
+		fmt.Println(res.Plan)
+		return
+	}
+	if res.Schema != nil && len(res.Rows) > 0 {
+		fmt.Println(strings.Join(res.Schema.Names(), "\t"))
+		for _, r := range res.Rows {
+			fmt.Println(r.Text('\t'))
+		}
+	}
+	fmt.Printf("-- %d row(s), %d stage(s), %s\n", len(res.Rows), len(res.Stages), elapsed.Round(time.Millisecond))
+}
+
+func repl(d *hive.Driver, explain bool) error {
+	fmt.Println(`enter HiveQL statements terminated by ";" (quit/exit to leave; \q <n> runs TPC-H query n)`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("hiveql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 {
+			switch {
+			case trimmed == "quit" || trimmed == "exit":
+				return nil
+			case strings.HasPrefix(trimmed, `\q `):
+				var n int
+				fmt.Sscanf(trimmed, `\q %d`, &n)
+				q, err := tpch.Query(n)
+				if err != nil {
+					fmt.Println("error:", err)
+				} else if err := execute(d, q, explain); err != nil {
+					fmt.Println("error:", err)
+				}
+				fmt.Print("hiveql> ")
+				continue
+			case trimmed == "":
+				fmt.Print("hiveql> ")
+				continue
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			if err := execute(d, buf.String(), explain); err != nil {
+				fmt.Println("error:", err)
+			}
+			buf.Reset()
+			fmt.Print("hiveql> ")
+		} else {
+			fmt.Print("      > ")
+		}
+	}
+	return sc.Err()
+}

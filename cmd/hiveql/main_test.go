@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestScriptModeTPCH(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "q.sql")
+	if err := os.WriteFile(script, []byte(`
+		SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag;
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"datampi", "hadoop"} {
+		if err := run([]string{"-engine", engine, "-dataset", "tpch",
+			"-size", "1", "-f", script}); err != nil {
+			t.Errorf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestScriptModeExplain(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "q.sql")
+	if err := os.WriteFile(script, []byte(
+		"SELECT sourceip, sum(adrevenue) FROM uservisits GROUP BY sourceip;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dataset", "hibench", "-size", "1",
+		"-f", script, "-explain"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-engine", "spark"}); err == nil {
+		t.Error("unknown engine should fail")
+	}
+	if err := run([]string{"-dataset", "wikipedia"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-dataset", "none", "-f", "/no/such/file.sql"}); err == nil {
+		t.Error("missing script should fail")
+	}
+}

@@ -1,0 +1,11 @@
+// Package hivempi is a Go reproduction of "Accelerating Apache Hive
+// with MPI for Data Warehouse Systems" (ICDCS 2015): a HiveQL data
+// warehouse with two pluggable execution engines — Hadoop MapReduce and
+// the paper's DataMPI bipartite communication engine — plus the full
+// evaluation harness (Intel HiBench and TPC-H) that regenerates every
+// table and figure of the paper's §V.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for measured
+// paper-vs-reproduction results.
+package hivempi

@@ -1,0 +1,106 @@
+// DataMPI library usage without the Hive layer: a bipartite
+// (COMM_BIPARTITE_O / COMM_BIPARTITE_A) word count with a combiner,
+// the programming model the paper's §II describes.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hivempi/internal/datampi"
+)
+
+var corpus = strings.Fields(strings.Repeat(
+	"the quick brown fox jumps over the lazy dog and the dog barks back ", 500))
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	job, err := datampi.NewJob(datampi.Config{
+		NumO:        4,
+		NumA:        2,
+		NonBlocking: true, // the paper's optimized shuffle style
+		// Fold counts before transmission, like a MapReduce combiner.
+		Combiner: func(key []byte, values [][]byte) [][]byte {
+			total := 0
+			for _, v := range values {
+				n, _ := strconv.Atoi(string(v))
+				total += n
+			}
+			return [][]byte{[]byte(strconv.Itoa(total))}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+
+	err = job.Run(
+		// O task (operator / map side): MPI_D_Send per word.
+		func(o *datampi.OContext) error {
+			per := (len(corpus) + o.Size() - 1) / o.Size()
+			lo, hi := o.Rank()*per, (o.Rank()+1)*per
+			if hi > len(corpus) {
+				hi = len(corpus)
+			}
+			for _, w := range corpus[lo:hi] {
+				if err := o.Send([]byte(w), []byte("1")); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		// A task (aggregator / reduce side): grouped iterator in key order.
+		func(a *datampi.AContext) error {
+			for {
+				key, vals, err := a.NextGroup()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				total := 0
+				for _, v := range vals {
+					n, _ := strconv.Atoi(string(v))
+					total += n
+				}
+				mu.Lock()
+				counts[string(key)] += total
+				mu.Unlock()
+			}
+		})
+	if err != nil {
+		return err
+	}
+
+	var words []string
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return counts[words[i]] > counts[words[j]] })
+	fmt.Println("word counts via DataMPI bipartite communication:")
+	for _, w := range words {
+		fmt.Printf("  %-6s %d\n", w, counts[w])
+	}
+
+	// The job records the same trace metrics the engines feed into the
+	// performance model.
+	var sent int64
+	for _, m := range job.OMetrics() {
+		sent += m.ShuffleOutBytes
+	}
+	fmt.Printf("shuffled %d bytes through the non-blocking engine (combiner applied)\n", sent)
+	return nil
+}

@@ -1,0 +1,3 @@
+module hivempi
+
+go 1.22

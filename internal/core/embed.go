@@ -1,0 +1,9 @@
+package core
+
+import "embed"
+
+// Source embeds this package's implementation for the productivity
+// analysis (paper Table III counts the code the DataMPI plug-in adds).
+//
+//go:embed *.go
+var Source embed.FS

@@ -1,0 +1,252 @@
+// Package core is the paper's primary contribution: Hive on DataMPI.
+// It plugs the DataMPI bipartite communication library underneath the
+// Hive compiler as a drop-in execution engine — the DataMPITask /
+// DataMPICollector design of §IV-B:
+//
+//   - each plan stage becomes one DataMPI job; map-side operator trees
+//     run inside O tasks, with the DataMPICollector forwarding every
+//     produced pair through MPI_D_Send;
+//   - A tasks receive, cache and merge intermediate data concurrently
+//     with the O phase, then drive ExecReducer-style reduce trees over
+//     the grouped iterator;
+//   - the engine exposes the paper's tuning surface:
+//     hive.datampi.parallelism (default/enhanced),
+//     hive.datampi.memusedpercent, hive.datampi.sendqueue, and the
+//     blocking/non-blocking shuffle styles.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"hivempi/internal/datampi"
+	"hivempi/internal/exec"
+	"hivempi/internal/trace"
+	"hivempi/internal/types"
+)
+
+// engine wiring for the serialized DataMPIWork flow lives in work.go.
+
+// Engine executes stages on DataMPI.
+type Engine struct{}
+
+var _ exec.Engine = (*Engine)(nil)
+
+// New returns the engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements exec.Engine.
+func (e *Engine) Name() string { return "datampi" }
+
+// Run implements exec.Engine. It is the DataMPITask.execute() analogue:
+// it derives the O/A geometry from the splits and the parallelism
+// strategy, spawns the bipartite job (the mpidrun launch of the paper)
+// and wires the operator trees into both sides.
+func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*exec.StageResult, error) {
+	if err := stage.Validate(); err != nil {
+		return nil, err
+	}
+	tasks, err := exec.PlanMapTasks(env, stage, conf)
+	if err != nil {
+		return nil, err
+	}
+	inputBytes := exec.SizingBytes(stage, tasks)
+	numA := exec.ReducerCount(stage, conf, len(tasks), inputBytes)
+
+	var mu sync.Mutex
+	var rows []types.Row
+	collect := func(r types.Row) error {
+		mu.Lock()
+		defer mu.Unlock()
+		rows = append(rows, r.Clone())
+		return nil
+	}
+
+	if stage.Shuffle == nil {
+		return e.runMapOnly(env, stage, conf, tasks, collect, &rows)
+	}
+
+	// Serialize the DataMPIWork (plan + jobconf + splits) to the DFS;
+	// every CommonProcess deserializes it before entering its MPI_D
+	// context (paper §IV-B).
+	workPath, cmdline, err := writeWork(env, stage, conf, tasks, numA)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanupWork(env, stage.ID)
+	var (
+		workOnce sync.Once
+		work     *DataMPIWork
+		workErr  error
+	)
+	loadWork := func() (*DataMPIWork, error) {
+		workOnce.Do(func() { work, workErr = readWork(env, workPath) })
+		return work, workErr
+	}
+
+	numKeys := len(stage.Maps[0].Keys)
+	partKeys := stage.Shuffle.PartitionKeys
+
+	hosts := make([]string, 0, len(tasks)+numA)
+	for _, t := range tasks {
+		hosts = append(hosts, t.Host)
+	}
+	for i := 0; i < numA; i++ {
+		if len(conf.Slaves) > 0 {
+			hosts = append(hosts, conf.Slaves[i%len(conf.Slaves)])
+		} else {
+			hosts = append(hosts, "")
+		}
+	}
+
+	job, err := datampi.NewJob(datampi.Config{
+		NumO: len(tasks),
+		NumA: numA,
+		Partitioner: func(key []byte, n int) int {
+			return exec.PartitionForKey(key, partKeys, numKeys, n)
+		},
+		SendBufferBytes: conf.SendBufferBytes,
+		SendQueueSize:   conf.SendQueueSize,
+		MemUsedPercent:  conf.MemUsedPercent,
+		TaskMemoryBytes: conf.TaskMemoryBytes,
+		NonBlocking:     conf.NonBlocking,
+		SpillDir:        conf.SpillDir,
+		Hosts:           hosts,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The O body is the DataMPIHiveApplication map path: deserialize
+	// the work, look up this rank's split, then run the ExecMapper with
+	// the DataMPICollector as terminal operator.
+	oBody := func(o *datampi.OContext) error {
+		w, err := loadWork()
+		if err != nil {
+			return err
+		}
+		split, mapIdx, err := w.splitFor(o.Rank())
+		if err != nil {
+			return err
+		}
+		return exec.RunMapTask(env, stage, mapIdx, split, o.Send, nil, o.Metrics())
+	}
+	// The A body feeds the grouped iterator into the ExecReducer tree.
+	aBody := func(a *datampi.AContext) error {
+		out, closer, err := exec.BuildTaskOutput(env, stage, a.Rank(), collect)
+		if err != nil {
+			return err
+		}
+		driver, err := exec.NewReduceDriver(env, stage.Reduce, out, a.Metrics())
+		if err != nil {
+			return err
+		}
+		for {
+			key, vals, err := a.NextGroup()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := driver.Feed(key, vals); err != nil {
+				return err
+			}
+			if driver.LimitReached() {
+				break
+			}
+		}
+		if err := driver.Close(); err != nil {
+			return err
+		}
+		return closer()
+	}
+
+	if err := job.Run(oBody, aBody); err != nil {
+		return nil, fmt.Errorf("datampi stage %s: %w", stage.ID, err)
+	}
+
+	st := &trace.Stage{
+		Name:           stage.ID,
+		Engine:         e.Name(),
+		NumMaps:        len(tasks),
+		NumReds:        numA,
+		Producers:      job.OMetrics(),
+		Consumers:      job.AMetrics(),
+		NonBlocking:    conf.NonBlocking,
+		MemUsedPercent: conf.MemUsedPercent,
+		SendQueueSize:  conf.SendQueueSize,
+		LaunchCommand:  cmdline,
+	}
+	for i, m := range st.Producers {
+		m.LocalRead = tasks[i].Local
+	}
+	fillWriteBytes(env, stage, st)
+	return &exec.StageResult{Trace: st, Rows: rows}, nil
+}
+
+// runMapOnly executes a map-only stage: O tasks run under a slot
+// semaphore with no A side (DataMPI spawns only the O communicator).
+func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineConf,
+	tasks []exec.MapTaskSpec, collect exec.RowSink, rows *[]types.Row) (*exec.StageResult, error) {
+	metrics := make([]*trace.Task, len(tasks))
+	errs := make([]error, len(tasks))
+	sem := make(chan struct{}, conf.MaxSlots())
+	var wg sync.WaitGroup
+	for i := range tasks {
+		metrics[i] = &trace.Task{ID: i, Kind: trace.KindOTask,
+			Host: tasks[i].Host, CollectSizes: trace.NewSizeHistogram()}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, closer, err := exec.BuildTaskOutput(env, stage, i, collect)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := exec.RunMapTask(env, stage, tasks[i].MapIdx, tasks[i].Split,
+				nil, out, metrics[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = closer()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("datampi map-only stage %s: %w", stage.ID, err)
+		}
+	}
+	st := &trace.Stage{
+		Name:      stage.ID,
+		Engine:    e.Name(),
+		NumMaps:   len(tasks),
+		Producers: metrics,
+	}
+	for i, m := range st.Producers {
+		m.LocalRead = tasks[i].Local
+	}
+	fillWriteBytes(env, stage, st)
+	return &exec.StageResult{Trace: st, Rows: *rows}, nil
+}
+
+// fillWriteBytes attributes sink part-file sizes to their tasks.
+func fillWriteBytes(env *exec.Env, stage *exec.Stage, st *trace.Stage) {
+	if stage.Sink == nil {
+		return
+	}
+	owner := st.Consumers
+	if len(owner) == 0 {
+		owner = st.Producers
+	}
+	for i, t := range owner {
+		path := fmt.Sprintf("%s/part-%05d", stage.Sink.Dir, i)
+		if sz, err := env.FS.Size(path); err == nil {
+			t.WriteBytes = sz
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"hivempi/internal/dfs"
+	"hivempi/internal/exec"
+)
+
+// DataMPIWork is the serialized job description of the paper's §IV-B:
+// before launching, DataMPITask.execute() writes the plan, the job
+// configuration and the split assignments to the DFS, and passes their
+// location to the spawned CommonProcess instances on the mpidrun
+// command line. Each task deserializes the work before entering its
+// MPI_D context.
+type DataMPIWork struct {
+	StageID string          `json:"stageId"`
+	NumO    int             `json:"numO"`
+	NumA    int             `json:"numA"`
+	Conf    WorkConf        `json:"conf"`
+	Splits  []WorkSplit     `json:"splits"`
+	MapWork []WorkOperators `json:"mapWork"`
+	Reduce  string          `json:"reduce,omitempty"`
+}
+
+// WorkConf is the hive.datampi.* configuration snapshot.
+type WorkConf struct {
+	Parallelism    string  `json:"hive.datampi.parallelism"`
+	MemUsedPercent float64 `json:"hive.datampi.memusedpercent"`
+	SendQueueSize  int     `json:"hive.datampi.sendqueue"`
+	NonBlocking    bool    `json:"hive.datampi.nonblocking"`
+}
+
+// WorkSplit is one O task's input assignment.
+type WorkSplit struct {
+	Rank   int    `json:"rank"`
+	MapIdx int    `json:"mapIdx"`
+	Path   string `json:"path"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+	Host   string `json:"host"`
+}
+
+// WorkOperators summarizes one map work's operator chain.
+type WorkOperators struct {
+	Table     string   `json:"table"`
+	Format    string   `json:"format"`
+	Operators []string `json:"operators"`
+}
+
+// workDir is where serialized work descriptors live on the DFS.
+const workDir = "/tmp/datampi"
+
+// writeWork serializes the stage onto the DFS (the DataMPIWork /
+// jobconf / split upload of the paper) and returns its path plus the
+// equivalent mpidrun launch line recorded for diagnostics.
+func writeWork(env *exec.Env, stage *exec.Stage, conf exec.EngineConf,
+	tasks []exec.MapTaskSpec, numA int) (string, string, error) {
+	work := DataMPIWork{
+		StageID: stage.ID,
+		NumO:    len(tasks),
+		NumA:    numA,
+		Conf: WorkConf{
+			Parallelism:    string(conf.Parallelism),
+			MemUsedPercent: conf.MemUsedPercent,
+			SendQueueSize:  conf.SendQueueSize,
+			NonBlocking:    conf.NonBlocking,
+		},
+	}
+	for rank, t := range tasks {
+		work.Splits = append(work.Splits, WorkSplit{
+			Rank: rank, MapIdx: t.MapIdx,
+			Path: t.Split.Path, Offset: t.Split.Offset, Length: t.Split.Length,
+			Host: t.Host,
+		})
+	}
+	for _, mw := range stage.Maps {
+		ops := make([]string, 0, len(mw.Ops)+1)
+		for _, op := range mw.Ops {
+			ops = append(ops, op.String())
+		}
+		if mw.Keys != nil {
+			ops = append(ops, fmt.Sprintf("ReduceSink[tag=%d]", mw.Tag))
+		}
+		work.MapWork = append(work.MapWork, WorkOperators{
+			Table:     mw.Input.Table,
+			Format:    mw.Input.Format.String(),
+			Operators: ops,
+		})
+	}
+	if stage.Reduce != nil {
+		work.Reduce = stage.Reduce.Op.String()
+	}
+	data, err := json.MarshalIndent(&work, "", "  ")
+	if err != nil {
+		return "", "", err
+	}
+	path := fmt.Sprintf("%s/%s/work.json", workDir, stage.ID)
+	if err := env.FS.WriteFile(path, data); err != nil {
+		return "", "", fmt.Errorf("core: serialize DataMPIWork: %w", err)
+	}
+	cmdline := fmt.Sprintf(
+		"mpidrun -f hostfile -O %d -A %d -jar hive-datampi.jar DataMPIHiveApplication "+
+			"-plan %s -jobconf %s -split %s",
+		len(tasks), numA, path, path, path)
+	return path, cmdline, nil
+}
+
+// readWork deserializes a work descriptor (each CommonProcess does this
+// before executing its O/A task).
+func readWork(env *exec.Env, path string) (*DataMPIWork, error) {
+	data, err := env.FS.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read DataMPIWork: %w", err)
+	}
+	var work DataMPIWork
+	if err := json.Unmarshal(data, &work); err != nil {
+		return nil, fmt.Errorf("core: decode DataMPIWork: %w", err)
+	}
+	return &work, nil
+}
+
+// splitFor reconstructs rank's assigned split from the descriptor.
+func (w *DataMPIWork) splitFor(rank int) (dfs.Split, int, error) {
+	if rank < 0 || rank >= len(w.Splits) {
+		return dfs.Split{}, 0, fmt.Errorf("core: rank %d has no split in %s", rank, w.StageID)
+	}
+	s := w.Splits[rank]
+	if s.Rank != rank {
+		return dfs.Split{}, 0, fmt.Errorf("core: split table corrupt at rank %d", rank)
+	}
+	return dfs.Split{Path: s.Path, Offset: s.Offset, Length: s.Length,
+		Hosts: []string{s.Host}}, s.MapIdx, nil
+}
+
+// cleanupWork removes the stage's descriptor after the job.
+func cleanupWork(env *exec.Env, stageID string) {
+	env.FS.DeleteDir(workDir + "/" + strings.TrimSpace(stageID))
+}

@@ -1,0 +1,73 @@
+package datampi
+
+import (
+	"fmt"
+)
+
+// Iteration mode (paper §II): DataMPI "provides kinds of modes for Big
+// Data applications (e.g. common, iteration and streaming)". The
+// iteration mode runs the bipartite exchange repeatedly with persistent
+// task state — the A side's output of round i feeds the O side of round
+// i+1 through user state, avoiding the per-job startup and HDFS
+// round-trip a chain of MapReduce jobs would pay.
+
+// IterBody runs one side of one iteration. Both callbacks observe the
+// iteration number; termination is signalled by the driver function.
+type (
+	// OIterBody produces round i's pairs.
+	OIterBody func(iter int, o *OContext) error
+	// AIterBody consumes round i's groups; returning done=true from the
+	// convergence check stops after this round.
+	AIterBody func(iter int, a *AContext) error
+)
+
+// IterativeJob drives repeated bipartite exchanges.
+type IterativeJob struct {
+	cfg Config
+
+	// Converged optionally stops the loop early: it runs after each
+	// round with the round index (0-based) and returns true to stop.
+	Converged func(iter int) bool
+
+	rounds int
+}
+
+// NewIterativeJob validates the configuration.
+func NewIterativeJob(cfg Config) (*IterativeJob, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &IterativeJob{cfg: cfg}, nil
+}
+
+// Rounds reports how many rounds ran (valid after Run).
+func (j *IterativeJob) Rounds() int { return j.rounds }
+
+// Run executes up to maxIter rounds. Each round is one bipartite
+// exchange over a fresh communicator epoch; task-local state persists
+// in the closures, mirroring DataMPI's long-lived CommonProcess
+// instances that re-enter MPI_D contexts per iteration.
+func (j *IterativeJob) Run(maxIter int, oBody OIterBody, aBody AIterBody) error {
+	if maxIter <= 0 {
+		return fmt.Errorf("datampi: maxIter %d must be positive", maxIter)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		inner, err := NewJob(j.cfg)
+		if err != nil {
+			return err
+		}
+		it := iter
+		err = inner.Run(
+			func(o *OContext) error { return oBody(it, o) },
+			func(a *AContext) error { return aBody(it, a) },
+		)
+		if err != nil {
+			return fmt.Errorf("datampi: iteration %d: %w", iter, err)
+		}
+		j.rounds = iter + 1
+		if j.Converged != nil && j.Converged(iter) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package datampi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestIterativePageRank runs power iteration over a small directed
+// graph with the iteration mode and checks convergence against a
+// single-threaded reference computation.
+func TestIterativePageRank(t *testing.T) {
+	// A ring with one hub: 0 <- everyone, i -> i+1.
+	const n = 20
+	const damping = 0.85
+	edges := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		edges[i] = append(edges[i], (i+1)%n, 0)
+	}
+
+	// Reference power iteration.
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = 1.0 / n
+	}
+	const rounds = 15
+	for r := 0; r < rounds; r++ {
+		next := make([]float64, n)
+		for u, outs := range edges {
+			share := ref[u] / float64(len(outs))
+			for _, v := range outs {
+				next[v] += share
+			}
+		}
+		for i := range next {
+			next[i] = (1-damping)/n + damping*next[i]
+		}
+		ref = next
+	}
+
+	// DataMPI iterative job: ranks live in shared state guarded by a
+	// mutex (the A side of round r writes what the O side of r+1 reads).
+	var mu sync.Mutex
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1.0 / n
+	}
+	cfg := Config{NumO: 4, NumA: 2, NonBlocking: true}
+	job, err := NewIterativeJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(f float64) []byte {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+		return b[:]
+	}
+	decode := func(b []byte) float64 {
+		return math.Float64frombits(binary.BigEndian.Uint64(b))
+	}
+	nodeKey := func(v int) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(v))
+		return b[:]
+	}
+	var pending map[int]float64
+	err = job.Run(rounds,
+		func(iter int, o *OContext) error {
+			if o.Rank() == 0 {
+				mu.Lock()
+				pending = make(map[int]float64, n)
+				mu.Unlock()
+			}
+			for u := o.Rank(); u < n; u += o.Size() {
+				mu.Lock()
+				share := ranks[u] / float64(len(edges[u]))
+				mu.Unlock()
+				for _, v := range edges[u] {
+					if err := o.Send(nodeKey(v), encode(share)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		func(iter int, a *AContext) error {
+			for {
+				key, vals, err := a.NextGroup()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				v := int(binary.BigEndian.Uint32(key))
+				sum := 0.0
+				for _, val := range vals {
+					sum += decode(val)
+				}
+				mu.Lock()
+				pending[v] = (1-damping)/n + damping*sum
+				mu.Unlock()
+			}
+			// Last A task of the round publishes the new ranks.
+			mu.Lock()
+			if len(pending) == n {
+				for v, r := range pending {
+					ranks[v] = r
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Rounds() != rounds {
+		t.Errorf("ran %d rounds, want %d", job.Rounds(), rounds)
+	}
+	for i := 0; i < n; i++ {
+		if diff := math.Abs(ranks[i] - ref[i]); diff > 1e-9 {
+			t.Errorf("rank[%d] = %g, want %g", i, ranks[i], ref[i])
+		}
+	}
+	// The hub must dominate.
+	for i := 1; i < n; i++ {
+		if ranks[0] <= ranks[i] {
+			t.Errorf("hub rank %g not above node %d's %g", ranks[0], i, ranks[i])
+		}
+	}
+}
+
+func TestIterativeConvergenceStopsEarly(t *testing.T) {
+	job, err := NewIterativeJob(Config{NumO: 2, NumA: 1, NonBlocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Converged = func(iter int) bool { return iter >= 2 }
+	ran := 0
+	var mu sync.Mutex
+	err = job.Run(100,
+		func(iter int, o *OContext) error {
+			if o.Rank() == 0 {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+			}
+			return o.Send([]byte("k"), []byte("v"))
+		},
+		func(iter int, a *AContext) error {
+			for {
+				if _, _, err := a.NextGroup(); err == io.EOF {
+					return nil
+				} else if err != nil {
+					return err
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 || job.Rounds() != 3 {
+		t.Errorf("ran %d rounds (job says %d), want 3", ran, job.Rounds())
+	}
+	if err := job.Run(0, nil, nil); err == nil {
+		t.Error("maxIter=0 should fail")
+	}
+}
+
+// TestStreamingWindowedCounts streams records into 1-unit windows and
+// checks per-window aggregates arrive complete and in window order.
+func TestStreamingWindowedCounts(t *testing.T) {
+	const windows = 5
+	const perWindow = 200
+	type rec struct {
+		w   uint32
+		key string
+	}
+	streams := make([][]rec, 3)
+	want := map[string]int{}
+	for w := uint32(0); w < windows; w++ {
+		for i := 0; i < perWindow; i++ {
+			k := fmt.Sprintf("sensor%d", i%7)
+			streams[i%3] = append(streams[i%3], rec{w, k})
+			want[fmt.Sprintf("%d/%s", w, k)]++
+		}
+	}
+	pos := make([]int, 3)
+	var mu sync.Mutex
+	got := map[string]int{}
+	var orderOK = true
+	lastWindow := make(map[int]uint32)
+	err := RunStreaming(
+		Config{NumO: 3, NumA: 2, NonBlocking: true},
+		func(o *OContext) (uint32, []byte, []byte, bool, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			i := pos[o.Rank()]
+			if i >= len(streams[o.Rank()]) {
+				return 0, nil, nil, true, nil
+			}
+			pos[o.Rank()]++
+			r := streams[o.Rank()][i]
+			return r.w, []byte(r.key), []byte{1}, false, nil
+		},
+		func(window uint32, key []byte, values [][]byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			got[fmt.Sprintf("%d/%s", window, key)] += len(values)
+			// Per-A-task windows must be non-decreasing.
+			part := int(key[len(key)-1]) % 2
+			if window < lastWindow[part] {
+				orderOK = false
+			}
+			lastWindow[part] = window
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d window/key groups, want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("count[%s] = %d, want %d", k, got[k], n)
+		}
+	}
+	if !orderOK {
+		t.Error("windows regressed within an A task")
+	}
+}
+
+func TestStreamingSameKeySamePartition(t *testing.T) {
+	// All windows of one key must land on the same A task.
+	var mu sync.Mutex
+	owner := map[string]map[int]bool{}
+	done := make([]bool, 2)
+	err := RunStreaming(
+		Config{NumO: 2, NumA: 3, NonBlocking: true},
+		func(o *OContext) (uint32, []byte, []byte, bool, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done[o.Rank()] {
+				return 0, nil, nil, true, nil
+			}
+			done[o.Rank()] = true
+			return uint32(o.Rank()), []byte("shared-key"), []byte("v"), false, nil
+		},
+		func(window uint32, key []byte, values [][]byte) error {
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = owner
+}

@@ -1,0 +1,288 @@
+package datampi
+
+import (
+	"errors"
+	"fmt"
+
+	"hivempi/internal/kvio"
+	"hivempi/internal/mpi"
+	"hivempi/internal/trace"
+)
+
+// OContext is the handle given to an operator (O) task body. Send is
+// the MPI_D_Send analogue: pairs are routed by the partitioner into the
+// Send Partition List and flushed through the configured shuffle engine
+// when a partition fills.
+type OContext struct {
+	job  *Job
+	rank int
+
+	// Send Partition List: one buffer per A task (paper Fig. 7).
+	partitions []partitionBuffer
+
+	// Non-blocking engine state.
+	sendQueue chan flushItem
+	senderErr chan error
+	pending   []*mpi.Request
+
+	metrics   *trace.Task
+	pairIndex int64
+	flushMark []int64 // pairIndex at each flush, for timeline reconstruction
+	finalized bool
+	err       error
+}
+
+type partitionBuffer struct {
+	data  []byte
+	pairs int
+	kvs   []kvio.KV // retained uncombined pairs when a combiner is set
+}
+
+type flushItem struct {
+	dest int // A communicator rank
+	data []byte
+}
+
+func newOContext(j *Job, rank int) *OContext {
+	ctx := &OContext{
+		job:        j,
+		rank:       rank,
+		partitions: make([]partitionBuffer, j.cfg.NumA),
+		metrics:    j.oTasks[rank],
+	}
+	if j.cfg.NonBlocking {
+		// The bounded queue is the hive.datampi.sendqueue knob: the
+		// compute thread blocks when the communication goroutine falls
+		// behind by more than SendQueueSize partitions.
+		ctx.sendQueue = make(chan flushItem, j.cfg.SendQueueSize)
+		ctx.senderErr = make(chan error, 1)
+		go ctx.senderLoop()
+	}
+	if ctx.metrics.PartitionBytes == nil {
+		ctx.metrics.PartitionBytes = make([]int64, j.cfg.NumA)
+	}
+	return ctx
+}
+
+// Rank returns this task's rank within COMM_BIPARTITE_O.
+func (o *OContext) Rank() int { return o.rank }
+
+// Size returns the size of COMM_BIPARTITE_O (MPI_D_Comm_size).
+func (o *OContext) Size() int { return o.job.cfg.NumO }
+
+// NumA returns the size of COMM_BIPARTITE_A.
+func (o *OContext) NumA() int { return o.job.cfg.NumA }
+
+// Metrics exposes the task's trace record so the engine layer can add
+// input-side counters.
+func (o *OContext) Metrics() *trace.Task { return o.metrics }
+
+// Send routes one key-value pair toward its aggregator (MPI_D_Send).
+func (o *OContext) Send(key, value []byte) error {
+	if o.finalized {
+		return errors.New("datampi: Send after finalize")
+	}
+	if o.err != nil {
+		return o.err
+	}
+	part := o.job.cfg.Partitioner(key, o.job.cfg.NumA)
+	if part < 0 || part >= o.job.cfg.NumA {
+		return fmt.Errorf("datampi: partitioner returned %d for %d A tasks", part, o.job.cfg.NumA)
+	}
+	pb := &o.partitions[part]
+	sz := kvio.KV{Key: key, Value: value}.WireSize()
+	o.metrics.CollectSizes.Observe(len(key) + len(value))
+	o.metrics.ShuffleOutPairs++
+	o.metrics.PartitionBytes[part] += int64(sz)
+	o.pairIndex++
+
+	if o.job.cfg.Combiner != nil {
+		pb.kvs = append(pb.kvs, kvio.KV{
+			Key:   append([]byte(nil), key...),
+			Value: append([]byte(nil), value...),
+		})
+		pb.pairs++
+		pb.data = nil // size accounting via kvs below
+		if approxKVBytes(pb.kvs) >= o.job.cfg.SendBufferBytes {
+			return o.flushPartition(part)
+		}
+		return nil
+	}
+
+	pb.data = kvio.AppendKV(pb.data, key, value)
+	pb.pairs++
+	if len(pb.data) >= o.job.cfg.SendBufferBytes {
+		return o.flushPartition(part)
+	}
+	return nil
+}
+
+func approxKVBytes(kvs []kvio.KV) int {
+	n := 0
+	for _, p := range kvs {
+		n += p.WireSize()
+	}
+	return n
+}
+
+// flushPartition pushes one full partition into the shuffle engine.
+func (o *OContext) flushPartition(part int) error {
+	pb := &o.partitions[part]
+	data := pb.data
+	if o.job.cfg.Combiner != nil {
+		data = o.runCombiner(pb.kvs)
+		pb.kvs = nil
+	}
+	pb.data = nil
+	pb.pairs = 0
+	if len(data) == 0 {
+		return nil
+	}
+	o.metrics.ShuffleOutBytes += int64(len(data))
+	o.flushMark = append(o.flushMark, o.pairIndex)
+	o.metrics.SendEvents = append(o.metrics.SendEvents, trace.SendEvent{
+		Bytes: int64(len(data)),
+		Dest:  part,
+	})
+
+	if o.job.cfg.NonBlocking {
+		select {
+		case err := <-o.senderErr:
+			o.err = err
+			return err
+		case o.sendQueue <- flushItem{dest: part, data: data}:
+			return nil
+		}
+	}
+	return o.blockingFlush(part, data)
+}
+
+// blockingFlush implements the blocking shuffle style: the compute
+// thread itself performs the transfer inside a serialized all-to-all
+// round and waits for the receiver's acknowledgement, so skewed tasks
+// stall each other (paper Fig. 6).
+func (o *OContext) blockingFlush(part int, data []byte) error {
+	o.job.roundMu.Lock()
+	defer o.job.roundMu.Unlock()
+	o.metrics.WaitRounds++
+	dst := o.job.commA.WorldRank(part)
+	if err := o.job.world.Send(o.rank, dst, tagData, data); err != nil {
+		return fmt.Errorf("datampi: blocking send to A%d: %w", part, err)
+	}
+	// MPI_Waitall analogue: wait until the receiver absorbed the round.
+	if _, _, err := o.job.world.Recv(o.rank, dst, tagAck); err != nil {
+		return fmt.Errorf("datampi: ack from A%d: %w", part, err)
+	}
+	return nil
+}
+
+// senderLoop is the non-blocking shuffle engine thread: it drains the
+// send queue, posts MPI_Isend for each partition and tests cached
+// request handles for completion.
+func (o *OContext) senderLoop() {
+	for item := range o.sendQueue {
+		dst := o.job.commA.WorldRank(item.dest)
+		req, err := o.job.world.Isend(o.rank, dst, tagData, item.data)
+		if err != nil {
+			select {
+			case o.senderErr <- fmt.Errorf("datampi: isend to A%d: %w", item.dest, err):
+			default:
+			}
+			continue
+		}
+		o.pending = append(o.pending, req)
+		// Opportunistically retire completed handles.
+		live := o.pending[:0]
+		for _, r := range o.pending {
+			if done, _ := r.Test(); !done {
+				live = append(live, r)
+			}
+		}
+		o.pending = live
+	}
+	if err := mpi.Waitall(o.pending); err != nil {
+		select {
+		case o.senderErr <- err:
+		default:
+		}
+	}
+	select {
+	case o.senderErr <- nil:
+	default:
+	}
+}
+
+// runCombiner groups the partition's pairs by key and applies the
+// user combiner, returning the encoded output.
+func (o *OContext) runCombiner(kvs []kvio.KV) []byte {
+	kvio.Sort(kvs)
+	o.metrics.CombineInPairs += int64(len(kvs))
+	var out []byte
+	i := 0
+	for i < len(kvs) {
+		j := i + 1
+		for j < len(kvs) && string(kvs[j].Key) == string(kvs[i].Key) {
+			j++
+		}
+		vals := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			vals = append(vals, kvs[k].Value)
+		}
+		vals = o.job.cfg.Combiner(kvs[i].Key, vals)
+		for _, v := range vals {
+			out = kvio.AppendKV(out, kvs[i].Key, v)
+			o.metrics.CombineOutPairs++
+		}
+		i = j
+	}
+	return out
+}
+
+// finalize flushes residual partitions, drains the shuffle engine and
+// broadcasts the done control message to every A task (MPI_D_Finalize).
+func (o *OContext) finalize() error {
+	if o.finalized {
+		return nil
+	}
+	o.finalized = true
+	var errs []error
+	for part := range o.partitions {
+		pb := &o.partitions[part]
+		if pb.pairs > 0 || len(pb.data) > 0 || len(pb.kvs) > 0 {
+			if err := o.flushPartitionFinal(part); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if o.job.cfg.NonBlocking {
+		close(o.sendQueue)
+		if err := <-o.senderErr; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	// Timeline reconstruction: convert flush marks to progress fractions.
+	total := o.pairIndex
+	for i := range o.metrics.SendEvents {
+		if total > 0 && i < len(o.flushMark) {
+			o.metrics.SendEvents[i].Progress = float64(o.flushMark[i]) / float64(total)
+		} else {
+			o.metrics.SendEvents[i].Progress = 1
+		}
+	}
+	for a := 0; a < o.job.cfg.NumA; a++ {
+		dst := o.job.commA.WorldRank(a)
+		if err := o.job.world.Send(o.rank, dst, tagDone, nil); err != nil {
+			errs = append(errs, fmt.Errorf("datampi: done to A%d: %w", a, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// flushPartitionFinal is flushPartition but bypasses the Send guard.
+func (o *OContext) flushPartitionFinal(part int) error {
+	wasFinalized := o.finalized
+	o.finalized = false
+	err := o.flushPartition(part)
+	o.finalized = wasFinalized
+	return err
+}

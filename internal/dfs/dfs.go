@@ -1,0 +1,436 @@
+// Package dfs implements an HDFS-like distributed file system substrate:
+// files are sequences of fixed-size blocks, each block is replicated on a
+// subset of the cluster's data nodes, and jobs read files through input
+// splits that carry block locality information.
+//
+// The store is in-memory (the simulated cluster is a single process) but
+// preserves the architectural properties the paper depends on: block
+// granularity, replica placement, split computation and data locality.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBlockSize matches the paper's HDFS configuration (64 MB),
+// although tests and scaled benchmarks typically configure it smaller.
+const DefaultBlockSize = 64 << 20
+
+// ErrNotFound is returned when a path does not exist.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// ErrExists is returned when creating a path that already exists.
+var ErrExists = errors.New("dfs: file exists")
+
+// Config describes the simulated DFS deployment.
+type Config struct {
+	BlockSize   int64    // bytes per block; DefaultBlockSize if 0
+	Replication int      // replicas per block; min(3, len(Nodes)) if 0
+	Nodes       []string // data node host names; ["localhost"] if empty
+}
+
+// FileSystem is the namespace plus block store.
+type FileSystem struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	files map[string]*file
+
+	nextBlock  uint64
+	bytesRead  atomic.Int64
+	bytesWrite atomic.Int64
+
+	faultMu sync.Mutex
+	faults  map[string]int // path -> remaining injected read failures
+}
+
+// InjectReadFault makes the next n reads of path fail with
+// ErrInjectedFault (testing hook for fault-tolerance paths).
+func (fs *FileSystem) InjectReadFault(p string, n int) {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	if fs.faults == nil {
+		fs.faults = make(map[string]int)
+	}
+	fs.faults[clean(p)] = n
+}
+
+// ErrInjectedFault is returned by reads hit by InjectReadFault.
+var ErrInjectedFault = errors.New("dfs: injected read fault")
+
+// takeFault consumes one injected failure for the path, if armed.
+func (fs *FileSystem) takeFault(p string) bool {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	if fs.faults[p] > 0 {
+		fs.faults[p]--
+		return true
+	}
+	return false
+}
+
+type block struct {
+	data     []byte
+	replicas []int // indices into cfg.Nodes
+}
+
+type file struct {
+	blocks []*block
+	size   int64
+}
+
+// New creates an empty file system.
+func New(cfg Config) *FileSystem {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if len(cfg.Nodes) == 0 {
+		cfg.Nodes = []string{"localhost"}
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Replication > len(cfg.Nodes) {
+		cfg.Replication = len(cfg.Nodes)
+	}
+	return &FileSystem{cfg: cfg, files: make(map[string]*file)}
+}
+
+// Config returns the deployment configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// BytesRead returns the cumulative bytes served to readers.
+func (fs *FileSystem) BytesRead() int64 { return fs.bytesRead.Load() }
+
+// BytesWritten returns the cumulative bytes accepted from writers.
+func (fs *FileSystem) BytesWritten() int64 { return fs.bytesWrite.Load() }
+
+func clean(p string) string {
+	p = path.Clean("/" + p)
+	return p
+}
+
+// Exists reports whether the path holds a file.
+func (fs *FileSystem) Exists(p string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[clean(p)]
+	return ok
+}
+
+// Size returns the byte length of the file.
+func (fs *FileSystem) Size(p string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[clean(p)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	return f.size, nil
+}
+
+// List returns the paths under the given directory prefix, sorted.
+func (fs *FileSystem) List(dir string) []string {
+	dir = clean(dir)
+	if !strings.HasSuffix(dir, "/") {
+		dir += "/"
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, dir) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a file; deleting a missing file is not an error.
+func (fs *FileSystem) Delete(p string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, clean(p))
+}
+
+// DeleteDir removes every file under the directory prefix.
+func (fs *FileSystem) DeleteDir(dir string) {
+	dir = clean(dir)
+	if !strings.HasSuffix(dir, "/") {
+		dir += "/"
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for p := range fs.files {
+		if strings.HasPrefix(p, dir) {
+			delete(fs.files, p)
+		}
+	}
+}
+
+// Rename moves src to dst atomically, replacing dst.
+func (fs *FileSystem) Rename(src, dst string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[clean(src)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, src)
+	}
+	delete(fs.files, clean(src))
+	fs.files[clean(dst)] = f
+	return nil
+}
+
+// placeReplicas picks Replication distinct nodes for a new block,
+// rotating the primary across nodes for balance (round-robin placement,
+// a simplification of HDFS's rack-aware policy).
+func (fs *FileSystem) placeReplicas() []int {
+	id := fs.nextBlock
+	fs.nextBlock++
+	n := len(fs.cfg.Nodes)
+	reps := make([]int, 0, fs.cfg.Replication)
+	for i := 0; i < fs.cfg.Replication; i++ {
+		reps = append(reps, int(id+uint64(i))%n)
+	}
+	return reps
+}
+
+// Create opens a new file for writing. The returned writer buffers into
+// blocks; Close must be called to publish the file.
+func (fs *FileSystem) Create(p string) (*Writer, error) {
+	p = clean(p)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[p]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, p)
+	}
+	// Reserve the name so concurrent creators collide deterministically.
+	fs.files[p] = &file{}
+	return &Writer{fs: fs, path: p, f: fs.files[p]}, nil
+}
+
+// CreateOverwrite creates p, replacing any existing file.
+func (fs *FileSystem) CreateOverwrite(p string) (*Writer, error) {
+	fs.Delete(p)
+	return fs.Create(p)
+}
+
+// Writer appends data to a file, cutting blocks at the block size.
+type Writer struct {
+	fs     *FileSystem
+	path   string
+	f      *file
+	cur    []byte
+	closed bool
+}
+
+var _ io.WriteCloser = (*Writer)(nil)
+
+// Write buffers p into the current block, cutting new blocks as needed.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("dfs: write to closed writer for %s", w.path)
+	}
+	total := len(p)
+	bs := int(w.fs.cfg.BlockSize)
+	for len(p) > 0 {
+		room := bs - len(w.cur)
+		if room == 0 {
+			w.flushBlock()
+			room = bs
+		}
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.cur = append(w.cur, p[:n]...)
+		p = p[n:]
+	}
+	w.fs.bytesWrite.Add(int64(total))
+	return total, nil
+}
+
+func (w *Writer) flushBlock() {
+	w.fs.mu.Lock()
+	b := &block{data: w.cur, replicas: w.fs.placeReplicas()}
+	w.f.blocks = append(w.f.blocks, b)
+	w.f.size += int64(len(w.cur))
+	w.fs.mu.Unlock()
+	w.cur = nil
+}
+
+// Close publishes the final partial block.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.cur) > 0 {
+		w.flushBlock()
+	}
+	return nil
+}
+
+// Open returns a random-access reader over the file.
+func (fs *FileSystem) Open(p string) (*Reader, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[clean(p)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	return &Reader{fs: fs, f: f, size: f.size, path: clean(p)}, nil
+}
+
+// Reader reads a file sequentially or at random offsets.
+type Reader struct {
+	fs   *FileSystem
+	f    *file
+	size int64
+	off  int64
+	path string
+}
+
+var (
+	_ io.ReadSeeker = (*Reader)(nil)
+	_ io.ReaderAt   = (*Reader)(nil)
+)
+
+// Size returns the total file length.
+func (r *Reader) Size() int64 { return r.size }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	n, err := r.ReadAt(p, r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if r.fs.takeFault(r.path) {
+		return 0, fmt.Errorf("%w: %s", ErrInjectedFault, r.path)
+	}
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	bs := r.fs.cfg.BlockSize
+	n := 0
+	for n < len(p) && off < r.size {
+		bi := int(off / bs)
+		bo := off % bs
+		r.fs.mu.RLock()
+		blk := r.f.blocks[bi]
+		c := copy(p[n:], blk.data[bo:])
+		r.fs.mu.RUnlock()
+		n += c
+		off += int64(c)
+	}
+	r.fs.bytesRead.Add(int64(n))
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = r.off + offset
+	case io.SeekEnd:
+		abs = r.size + offset
+	default:
+		return 0, fmt.Errorf("dfs: invalid seek whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("dfs: negative seek offset %d", abs)
+	}
+	r.off = abs
+	return abs, nil
+}
+
+// ReadFile reads the whole file into memory.
+func (fs *FileSystem) ReadFile(p string) ([]byte, error) {
+	r, err := fs.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, r.Size())
+	if _, err := io.ReadFull(r, buf); err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFile writes data to p, replacing any existing file.
+func (fs *FileSystem) WriteFile(p string, data []byte) error {
+	w, err := fs.CreateOverwrite(p)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Split is a contiguous byte range of a file handed to one map/O task,
+// with the hosts holding replicas of the range's first block.
+type Split struct {
+	Path   string
+	Offset int64
+	Length int64
+	Hosts  []string
+}
+
+// Splits chops the file into splits of at most splitSize bytes, aligned
+// to block boundaries as HDFS does (splitSize <= 0 uses the block size).
+func (fs *FileSystem) Splits(p string, splitSize int64) ([]Split, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[clean(p)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	if splitSize <= 0 {
+		splitSize = fs.cfg.BlockSize
+	}
+	var splits []Split
+	var off int64
+	for off < f.size {
+		l := splitSize
+		if off+l > f.size {
+			l = f.size - off
+		}
+		bi := int(off / fs.cfg.BlockSize)
+		blk := f.blocks[bi]
+		hosts := make([]string, len(blk.replicas))
+		for i, r := range blk.replicas {
+			hosts[i] = fs.cfg.Nodes[r]
+		}
+		splits = append(splits, Split{Path: clean(p), Offset: off, Length: l, Hosts: hosts})
+		off += l
+	}
+	return splits, nil
+}
+
+// SectionReader returns a reader restricted to a split's byte range.
+func (fs *FileSystem) SectionReader(s Split) (*io.SectionReader, error) {
+	r, err := fs.Open(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	return io.NewSectionReader(r, s.Offset, s.Length), nil
+}

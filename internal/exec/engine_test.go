@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"testing"
+
+	"hivempi/internal/dfs"
+	"hivempi/internal/storage"
+	"hivempi/internal/types"
+)
+
+func TestReducerCountStrategies(t *testing.T) {
+	mkStage := func(nKeys int, last bool, hint int) *Stage {
+		keys := make([]Expr, nKeys)
+		for i := range keys {
+			keys[i] = &ColRef{Idx: i}
+		}
+		return &Stage{
+			ID:        "s",
+			Maps:      []MapWork{{Keys: keys}},
+			Shuffle:   &ShuffleSpec{NumReducers: hint},
+			LastStage: last,
+		}
+	}
+	conf := DefaultEngineConf() // 7 slaves x 4 slots = 28
+	conf.BytesPerReducer = 1 << 20
+
+	cases := []struct {
+		name  string
+		stage *Stage
+		conf  func(EngineConf) EngineConf
+		maps  int
+		bytes int64
+		want  int
+	}{
+		{"map-only", &Stage{Maps: []MapWork{{}}}, nil, 4, 1 << 30, 0},
+		{"hint respected", mkStage(1, false, 5), nil, 4, 1 << 30, 5},
+		{"auto by bytes", mkStage(1, false, 0), nil, 4, 10 << 20, 10},
+		{"auto min 1", mkStage(1, false, 0), nil, 4, 10, 1},
+		{"auto capped at slots", mkStage(1, false, 0), nil, 4, 1 << 30, 28},
+		{"enhanced = maps", mkStage(1, false, 5), func(c EngineConf) EngineConf {
+			c.Parallelism = ParallelismEnhanced
+			return c
+		}, 17, 1 << 30, 17},
+		{"enhanced last stage = 1", mkStage(1, true, 5), func(c EngineConf) EngineConf {
+			c.Parallelism = ParallelismEnhanced
+			return c
+		}, 17, 1 << 30, 1},
+		{"global agg always 1", mkStage(0, false, 0), func(c EngineConf) EngineConf {
+			c.Parallelism = ParallelismEnhanced
+			return c
+		}, 17, 1 << 30, 1},
+	}
+	for _, c := range cases {
+		cf := conf
+		if c.conf != nil {
+			cf = c.conf(conf)
+		}
+		if got := ReducerCount(c.stage, cf, c.maps, c.bytes); got != c.want {
+			t.Errorf("%s: ReducerCount = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSizingBytesPrefersRawEstimate(t *testing.T) {
+	stage := &Stage{Maps: []MapWork{
+		{RawInputBytes: 1000},
+		{}, // no estimate: measured wins
+	}}
+	tasks := []MapTaskSpec{
+		{MapIdx: 0, Split: dfs.Split{Length: 100}},
+		{MapIdx: 0, Split: dfs.Split{Length: 100}},
+		{MapIdx: 1, Split: dfs.Split{Length: 300}},
+	}
+	// Map 0: max(200 measured, 1000 raw) = 1000; map 1: 300.
+	if got := SizingBytes(stage, tasks); got != 1300 {
+		t.Errorf("SizingBytes = %d, want 1300", got)
+	}
+	// Measured above raw: measured wins.
+	stage.Maps[0].RawInputBytes = 50
+	if got := SizingBytes(stage, tasks); got != 500 {
+		t.Errorf("SizingBytes = %d, want 500", got)
+	}
+}
+
+func TestBuildTaskOutputSinkAndCollect(t *testing.T) {
+	env := &Env{FS: dfs.New(dfs.Config{BlockSize: 1 << 10, Nodes: []string{"n"}})}
+	schema := types.NewSchema(types.Col("v", types.KindInt))
+	stage := &Stage{
+		ID:      "o",
+		Maps:    []MapWork{{}},
+		Sink:    &FileSinkSpec{Dir: "/sinkdir", Format: storage.FormatText, Schema: schema},
+		Collect: true,
+	}
+	var collected []types.Row
+	sink, closer, err := BuildTaskOutput(env, stage, 3, func(r types.Row) error {
+		collected = append(collected, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := sink(types.Row{types.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	if len(collected) != 5 {
+		t.Errorf("collected %d rows", len(collected))
+	}
+	rows, err := storage.ReadAll(env.FS, "/sinkdir/part-00003", storage.FormatText, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Errorf("part file holds %d rows", len(rows))
+	}
+}
+
+func TestEvalKeyAndValueRoundTrip(t *testing.T) {
+	row := types.Row{types.Int(7), types.String("x"), types.Float(1.5)}
+	keys := []Expr{&ColRef{Idx: 0}, &ColRef{Idx: 1}}
+	key, err := evalKey(keys, []bool{false, true}, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode back through the key codec.
+	d0, n, err := types.DecodeKeyDatum(key, types.KindInt, false)
+	if err != nil || d0.Int() != 7 {
+		t.Fatalf("key col0 = %v, %v", d0, err)
+	}
+	d1, _, err := types.DecodeKeyDatum(key[n:], types.KindString, true)
+	if err != nil || d1.Str() != "x" {
+		t.Fatalf("key col1 = %v, %v", d1, err)
+	}
+
+	val, err := evalValue(3, []Expr{&ColRef{Idx: 2}}, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, vrow, err := decodeValue(val)
+	if err != nil || tag != 3 || vrow[0].Float() != 1.5 {
+		t.Fatalf("value round trip: tag=%d row=%v err=%v", tag, vrow, err)
+	}
+}
+
+func TestPlanMapTasksEmptyInputPlaceholder(t *testing.T) {
+	env := &Env{FS: dfs.New(dfs.Config{BlockSize: 1 << 10, Nodes: []string{"n"}})}
+	stage := &Stage{
+		ID:   "empty",
+		Maps: []MapWork{{Input: TableInput{Dir: "/does/not/exist"}}},
+	}
+	tasks, err := PlanMapTasks(env, stage, DefaultEngineConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0].Split.Path != "" {
+		t.Errorf("placeholder task wrong: %+v", tasks)
+	}
+}

@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"hivempi/internal/types"
+)
+
+func col(i int) Expr         { return &ColRef{Idx: i} }
+func lit(d types.Datum) Expr { return &Const{D: d} }
+func iLit(v int64) Expr      { return lit(types.Int(v)) }
+func fLit(v float64) Expr    { return lit(types.Float(v)) }
+func sLit(s string) Expr     { return lit(types.String(s)) }
+func mustEval(t *testing.T, e Expr, row types.Row) types.Datum {
+	t.Helper()
+	d, err := e.Eval(row)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return d
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want types.Datum
+	}{
+		{&BinOp{OpAdd, iLit(2), iLit(3)}, types.Int(5)},
+		{&BinOp{OpSub, iLit(2), iLit(3)}, types.Int(-1)},
+		{&BinOp{OpMul, iLit(4), iLit(3)}, types.Int(12)},
+		{&BinOp{OpDiv, iLit(7), iLit(2)}, types.Float(3.5)},
+		{&BinOp{OpDiv, iLit(7), iLit(0)}, types.Null()},
+		{&BinOp{OpMod, iLit(7), iLit(3)}, types.Int(1)},
+		{&BinOp{OpMod, iLit(7), iLit(0)}, types.Null()},
+		{&BinOp{OpAdd, fLit(1.5), iLit(2)}, types.Float(3.5)},
+		{&BinOp{OpAdd, lit(types.Null()), iLit(2)}, types.Null()},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.e, nil)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && types.Compare(got, c.want) != 0) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+		if got.K != c.want.K {
+			t.Errorf("%s kind %v, want %v", c.e, got.K, c.want.K)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		op   CmpOpKind
+		l, r Expr
+		want bool
+	}{
+		{CmpEQ, iLit(3), iLit(3), true},
+		{CmpNE, iLit(3), iLit(3), false},
+		{CmpLT, iLit(2), iLit(3), true},
+		{CmpLE, iLit(3), iLit(3), true},
+		{CmpGT, sLit("b"), sLit("a"), true},
+		{CmpGE, fLit(2.5), iLit(3), false},
+	}
+	for _, c := range cases {
+		e := &Cmp{Op: c.op, L: c.l, R: c.r}
+		if got := mustEval(t, e, nil); got.Bool() != c.want {
+			t.Errorf("%s = %v, want %v", e, got.Bool(), c.want)
+		}
+	}
+	null := &Cmp{Op: CmpEQ, L: lit(types.Null()), R: iLit(1)}
+	if !mustEval(t, null, nil).IsNull() {
+		t.Error("NULL = 1 should be NULL")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	tru, fls, nul := lit(types.Bool(true)), lit(types.Bool(false)), lit(types.Null())
+	cases := []struct {
+		e    Expr
+		want types.Datum
+	}{
+		{&Logic{LogicAnd, tru, tru}, types.Bool(true)},
+		{&Logic{LogicAnd, tru, fls}, types.Bool(false)},
+		{&Logic{LogicAnd, fls, nul}, types.Bool(false)},
+		{&Logic{LogicAnd, tru, nul}, types.Null()},
+		{&Logic{LogicOr, fls, tru}, types.Bool(true)},
+		{&Logic{LogicOr, nul, tru}, types.Bool(true)},
+		{&Logic{LogicOr, nul, fls}, types.Null()},
+		{&Logic{LogicNot, tru, nil}, types.Bool(false)},
+		{&Logic{LogicNot, nul, nil}, types.Null()},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.e, nil)
+		if got.IsNull() != c.want.IsNull() || got.Bool() != c.want.Bool() {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "hel_", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"special requests", "%special%requests%", true},
+		{"PROMO BRUSHED", "PROMO%", true},
+		{"ECONOMY BRUSHED", "PROMO%", false},
+		{"abcabc", "%abc", true},
+		{"ab", "a%b%c", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestInBetweenIsNullCase(t *testing.T) {
+	row := types.Row{types.Int(5), types.String("BRASS"), types.Null()}
+	in := &In{E: col(1), List: []Expr{sLit("COPPER"), sLit("BRASS")}}
+	if !mustEval(t, in, row).Bool() {
+		t.Error("IN should match BRASS")
+	}
+	notIn := &In{E: col(1), List: []Expr{sLit("TIN")}, Negate: true}
+	if !mustEval(t, notIn, row).Bool() {
+		t.Error("NOT IN should hold")
+	}
+	btw := &Between{E: col(0), Lo: iLit(1), Hi: iLit(10)}
+	if !mustEval(t, btw, row).Bool() {
+		t.Error("BETWEEN should hold")
+	}
+	isn := &IsNull{E: col(2)}
+	if !mustEval(t, isn, row).Bool() {
+		t.Error("IS NULL should hold")
+	}
+	isnn := &IsNull{E: col(0), Negate: true}
+	if !mustEval(t, isnn, row).Bool() {
+		t.Error("IS NOT NULL should hold")
+	}
+	cs := &Case{
+		Whens: []CaseWhen{
+			{Cond: &Cmp{Op: CmpGT, L: col(0), R: iLit(3)}, Value: sLit("big")},
+		},
+		Else: sLit("small"),
+	}
+	if mustEval(t, cs, row).Str() != "big" {
+		t.Error("CASE should pick first arm")
+	}
+	cs2 := &Case{Whens: []CaseWhen{{Cond: lit(types.Bool(false)), Value: sLit("x")}}}
+	if !mustEval(t, cs2, nil).IsNull() {
+		t.Error("CASE without ELSE should yield NULL")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	d := types.MustDate("1995-03-17")
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Func{Name: "year", Args: []Expr{lit(d)}}, "1995"},
+		{&Func{Name: "month", Args: []Expr{lit(d)}}, "3"},
+		{&Func{Name: "day", Args: []Expr{lit(d)}}, "17"},
+		{&Func{Name: "substr", Args: []Expr{sLit("hello"), iLit(2), iLit(3)}}, "ell"},
+		{&Func{Name: "substr", Args: []Expr{sLit("hello"), iLit(1)}}, "hello"},
+		{&Func{Name: "upper", Args: []Expr{sLit("ab")}}, "AB"},
+		{&Func{Name: "lower", Args: []Expr{sLit("AB")}}, "ab"},
+		{&Func{Name: "length", Args: []Expr{sLit("abcd")}}, "4"},
+		{&Func{Name: "concat", Args: []Expr{sLit("a"), sLit("b"), sLit("c")}}, "abc"},
+		{&Func{Name: "abs", Args: []Expr{iLit(-7)}}, "7"},
+		{&Func{Name: "floor", Args: []Expr{fLit(2.7)}}, "2"},
+		{&Func{Name: "ceil", Args: []Expr{fLit(2.1)}}, "3"},
+		{&Func{Name: "round", Args: []Expr{fLit(2.456), iLit(2)}}, "2.46"},
+		{&Func{Name: "coalesce", Args: []Expr{lit(types.Null()), iLit(9)}}, "9"},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.e, nil).Text(); got != c.want {
+			t.Errorf("%s = %q, want %q", c.e, got, c.want)
+		}
+	}
+	if _, err := (&Func{Name: "nosuchfn"}).Eval(nil); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestCast(t *testing.T) {
+	if got := mustEval(t, &Cast{E: fLit(3.9), To: types.KindInt}, nil); got.Int() != 3 {
+		t.Errorf("cast(3.9 as int) = %v", got)
+	}
+	if got := mustEval(t, &Cast{E: iLit(3), To: types.KindString}, nil); got.Str() != "3" {
+		t.Errorf("cast(3 as string) = %v", got)
+	}
+	if got := mustEval(t, &Cast{E: sLit("1996-01-02"), To: types.KindDate}, nil); got.DateString() != "1996-01-02" {
+		t.Errorf("cast to date = %v", got)
+	}
+	if !mustEval(t, &Cast{E: lit(types.Null()), To: types.KindInt}, nil).IsNull() {
+		t.Error("cast NULL should stay NULL")
+	}
+}
+
+func TestColRefOutOfRange(t *testing.T) {
+	if _, err := col(5).Eval(types.Row{types.Int(1)}); err == nil {
+		t.Error("out-of-range column should fail")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := &Logic{LogicAnd,
+		&Cmp{Op: CmpGE, L: &ColRef{Idx: 0, Name: "l_quantity"}, R: iLit(1)},
+		&Like{E: &ColRef{Idx: 1, Name: "p_type"}, Pattern: "PROMO%"}}
+	s := e.String()
+	for _, want := range []string{"l_quantity", ">=", "like", "PROMO%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

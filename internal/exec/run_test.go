@@ -1,0 +1,460 @@
+package exec
+
+import (
+	"testing"
+
+	"hivempi/internal/dfs"
+	"hivempi/internal/storage"
+	"hivempi/internal/types"
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	return &Env{FS: dfs.New(dfs.Config{BlockSize: 8 << 10, Nodes: []string{"n1", "n2"}})}
+}
+
+func writeTable(t *testing.T, env *Env, path string, schema *types.Schema, rows []types.Row) TableInput {
+	t.Helper()
+	w, err := storage.CreateTableFile(env.FS, path, storage.FormatText, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return TableInput{Table: path, Paths: []string{path}, Format: storage.FormatText, Schema: schema}
+}
+
+func wholeSplit(t *testing.T, env *Env, path string) dfs.Split {
+	t.Helper()
+	sz, err := env.FS.Size(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dfs.Split{Path: path, Offset: 0, Length: sz}
+}
+
+func TestChainFilterSelect(t *testing.T) {
+	env := testEnv(t)
+	var got []types.Row
+	c, err := buildChain(env, []MapOp{
+		&FilterOp{Cond: &Cmp{Op: CmpGT, L: col(0), R: iLit(2)}},
+		&SelectOp{Exprs: []Expr{&BinOp{OpMul, col(0), iLit(10)}, col(1)}},
+	}, func(r types.Row) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := c.process(types.Row{types.Int(i), types.String("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0][0].Int() != 30 || got[2][0].Int() != 50 {
+		t.Errorf("chain produced %v", got)
+	}
+}
+
+func TestChainLimit(t *testing.T) {
+	env := testEnv(t)
+	n := 0
+	c, err := buildChain(env, []MapOp{&LimitOp{N: 2}},
+		func(types.Row) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.process(types.Row{types.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 2 {
+		t.Errorf("limit let %d rows through", n)
+	}
+}
+
+func TestGroupByPartialFlushAndMerge(t *testing.T) {
+	env := testEnv(t)
+	var got []types.Row
+	op := &GroupByPartialOp{
+		Keys:       []Expr{col(0)},
+		Aggs:       []AggSpec{{Kind: AggSum, Arg: col(1)}, {Kind: AggCountStar}},
+		MaxEntries: 2, // force intermediate flushes
+	}
+	c, err := buildChain(env, []MapOp{op}, func(r types.Row) error {
+		got = append(got, r.Clone())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []struct {
+		k string
+		v int64
+	}{{"a", 1}, {"b", 2}, {"c", 3}, {"a", 4}, {"b", 5}, {"a", 6}}
+	for _, d := range data {
+		if err := c.process(types.Row{types.String(d.k), types.Int(d.v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flushes produce partials; merging them per key must give totals.
+	totals := map[string]int64{}
+	counts := map[string]int64{}
+	for _, r := range got {
+		totals[r[0].Str()] += r[1].Int()
+		counts[r[0].Str()] += r[2].Int()
+	}
+	if totals["a"] != 11 || totals["b"] != 7 || totals["c"] != 3 {
+		t.Errorf("partial sums %v", totals)
+	}
+	if counts["a"] != 3 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Errorf("partial counts %v", counts)
+	}
+	if len(got) <= 3 {
+		t.Errorf("expected multiple flush batches, got %d rows", len(got))
+	}
+}
+
+func TestMapJoinInnerAndOuter(t *testing.T) {
+	env := testEnv(t)
+	small := writeTable(t, env, "/dim", types.NewSchema(
+		types.Col("id", types.KindInt), types.Col("name", types.KindString)),
+		[]types.Row{
+			{types.Int(1), types.String("one")},
+			{types.Int(2), types.String("two")},
+			{types.Int(2), types.String("deux")},
+		})
+	run := func(outer bool) []types.Row {
+		var got []types.Row
+		op := &MapJoinOp{Small: small, ProbeKeys: []Expr{col(0)}, BuildKeys: []Expr{col(0)}, Outer: outer}
+		c, err := buildChain(env, []MapOp{op}, func(r types.Row) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int64{1, 2, 3} {
+			if err := c.process(types.Row{types.Int(k), types.String("probe")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.close(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	inner := run(false)
+	if len(inner) != 3 { // 1 match + 2 matches + 0
+		t.Errorf("inner join produced %d rows, want 3", len(inner))
+	}
+	outer := run(true)
+	if len(outer) != 4 {
+		t.Errorf("outer join produced %d rows, want 4", len(outer))
+	}
+	last := outer[3]
+	if last[0].Int() != 3 || !last[2].IsNull() || !last[3].IsNull() {
+		t.Errorf("outer miss row %v", last)
+	}
+}
+
+func TestRunMapTaskShuffleEmission(t *testing.T) {
+	env := testEnv(t)
+	schema := types.NewSchema(types.Col("k", types.KindString), types.Col("v", types.KindInt))
+	in := writeTable(t, env, "/src", schema, []types.Row{
+		{types.String("x"), types.Int(1)},
+		{types.String("y"), types.Int(2)},
+		{types.String("x"), types.Int(3)},
+	})
+	stage := &Stage{
+		ID: "s1",
+		Maps: []MapWork{{
+			Input:  in,
+			Ops:    []MapOp{&FilterOp{Cond: &Cmp{Op: CmpGE, L: col(1), R: iLit(2)}}},
+			Keys:   []Expr{col(0)},
+			Values: []Expr{col(1)},
+		}},
+		Shuffle: &ShuffleSpec{NumReducers: 2},
+		Reduce: &ReduceWork{
+			KeyKinds: []types.Kind{types.KindString},
+			Op:       &ExtractReduce{ValueWidth: 1},
+		},
+		Collect: true,
+	}
+	if err := stage.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var pairs [][2][]byte
+	err := RunMapTask(env, stage, 0, wholeSplit(t, env, "/src"),
+		func(k, v []byte) error {
+			pairs = append(pairs, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return nil
+		}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("emitted %d pairs, want 2 (filter drops v=1)", len(pairs))
+	}
+	// Feed the pairs into a reduce driver and check round trip.
+	var out []types.Row
+	rd, err := NewReduceDriver(env, stage.Reduce, func(r types.Row) error {
+		out = append(out, r)
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if err := rd.Feed(p[0], [][]byte{p[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("reduce emitted %d rows", len(out))
+	}
+}
+
+func TestReduceDriverGroupBy(t *testing.T) {
+	env := testEnv(t)
+	work := &ReduceWork{
+		KeyKinds: []types.Kind{types.KindString},
+		Op:       &GroupByReduce{Aggs: []AggSpec{{Kind: AggSum, Arg: col(0)}, {Kind: AggCountStar}}},
+	}
+	var out []types.Row
+	rd, err := NewReduceDriver(env, work, func(r types.Row) error {
+		out = append(out, r)
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := types.AppendKeyDatum(nil, types.String("g"), false)
+	// Two partial rows: (sum=5,count=2) and (sum=3,count=1).
+	v1 := append([]byte{0}, types.EncodeRow(nil, types.Row{types.Int(5), types.Int(2)})...)
+	v2 := append([]byte{0}, types.EncodeRow(nil, types.Row{types.Int(3), types.Int(1)})...)
+	if err := rd.Feed(key, [][]byte{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("groupby emitted %d rows", len(out))
+	}
+	if out[0][0].Str() != "g" || out[0][1].Int() != 8 || out[0][2].Int() != 3 {
+		t.Errorf("groupby row %v", out[0])
+	}
+}
+
+func TestReduceDriverJoin(t *testing.T) {
+	env := testEnv(t)
+	work := &ReduceWork{
+		KeyKinds: []types.Kind{types.KindInt},
+		Op: &JoinReduce{
+			TagCount:    2,
+			ValueWidths: []int{2, 1},
+			JoinTypes:   []JoinType{JoinLeftOuter},
+		},
+	}
+	var out []types.Row
+	rd, err := NewReduceDriver(env, work, func(r types.Row) error {
+		out = append(out, r)
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := types.AppendKeyDatum(nil, types.Int(7), false)
+	left1 := append([]byte{0}, types.EncodeRow(nil, types.Row{types.String("l1"), types.Int(10)})...)
+	left2 := append([]byte{0}, types.EncodeRow(nil, types.Row{types.String("l2"), types.Int(20)})...)
+	right := append([]byte{1}, types.EncodeRow(nil, types.Row{types.String("r")})...)
+	if err := rd.Feed(key, [][]byte{left1, right, left2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("join emitted %d rows, want 2", len(out))
+	}
+	// Left outer with missing right bucket.
+	out = nil
+	key2 := types.AppendKeyDatum(nil, types.Int(8), false)
+	if err := rd.Feed(key2, [][]byte{left1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0][2].IsNull() {
+		t.Errorf("left outer miss produced %v", out)
+	}
+	// Inner with missing left bucket produces nothing.
+	out = nil
+	key3 := types.AppendKeyDatum(nil, types.Int(9), false)
+	if err := rd.Feed(key3, [][]byte{right}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("join with empty left emitted %v", out)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceDriverLimit(t *testing.T) {
+	env := testEnv(t)
+	work := &ReduceWork{
+		KeyKinds: []types.Kind{types.KindInt},
+		Op:       &ExtractReduce{ValueWidth: 1},
+		Limit:    2,
+	}
+	n := 0
+	rd, err := NewReduceDriver(env, work, func(types.Row) error { n++; return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := types.AppendKeyDatum(nil, types.Int(int64(i)), false)
+		val := append([]byte{0}, types.EncodeRow(nil, types.Row{types.Int(int64(i))})...)
+		if err := rd.Feed(key, [][]byte{val}); err != nil {
+			t.Fatal(err)
+		}
+		if rd.LimitReached() {
+			break
+		}
+	}
+	if n != 2 {
+		t.Errorf("limit emitted %d rows", n)
+	}
+	if !rd.LimitReached() {
+		t.Error("LimitReached should be true")
+	}
+}
+
+func TestPartitionForKeyPrefix(t *testing.T) {
+	// Rows with the same first column but different second column must
+	// land on the same reducer when PartitionKeys=1.
+	k1 := types.EncodeKey(nil, []types.Datum{types.String("grp"), types.Int(1)}, nil)
+	k2 := types.EncodeKey(nil, []types.Datum{types.String("grp"), types.Int(999)}, nil)
+	p1 := PartitionForKey(k1, 1, 2, 16)
+	p2 := PartitionForKey(k2, 1, 2, 16)
+	if p1 != p2 {
+		t.Errorf("prefix partitioning split a group: %d vs %d", p1, p2)
+	}
+	// Different first columns should usually differ (spot check).
+	k3 := types.EncodeKey(nil, []types.Datum{types.String("other"), types.Int(1)}, nil)
+	if PartitionForKey(k1, 1, 2, 1024) == PartitionForKey(k3, 1, 2, 1024) {
+		t.Log("hash collision on 1024 buckets (acceptable but unusual)")
+	}
+	// Full-key partitioning may differ.
+	if PartitionForKey(k1, 0, 2, 64) < 0 {
+		t.Error("partition must be non-negative")
+	}
+	// Descending string keys keep prefix parsing working.
+	kd := types.EncodeKey(nil, []types.Datum{types.String("grp"), types.Int(5)}, []bool{true, false})
+	kd2 := types.EncodeKey(nil, []types.Datum{types.String("grp"), types.Int(6)}, []bool{true, false})
+	if PartitionForKey(kd, 1, 2, 32) != PartitionForKey(kd2, 1, 2, 32) {
+		t.Error("descending prefix partitioning split a group")
+	}
+}
+
+func TestStageValidate(t *testing.T) {
+	if err := (&Stage{ID: "x"}).Validate(); err == nil {
+		t.Error("empty stage should fail validation")
+	}
+	st := &Stage{
+		ID:   "y",
+		Maps: []MapWork{{Input: TableInput{Paths: []string{"/p"}}, Keys: []Expr{col(0)}}},
+	}
+	if err := st.Validate(); err == nil {
+		t.Error("keys without shuffle should fail")
+	}
+}
+
+func TestReduceDriverErrorPaths(t *testing.T) {
+	env := testEnv(t)
+	// Join with an out-of-range tag.
+	work := &ReduceWork{
+		KeyKinds: []types.Kind{types.KindInt},
+		Op:       &JoinReduce{TagCount: 2, ValueWidths: []int{1, 1}},
+	}
+	rd, err := NewReduceDriver(env, work, func(types.Row) error { return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := types.AppendKeyDatum(nil, types.Int(1), false)
+	badTag := append([]byte{9}, types.EncodeRow(nil, types.Row{types.Int(1)})...)
+	if err := rd.Feed(key, [][]byte{badTag}); err == nil {
+		t.Error("out-of-range join tag should fail")
+	}
+	// Wrong row width for the tag.
+	wide := append([]byte{0}, types.EncodeRow(nil, types.Row{types.Int(1), types.Int(2)})...)
+	if err := rd.Feed(key, [][]byte{wide}); err == nil {
+		t.Error("wrong join row width should fail")
+	}
+	// Empty shuffle value.
+	if err := rd.Feed(key, [][]byte{{}}); err == nil {
+		t.Error("empty shuffle value should fail")
+	}
+	// Partial-agg row too narrow.
+	gw := &ReduceWork{
+		KeyKinds: []types.Kind{types.KindInt},
+		Op: &GroupByReduce{Aggs: []AggSpec{
+			{Kind: AggAvg, Arg: col(0)}, // width 2
+		}},
+	}
+	gd, err := NewReduceDriver(env, gw, func(types.Row) error { return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := append([]byte{0}, types.EncodeRow(nil, types.Row{types.Int(1)})...)
+	if err := gd.Feed(key, [][]byte{narrow}); err == nil {
+		t.Error("narrow partial row should fail")
+	}
+	// Complete-mode width mismatch.
+	cw := &ReduceWork{
+		KeyKinds: []types.Kind{types.KindInt},
+		Op:       &GroupByReduce{Aggs: []AggSpec{{Kind: AggSum, Arg: col(0)}}, Complete: true},
+	}
+	cd, err := NewReduceDriver(env, cw, func(types.Row) error { return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.Feed(key, [][]byte{wide}); err == nil {
+		t.Error("complete-mode width mismatch should fail")
+	}
+	// Corrupt key bytes.
+	if err := rd.Feed([]byte{0x77}, [][]byte{}); err == nil {
+		t.Error("corrupt key should fail")
+	}
+}
+
+func TestBuildChainUnknownOp(t *testing.T) {
+	env := testEnv(t)
+	type fakeOp struct{ MapOp }
+	if _, err := buildChain(env, []MapOp{fakeOp{}}, func(types.Row) error { return nil }); err == nil {
+		t.Error("unknown op should fail chain building")
+	}
+}
+
+func TestMapJoinMissingSmallTable(t *testing.T) {
+	env := testEnv(t)
+	op := &MapJoinOp{
+		Small:     TableInput{Paths: []string{"/missing"}, Format: storage.FormatText, Schema: types.NewSchema(types.Col("a", types.KindInt))},
+		ProbeKeys: []Expr{col(0)},
+		BuildKeys: []Expr{col(0)},
+	}
+	if _, err := buildChain(env, []MapOp{op}, func(types.Row) error { return nil }); err == nil {
+		t.Error("missing small table should fail")
+	}
+}

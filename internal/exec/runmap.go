@@ -1,0 +1,446 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hivempi/internal/dfs"
+	"hivempi/internal/storage"
+	"hivempi/internal/trace"
+	"hivempi/internal/types"
+)
+
+// Env gives the runtime access to the cluster substrate.
+type Env struct {
+	FS *dfs.FileSystem
+}
+
+// RowSink consumes one produced row.
+type RowSink func(types.Row) error
+
+// KVEmit sends one shuffle pair (the engine wires this to Hadoop's
+// collector or DataMPI's MPI_D_Send).
+type KVEmit func(key, value []byte) error
+
+// chain is a built operator pipeline: feed rows into process, then
+// close (flushing blocking operators front-to-back).
+type chain struct {
+	process RowSink
+	closers []func() error
+}
+
+func (c *chain) close() error {
+	for _, f := range c.closers {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildChain compiles the op list into a push pipeline ending at sink.
+func buildChain(env *Env, ops []MapOp, sink RowSink) (*chain, error) {
+	c := &chain{process: sink}
+	// Build back-to-front so each op wraps its downstream.
+	for i := len(ops) - 1; i >= 0; i-- {
+		next := c.process
+		switch op := ops[i].(type) {
+		case *FilterOp:
+			cond := op.Cond
+			c.process = func(row types.Row) error {
+				d, err := cond.Eval(row)
+				if err != nil {
+					return err
+				}
+				if !d.IsNull() && d.Bool() {
+					return next(row)
+				}
+				return nil
+			}
+		case *SelectOp:
+			exprs := op.Exprs
+			c.process = func(row types.Row) error {
+				out := make(types.Row, len(exprs))
+				for j, e := range exprs {
+					d, err := e.Eval(row)
+					if err != nil {
+						return err
+					}
+					out[j] = d
+				}
+				return next(out)
+			}
+		case *LimitOp:
+			left := op.N
+			c.process = func(row types.Row) error {
+				if left <= 0 {
+					return nil
+				}
+				left--
+				return next(row)
+			}
+		case *MapJoinOp:
+			p, err := buildMapJoin(env, op, next)
+			if err != nil {
+				return nil, err
+			}
+			c.process = p
+		case *GroupByPartialOp:
+			p, closer := buildGroupByPartial(op, next)
+			c.process = p
+			c.closers = append([]func() error{closer}, c.closers...)
+		default:
+			return nil, fmt.Errorf("exec: unknown map op %T", ops[i])
+		}
+	}
+	return c, nil
+}
+
+// buildMapJoin loads the small table into a hash map keyed by the
+// encoded build keys, then streams probe rows through it.
+func buildMapJoin(env *Env, op *MapJoinOp, next RowSink) (RowSink, error) {
+	table := make(map[string][]types.Row)
+	smallWidth := op.SmallWidth
+	if smallWidth == 0 {
+		smallWidth = op.Small.Schema.Len()
+	}
+	build := func(row types.Row) error {
+		key, null, err := encodeJoinKey(op.BuildKeys, row)
+		if err != nil {
+			return err
+		}
+		if null {
+			return nil // NULL keys never join
+		}
+		table[key] = append(table[key], row.Clone())
+		return nil
+	}
+	loader, err := buildChain(env, op.SmallOps, build)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range op.Small.ResolvePaths(env.FS) {
+		sz, err := env.FS.Size(path)
+		if err != nil {
+			return nil, fmt.Errorf("exec: map join small table: %w", err)
+		}
+		rd, err := openInput(env, op.Small, dfs.Split{Path: path, Offset: 0, Length: sz})
+		if err != nil {
+			return nil, err
+		}
+		for {
+			row, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := loader.process(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := loader.close(); err != nil {
+		return nil, err
+	}
+	nulls := make(types.Row, smallWidth)
+	return func(row types.Row) error {
+		key, null, err := encodeJoinKey(op.ProbeKeys, row)
+		if err != nil {
+			return err
+		}
+		matches := table[key]
+		if null {
+			matches = nil
+		}
+		if len(matches) == 0 {
+			if op.Outer {
+				out := make(types.Row, 0, len(row)+smallWidth)
+				out = append(out, row...)
+				out = append(out, nulls...)
+				return next(out)
+			}
+			return nil
+		}
+		for _, m := range matches {
+			out := make(types.Row, 0, len(row)+smallWidth)
+			out = append(out, row...)
+			out = append(out, m...)
+			if err := next(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+func encodeJoinKey(keys []Expr, row types.Row) (string, bool, error) {
+	var buf []byte
+	anyNull := false
+	for _, k := range keys {
+		d, err := k.Eval(row)
+		if err != nil {
+			return "", false, err
+		}
+		if d.IsNull() {
+			anyNull = true
+		}
+		buf = types.AppendKeyDatum(buf, d, false)
+	}
+	return string(buf), anyNull, nil
+}
+
+// buildGroupByPartial implements map-side hash aggregation.
+func buildGroupByPartial(op *GroupByPartialOp, next RowSink) (RowSink, func() error) {
+	maxEntries := op.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = DefaultHashAggEntries
+	}
+	type entry struct {
+		keys   []types.Datum
+		states []*AggState
+	}
+	groups := make(map[string]*entry)
+
+	flush := func() error {
+		// Deterministic flush order for reproducibility.
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e := groups[k]
+			out := make(types.Row, 0, len(e.keys)+len(e.states)*2)
+			out = append(out, e.keys...)
+			for _, st := range e.states {
+				out = append(out, st.EmitPartial()...)
+			}
+			if err := next(out); err != nil {
+				return err
+			}
+		}
+		groups = make(map[string]*entry)
+		return nil
+	}
+
+	process := func(row types.Row) error {
+		var kb []byte
+		keyVals := make([]types.Datum, len(op.Keys))
+		for i, ke := range op.Keys {
+			d, err := ke.Eval(row)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = d
+			kb = types.AppendKeyDatum(kb, d, false)
+		}
+		e, ok := groups[string(kb)]
+		if !ok {
+			e = &entry{keys: keyVals, states: make([]*AggState, len(op.Aggs))}
+			for i, spec := range op.Aggs {
+				e.states[i] = NewAggState(spec)
+			}
+			groups[string(kb)] = e
+		}
+		for _, st := range e.states {
+			if err := st.Update(row); err != nil {
+				return err
+			}
+		}
+		if len(groups) >= maxEntries {
+			return flush()
+		}
+		return nil
+	}
+	return process, flush
+}
+
+// openInput opens a reader over one split of a table input.
+func openInput(env *Env, in TableInput, split dfs.Split) (storage.RowReader, error) {
+	return storage.OpenSplit(env.FS, split, in.Format, in.Schema, in.Projection, in.Predicate)
+}
+
+// RunMapTask executes one map-side task: read the split, run the op
+// chain and either emit shuffle pairs (Keys set) or hand rows to out.
+// It fills the task's trace record with input/output counters.
+func RunMapTask(env *Env, stage *Stage, mapIdx int, split dfs.Split,
+	emit KVEmit, out RowSink, metrics *trace.Task) error {
+	mw := &stage.Maps[mapIdx]
+
+	var descs []bool
+	if stage.Shuffle != nil {
+		descs = stage.Shuffle.SortDescs
+	}
+
+	var terminal RowSink
+	switch {
+	case mw.Keys != nil:
+		tagByte := byte(mw.Tag)
+		terminal = func(row types.Row) error {
+			key, err := evalKey(mw.Keys, descs, row)
+			if err != nil {
+				return err
+			}
+			val, err := evalValue(tagByte, mw.Values, row)
+			if err != nil {
+				return err
+			}
+			if metrics != nil {
+				metrics.OutputRecords++
+				metrics.OutputBytes += int64(len(key) + len(val))
+			}
+			return emit(key, val)
+		}
+	case out != nil:
+		terminal = func(row types.Row) error {
+			if metrics != nil {
+				metrics.OutputRecords++
+			}
+			return out(row)
+		}
+	default:
+		return fmt.Errorf("exec: map task %s/%d has neither shuffle nor sink", stage.ID, mapIdx)
+	}
+
+	c, err := buildChain(env, mw.Ops, terminal)
+	if err != nil {
+		return err
+	}
+	if split.Path == "" {
+		// Placeholder task for an empty input: nothing to read, but the
+		// chain still closes so blocking operators flush.
+		return c.close()
+	}
+	rd, err := openInput(env, mw.Input, split)
+	if err != nil {
+		return err
+	}
+	for {
+		row, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if metrics != nil {
+			metrics.InputRecords++
+		}
+		if err := c.process(row); err != nil {
+			return err
+		}
+	}
+	if metrics != nil {
+		if pr, ok := rd.(storage.PhysicalReader); ok {
+			metrics.InputBytes += pr.PhysicalBytes()
+		} else {
+			metrics.InputBytes += split.Length
+		}
+	}
+	return c.close()
+}
+
+// evalKey builds the order-preserving shuffle key.
+func evalKey(keys []Expr, descs []bool, row types.Row) ([]byte, error) {
+	var buf []byte
+	for i, ke := range keys {
+		d, err := ke.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		desc := false
+		if descs != nil && i < len(descs) {
+			desc = descs[i]
+		}
+		buf = types.AppendKeyDatum(buf, d, desc)
+	}
+	return buf, nil
+}
+
+// evalValue builds the tagged shuffle value.
+func evalValue(tag byte, values []Expr, row types.Row) ([]byte, error) {
+	out := make(types.Row, len(values))
+	for i, ve := range values {
+		d, err := ve.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	buf := []byte{tag}
+	return types.EncodeRow(buf, out), nil
+}
+
+// PartitionForKey selects the reducer for a shuffle key: hash of the
+// leading partitionKeys columns' bytes (0 = whole key). Because keys
+// are order-preserving encodings, hashing the prefix is equivalent to
+// hashing the column values.
+func PartitionForKey(key []byte, partitionKeys, totalKeys, numReducers int) int {
+	prefix := key
+	if partitionKeys > 0 && partitionKeys < totalKeys {
+		prefix = keyPrefix(key, partitionKeys)
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range prefix {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(numReducers))
+}
+
+// keyPrefix returns the encoded bytes of the first n key columns.
+func keyPrefix(key []byte, n int) []byte {
+	pos := 0
+	for i := 0; i < n && pos < len(key); i++ {
+		switch key[pos] {
+		case 0x00: // null (ascending)
+			pos++
+		case 0x01: // number
+			pos += 9
+		case 0x02: // string: scan for 0x00 0x00 terminator honouring escapes
+			pos++
+			for pos < len(key) {
+				if key[pos] == 0x00 {
+					if pos+1 < len(key) && key[pos+1] == 0xFF {
+						pos += 2
+						continue
+					}
+					pos += 2
+					break
+				}
+				pos++
+			}
+		default:
+			// Descending-encoded column: complement of the above tags.
+			switch key[pos] {
+			case 0xFF: // ^0x00 null
+				pos++
+			case 0xFE: // ^0x01 number
+				pos += 9
+			case 0xFD: // ^0x02 string
+				pos++
+				for pos < len(key) {
+					if key[pos] == 0xFF {
+						if pos+1 < len(key) && key[pos+1] == 0x00 {
+							pos += 2
+							continue
+						}
+						pos += 2
+						break
+					}
+					pos++
+				}
+			default:
+				return key // unknown tag; hash the whole key
+			}
+		}
+	}
+	return key[:pos]
+}

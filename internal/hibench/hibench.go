@@ -1,0 +1,198 @@
+// Package hibench reproduces the Intel HiBench 3.0 Hive workloads the
+// paper uses as micro benchmarks (§V-B): a Zipfian web-log generator
+// for the rankings and uservisits tables, the AGGREGATE and JOIN
+// HiveQL workloads, and the TeraSort workload used as the "regular
+// Hadoop job" contrast in the communication-characteristics study
+// (Fig. 2).
+package hibench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hivempi/internal/hive"
+	"hivempi/internal/types"
+)
+
+// Approximate bytes per generated row, used to size datasets like the
+// paper's Table I (uservisits dominates; rankings is ~5% of the total).
+const (
+	visitRowBytes   = 150
+	rankingRowBytes = 60
+)
+
+// Sizes derives row counts from a target dataset size in bytes,
+// following Table I's ratio (rankings ≈ 1/20 of uservisits).
+func Sizes(totalBytes int64) (rankings, uservisits int) {
+	uv := totalBytes * 19 / 20
+	rk := totalBytes - uv
+	uservisits = int(uv / visitRowBytes)
+	rankings = int(rk / rankingRowBytes)
+	if uservisits < 16 {
+		uservisits = 16
+	}
+	if rankings < 8 {
+		rankings = 8
+	}
+	return rankings, uservisits
+}
+
+// DDL creates the HiBench tables in the given format.
+func DDL(format string) string {
+	stored := ""
+	if format != "" {
+		stored = " STORED AS " + format
+	}
+	return fmt.Sprintf(`
+		CREATE TABLE rankings (pageurl string, pagerank bigint, avgduration bigint)%s;
+		CREATE TABLE uservisits (sourceip string, desturl string, visitdate date,
+			adrevenue double, useragent string, countrycode string,
+			languagecode string, searchword string, duration bigint)%s;
+		CREATE TABLE uservisits_aggre (sourceip string, sumadrevenue double)%s;
+		CREATE TABLE rankings_uservisits_join (sourceip string, avgpagerank double,
+			totalrevenue double)%s;
+	`, stored, stored, stored, stored)
+}
+
+// Generator produces the HiBench dataset. URLs follow a Zipfian
+// distribution (the paper: "The data set of HiBench conforms to the
+// Zipfian distribution"), which is the source of the AGGREGATE
+// workload's skew.
+type Generator struct {
+	Seed       int64
+	Rankings   int
+	UserVisits int
+	// ZipfS controls skew; the default 1.05 gives HiBench-like moderate
+	// skew (the hottest key holds a few percent of the mass).
+	ZipfS float64
+}
+
+var (
+	agents    = []string{"Mozilla/5.0", "Opera/9.8", "Safari/5.1", "Chrome/12.0", "IE/9.0"}
+	countries = []string{"USA", "CHN", "DEU", "FRA", "JPN", "GBR", "IND", "BRA"}
+	languages = []string{"en", "zh", "de", "fr", "ja", "pt", "hi"}
+	words     = []string{"car", "book", "movie", "music", "game", "hotel", "flight",
+		"shoes", "laptop", "camera", "phone", "garden"}
+)
+
+func (g *Generator) zipf(r *rand.Rand, n int) *rand.Zipf {
+	s := g.ZipfS
+	if s <= 1 {
+		s = 1.05
+	}
+	return rand.NewZipf(r, s, 1, uint64(n-1))
+}
+
+func pageURL(i uint64) string {
+	return fmt.Sprintf("http://site%03d.example.com/page%d.html", i%997, i)
+}
+
+// GenRankings produces the rankings table rows.
+func (g *Generator) GenRankings() []types.Row {
+	r := rand.New(rand.NewSource(g.Seed*31 + 1))
+	rows := make([]types.Row, g.Rankings)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.String(pageURL(uint64(i))),
+			types.Int(int64(1 + r.Intn(1000))),
+			types.Int(int64(1 + r.Intn(300))),
+		}
+	}
+	return rows
+}
+
+// GenUserVisits produces the uservisits table rows. Destination URLs
+// are Zipfian over the rankings URLs and source IPs are Zipfian over a
+// smaller pool, producing the irregular aggregation skew of §III.
+func (g *Generator) GenUserVisits() []types.Row {
+	r := rand.New(rand.NewSource(g.Seed*31 + 2))
+	urlZ := g.zipf(r, max(g.Rankings, 2))
+	ipPool := max(g.UserVisits/20, 8)
+	ipZ := g.zipf(r, ipPool)
+	start := types.MustDate("1999-01-01").I
+	span := types.MustDate("2000-12-31").I - start
+	rows := make([]types.Row, g.UserVisits)
+	for i := range rows {
+		ip := ipZ.Uint64()
+		rows[i] = types.Row{
+			types.String(fmt.Sprintf("158.112.%d.%d", ip/256, ip%256)),
+			types.String(pageURL(urlZ.Uint64())),
+			types.Date(start + r.Int63n(span)),
+			types.Float(float64(r.Intn(100000)) / 100),
+			types.String(agents[r.Intn(len(agents))]),
+			types.String(countries[r.Intn(len(countries))]),
+			types.String(languages[r.Intn(len(languages))]),
+			types.String(words[r.Intn(len(words))]),
+			types.Int(int64(1 + r.Intn(10))),
+		}
+	}
+	return rows
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Load creates the schema and loads generated data through the driver.
+func Load(d *hive.Driver, totalBytes int64, seed int64, format string, partsPer int) error {
+	if partsPer <= 0 {
+		partsPer = 1
+	}
+	if _, err := d.Run(DDL(format)); err != nil {
+		return fmt.Errorf("hibench ddl: %w", err)
+	}
+	nr, nu := Sizes(totalBytes)
+	g := &Generator{Seed: seed, Rankings: nr, UserVisits: nu}
+	for table, rows := range map[string][]types.Row{
+		"rankings":   g.GenRankings(),
+		"uservisits": g.GenUserVisits(),
+	} {
+		parts := partsPer
+		if len(rows) < parts {
+			parts = 1
+		}
+		per := (len(rows) + parts - 1) / parts
+		for pi := 0; pi < parts; pi++ {
+			lo, hi := pi*per, (pi+1)*per
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			if lo >= hi {
+				break
+			}
+			if err := d.LoadTableData(table, pi, rows[lo:hi]); err != nil {
+				return fmt.Errorf("hibench load %s: %w", table, err)
+			}
+		}
+	}
+	return nil
+}
+
+// AggregateQuery is HiBench's AGGREGATE workload (one MapReduce job).
+const AggregateQuery = `
+	INSERT OVERWRITE TABLE uservisits_aggre
+	SELECT sourceip, sum(adrevenue) FROM uservisits GROUP BY sourceip;`
+
+// JoinQuery is HiBench's JOIN workload (three jobs: join, aggregate,
+// order — matching the paper's JOB1/JOB2/JOB3 breakdown in Fig. 10).
+const JoinQuery = `
+	INSERT OVERWRITE TABLE rankings_uservisits_join
+	SELECT nuv.sourceip, avg(r.pagerank) AS avgpagerank,
+	       sum(nuv.adrevenue) AS totalrevenue
+	FROM rankings r JOIN
+	  (SELECT sourceip, desturl, adrevenue FROM uservisits
+	   WHERE visitdate >= DATE '1999-01-01' AND visitdate <= DATE '2000-01-01') nuv
+	  ON r.pageurl = nuv.desturl
+	GROUP BY nuv.sourceip
+	ORDER BY totalrevenue DESC;`
+
+// Workloads names the two Hive micro benchmarks.
+func Workloads() map[string]string {
+	return map[string]string{
+		"AGGREGATE": AggregateQuery,
+		"JOIN":      JoinQuery,
+	}
+}

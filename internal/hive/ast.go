@@ -1,0 +1,213 @@
+package hive
+
+import (
+	"hivempi/internal/types"
+)
+
+// Statement is any parsed HiveQL statement.
+type Statement interface{ isStatement() }
+
+// CreateTable is CREATE TABLE name (cols) [STORED AS fmt] [LOCATION p]
+// or CREATE TABLE name [STORED AS fmt] AS SELECT ... (CTAS).
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef // nil for CTAS
+	Format      string      // "" = textfile
+	Location    string
+	AsSelect    *SelectStmt // CTAS body
+}
+
+func (*CreateTable) isStatement() {}
+
+// ColumnDef is one column declaration.
+type ColumnDef struct {
+	Name string
+	Type string
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTable) isStatement() {}
+
+// InsertOverwrite is INSERT OVERWRITE TABLE name SELECT ...
+type InsertOverwrite struct {
+	Table  string
+	Select *SelectStmt
+}
+
+func (*InsertOverwrite) isStatement() {}
+
+// Explain wraps a statement to print its plan instead of executing.
+type Explain struct {
+	Stmt Statement
+}
+
+func (*Explain) isStatement() {}
+
+// SelectStmt is a query block.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // joined left-deep in order
+	Where    Node
+	GroupBy  []Node
+	Having   Node
+	OrderBy  []OrderItem
+	Limit    int // -1 = none
+}
+
+func (*SelectStmt) isStatement() {}
+
+// SelectItem is one output expression (Star for "*" / "alias.*").
+type SelectItem struct {
+	Expr  Node
+	Alias string
+	Star  string // "" = not a star; "*" = all; otherwise qualifier
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Node
+	Desc bool
+}
+
+// JoinKind is the join flavour linking a TableRef to the ones before it.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinNone JoinKind = iota // first FROM entry
+	JoinInnerK
+	JoinLeftOuterK
+	JoinRightOuterK
+	JoinCross // comma-separated FROM
+)
+
+// TableRef is one FROM entry: a named table or a derived subquery.
+type TableRef struct {
+	Table    string      // base table name ("" for subquery)
+	Subquery *SelectStmt // derived table
+	Alias    string
+	Join     JoinKind
+	On       Node // join condition (nil for first / cross)
+}
+
+// Node is an unresolved expression AST node.
+type Node interface{ isNode() }
+
+// Ident is a possibly-qualified column reference.
+type Ident struct {
+	Qualifier string // table alias or ""
+	Name      string
+}
+
+func (*Ident) isNode() {}
+
+// Lit is a literal value.
+type Lit struct {
+	D types.Datum
+}
+
+func (*Lit) isNode() {}
+
+// BinExpr is arithmetic: + - * / %.
+type BinExpr struct {
+	Op   string
+	L, R Node
+}
+
+func (*BinExpr) isNode() {}
+
+// CmpExpr is a comparison: = <> < <= > >=.
+type CmpExpr struct {
+	Op   string
+	L, R Node
+}
+
+func (*CmpExpr) isNode() {}
+
+// LogicExpr is AND / OR / NOT (R nil for NOT).
+type LogicExpr struct {
+	Op   string
+	L, R Node
+}
+
+func (*LogicExpr) isNode() {}
+
+// LikeExpr is [NOT] LIKE.
+type LikeExpr struct {
+	E       Node
+	Pattern string
+	Negate  bool
+}
+
+func (*LikeExpr) isNode() {}
+
+// InExpr is [NOT] IN (list).
+type InExpr struct {
+	E      Node
+	List   []Node
+	Negate bool
+}
+
+func (*InExpr) isNode() {}
+
+// BetweenExpr is [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	E, Lo, Hi Node
+	Negate    bool
+}
+
+func (*BetweenExpr) isNode() {}
+
+// IsNullExpr is IS [NOT] NULL.
+type IsNullExpr struct {
+	E      Node
+	Negate bool
+}
+
+func (*IsNullExpr) isNode() {}
+
+// CaseExpr is a searched CASE.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Node
+}
+
+func (*CaseExpr) isNode() {}
+
+// WhenClause is one WHEN/THEN arm.
+type WhenClause struct {
+	Cond  Node
+	Value Node
+}
+
+// FuncExpr is a function call; aggregates are recognized here too.
+type FuncExpr struct {
+	Name     string
+	Args     []Node
+	Star     bool // count(*)
+	Distinct bool // count(distinct x), sum(distinct x)
+}
+
+func (*FuncExpr) isNode() {}
+
+// CastExpr is CAST(e AS type).
+type CastExpr struct {
+	E  Node
+	To string
+}
+
+func (*CastExpr) isNode() {}
+
+// NegExpr is unary minus.
+type NegExpr struct {
+	E Node
+}
+
+func (*NegExpr) isNode() {}

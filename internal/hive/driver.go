@@ -1,0 +1,357 @@
+package hive
+
+import (
+	"fmt"
+	"strings"
+
+	"hivempi/internal/exec"
+	"hivempi/internal/storage"
+	"hivempi/internal/trace"
+	"hivempi/internal/types"
+)
+
+// Driver is the Hive front door: it parses HiveQL, plans statements and
+// executes the resulting stage DAGs on the configured engine, mirroring
+// the paper's Hive Driver with a pluggable execution engine.
+type Driver struct {
+	Env       *exec.Env
+	MS        *Metastore
+	Engine    exec.Engine
+	Conf      exec.EngineConf
+	Collector *trace.Collector
+
+	// WarehouseRoot holds managed table data; TmpRoot holds
+	// intermediate stage output (cleaned after each query).
+	WarehouseRoot string
+	TmpRoot       string
+
+	// MapJoinThresholdBytes is forwarded to the planner.
+	MapJoinThresholdBytes int64
+
+	// Ablation switches forwarded to the planner (benchmarks only).
+	DisableMapAggregation bool
+	DisableProjection     bool
+	DisablePushdown       bool
+
+	querySeq int
+}
+
+// NewDriver builds a driver with the default layout.
+func NewDriver(env *exec.Env, engine exec.Engine, conf exec.EngineConf) *Driver {
+	return &Driver{
+		Env:           env,
+		MS:            NewMetastore(),
+		Engine:        engine,
+		Conf:          conf,
+		Collector:     trace.NewCollector(),
+		WarehouseRoot: "/warehouse",
+		TmpRoot:       "/tmp/hive",
+	}
+}
+
+// Result is one executed statement's output.
+type Result struct {
+	Statement string
+	Schema    *types.Schema
+	Rows      []types.Row
+	Stages    []*trace.Stage
+	Plan      string // EXPLAIN text when requested
+}
+
+// Run executes a multi-statement script, stopping at the first error.
+func (d *Driver) Run(script string) ([]*Result, error) {
+	var results []*Result
+	for _, stmt := range SplitStatements(script) {
+		res, err := d.Execute(stmt)
+		if err != nil {
+			return results, fmt.Errorf("statement %q: %w", abbreviate(stmt), err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func abbreviate(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 80 {
+		return s[:77] + "..."
+	}
+	return s
+}
+
+// Execute runs one statement.
+func (d *Driver) Execute(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return d.executeStmt(sql, stmt)
+}
+
+func (d *Driver) executeStmt(sql string, stmt Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *Explain:
+		return d.explain(sql, s.Stmt)
+	case *CreateTable:
+		return d.createTable(sql, s)
+	case *DropTable:
+		if !d.MS.Exists(s.Name) {
+			if s.IfExists {
+				return &Result{Statement: sql}, nil
+			}
+			return nil, fmt.Errorf("hive: table %s not found", s.Name)
+		}
+		t, _ := d.MS.Get(s.Name)
+		d.MS.Drop(s.Name)
+		d.Env.FS.DeleteDir(t.Location)
+		return &Result{Statement: sql}, nil
+	case *InsertOverwrite:
+		t, err := d.MS.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		d.Env.FS.DeleteDir(t.Location)
+		res, outSch, err := d.runQuery(sql, s.Select,
+			dest{sinkDir: t.Location, format: t.Format})
+		if err != nil {
+			return nil, err
+		}
+		if len(outSch) != t.Schema.Len() {
+			return nil, fmt.Errorf("hive: INSERT produces %d columns, table %s has %d",
+				len(outSch), t.Name, t.Schema.Len())
+		}
+		t.Stats = gatherStats(res, t.Schema)
+		return res, nil
+	case *SelectStmt:
+		res, _, err := d.runQuery(sql, s, dest{collect: true})
+		return res, err
+	default:
+		return nil, fmt.Errorf("hive: unsupported statement %T", stmt)
+	}
+}
+
+func (d *Driver) createTable(sql string, s *CreateTable) (*Result, error) {
+	if d.MS.Exists(s.Name) {
+		if s.IfNotExists {
+			return &Result{Statement: sql}, nil
+		}
+		return nil, fmt.Errorf("hive: table %s already exists", s.Name)
+	}
+	format := storage.FormatText
+	if s.Format != "" {
+		f, err := storage.ParseFormat(s.Format)
+		if err != nil {
+			return nil, err
+		}
+		format = f
+	}
+	location := s.Location
+	if location == "" {
+		location = d.WarehouseRoot + "/" + s.Name
+	}
+
+	if s.AsSelect != nil { // CTAS
+		res, outSch, err := d.runQuery(sql, s.AsSelect,
+			dest{sinkDir: location, format: format})
+		if err != nil {
+			return nil, err
+		}
+		schema := outSch.toSchema()
+		if err := d.MS.Create(&Table{
+			Name:     s.Name,
+			Schema:   schema,
+			Format:   format,
+			Location: location,
+			Stats:    gatherStats(res, schema),
+		}); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	cols := make([]types.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		k, err := types.ParseKind(c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("hive: column %s: %w", c.Name, err)
+		}
+		cols[i] = types.Col(c.Name, k)
+	}
+	if err := d.MS.Create(&Table{
+		Name:     s.Name,
+		Schema:   &types.Schema{Columns: cols},
+		Format:   format,
+		Location: location,
+	}); err != nil {
+		return nil, err
+	}
+	return &Result{Statement: sql}, nil
+}
+
+// runQuery plans and executes a SELECT, returning the result and the
+// output schema.
+func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSchema, error) {
+	d.querySeq++
+	qtmp := fmt.Sprintf("%s/q%05d", d.TmpRoot, d.querySeq)
+	planner := &Planner{
+		Env:                   d.Env,
+		MS:                    d.MS,
+		MapJoinThresholdBytes: d.MapJoinThresholdBytes,
+		TmpRoot:               qtmp,
+		DisableMapAggregation: d.DisableMapAggregation,
+		DisableProjection:     d.DisableProjection,
+		DisablePushdown:       d.DisablePushdown,
+	}
+	stages, outSch, err := planner.PlanQuery(s, dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.Collector != nil {
+		d.Collector.BeginQuery(sql)
+	}
+	defer d.Env.FS.DeleteDir(qtmp)
+
+	res := &Result{Statement: sql, Schema: outSch.toSchema()}
+	for _, st := range stages {
+		sr, err := d.Engine.Run(d.Env, st, d.Conf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stage %s: %w", st.ID, err)
+		}
+		if d.Collector != nil {
+			d.Collector.AddStage(sr.Trace)
+		}
+		res.Stages = append(res.Stages, sr.Trace)
+		if st.Collect {
+			res.Rows = append(res.Rows, sr.Rows...)
+		}
+	}
+	return res, outSch, nil
+}
+
+// explain plans the statement and renders the stage DAG.
+func (d *Driver) explain(sql string, stmt Statement) (*Result, error) {
+	var sel *SelectStmt
+	var dst dest
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		sel, dst = s, dest{collect: true}
+	case *InsertOverwrite:
+		t, err := d.MS.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		sel, dst = s.Select, dest{sinkDir: t.Location, format: t.Format}
+	case *CreateTable:
+		if s.AsSelect == nil {
+			return &Result{Statement: sql, Plan: "DDL: CREATE TABLE " + s.Name}, nil
+		}
+		sel, dst = s.AsSelect, dest{sinkDir: "/explain", format: storage.FormatText}
+	default:
+		return &Result{Statement: sql, Plan: fmt.Sprintf("DDL: %T", stmt)}, nil
+	}
+	planner := &Planner{
+		Env:                   d.Env,
+		MS:                    d.MS,
+		MapJoinThresholdBytes: d.MapJoinThresholdBytes,
+		TmpRoot:               d.TmpRoot + "/explain",
+	}
+	stages, _, err := planner.PlanQuery(sel, dst)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Statement: sql, Plan: RenderPlan(stages)}, nil
+}
+
+// RenderPlan renders a stage DAG as indented text (EXPLAIN output).
+func RenderPlan(stages []*exec.Stage) string {
+	var sb strings.Builder
+	for i, st := range stages {
+		fmt.Fprintf(&sb, "STAGE %d: %s", i+1, st.ID)
+		if st.LastStage {
+			sb.WriteString(" (final)")
+		}
+		sb.WriteByte('\n')
+		for mi, mw := range st.Maps {
+			src := mw.Input.Table
+			if src == "" {
+				src = mw.Input.Dir
+			}
+			fmt.Fprintf(&sb, "  Map %d: scan %s [%s]", mi, src, mw.Input.Format)
+			if mw.Input.Projection != nil {
+				fmt.Fprintf(&sb, " project=%v", mw.Input.Projection)
+			}
+			if mw.Input.Predicate != nil {
+				sb.WriteString(" pushdown")
+			}
+			sb.WriteByte('\n')
+			for _, op := range mw.Ops {
+				fmt.Fprintf(&sb, "    %s\n", op)
+			}
+			if mw.Keys != nil {
+				fmt.Fprintf(&sb, "    ReduceSink[tag=%d, %d keys, %d values]\n",
+					mw.Tag, len(mw.Keys), len(mw.Values))
+			}
+		}
+		if st.Reduce != nil {
+			fmt.Fprintf(&sb, "  Reduce: %s", st.Reduce.Op)
+			if st.Reduce.Limit > 0 {
+				fmt.Fprintf(&sb, " limit=%d", st.Reduce.Limit)
+			}
+			sb.WriteByte('\n')
+			for _, op := range st.Reduce.Post {
+				fmt.Fprintf(&sb, "    %s\n", op)
+			}
+		}
+		switch {
+		case st.Sink != nil && st.Collect:
+			fmt.Fprintf(&sb, "  Sink: %s [%s] + collect\n", st.Sink.Dir, st.Sink.Format)
+		case st.Sink != nil:
+			fmt.Fprintf(&sb, "  Sink: %s [%s]\n", st.Sink.Dir, st.Sink.Format)
+		default:
+			sb.WriteString("  Collect\n")
+		}
+	}
+	return sb.String()
+}
+
+// LoadTableData writes rows directly into a table's location (the
+// datagen path; LOAD DATA analogue).
+func (d *Driver) LoadTableData(table string, part int, rows []types.Row) error {
+	t, err := d.MS.Get(table)
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("%s/part-%05d", t.Location, part)
+	w, err := storage.CreateTableFile(d.Env.FS, path, t.Format, t.Schema)
+	if err != nil {
+		return err
+	}
+	var raw int64
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+		raw += int64(len(r.Text('|'))) + 1
+	}
+	t.Stats.Rows += int64(len(rows))
+	t.Stats.RawBytes += raw
+	return w.Close()
+}
+
+// gatherStats derives write-time table statistics from the final
+// stage's trace (rows out x estimated row width).
+func gatherStats(res *Result, schema *types.Schema) TableStats {
+	if len(res.Stages) == 0 {
+		return TableStats{}
+	}
+	last := res.Stages[len(res.Stages)-1]
+	owner := last.Consumers
+	if len(owner) == 0 {
+		owner = last.Producers
+	}
+	var rows int64
+	for _, t := range owner {
+		rows += t.OutputRecords
+	}
+	return TableStats{Rows: rows, RawBytes: rows * EstimateRowBytes(schema)}
+}

@@ -1,0 +1,59 @@
+package hive
+
+import (
+	"errors"
+	"testing"
+
+	"hivempi/internal/core"
+	"hivempi/internal/dfs"
+	"hivempi/internal/mrengine"
+)
+
+// TestHadoopRetrySurvivesInjectedFaults shows the engines' fault
+// tolerance contrast the paper implies: Hadoop's task re-execution
+// absorbs transient read failures, while the MPI-style engine (like
+// MPI itself) fails the whole job.
+func TestHadoopRetrySurvivesInjectedFaults(t *testing.T) {
+	const query = "SELECT region, sum(amount) FROM sales GROUP BY region ORDER BY region"
+
+	// Hadoop with retries: two injected faults on the sales part file
+	// fail two map attempts; the third succeeds.
+	hd := newTestDriver(t, mrengine.New())
+	hd.Conf.MaxTaskAttempts = 3
+	seedSales(t, hd)
+	salesTable, err := hd.MS.Get("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := salesTable.DataPaths(hd.Env.FS)[0]
+	hd.Env.FS.InjectReadFault(part, 2)
+	res, err := hd.Execute(query)
+	if err != nil {
+		t.Fatalf("hadoop with retries should survive: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("hadoop produced %d groups after retries", len(res.Rows))
+	}
+
+	// Hadoop without retries fails.
+	hd2 := newTestDriver(t, mrengine.New())
+	seedSales(t, hd2)
+	t2, _ := hd2.MS.Get("sales")
+	hd2.Env.FS.InjectReadFault(t2.DataPaths(hd2.Env.FS)[0], 1)
+	if _, err := hd2.Execute(query); err == nil {
+		t.Error("hadoop without retries should fail on the injected fault")
+	} else if !errors.Is(err, dfs.ErrInjectedFault) {
+		t.Errorf("unexpected failure: %v", err)
+	}
+
+	// DataMPI has no task re-execution (MPI semantics): one fault kills
+	// the job even with the retry knob set.
+	dm := newTestDriver(t, core.New())
+	dm.Conf.MaxTaskAttempts = 3
+	seedSales(t, dm)
+	t3, _ := dm.MS.Get("sales")
+	dm.Env.FS.InjectReadFault(t3.DataPaths(dm.Env.FS)[0], 1)
+	if _, err := dm.Execute(query); err == nil {
+		t.Error("datampi should fail on the injected fault (no MPI fault tolerance)")
+	}
+}

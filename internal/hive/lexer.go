@@ -1,0 +1,217 @@
+// Package hive implements the warehouse front end: the HiveQL lexer,
+// parser and AST, the metastore, the semantic analyzer / planner that
+// lowers queries into exec.Stage DAGs, and the driver that runs plans
+// on a pluggable execution engine. The compiler is engine-independent;
+// the same physical plan runs on Hadoop or DataMPI (paper §IV-A).
+package hive
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords lowercased; idents lowercased; strings unquoted
+	pos  int    // byte offset for diagnostics
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "limit": true, "as": true, "join": true,
+	"inner": true, "left": true, "right": true, "full": true, "outer": true,
+	"on": true, "and": true, "or": true, "not": true, "in": true,
+	"between": true, "like": true, "is": true, "null": true, "case": true,
+	"when": true, "then": true, "else": true, "end": true, "cast": true,
+	"distinct": true, "asc": true, "desc": true, "create": true,
+	"table": true, "drop": true, "insert": true, "overwrite": true,
+	"into": true, "stored": true, "location": true, "exists": true,
+	"if": true, "date": true, "interval": true, "true": true, "false": true,
+	"explain": true, "union": true, "all": true, "sum": true, "count": true,
+	"avg": true, "min": true, "max": true,
+}
+
+// lexError reports a lexing failure with position context.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("lex error at byte %d: %s", e.pos, e.msg) }
+
+// lex tokenizes a HiveQL statement.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // line comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' && !seenDot) {
+				if src[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			// Exponent suffix.
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && src[j] >= '0' && src[j] <= '9' {
+					i = j
+					for i < n && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], pos: start})
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			for i < n {
+				if src[i] == quote {
+					// SQL doubled-quote escape ('it''s').
+					if i+1 < n && src[i+1] == quote {
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					break
+				}
+				if src[i] == '\\' && i+1 < n {
+					i++
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if i >= n {
+				return nil, &lexError{pos: start, msg: "unterminated string"}
+			}
+			i++ // closing quote
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			word := strings.ToLower(src[start:i])
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: word, pos: start})
+		case c == '`': // quoted identifier
+			start := i
+			i++
+			j := strings.IndexByte(src[i:], '`')
+			if j < 0 {
+				return nil, &lexError{pos: start, msg: "unterminated quoted identifier"}
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToLower(src[i : i+j]), pos: start})
+			i += j + 1
+		default:
+			start := i
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=", "||":
+				sym := two
+				if sym == "!=" {
+					sym = "<>"
+				}
+				toks = append(toks, token{kind: tokSymbol, text: sym, pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', ';', '+', '-', '*', '/', '%', '=', '<', '>', '.':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				return nil, &lexError{pos: start, msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// SplitStatements splits a script on top-level semicolons, dropping
+// blank statements and line comments.
+func SplitStatements(script string) []string {
+	var out []string
+	var sb strings.Builder
+	inStr := byte(0)
+	for i := 0; i < len(script); i++ {
+		c := script[i]
+		if inStr != 0 {
+			sb.WriteByte(c)
+			if c == '\\' && i+1 < len(script) {
+				i++
+				sb.WriteByte(script[i])
+				continue
+			}
+			if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch {
+		case c == '\'' || c == '"':
+			inStr = c
+			sb.WriteByte(c)
+		case c == '-' && i+1 < len(script) && script[i+1] == '-':
+			for i < len(script) && script[i] != '\n' {
+				i++
+			}
+			sb.WriteByte('\n')
+		case c == ';':
+			if s := strings.TrimSpace(sb.String()); s != "" {
+				out = append(out, s)
+			}
+			sb.Reset()
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(sb.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

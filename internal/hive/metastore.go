@@ -1,0 +1,125 @@
+package hive
+
+import (
+	"fmt"
+	"sync"
+
+	"hivempi/internal/dfs"
+	"hivempi/internal/storage"
+	"hivempi/internal/types"
+)
+
+// TableStats holds basic statistics gathered at write time (the
+// hive.stats.autogather analogue). RawBytes estimates the uncompressed
+// logical size, which the engines prefer over compressed file sizes
+// when sizing reducers for columnar tables.
+type TableStats struct {
+	Rows     int64
+	RawBytes int64
+}
+
+// Table is one metastore entry: schema, format and DFS location.
+type Table struct {
+	Name     string
+	Schema   *types.Schema
+	Format   storage.Format
+	Location string // DFS directory containing the table's part files
+	Stats    TableStats
+}
+
+// EstimateRowBytes approximates one text-rendered row of the schema.
+func EstimateRowBytes(s *types.Schema) int64 {
+	var n int64
+	for _, c := range s.Columns {
+		switch c.Type {
+		case types.KindString:
+			n += 24
+		case types.KindFloat:
+			n += 10
+		case types.KindDate:
+			n += 11
+		case types.KindBool:
+			n += 5
+		default:
+			n += 8
+		}
+		n++ // delimiter / newline
+	}
+	return n
+}
+
+// Metastore maps table names to metadata (the paper's Hive Metastore).
+type Metastore struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewMetastore returns an empty metastore.
+func NewMetastore() *Metastore {
+	return &Metastore{tables: make(map[string]*Table)}
+}
+
+// Create registers a table; it fails if the name exists.
+func (m *Metastore) Create(t *Table) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tables[t.Name]; ok {
+		return fmt.Errorf("hive: table %s already exists", t.Name)
+	}
+	m.tables[t.Name] = t
+	return nil
+}
+
+// Get looks a table up.
+func (m *Metastore) Get(name string) (*Table, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("hive: table %s not found", name)
+	}
+	return t, nil
+}
+
+// Exists reports whether the table is registered.
+func (m *Metastore) Exists(name string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.tables[name]
+	return ok
+}
+
+// Drop removes a table's metadata (the caller removes the data).
+func (m *Metastore) Drop(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.tables, name)
+}
+
+// Names lists registered tables.
+func (m *Metastore) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// DataPaths lists the table's part files on the DFS.
+func (t *Table) DataPaths(fs *dfs.FileSystem) []string {
+	return fs.List(t.Location)
+}
+
+// TotalBytes sums the table's file sizes (used for map-join selection
+// and reducer sizing).
+func (t *Table) TotalBytes(fs *dfs.FileSystem) int64 {
+	var total int64
+	for _, p := range t.DataPaths(fs) {
+		if sz, err := fs.Size(p); err == nil {
+			total += sz
+		}
+	}
+	return total
+}

@@ -1,0 +1,813 @@
+package hive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hivempi/internal/types"
+)
+
+// parser is a recursive-descent HiveQL parser.
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+// Parse parses one statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %q after statement", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parse error near byte %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// peekKw reports whether the current token is the given keyword.
+func (p *parser) peekKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(kw string) bool {
+	if p.peekKw(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %q, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+// peekSym reports whether the current token is the given symbol.
+func (p *parser) peekSym(s string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if p.peekSym(s) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+// expectIdent consumes an identifier (keywords allowed as column names
+// are not supported).
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.acceptKw("explain"):
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: inner}, nil
+	case p.peekKw("select"):
+		return p.parseSelect()
+	case p.acceptKw("create"):
+		return p.parseCreateTable()
+	case p.acceptKw("drop"):
+		return p.parseDropTable()
+	case p.acceptKw("insert"):
+		return p.parseInsert()
+	default:
+		return nil, p.errf("expected statement, got %q", p.cur().text)
+	}
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{}
+	if p.acceptKw("if") {
+		if err := p.expectKw("not"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("exists"); err != nil {
+			return nil, err
+		}
+		ct.IfNotExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ct.Name = name
+	if p.acceptSym("(") {
+		for {
+			cn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			t := p.cur()
+			if t.kind != tokIdent && !(t.kind == tokKeyword && t.text == "date") {
+				return nil, p.errf("expected type for column %s, got %q", cn, t.text)
+			}
+			p.i++
+			// Swallow precision suffixes like decimal(15,2) / varchar(25).
+			if p.acceptSym("(") {
+				for !p.acceptSym(")") {
+					if p.atEOF() {
+						return nil, p.errf("unterminated type parameters")
+					}
+					p.advance()
+				}
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: cn, Type: t.text})
+			if p.acceptSym(",") {
+				continue
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	for {
+		switch {
+		case p.acceptKw("stored"):
+			if err := p.expectKw("as"); err != nil {
+				return nil, err
+			}
+			t := p.advance()
+			ct.Format = t.text
+		case p.acceptKw("location"):
+			t := p.cur()
+			if t.kind != tokString {
+				return nil, p.errf("expected location string")
+			}
+			p.i++
+			ct.Location = t.text
+		case p.acceptKw("as"):
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			ct.AsSelect = sel
+			return ct, nil
+		default:
+			if ct.Columns == nil && ct.AsSelect == nil {
+				return nil, p.errf("CREATE TABLE needs a column list or AS SELECT")
+			}
+			return ct, nil
+		}
+	}
+}
+
+func (p *parser) parseDropTable() (Statement, error) {
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	dt := &DropTable{}
+	if p.acceptKw("if") {
+		if err := p.expectKw("exists"); err != nil {
+			return nil, err
+		}
+		dt.IfExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	dt.Name = name
+	return dt, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if !p.acceptKw("overwrite") {
+		if err := p.expectKw("into"); err != nil {
+			return nil, p.errf("expected OVERWRITE or INTO after INSERT")
+		}
+	}
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &InsertOverwrite{Table: name, Select: sel}, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.acceptKw("distinct")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("from") {
+		refs, err := p.parseFrom()
+		if err != nil {
+			return nil, err
+		}
+		s.From = refs
+	}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("limit") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected LIMIT count")
+		}
+		p.i++
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// "*" or "alias.*"
+	if p.peekSym("*") {
+		p.i++
+		return SelectItem{Star: "*"}, nil
+	}
+	if p.cur().kind == tokIdent && p.i+2 < len(p.toks) &&
+		p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "." &&
+		p.toks[p.i+2].kind == tokSymbol && p.toks[p.i+2].text == "*" {
+		q := p.cur().text
+		p.i += 3
+		return SelectItem{Star: q}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("as") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().kind == tokIdent {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFrom() ([]TableRef, error) {
+	var refs []TableRef
+	first, err := p.parseTableRef(JoinNone)
+	if err != nil {
+		return nil, err
+	}
+	refs = append(refs, first)
+	for {
+		switch {
+		case p.acceptSym(","):
+			r, err := p.parseTableRef(JoinCross)
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, r)
+		case p.peekKw("join") || p.peekKw("inner") || p.peekKw("left") || p.peekKw("right"):
+			kind := JoinInnerK
+			switch {
+			case p.acceptKw("left"):
+				p.acceptKw("outer")
+				kind = JoinLeftOuterK
+			case p.acceptKw("right"):
+				p.acceptKw("outer")
+				kind = JoinRightOuterK
+			case p.acceptKw("inner"):
+			}
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseTableRef(kind)
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptKw("on") {
+				cond, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				r.On = cond
+			}
+			refs = append(refs, r)
+		default:
+			return refs, nil
+		}
+	}
+}
+
+func (p *parser) parseTableRef(kind JoinKind) (TableRef, error) {
+	r := TableRef{Join: kind}
+	if p.acceptSym("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return r, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return r, err
+		}
+		r.Subquery = sub
+	} else {
+		name, err := p.expectIdent()
+		if err != nil {
+			return r, err
+		}
+		r.Table = name
+		r.Alias = name
+	}
+	if p.acceptKw("as") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return r, err
+		}
+		r.Alias = a
+	} else if p.cur().kind == tokIdent {
+		r.Alias = p.advance().text
+	}
+	if r.Subquery != nil && r.Alias == "" {
+		return r, p.errf("derived table requires an alias")
+	}
+	return r, nil
+}
+
+// Expression parsing with precedence: or < and < not < predicate < add < mul < unary < primary.
+
+func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.acceptKw("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &LogicExpr{Op: "not", L: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Node, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	negate := false
+	if p.peekKw("not") {
+		// lookahead: NOT LIKE / NOT IN / NOT BETWEEN
+		nxt := p.toks[p.i+1]
+		if nxt.kind == tokKeyword && (nxt.text == "like" || nxt.text == "in" || nxt.text == "between") {
+			p.i++
+			negate = true
+		}
+	}
+	switch {
+	case p.acceptKw("like"):
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, p.errf("LIKE requires a string pattern")
+		}
+		p.i++
+		return &LikeExpr{E: l, Pattern: t.text, Negate: negate}, nil
+	case p.acceptKw("in"):
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var list []Node
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.acceptSym(",") {
+				continue
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		return &InExpr{E: l, List: list, Negate: negate}, nil
+	case p.acceptKw("between"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.acceptKw("is"):
+		neg := p.acceptKw("not")
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Negate: neg}, nil
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.peekSym(op) {
+			p.i++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &CmpExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Node, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.peekSym("+"):
+			op = "+"
+		case p.peekSym("-"):
+			op = "-"
+		case p.peekSym("||"):
+			op = "||"
+		default:
+			return l, nil
+		}
+		p.i++
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		if op == "||" {
+			l = &FuncExpr{Name: "concat", Args: []Node{l, r}}
+		} else {
+			l = &BinExpr{Op: op, L: l, R: r}
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.peekSym("*"):
+			op = "*"
+		case p.peekSym("/"):
+			op = "/"
+		case p.peekSym("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		p.i++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.acceptSym("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{E: e}, nil
+	}
+	p.acceptSym("+")
+	return p.parsePrimary()
+}
+
+var aggNames = map[string]bool{"sum": true, "count": true, "avg": true, "min": true, "max": true}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Lit{D: types.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Lit{D: types.Int(n)}, nil
+	case tokString:
+		p.i++
+		return &Lit{D: types.String(t.text)}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.i++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokKeyword:
+		switch t.text {
+		case "null":
+			p.i++
+			return &Lit{D: types.Null()}, nil
+		case "true":
+			p.i++
+			return &Lit{D: types.Bool(true)}, nil
+		case "false":
+			p.i++
+			return &Lit{D: types.Bool(false)}, nil
+		case "date":
+			p.i++
+			s := p.cur()
+			if s.kind != tokString {
+				return nil, p.errf("DATE requires a string literal")
+			}
+			p.i++
+			d, err := types.DateFromString(s.text)
+			if err != nil {
+				return nil, p.errf("bad date %q: %v", s.text, err)
+			}
+			return &Lit{D: d}, nil
+		case "case":
+			return p.parseCase()
+		case "cast":
+			p.i++
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("as"); err != nil {
+				return nil, err
+			}
+			tt := p.advance()
+			if p.acceptSym("(") { // decimal(15,2)
+				for !p.acceptSym(")") {
+					if p.atEOF() {
+						return nil, p.errf("unterminated cast type")
+					}
+					p.advance()
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return &CastExpr{E: e, To: tt.text}, nil
+		case "sum", "count", "avg", "min", "max":
+			return p.parseCall(t.text)
+		case "if":
+			return p.parseCall(t.text)
+		case "interval":
+			return nil, p.errf("INTERVAL arithmetic is not supported; use precomputed date literals")
+		}
+	case tokIdent:
+		// Function call or (qualified) identifier.
+		if p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+			p.i++
+			return p.parseCallAt(t.text)
+		}
+		p.i++
+		if p.acceptSym(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: t.text, Name: col}, nil
+		}
+		return &Ident{Name: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+func (p *parser) parseCall(name string) (Node, error) {
+	p.i++ // consume keyword name
+	return p.parseCallAt(name)
+}
+
+func (p *parser) parseCallAt(name string) (Node, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	f := &FuncExpr{Name: name}
+	if p.acceptSym("*") {
+		f.Star = true
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.acceptSym(")") {
+		return f, nil
+	}
+	f.Distinct = p.acceptKw("distinct")
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if p.acceptSym(",") {
+			continue
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if f.Distinct && !aggNames[f.Name] {
+		return nil, p.errf("DISTINCT only valid in aggregate calls")
+	}
+	return f, nil
+}
+
+func (p *parser) parseCase() (Node, error) {
+	p.i++ // case
+	c := &CaseExpr{}
+	for p.acceptKw("when") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("then"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Value: val})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

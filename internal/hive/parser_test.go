@@ -1,0 +1,221 @@
+package hive
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func mustSelect(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	s, ok := mustParse(t, sql).(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) is not a SELECT", sql)
+	}
+	return s
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a, 'str''x' FROM t -- comment\nWHERE x >= 1.5e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[0].text != "select" || toks[0].kind != tokKeyword {
+		t.Errorf("first token %+v", toks[0])
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := lex("a @ b"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	got := SplitStatements(`
+		CREATE TABLE t (a int); -- make it
+		SELECT ';' FROM t;
+		SELECT 2 FROM t
+	`)
+	if len(got) != 3 {
+		t.Fatalf("split into %d statements: %v", len(got), got)
+	}
+	if !strings.Contains(got[1], "';'") {
+		t.Errorf("semicolon inside string split wrongly: %q", got[1])
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	s := mustSelect(t, `
+		SELECT l_returnflag, sum(l_quantity) AS sum_qty, count(*)
+		FROM lineitem
+		WHERE l_shipdate <= DATE '1998-09-02' AND l_discount BETWEEN 0.05 AND 0.07
+		GROUP BY l_returnflag
+		HAVING sum(l_quantity) > 100
+		ORDER BY l_returnflag DESC
+		LIMIT 10`)
+	if len(s.Items) != 3 || s.Items[1].Alias != "sum_qty" {
+		t.Errorf("items parsed wrongly: %+v", s.Items)
+	}
+	if len(s.From) != 1 || s.From[0].Table != "lineitem" {
+		t.Errorf("from parsed wrongly: %+v", s.From)
+	}
+	if s.Where == nil || len(s.GroupBy) != 1 || s.Having == nil {
+		t.Error("where/group/having missing")
+	}
+	if len(s.OrderBy) != 1 || !s.OrderBy[0].Desc {
+		t.Error("order by desc missing")
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := mustSelect(t, `
+		SELECT a.x FROM t1 a
+		JOIN t2 b ON a.id = b.id
+		LEFT OUTER JOIN t3 c ON b.k = c.k`)
+	if len(s.From) != 3 {
+		t.Fatalf("from has %d refs", len(s.From))
+	}
+	if s.From[1].Join != JoinInnerK || s.From[1].On == nil {
+		t.Error("inner join parsed wrongly")
+	}
+	if s.From[2].Join != JoinLeftOuterK {
+		t.Error("left outer parsed wrongly")
+	}
+	// Comma joins.
+	s2 := mustSelect(t, "SELECT 1 FROM a, b, c WHERE a.x = b.x AND b.y = c.y")
+	if len(s2.From) != 3 || s2.From[1].Join != JoinCross {
+		t.Error("comma join parsed wrongly")
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	s := mustSelect(t, `SELECT q.total FROM (SELECT sum(v) AS total FROM t GROUP BY k) q WHERE q.total > 5`)
+	if s.From[0].Subquery == nil || s.From[0].Alias != "q" {
+		t.Fatalf("subquery parsed wrongly: %+v", s.From[0])
+	}
+	if _, err := Parse("SELECT 1 FROM (SELECT 2 FROM t)"); err == nil {
+		t.Error("derived table without alias should fail")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []string{
+		"SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+		"SELECT CAST(a AS double), -b, a % 2 FROM t",
+		"SELECT * FROM t WHERE s LIKE '%promo%' AND s NOT LIKE 'x%'",
+		"SELECT * FROM t WHERE a IN (1, 2, 3) OR b NOT IN ('x')",
+		"SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL",
+		"SELECT count(DISTINCT ps_suppkey) FROM partsupp",
+		"SELECT substr(c_phone, 1, 2) FROM customer",
+		"SELECT year(o_orderdate), o_totalprice * (1 - l_discount) FROM o",
+		"SELECT a.*, b.x FROM a JOIN b ON a.i = b.i",
+		"SELECT `quoted` FROM t",
+		"SELECT 'it''s' FROM t",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err != nil {
+			t.Errorf("Parse(%q): %v", sql, err)
+		}
+	}
+}
+
+func TestParseDDL(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE nation (n_nationkey int, n_name string,
+		n_regionkey int, n_comment string) STORED AS orc LOCATION '/tpch/nation'`)
+	c, ok := ct.(*CreateTable)
+	if !ok || c.Name != "nation" || len(c.Columns) != 4 ||
+		c.Format != "orc" || c.Location != "/tpch/nation" {
+		t.Errorf("create table parsed wrongly: %+v", c)
+	}
+	ctas := mustParse(t, "CREATE TABLE x STORED AS sequencefile AS SELECT a FROM t")
+	if c2 := ctas.(*CreateTable); c2.AsSelect == nil || c2.Format != "sequencefile" {
+		t.Error("CTAS parsed wrongly")
+	}
+	dt := mustParse(t, "DROP TABLE IF EXISTS old")
+	if d := dt.(*DropTable); d.Name != "old" || !d.IfExists {
+		t.Error("drop parsed wrongly")
+	}
+	ins := mustParse(t, "INSERT OVERWRITE TABLE dst SELECT * FROM src")
+	if i := ins.(*InsertOverwrite); i.Table != "dst" || i.Select == nil {
+		t.Error("insert parsed wrongly")
+	}
+	if _, ok := mustParse(t, "EXPLAIN SELECT 1 FROM t").(*Explain); !ok {
+		t.Error("explain parsed wrongly")
+	}
+	decimalCT := mustParse(t, "CREATE TABLE d (p decimal(15,2), v varchar(25))")
+	if c3 := decimalCT.(*CreateTable); len(c3.Columns) != 2 || c3.Columns[0].Type != "decimal" {
+		t.Error("parameterized types parsed wrongly")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"CREATE t",
+		"SELECT a FROM t GROUP",
+		"SELECT a b c FROM t",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a + INTERVAL '1' DAY FROM t",
+		"SELECT CASE END FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := s.Where.(*LogicExpr)
+	if !ok || or.Op != "or" {
+		t.Fatalf("top node should be OR: %T", s.Where)
+	}
+	and, ok := or.R.(*LogicExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("AND should bind tighter: %T", or.R)
+	}
+	s2 := mustSelect(t, "SELECT a + b * c FROM t")
+	add, ok := s2.Items[0].Expr.(*BinExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top should be +: %T", s2.Items[0].Expr)
+	}
+	if mul, ok := add.R.(*BinExpr); !ok || mul.Op != "*" {
+		t.Fatal("* should bind tighter than +")
+	}
+}
+
+func TestNodeKeyStability(t *testing.T) {
+	a := mustSelect(t, "SELECT sum(x * 2) FROM t").Items[0].Expr
+	b := mustSelect(t, "SELECT SUM(x * 2) FROM t").Items[0].Expr
+	if nodeKey(a) != nodeKey(b) {
+		t.Error("case-insensitive identical expressions should share nodeKey")
+	}
+	c := mustSelect(t, "SELECT sum(x * 3) FROM t").Items[0].Expr
+	if nodeKey(a) == nodeKey(c) {
+		t.Error("different expressions must not collide")
+	}
+}

@@ -1,0 +1,250 @@
+package hive
+
+import (
+	"strings"
+	"testing"
+
+	"hivempi/internal/core"
+	"hivempi/internal/exec"
+	"hivempi/internal/storage"
+	"hivempi/internal/types"
+)
+
+// planFor compiles a statement against a seeded driver without running it.
+func planFor(t *testing.T, d *Driver, sql string) []*exec.Stage {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("not a SELECT: %T", stmt)
+	}
+	p := &Planner{Env: d.Env, MS: d.MS,
+		MapJoinThresholdBytes: d.MapJoinThresholdBytes, TmpRoot: "/tmp/plan"}
+	stages, _, err := p.PlanQuery(sel, dest{collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stages
+}
+
+func seedORCSales(t *testing.T, d *Driver) {
+	t.Helper()
+	if _, err := d.Run(`
+		CREATE TABLE osales (region string, product string, amount double, qty bigint) STORED AS orc;
+		CREATE TABLE dim (product string, category string);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var rows []types.Row
+	for i := 0; i < 500; i++ {
+		rows = append(rows, types.Row{
+			types.String([]string{"e", "w"}[i%2]),
+			types.String([]string{"a", "b", "c"}[i%3]),
+			types.Float(float64(i)),
+			types.Int(int64(i % 9)),
+		})
+	}
+	if err := d.LoadTableData("osales", 0, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadTableData("dim", 0, []types.Row{
+		{types.String("a"), types.String("x")},
+		{types.String("b"), types.String("y")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanPredicatePushdownToScan(t *testing.T) {
+	d := newTestDriver(t, core.New())
+	seedORCSales(t, d)
+	stages := planFor(t, d, "SELECT product FROM osales WHERE qty > 5")
+	if len(stages) != 1 {
+		t.Fatalf("expected 1 map-only stage, got %d", len(stages))
+	}
+	mw := stages[0].Maps[0]
+	if mw.Input.Predicate == nil {
+		t.Error("pushdown predicate missing on ORC scan")
+	}
+	if mw.Input.Predicate.Op != storage.PredGT {
+		t.Errorf("predicate op %v, want GT", mw.Input.Predicate.Op)
+	}
+	found := false
+	for _, op := range mw.Ops {
+		if _, ok := op.(*exec.FilterOp); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("filter operator missing (predicate is advisory, filter still required)")
+	}
+}
+
+func TestPlanColumnProjectionForORC(t *testing.T) {
+	d := newTestDriver(t, core.New())
+	seedORCSales(t, d)
+	stages := planFor(t, d, "SELECT region, sum(amount) FROM osales GROUP BY region")
+	mw := stages[0].Maps[0]
+	if mw.Input.Projection == nil {
+		t.Fatal("ORC scan should carry a projection")
+	}
+	// region (0) and amount (2) only.
+	if len(mw.Input.Projection) != 2 || mw.Input.Projection[0] != 0 || mw.Input.Projection[1] != 2 {
+		t.Errorf("projection = %v, want [0 2]", mw.Input.Projection)
+	}
+}
+
+func TestPlanMapJoinSelection(t *testing.T) {
+	d := newTestDriver(t, core.New())
+	seedORCSales(t, d)
+	d.MapJoinThresholdBytes = 1 << 20 // dim is tiny -> map join
+	stages := planFor(t, d, `
+		SELECT dim.category, sum(osales.amount) FROM osales
+		JOIN dim ON osales.product = dim.product GROUP BY dim.category`)
+	if len(stages) != 1 {
+		t.Fatalf("map join should fold into the aggregate stage; got %d stages", len(stages))
+	}
+	hasMapJoin := false
+	for _, op := range stages[0].Maps[0].Ops {
+		if _, ok := op.(*exec.MapJoinOp); ok {
+			hasMapJoin = true
+		}
+	}
+	if !hasMapJoin {
+		t.Error("MapJoinOp missing from the map chain")
+	}
+
+	d.MapJoinThresholdBytes = 1 // force shuffle join
+	stages = planFor(t, d, `
+		SELECT dim.category, sum(osales.amount) FROM osales
+		JOIN dim ON osales.product = dim.product GROUP BY dim.category`)
+	if len(stages) != 2 {
+		t.Fatalf("common join should add a stage; got %d", len(stages))
+	}
+	if _, ok := stages[0].Reduce.Op.(*exec.JoinReduce); !ok {
+		t.Errorf("first stage reduce is %T, want JoinReduce", stages[0].Reduce.Op)
+	}
+}
+
+func TestPlanStageShapes(t *testing.T) {
+	d := newTestDriver(t, core.New())
+	seedORCSales(t, d)
+	cases := []struct {
+		sql        string
+		stages     int
+		lastReduce string
+	}{
+		{"SELECT product FROM osales", 1, ""},
+		{"SELECT product FROM osales LIMIT 5", 1, "Extract"},
+		{"SELECT product FROM osales ORDER BY product", 1, "Extract"},
+		{"SELECT region, count(*) FROM osales GROUP BY region", 1, "GroupBy[1 aggs]"},
+		{"SELECT region, count(*) AS n FROM osales GROUP BY region ORDER BY n", 2, "Extract"},
+		{"SELECT DISTINCT region FROM osales", 1, "GroupBy[0 aggs]"},
+		{"SELECT sum(amount) FROM osales", 1, "GroupBy[1 aggs]"},
+	}
+	for _, c := range cases {
+		stages := planFor(t, d, c.sql)
+		if len(stages) != c.stages {
+			t.Errorf("%q: %d stages, want %d", c.sql, len(stages), c.stages)
+			continue
+		}
+		last := stages[len(stages)-1]
+		if !last.LastStage {
+			t.Errorf("%q: final stage not marked LastStage", c.sql)
+		}
+		if c.lastReduce == "" {
+			if last.Reduce != nil {
+				t.Errorf("%q: expected map-only final stage", c.sql)
+			}
+		} else if last.Reduce == nil || last.Reduce.Op.String() != c.lastReduce {
+			got := "<map-only>"
+			if last.Reduce != nil {
+				got = last.Reduce.Op.String()
+			}
+			t.Errorf("%q: final reduce %s, want %s", c.sql, got, c.lastReduce)
+		}
+	}
+}
+
+func TestPlanGlobalAggregateSingleReducer(t *testing.T) {
+	d := newTestDriver(t, core.New())
+	seedORCSales(t, d)
+	stages := planFor(t, d, "SELECT sum(amount), count(*) FROM osales WHERE qty > 2")
+	if len(stages) != 1 {
+		t.Fatalf("%d stages", len(stages))
+	}
+	conf := exec.DefaultEngineConf()
+	conf.Parallelism = exec.ParallelismEnhanced // must still force 1 reducer
+	n := exec.ReducerCount(stages[0], conf, 100, 1<<30)
+	if n != 1 {
+		t.Errorf("global aggregate reducer count = %d, want 1", n)
+	}
+}
+
+func TestPlanSubqueryInlining(t *testing.T) {
+	d := newTestDriver(t, core.New())
+	seedORCSales(t, d)
+	// Simple scan/filter/project subquery inlines (no extra stage).
+	stages := planFor(t, d, `
+		SELECT s.p, count(*) FROM
+		  (SELECT product AS p FROM osales WHERE qty > 3) s
+		GROUP BY s.p`)
+	if len(stages) != 1 {
+		t.Errorf("inlinable subquery produced %d stages, want 1", len(stages))
+	}
+	// Aggregating subquery must materialize.
+	stages = planFor(t, d, `
+		SELECT s.n FROM
+		  (SELECT region, count(*) AS n FROM osales GROUP BY region) s
+		WHERE s.n > 10`)
+	if len(stages) != 2 {
+		t.Errorf("aggregating subquery produced %d stages, want 2", len(stages))
+	}
+}
+
+func TestPlanRendering(t *testing.T) {
+	d := newTestDriver(t, core.New())
+	seedORCSales(t, d)
+	stages := planFor(t, d, `
+		SELECT region, sum(amount) AS total FROM osales
+		WHERE qty >= 1 GROUP BY region ORDER BY total DESC LIMIT 2`)
+	text := RenderPlan(stages)
+	for _, want := range []string{"project=", "pushdown", "GroupByPartial",
+		"ReduceSink", "Extract limit=2", "(final)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetastoreBasics(t *testing.T) {
+	ms := NewMetastore()
+	tab := &Table{Name: "t", Schema: types.NewSchema(types.Col("a", types.KindInt)),
+		Format: storage.FormatText, Location: "/w/t"}
+	if err := ms.Create(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Create(tab); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	got, err := ms.Get("t")
+	if err != nil || got.Name != "t" {
+		t.Errorf("Get: %v %v", got, err)
+	}
+	if !ms.Exists("t") || ms.Exists("zz") {
+		t.Error("Exists wrong")
+	}
+	if n := len(ms.Names()); n != 1 {
+		t.Errorf("Names len %d", n)
+	}
+	ms.Drop("t")
+	if ms.Exists("t") {
+		t.Error("Drop failed")
+	}
+	if _, err := ms.Get("t"); err == nil {
+		t.Error("Get after drop should fail")
+	}
+}

@@ -1,0 +1,291 @@
+// Package kvio provides the key-value wire encoding, sorted-run file
+// format and streaming k-way merge shared by both execution engines'
+// shuffle paths (DataMPI partitions and Hadoop spill files).
+package kvio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// KV is one key-value pair. Keys are compared as raw bytes, so callers
+// use an order-preserving key encoding when sorted grouping matters.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// WireSize is the encoded size of the pair (lengths + payloads).
+func (p KV) WireSize() int {
+	return uvarintLen(uint64(len(p.Key))) + len(p.Key) +
+		uvarintLen(uint64(len(p.Value))) + len(p.Value)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendKV appends the wire encoding of one pair to buf.
+func AppendKV(buf []byte, key, value []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(value)))
+	buf = append(buf, value...)
+	return buf
+}
+
+// DecodeAll decodes every pair in buf. The returned slices alias buf.
+func DecodeAll(buf []byte) ([]KV, error) {
+	var out []KV
+	pos := 0
+	for pos < len(buf) {
+		kl, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("kvio: bad key length at %d", pos)
+		}
+		pos += n
+		if pos+int(kl) > len(buf) {
+			return nil, fmt.Errorf("kvio: truncated key at %d", pos)
+		}
+		key := buf[pos : pos+int(kl)]
+		pos += int(kl)
+		vl, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("kvio: bad value length at %d", pos)
+		}
+		pos += n
+		if pos+int(vl) > len(buf) {
+			return nil, fmt.Errorf("kvio: truncated value at %d", pos)
+		}
+		val := buf[pos : pos+int(vl)]
+		pos += int(vl)
+		out = append(out, KV{Key: key, Value: val})
+	}
+	return out, nil
+}
+
+// Sort orders pairs by key bytes, stably so same-key values keep
+// arrival order.
+func Sort(kvs []KV) {
+	sort.SliceStable(kvs, func(i, j int) bool {
+		return bytes.Compare(kvs[i].Key, kvs[j].Key) < 0
+	})
+}
+
+// Writer streams encoded pairs to a sorted-run file.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	n   int64
+}
+
+// NewWriter wraps w for run output.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one pair to the run.
+func (kw *Writer) Write(p KV) error {
+	kw.buf = kw.buf[:0]
+	kw.buf = AppendKV(kw.buf, p.Key, p.Value)
+	n, err := kw.w.Write(kw.buf)
+	kw.n += int64(n)
+	return err
+}
+
+// Flush drains buffered output.
+func (kw *Writer) Flush() error { return kw.w.Flush() }
+
+// BytesWritten returns the run size so far.
+func (kw *Writer) BytesWritten() int64 { return kw.n }
+
+// Reader streams pairs back from a run.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r for run input.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Next returns the next pair or io.EOF at run end.
+func (kr *Reader) Next() (KV, error) {
+	kl, err := binary.ReadUvarint(kr.r)
+	if err != nil {
+		if err == io.EOF {
+			return KV{}, io.EOF
+		}
+		return KV{}, fmt.Errorf("kvio: run key length: %w", err)
+	}
+	key := make([]byte, kl)
+	if _, err := io.ReadFull(kr.r, key); err != nil {
+		return KV{}, fmt.Errorf("kvio: run truncated key: %w", err)
+	}
+	vl, err := binary.ReadUvarint(kr.r)
+	if err != nil {
+		return KV{}, fmt.Errorf("kvio: run truncated value length: %w", err)
+	}
+	val := make([]byte, vl)
+	if _, err := io.ReadFull(kr.r, val); err != nil {
+		return KV{}, fmt.Errorf("kvio: run truncated value: %w", err)
+	}
+	return KV{Key: key, Value: val}, nil
+}
+
+// Source is one sorted stream feeding a k-way merge.
+type Source interface {
+	Next() (KV, error) // io.EOF when drained
+}
+
+// SliceSource adapts an in-memory sorted slice.
+type SliceSource struct {
+	KVs []KV
+	i   int
+}
+
+var _ Source = (*SliceSource)(nil)
+
+// Next implements Source.
+func (s *SliceSource) Next() (KV, error) {
+	if s.i >= len(s.KVs) {
+		return KV{}, io.EOF
+	}
+	p := s.KVs[s.i]
+	s.i++
+	return p, nil
+}
+
+// Merge performs a streaming k-way merge of sorted sources.
+type Merge struct {
+	heap []mergeEntry
+}
+
+type mergeEntry struct {
+	kv  KV
+	src Source
+	seq int // tie-break for stability
+}
+
+// NewMerge primes the merge with one pair from each source.
+func NewMerge(sources []Source) (*Merge, error) {
+	m := &Merge{}
+	for i, s := range sources {
+		kv, err := s.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.push(mergeEntry{kv: kv, src: s, seq: i})
+	}
+	return m, nil
+}
+
+func (m *Merge) less(a, b mergeEntry) bool {
+	c := bytes.Compare(a.kv.Key, b.kv.Key)
+	if c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+func (m *Merge) push(e mergeEntry) {
+	m.heap = append(m.heap, e)
+	i := len(m.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(m.heap[i], m.heap[parent]) {
+			break
+		}
+		m.heap[i], m.heap[parent] = m.heap[parent], m.heap[i]
+		i = parent
+	}
+}
+
+func (m *Merge) pop() mergeEntry {
+	top := m.heap[0]
+	last := len(m.heap) - 1
+	m.heap[0] = m.heap[last]
+	m.heap = m.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(m.heap) && m.less(m.heap[l], m.heap[smallest]) {
+			smallest = l
+		}
+		if r < len(m.heap) && m.less(m.heap[r], m.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+// Next returns the next pair in global key order, or io.EOF.
+func (m *Merge) Next() (KV, error) {
+	if len(m.heap) == 0 {
+		return KV{}, io.EOF
+	}
+	e := m.pop()
+	nxt, err := e.src.Next()
+	if err == nil {
+		m.push(mergeEntry{kv: nxt, src: e.src, seq: e.seq})
+	} else if err != io.EOF {
+		return KV{}, err
+	}
+	return e.kv, nil
+}
+
+// Grouper wraps a merged stream into key-grouped iteration.
+type Grouper struct {
+	src  Source
+	next *KV
+}
+
+// NewGrouper wraps src (which must be globally key-sorted).
+func NewGrouper(src Source) *Grouper { return &Grouper{src: src} }
+
+// NextGroup returns the next key and all its values, or io.EOF.
+func (g *Grouper) NextGroup() ([]byte, [][]byte, error) {
+	var first KV
+	if g.next != nil {
+		first = *g.next
+		g.next = nil
+	} else {
+		var err error
+		first, err = g.src.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	values := [][]byte{first.Value}
+	for {
+		p, err := g.src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if !bytes.Equal(p.Key, first.Key) {
+			g.next = &p
+			break
+		}
+		values = append(values, p.Value)
+	}
+	return first.Key, values, nil
+}

@@ -1,0 +1,234 @@
+package kvio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	pairs := []KV{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte{}, Value: []byte{}},
+		{Key: []byte("long key with spaces"), Value: bytes.Repeat([]byte("v"), 300)},
+		{Key: []byte{0, 1, 2}, Value: []byte{0xFF}},
+	}
+	var buf []byte
+	for _, p := range pairs {
+		buf = AppendKV(buf, p.Key, p.Value)
+	}
+	got, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("decoded %d pairs, want %d", len(got), len(pairs))
+	}
+	for i := range pairs {
+		if !bytes.Equal(got[i].Key, pairs[i].Key) || !bytes.Equal(got[i].Value, pairs[i].Value) {
+			t.Errorf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeAllCorruption(t *testing.T) {
+	good := AppendKV(nil, []byte("key"), []byte("value"))
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := DecodeAll(good[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	f := func(key, value []byte) bool {
+		p := KV{Key: key, Value: value}
+		return p.WireSize() == len(AppendKV(nil, key, value))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	kw := NewWriter(f)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := kw.Write(KV{Key: []byte{byte(i)}, Value: []byte{byte(i), byte(i >> 4)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if kw.BytesWritten() == 0 {
+		t.Error("BytesWritten is zero")
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	kr := NewReader(f)
+	for i := 0; i < n; i++ {
+		p, err := kr.Next()
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		if p.Key[0] != byte(i) {
+			t.Errorf("pair %d key %v", i, p.Key)
+		}
+	}
+	if _, err := kr.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestMergeGlobalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var sources []Source
+	var all []string
+	for s := 0; s < 5; s++ {
+		n := r.Intn(100)
+		kvs := make([]KV, n)
+		for i := range kvs {
+			k := []byte{byte(r.Intn(64)), byte(r.Intn(64))}
+			kvs[i] = KV{Key: k, Value: []byte("v")}
+			all = append(all, string(k))
+		}
+		Sort(kvs)
+		sources = append(sources, &SliceSource{KVs: kvs})
+	}
+	m, err := NewMerge(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		p, err := m.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(p.Key))
+	}
+	sort.Strings(all)
+	if len(got) != len(all) {
+		t.Fatalf("merged %d pairs, want %d", len(got), len(all))
+	}
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("position %d: %q != %q", i, got[i], all[i])
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m, err := NewMerge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Next(); err != io.EOF {
+		t.Errorf("empty merge should EOF, got %v", err)
+	}
+	m2, err := NewMerge([]Source{&SliceSource{}, &SliceSource{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Next(); err != io.EOF {
+		t.Errorf("all-empty merge should EOF, got %v", err)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	kvs := []KV{
+		{Key: []byte("b"), Value: []byte("1")},
+		{Key: []byte("a"), Value: []byte("first")},
+		{Key: []byte("a"), Value: []byte("second")},
+	}
+	Sort(kvs)
+	if string(kvs[0].Value) != "first" || string(kvs[1].Value) != "second" {
+		t.Error("Sort not stable for equal keys")
+	}
+}
+
+func TestGrouper(t *testing.T) {
+	kvs := []KV{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("a"), Value: []byte("2")},
+		{Key: []byte("b"), Value: []byte("3")},
+		{Key: []byte("c"), Value: []byte("4")},
+		{Key: []byte("c"), Value: []byte("5")},
+		{Key: []byte("c"), Value: []byte("6")},
+	}
+	g := NewGrouper(&SliceSource{KVs: kvs})
+	wantKeys := []string{"a", "b", "c"}
+	wantCounts := []int{2, 1, 3}
+	for i := range wantKeys {
+		k, vs, err := g.NextGroup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(k) != wantKeys[i] || len(vs) != wantCounts[i] {
+			t.Errorf("group %d = %q x%d, want %q x%d", i, k, len(vs), wantKeys[i], wantCounts[i])
+		}
+	}
+	if _, _, err := g.NextGroup(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestGrouperEmpty(t *testing.T) {
+	g := NewGrouper(&SliceSource{})
+	if _, _, err := g.NextGroup(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestMergePropertyCountPreserved(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		var sources []Source
+		total := 0
+		for si, n := range sizes {
+			if si > 6 {
+				break
+			}
+			kvs := make([]KV, int(n)%50)
+			for i := range kvs {
+				kvs[i] = KV{Key: []byte{byte(i % 7)}, Value: []byte{byte(si)}}
+			}
+			Sort(kvs)
+			total += len(kvs)
+			sources = append(sources, &SliceSource{KVs: kvs})
+		}
+		m, err := NewMerge(sources)
+		if err != nil {
+			return false
+		}
+		got := 0
+		for {
+			if _, err := m.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				return false
+			}
+			got++
+		}
+		return got == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

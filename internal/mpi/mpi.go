@@ -1,0 +1,323 @@
+// Package mpi is an in-process message-passing library with the subset
+// of MPI semantics DataMPI needs: a world of ranks, derived
+// communicators, blocking Send/Recv, non-blocking Isend/Irecv with
+// request handles, Wait/Test/Waitall and a barrier.
+//
+// Delivery uses the eager protocol: a send buffers the message at the
+// receiver and completes immediately; receives match by (source, tag)
+// with wildcard support, servicing the unexpected-message queue first,
+// exactly like an MPI progress engine.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Wildcards for Recv/Irecv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrFinalized is returned by operations on a finalized world.
+var ErrFinalized = errors.New("mpi: world finalized")
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+type message struct {
+	src  int
+	tag  int
+	data []byte
+}
+
+type recvWaiter struct {
+	src, tag int
+	done     chan message
+}
+
+type rankState struct {
+	mu         sync.Mutex
+	unexpected []message
+	waiters    []*recvWaiter
+	closed     bool
+}
+
+// World is a set of communicating ranks (the COMM_WORLD analogue).
+type World struct {
+	n     int
+	ranks []*rankState
+
+	barrierMu    sync.Mutex
+	barrierCount int
+	barrierGen   int
+	barrierCond  *sync.Cond
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d must be positive", n)
+	}
+	w := &World{n: n, ranks: make([]*rankState, n)}
+	for i := range w.ranks {
+		w.ranks[i] = &rankState{}
+	}
+	w.barrierCond = sync.NewCond(&w.barrierMu)
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.n }
+
+// Finalize unblocks pending receivers with an error state and marks the
+// world closed. Further operations fail.
+func (w *World) Finalize() {
+	for _, r := range w.ranks {
+		r.mu.Lock()
+		r.closed = true
+		for _, wt := range r.waiters {
+			close(wt.done)
+		}
+		r.waiters = nil
+		r.mu.Unlock()
+	}
+}
+
+func (w *World) checkRank(r int) error {
+	if r < 0 || r >= w.n {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", r, w.n)
+	}
+	return nil
+}
+
+// Send delivers data from rank src to rank dst with the given tag.
+// The payload is copied, so the caller may reuse the buffer.
+func (w *World) Send(src, dst, tag int, data []byte) error {
+	if err := w.checkRank(src); err != nil {
+		return err
+	}
+	if err := w.checkRank(dst); err != nil {
+		return err
+	}
+	msg := message{src: src, tag: tag, data: append([]byte(nil), data...)}
+	r := w.ranks[dst]
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrFinalized
+	}
+	for i, wt := range r.waiters {
+		if (wt.src == AnySource || wt.src == src) && (wt.tag == AnyTag || wt.tag == tag) {
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			r.mu.Unlock()
+			wt.done <- msg
+			return nil
+		}
+	}
+	r.unexpected = append(r.unexpected, msg)
+	r.mu.Unlock()
+	return nil
+}
+
+// Recv blocks until a matching message arrives at rank me.
+func (w *World) Recv(me, src, tag int) ([]byte, Status, error) {
+	req, err := w.Irecv(me, src, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return req.WaitRecv()
+}
+
+// tryMatch removes and returns a matching unexpected message, if any.
+func (r *rankState) tryMatch(src, tag int) (message, bool) {
+	for i, m := range r.unexpected {
+		if (src == AnySource || src == m.src) && (tag == AnyTag || tag == m.tag) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// Request is the handle for a non-blocking operation.
+type Request struct {
+	mu     sync.Mutex
+	done   bool
+	err    error
+	msg    message
+	isRecv bool
+	ch     chan message
+}
+
+// Isend starts a non-blocking send. With the eager protocol the send
+// buffers immediately, so the returned request is already complete; the
+// handle exists so shuffle engines can treat sends and receives
+// uniformly through Wait/Test.
+func (w *World) Isend(src, dst, tag int, data []byte) (*Request, error) {
+	err := w.Send(src, dst, tag, data)
+	req := &Request{done: true, err: err}
+	if err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// Irecv posts a non-blocking receive at rank me.
+func (w *World) Irecv(me, src, tag int) (*Request, error) {
+	if err := w.checkRank(me); err != nil {
+		return nil, err
+	}
+	if src != AnySource {
+		if err := w.checkRank(src); err != nil {
+			return nil, err
+		}
+	}
+	r := w.ranks[me]
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrFinalized
+	}
+	if m, ok := r.tryMatch(src, tag); ok {
+		r.mu.Unlock()
+		return &Request{done: true, msg: m, isRecv: true}, nil
+	}
+	wt := &recvWaiter{src: src, tag: tag, done: make(chan message, 1)}
+	r.waiters = append(r.waiters, wt)
+	r.mu.Unlock()
+	return &Request{isRecv: true, ch: wt.done}, nil
+}
+
+// Wait blocks until the request completes.
+func (r *Request) Wait() error {
+	_, _, err := r.WaitRecv()
+	return err
+}
+
+// WaitRecv blocks until completion and returns the received payload (nil
+// for send requests).
+func (r *Request) WaitRecv() ([]byte, Status, error) {
+	r.mu.Lock()
+	if r.done {
+		defer r.mu.Unlock()
+		if r.err != nil {
+			return nil, Status{}, r.err
+		}
+		return r.msg.data, Status{Source: r.msg.src, Tag: r.msg.tag, Bytes: len(r.msg.data)}, nil
+	}
+	ch := r.ch
+	r.mu.Unlock()
+
+	msg, ok := <-ch
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done = true
+	if !ok {
+		r.err = ErrFinalized
+		return nil, Status{}, r.err
+	}
+	r.msg = msg
+	return msg.data, Status{Source: msg.src, Tag: msg.tag, Bytes: len(msg.data)}, nil
+}
+
+// Test reports whether the request has completed without blocking.
+func (r *Request) Test() (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return true, r.err
+	}
+	if r.ch == nil {
+		return false, nil
+	}
+	select {
+	case msg, ok := <-r.ch:
+		r.done = true
+		if !ok {
+			r.err = ErrFinalized
+			return true, r.err
+		}
+		r.msg = msg
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// Payload returns the received bytes of a completed receive request.
+func (r *Request) Payload() ([]byte, Status) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.msg.data, Status{Source: r.msg.src, Tag: r.msg.tag, Bytes: len(r.msg.data)}
+}
+
+// Waitall blocks until every request completes, returning the first error.
+func Waitall(reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Barrier blocks until all n ranks of the world have entered it.
+func (w *World) Barrier() {
+	w.barrierMu.Lock()
+	defer w.barrierMu.Unlock()
+	gen := w.barrierGen
+	w.barrierCount++
+	if w.barrierCount == w.n {
+		w.barrierCount = 0
+		w.barrierGen++
+		w.barrierCond.Broadcast()
+		return
+	}
+	for gen == w.barrierGen {
+		w.barrierCond.Wait()
+	}
+}
+
+// Comm is a derived communicator: an ordered subset of world ranks.
+// Rank i of the communicator maps to Ranks[i] in the world.
+type Comm struct {
+	world *World
+	ranks []int
+}
+
+// NewComm builds a communicator over the given world ranks.
+func (w *World) NewComm(ranks []int) (*Comm, error) {
+	for _, r := range ranks {
+		if err := w.checkRank(r); err != nil {
+			return nil, err
+		}
+	}
+	return &Comm{world: w, ranks: append([]int(nil), ranks...)}, nil
+}
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank translates a communicator rank to its world rank.
+func (c *Comm) WorldRank(r int) int { return c.ranks[r] }
+
+// LocalRank translates a world rank into this communicator (-1 if absent).
+func (c *Comm) LocalRank(worldRank int) int {
+	for i, r := range c.ranks {
+		if r == worldRank {
+			return i
+		}
+	}
+	return -1
+}

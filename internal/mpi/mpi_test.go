@@ -1,0 +1,269 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		data, st, err := w.Recv(1, 0, 7)
+		if err != nil {
+			t.Errorf("Recv: %v", err)
+			return
+		}
+		if string(data) != "hello" || st.Source != 0 || st.Tag != 7 || st.Bytes != 5 {
+			t.Errorf("got %q status %+v", data, st)
+		}
+	}()
+	if err := w.Send(0, 1, 7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestUnexpectedMessageQueue(t *testing.T) {
+	w, _ := NewWorld(2)
+	// Send before any receive is posted: message goes to unexpected queue.
+	if err := w.Send(0, 1, 3, []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := w.Recv(1, 0, 3)
+	if err != nil || string(data) != "early" {
+		t.Fatalf("Recv after early send: %q, %v", data, err)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	w, _ := NewWorld(3)
+	if err := w.Send(0, 2, 10, []byte("fromA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Send(1, 2, 20, []byte("fromB")); err != nil {
+		t.Fatal(err)
+	}
+	// Receive tag 20 first even though tag 10 arrived earlier.
+	data, st, err := w.Recv(2, AnySource, 20)
+	if err != nil || string(data) != "fromB" || st.Source != 1 {
+		t.Fatalf("tag match: %q %+v %v", data, st, err)
+	}
+	data, _, err = w.Recv(2, 0, AnyTag)
+	if err != nil || string(data) != "fromA" {
+		t.Fatalf("source match: %q %v", data, err)
+	}
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	w, _ := NewWorld(4)
+	const msgs = 10
+	var wg sync.WaitGroup
+	for dst := 1; dst < 4; dst++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			reqs := make([]*Request, 0, msgs)
+			for i := 0; i < msgs; i++ {
+				r, err := w.Irecv(dst, 0, i)
+				if err != nil {
+					t.Errorf("Irecv: %v", err)
+					return
+				}
+				reqs = append(reqs, r)
+			}
+			if err := Waitall(reqs); err != nil {
+				t.Errorf("Waitall: %v", err)
+			}
+			for i, r := range reqs {
+				data, st := r.Payload()
+				if st.Tag != i || len(data) != i {
+					t.Errorf("req %d: tag %d len %d", i, st.Tag, len(data))
+				}
+			}
+		}(dst)
+	}
+	var sends []*Request
+	for i := 0; i < msgs; i++ {
+		for dst := 1; dst < 4; dst++ {
+			r, err := w.Isend(0, dst, i, make([]byte, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sends = append(sends, r)
+		}
+	}
+	if err := Waitall(sends); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestTestNonBlocking(t *testing.T) {
+	w, _ := NewWorld(2)
+	req, err := w.Irecv(1, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := req.Test(); ok {
+		t.Error("request complete before send")
+	}
+	if err := w.Send(0, 1, 5, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		if ok, err := req.Test(); ok {
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Test never completed")
+		}
+	}
+	data, _ := req.Payload()
+	if string(data) != "x" {
+		t.Errorf("payload %q", data)
+	}
+}
+
+func TestSendBufferIsCopied(t *testing.T) {
+	w, _ := NewWorld(2)
+	buf := []byte("orig")
+	if err := w.Send(0, 1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXX")
+	data, _, err := w.Recv(1, 0, 0)
+	if err != nil || string(data) != "orig" {
+		t.Errorf("send did not copy buffer: %q %v", data, err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	w, _ := NewWorld(4)
+	var reached sync.WaitGroup
+	counter := make(chan int, 8)
+	for r := 0; r < 4; r++ {
+		reached.Add(1)
+		go func(r int) {
+			defer reached.Done()
+			counter <- 1
+			w.Barrier()
+			counter <- 2
+		}(r)
+	}
+	reached.Wait()
+	close(counter)
+	// All the 1s must come before any 2 is possible only if barrier
+	// held; we verify counts.
+	ones, twos := 0, 0
+	for v := range counter {
+		if v == 1 {
+			ones++
+		} else {
+			twos++
+		}
+	}
+	if ones != 4 || twos != 4 {
+		t.Errorf("barrier counts %d/%d", ones, twos)
+	}
+}
+
+func TestFinalizeUnblocksReceivers(t *testing.T) {
+	w, _ := NewWorld(2)
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := w.Recv(1, 0, 0)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Finalize()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrFinalized) {
+			t.Errorf("err = %v, want ErrFinalized", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("receiver not unblocked by Finalize")
+	}
+	if err := w.Send(0, 1, 0, nil); !errors.Is(err, ErrFinalized) {
+		t.Errorf("Send after finalize: %v", err)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	w, _ := NewWorld(2)
+	if err := w.Send(0, 5, 0, nil); err == nil {
+		t.Error("send to invalid rank should fail")
+	}
+	if err := w.Send(-1, 1, 0, nil); err == nil {
+		t.Error("send from invalid rank should fail")
+	}
+	if _, err := w.Irecv(9, 0, 0); err == nil {
+		t.Error("irecv on invalid rank should fail")
+	}
+	if _, err := NewWorld(0); err == nil {
+		t.Error("zero-size world should fail")
+	}
+}
+
+func TestComm(t *testing.T) {
+	w, _ := NewWorld(6)
+	// O communicator = ranks 0..3, A communicator = ranks 4..5.
+	o, err := w.NewComm([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.NewComm([]int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 4 || a.Size() != 2 {
+		t.Error("comm sizes wrong")
+	}
+	if a.WorldRank(1) != 5 {
+		t.Error("WorldRank translation wrong")
+	}
+	if a.LocalRank(4) != 0 || a.LocalRank(0) != -1 {
+		t.Error("LocalRank translation wrong")
+	}
+	if _, err := w.NewComm([]int{99}); err == nil {
+		t.Error("invalid comm rank should fail")
+	}
+}
+
+func TestManyToOneStress(t *testing.T) {
+	w, _ := NewWorld(9)
+	const per = 200
+	var wg sync.WaitGroup
+	for src := 1; src < 9; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Send(src, 0, src, []byte{byte(i)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(src)
+	}
+	got := 0
+	for got < 8*per {
+		_, _, err := w.Recv(0, AnySource, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	wg.Wait()
+}

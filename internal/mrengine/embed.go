@@ -1,0 +1,9 @@
+package mrengine
+
+import "embed"
+
+// Source embeds this package's implementation for the productivity
+// analysis (paper Table III compares engine adapter code sizes).
+//
+//go:embed *.go
+var Source embed.FS

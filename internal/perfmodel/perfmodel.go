@@ -1,0 +1,412 @@
+// Package perfmodel replays execution traces onto a simulated cluster
+// to produce the paper's timing results. Queries execute for real at
+// reduced scale (the data plane is exact); this model supplies the
+// control-plane and hardware timing of the paper's testbed — 1 master +
+// 7 slaves, 4 slots per node, Gigabit Ethernet, one SATA disk per node
+// (§V-A) — by charging startup, CPU, disk and network costs to the
+// per-task byte/record counts recorded in the trace, scaled back up by
+// the data-scale factor.
+//
+// The engine differences the paper measures are reproduced
+// structurally, not by fiat: Hadoop map tasks pay sort/spill/merge disk
+// I/O and its reducers may only copy map output after the producing map
+// completes, while DataMPI pushes partitions during the O phase
+// (overlapping all but the tail), keeps intermediate data in memory up
+// to the cache budget, pays GC pressure when the cache crowds the
+// application heap, and in blocking mode serializes every flush into a
+// synchronized round.
+package perfmodel
+
+import (
+	"sort"
+
+	"hivempi/internal/trace"
+)
+
+// Cluster describes the simulated hardware.
+type Cluster struct {
+	Nodes        int // worker nodes
+	SlotsPerNode int
+
+	DiskReadBW  float64 // bytes/sec per node
+	DiskWriteBW float64
+	NetBW       float64 // bytes/sec per NIC
+
+	CPUPerRecord float64 // seconds per row through a Hive operator chain
+	CPUPerByte   float64 // seconds per byte of serde work
+}
+
+// EngineParams carries the per-engine control-plane constants.
+type EngineParams struct {
+	JobStartup   float64 // submit -> first task launched (seconds)
+	TaskLaunch   float64 // per-task process/JVM start
+	CPUFactor    float64 // framework overhead multiplier on compute
+	BlockingSync float64 // per-flush latency in a synchronized round
+	QueueStall   float64 // per-flush stall unit for small send queues
+	GCFactor     float64 // compute multiplier ramp above the GC knee
+	GCKnee       float64 // memusedpercent where GC pressure starts
+}
+
+// sendBufferBytes is DataMPI's partition buffer granularity; the flush
+// count at full scale is shuffled bytes divided by this.
+const sendBufferBytes = 32 << 10
+
+// Params is the complete model configuration.
+type Params struct {
+	Cluster Cluster
+	ScaleUp float64 // multiply trace bytes/records (1:1000 runs use 1000)
+	Hadoop  EngineParams
+	DataMPI EngineParams
+	Compile float64 // per-query HiveQL compile seconds
+}
+
+// DefaultParams is calibrated against the paper's §V numbers (TPC-H Q9
+// 40 GB: 802 s Hadoop vs 598 s DataMPI; HiBench ~30% average gain;
+// startup ~5% of job time and ~30% shorter on DataMPI).
+func DefaultParams() Params {
+	return Params{
+		Cluster: Cluster{
+			Nodes:        7,
+			SlotsPerNode: 4,
+			DiskReadBW:   90e6,
+			DiskWriteBW:  70e6,
+			NetBW:        110e6,
+			CPUPerRecord: 6e-6,
+			CPUPerByte:   28e-9,
+		},
+		ScaleUp: 1000,
+		Hadoop: EngineParams{
+			JobStartup: 4.5,
+			TaskLaunch: 1.6,
+			CPUFactor:  1.18, // JVM MapReduce pipeline overhead per row
+		},
+		DataMPI: EngineParams{
+			JobStartup:   3.0,
+			TaskLaunch:   0.5,
+			CPUFactor:    1.0,
+			BlockingSync: 0.0008, // GigE round-trip per synchronized flush
+			QueueStall:   0.0002,
+			GCFactor:     3.0,
+			GCKnee:       0.45,
+		},
+		Compile: 1.2,
+	}
+}
+
+func (p *Params) engine(name string) EngineParams {
+	if name == "datampi" {
+		return p.DataMPI
+	}
+	return p.Hadoop
+}
+
+// TaskSpan is one scheduled task on the simulated cluster.
+type TaskSpan struct {
+	ID    int
+	Kind  trace.TaskKind
+	Start float64
+	End   float64
+	Slot  int
+
+	// Segment boundaries within [Start,End] for utilization sampling:
+	// launch | read | compute(+send) | write.
+	ReadEnd    float64
+	ComputeEnd float64
+
+	ReadBytes  float64 // scaled
+	WriteBytes float64
+	NetBytes   float64
+	CacheBytes float64
+}
+
+// StageTiming is one simulated stage.
+type StageTiming struct {
+	Name   string
+	Engine string
+
+	Startup    float64 // job startup (submit -> first task)
+	MapShuffle float64 // paper's MS: map phase + copy (Hadoop) / O phase (DataMPI)
+	Others     float64 // merge + reduce + write
+	Total      float64
+
+	MapStart   float64 // absolute time the first map/O task launches
+	MapEnd     float64
+	ShuffleEnd float64
+
+	Producers []TaskSpan
+	Consumers []TaskSpan
+}
+
+// slotSchedule list-schedules durations onto n slots, with tasks
+// becoming available at readyAt. Returns spans in task order.
+type slotSchedule struct {
+	free []float64
+}
+
+func newSlots(n int) *slotSchedule {
+	if n < 1 {
+		n = 1
+	}
+	return &slotSchedule{free: make([]float64, n)}
+}
+
+func (s *slotSchedule) place(readyAt, duration float64) (start, end float64, slot int) {
+	best := 0
+	for i, f := range s.free {
+		if f < s.free[best] {
+			best = i
+		}
+	}
+	start = s.free[best]
+	if readyAt > start {
+		start = readyAt
+	}
+	end = start + duration
+	s.free[best] = end
+	return start, end, best
+}
+
+func (s *slotSchedule) maxEnd() float64 {
+	m := 0.0
+	for _, f := range s.free {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// mapTaskDuration models one producer task (excluding launch).
+func (p *Params) mapTaskDuration(st *trace.Stage, t *trace.Task) (dur, readT, computeT, writeT, netBytes float64) {
+	c := p.Cluster
+	in := float64(t.InputBytes) * p.ScaleUp
+	recs := float64(t.InputRecords) * p.ScaleUp
+	out := float64(t.ShuffleOutBytes) * p.ScaleUp
+	readBW := c.DiskReadBW
+	if !t.LocalRead {
+		// A remote read still streams from the remote node's disk and
+		// additionally crosses the network; charge the slower of the
+		// two with a transfer penalty.
+		readBW = c.DiskReadBW
+		if c.NetBW < readBW {
+			readBW = c.NetBW
+		}
+		readBW *= 0.7
+	}
+	readT = in / readBW
+	computeT = recs*c.CPUPerRecord + in*c.CPUPerByte
+
+	if st.Engine == "datampi" {
+		e := p.DataMPI
+		computeT *= e.CPUFactor
+		sendT := out / c.NetBW
+		flushes := out / sendBufferBytes
+		if st.NonBlocking {
+			// Send overlaps compute. A short send queue exposes part of
+			// the transfer to the compute thread (Fig. 8b: the wait
+			// shrinks with queue size and stabilizes at >= 6), plus a
+			// small per-flush handoff cost.
+			q := float64(st.SendQueueSize)
+			if q < 1 {
+				q = 1
+			}
+			overlap := q / 6
+			if overlap > 1 {
+				overlap = 1
+			}
+			exposed := (1 - overlap) * sendT
+			stall := flushes * e.QueueStall / q
+			body := computeT
+			if sendT > body {
+				body = sendT
+			}
+			body += exposed + stall
+			dur = readT + body
+			return dur, readT, body, 0, out
+		}
+		// Blocking style: the compute thread performs every transfer
+		// inside serialized all-to-all rounds, so under skew a task
+		// idles roughly as long as it computes while waiting for the
+		// other participants (Fig. 6: O phase ~2x), plus a round-trip
+		// per flush.
+		dur = readT + 2*computeT + sendT + flushes*e.BlockingSync
+		return dur, readT, 2*computeT + sendT, 0, out
+	}
+
+	// Hadoop map: every emitted pair passes the sort buffer (CPU), then
+	// spill/merge/materialize on local disk.
+	e := p.Hadoop
+	computeT *= e.CPUFactor
+	outPairs := float64(t.ShuffleOutPairs) * p.ScaleUp
+	sortCPU := outPairs * c.CPUPerRecord * 0.6
+	spill := float64(t.SpillBytes) * p.ScaleUp
+	spillT := spill/c.DiskWriteBW + spill/c.DiskReadBW + out/c.DiskWriteBW
+	dur = readT + computeT + sortCPU + spillT
+	return dur, readT, computeT + sortCPU, spillT, out
+}
+
+// reduceTaskDuration models one consumer task (excluding launch).
+func (p *Params) reduceTaskDuration(st *trace.Stage, t *trace.Task) (dur, mergeT, computeT, writeT float64) {
+	c := p.Cluster
+	in := float64(t.ShuffleInBytes) * p.ScaleUp
+	pairs := float64(t.ShuffleInPairs) * p.ScaleUp
+	outW := float64(t.WriteBytes) * p.ScaleUp
+
+	// Reduce-side rows are pre-parsed binary pairs, cheaper per record
+	// than the map-side operator chain over raw input.
+	computeT = pairs * c.CPUPerRecord * 0.7
+	// DFS write with pipeline replication ~1.5x effective cost.
+	writeT = outW * 1.5 / c.DiskWriteBW
+
+	if st.Engine == "datampi" {
+		e := p.DataMPI
+		computeT *= e.CPUFactor
+		// Only spilled bytes touch disk, and most of the sort/merge ran
+		// in the receive threads during the O phase; only the final
+		// run merge is on the critical path.
+		spilled := float64(t.SpillBytes) * p.ScaleUp
+		mergeT = spilled/c.DiskWriteBW + spilled/c.DiskReadBW + in*c.CPUPerByte*0.3
+		if st.MemUsedPercent > e.GCKnee {
+			// Crowding the application heap raises GC time (Fig. 8a's
+			// right side).
+			over := st.MemUsedPercent - e.GCKnee
+			computeT *= 1 + e.GCFactor*over*over*4
+		}
+		dur = mergeT + computeT + writeT
+		return dur, mergeT, computeT, writeT
+	}
+	// Hadoop: shuffled segments land on disk, are merge-read back and
+	// every pair passes the merge comparator.
+	e := p.Hadoop
+	computeT *= e.CPUFactor
+	mergeT = in/c.DiskWriteBW + in/c.DiskReadBW + in*c.CPUPerByte +
+		pairs*c.CPUPerRecord*0.25
+	dur = mergeT + computeT + writeT
+	return dur, mergeT, computeT, writeT
+}
+
+// SimulateStage produces the stage's simulated schedule.
+func (p *Params) SimulateStage(st *trace.Stage) *StageTiming {
+	e := p.engine(st.Engine)
+	c := p.Cluster
+	out := &StageTiming{Name: st.Name, Engine: st.Engine, Startup: e.JobStartup}
+
+	mapSlots := newSlots(c.Nodes * c.SlotsPerNode)
+	mapStart := e.JobStartup
+	out.MapStart = mapStart
+
+	var totalShuffle float64
+	firstMapEnd, lastMapEnd := -1.0, 0.0
+	for _, t := range st.Producers {
+		dur, readT, computeT, writeT, netBytes := p.mapTaskDuration(st, t)
+		start, end, slot := mapSlots.place(mapStart, e.TaskLaunch+dur)
+		span := TaskSpan{
+			ID: t.ID, Kind: t.Kind, Start: start, End: end, Slot: slot,
+			ReadEnd:    start + e.TaskLaunch + readT,
+			ComputeEnd: end - writeT,
+			ReadBytes:  float64(t.InputBytes) * p.ScaleUp,
+			WriteBytes: float64(t.SpillBytes+t.ShuffleOutBytes) * p.ScaleUp,
+			NetBytes:   netBytes,
+		}
+		_ = computeT
+		out.Producers = append(out.Producers, span)
+		totalShuffle += netBytes
+		if firstMapEnd < 0 || end < firstMapEnd {
+			firstMapEnd = end
+		}
+		if end > lastMapEnd {
+			lastMapEnd = end
+		}
+	}
+	if firstMapEnd < 0 {
+		firstMapEnd, lastMapEnd = mapStart, mapStart
+	}
+	out.MapEnd = lastMapEnd
+
+	// Shuffle completion. The aggregate fabric moves roughly half the
+	// bisection at once.
+	aggBW := float64(c.Nodes) * c.NetBW / 2
+	var shuffleEnd float64
+	if st.Engine == "datampi" {
+		// Push-based: transfers start with the O phase.
+		shuffleEnd = mapStart + totalShuffle/aggBW
+		if lastMapEnd > shuffleEnd {
+			shuffleEnd = lastMapEnd
+		}
+	} else {
+		// Pull-based: no byte moves before the first map finishes.
+		shuffleEnd = firstMapEnd + totalShuffle/aggBW
+		if lastMapEnd > shuffleEnd {
+			shuffleEnd = lastMapEnd
+		}
+	}
+	out.ShuffleEnd = shuffleEnd
+
+	// Reduce phase.
+	redSlots := newSlots(c.Nodes * c.SlotsPerNode)
+	reduceEnd := shuffleEnd
+	for _, t := range st.Consumers {
+		dur, mergeT, computeT, writeT := p.reduceTaskDuration(st, t)
+		_ = mergeT
+		start, end, slot := redSlots.place(shuffleEnd, e.TaskLaunch+dur)
+		span := TaskSpan{
+			ID: t.ID, Kind: t.Kind, Start: start, End: end, Slot: slot,
+			ReadEnd:    start + e.TaskLaunch + mergeT,
+			ComputeEnd: end - writeT,
+			ReadBytes:  float64(t.SpillBytes) * p.ScaleUp,
+			WriteBytes: float64(t.WriteBytes) * p.ScaleUp,
+			CacheBytes: float64(t.MemoryCacheBytes) * p.ScaleUp,
+		}
+		_ = computeT
+		out.Consumers = append(out.Consumers, span)
+		if end > reduceEnd {
+			reduceEnd = end
+		}
+	}
+
+	out.Total = reduceEnd
+	out.MapShuffle = shuffleEnd - mapStart
+	out.Others = out.Total - out.Startup - out.MapShuffle
+	if out.Others < 0 {
+		out.Others = 0
+	}
+	return out
+}
+
+// QueryTiming aggregates a query's stages (run back to back, as the
+// driver executes them).
+type QueryTiming struct {
+	Compile float64
+	Stages  []*StageTiming
+	Total   float64
+}
+
+// SimulateQuery simulates every stage of a query trace.
+func (p *Params) SimulateQuery(q *trace.Query) *QueryTiming {
+	out := &QueryTiming{Compile: p.Compile, Total: p.Compile}
+	for _, st := range q.Stages {
+		sim := p.SimulateStage(st)
+		out.Stages = append(out.Stages, sim)
+		out.Total += sim.Total
+	}
+	return out
+}
+
+// SimulateQueries sums a sequence of queries (a multi-statement script).
+func (p *Params) SimulateQueries(qs []*trace.Query) float64 {
+	var total float64
+	for _, q := range qs {
+		total += p.SimulateQuery(q).Total
+	}
+	return total
+}
+
+// SortSpans orders spans by start time (for rendering).
+func SortSpans(spans []TaskSpan) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}

@@ -1,0 +1,253 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"hivempi/internal/core"
+	"hivempi/internal/dfs"
+	"hivempi/internal/exec"
+	"hivempi/internal/hibench"
+	"hivempi/internal/hive"
+	"hivempi/internal/mrengine"
+	"hivempi/internal/trace"
+)
+
+var _ = trace.KindMap
+
+// runAggregate executes HiBench AGGREGATE at "20 GB" (1:1000) on the
+// given engine and returns the collected trace.
+func runAggregate(t *testing.T, engine exec.Engine, mut func(*exec.EngineConf)) []*trace.Query {
+	t.Helper()
+	env := &exec.Env{FS: dfs.New(dfs.Config{
+		BlockSize: 64 << 10, // 64 MB at 1:1000
+		Nodes: []string{"slave1", "slave2", "slave3", "slave4",
+			"slave5", "slave6", "slave7"},
+	})}
+	conf := exec.DefaultEngineConf()
+	conf.SpillDir = t.TempDir()
+	if mut != nil {
+		mut(&conf)
+	}
+	d := hive.NewDriver(env, engine, conf)
+	d.MapJoinThresholdBytes = 25 << 10
+	if err := hibench.Load(d, 20<<20, 99, "sequencefile", 4); err != nil {
+		t.Fatal(err)
+	}
+	d.Collector.Reset()
+	if _, err := d.Run(hibench.AggregateQuery); err != nil {
+		t.Fatal(err)
+	}
+	return d.Collector.Queries()
+}
+
+func simulateTotal(p Params, qs []*trace.Query) float64 {
+	return p.SimulateQueries(qs)
+}
+
+func TestPaperShapeAggregateWorkload(t *testing.T) {
+	p := DefaultParams()
+	dm := runAggregate(t, core.New(), nil)
+	hd := runAggregate(t, mrengine.New(), nil)
+
+	dmT := simulateTotal(p, dm)
+	hdT := simulateTotal(p, hd)
+	t.Logf("AGGREGATE 20GB: hadoop=%.1fs datampi=%.1fs gain=%.0f%%",
+		hdT, dmT, 100*(hdT-dmT)/hdT)
+	if dmT >= hdT {
+		t.Errorf("DataMPI (%.1fs) should beat Hadoop (%.1fs)", dmT, hdT)
+	}
+	gain := (hdT - dmT) / hdT
+	if gain < 0.10 || gain > 0.60 {
+		t.Errorf("gain %.0f%% outside the paper's plausible band (10-60%%)", gain*100)
+	}
+
+	// Startup: ~30% shorter on DataMPI (paper §V-B).
+	dmSim := p.SimulateStage(dm[0].Stages[0])
+	hdSim := p.SimulateStage(hd[0].Stages[0])
+	if dmSim.Startup >= hdSim.Startup {
+		t.Errorf("DataMPI startup %.1f should be below Hadoop %.1f",
+			dmSim.Startup, hdSim.Startup)
+	}
+	if dmSim.MapShuffle >= hdSim.MapShuffle {
+		t.Errorf("DataMPI MS %.1f should be below Hadoop %.1f (Fig. 10)",
+			dmSim.MapShuffle, hdSim.MapShuffle)
+	}
+	t.Logf("breakdown: hadoop startup=%.1f ms=%.1f others=%.1f | datampi startup=%.1f ms=%.1f others=%.1f",
+		hdSim.Startup, hdSim.MapShuffle, hdSim.Others,
+		dmSim.Startup, dmSim.MapShuffle, dmSim.Others)
+}
+
+func TestBlockingVsNonBlockingShape(t *testing.T) {
+	p := DefaultParams()
+	nb := runAggregate(t, core.New(), func(c *exec.EngineConf) { c.NonBlocking = true })
+	bl := runAggregate(t, core.New(), func(c *exec.EngineConf) { c.NonBlocking = false })
+	nbSim := p.SimulateStage(nb[0].Stages[0])
+	blSim := p.SimulateStage(bl[0].Stages[0])
+	t.Logf("O phase: blocking=%.1fs nonblocking=%.1fs", blSim.MapEnd, nbSim.MapEnd)
+	// Paper Fig. 6: blocking O phase roughly 2x (120 s vs 61 s).
+	ratio := blSim.MapEnd / nbSim.MapEnd
+	if ratio < 1.3 || ratio > 4 {
+		t.Errorf("blocking/non-blocking O-phase ratio %.2f outside [1.3,4]", ratio)
+	}
+}
+
+func TestMemUsedPercentSweetSpot(t *testing.T) {
+	p := DefaultParams()
+	totals := map[float64]float64{}
+	for _, m := range []float64{0.1, 0.4, 0.9} {
+		qs := runAggregate(t, core.New(), func(c *exec.EngineConf) {
+			c.MemUsedPercent = m
+			// A small task memory makes the knob bite at test scale.
+			c.TaskMemoryBytes = 64 << 10
+		})
+		totals[m] = simulateTotal(p, qs)
+	}
+	t.Logf("memusedpercent sweep: 0.1=%.1fs 0.4=%.1fs 0.9=%.1fs",
+		totals[0.1], totals[0.4], totals[0.9])
+	// AGGREGATE alone shuffles little (map-side combine), so the spill
+	// side is nearly flat here; the JOIN-inclusive sweep in the bench
+	// harness shows the full U shape. Require 0.4 ~ best-low and
+	// strictly better than the GC side.
+	if totals[0.4] > totals[0.1]*1.05 || totals[0.4] >= totals[0.9] {
+		t.Errorf("0.4 should be near-optimal (Fig. 8a): %v", totals)
+	}
+}
+
+func TestSendQueueSweep(t *testing.T) {
+	p := DefaultParams()
+	var prev float64
+	for i, q := range []int{2, 6, 10} {
+		qs := runAggregate(t, core.New(), func(c *exec.EngineConf) { c.SendQueueSize = q })
+		tot := simulateTotal(p, qs)
+		t.Logf("sendqueue=%d total=%.1fs", q, tot)
+		if i > 0 && tot > prev*1.02 {
+			t.Errorf("queue %d total %.1f regressed vs smaller queue %.1f", q, tot, prev)
+		}
+		prev = tot
+	}
+}
+
+func TestUtilizationSeries(t *testing.T) {
+	p := DefaultParams()
+	qs := runAggregate(t, core.New(), nil)
+	var sims []*StageTiming
+	for _, st := range qs[0].Stages {
+		sims = append(sims, p.SimulateStage(st))
+	}
+	series := UtilizationSeries(sims, p.Cluster)
+	if len(series) < 5 {
+		t.Fatalf("series too short: %d samples", len(series))
+	}
+	var peakCPU, peakNet, peakRead float64
+	for _, u := range series {
+		if u.CPUPct > peakCPU {
+			peakCPU = u.CPUPct
+		}
+		if u.Net > peakNet {
+			peakNet = u.Net
+		}
+		if u.DiskRead > peakRead {
+			peakRead = u.DiskRead
+		}
+		if u.CPUPct < 0 || u.CPUPct > 100 {
+			t.Fatalf("CPU%% out of range: %f", u.CPUPct)
+		}
+	}
+	if peakCPU == 0 || peakNet == 0 || peakRead == 0 {
+		t.Errorf("flat utilization series: cpu=%f net=%f read=%f", peakCPU, peakNet, peakRead)
+	}
+}
+
+func TestCollectTimeline(t *testing.T) {
+	p := DefaultParams()
+	qs := runAggregate(t, core.New(), nil)
+	st := qs[0].Stages[0]
+	sim := p.SimulateStage(st)
+	events := CollectTimeline(st, sim)
+	if len(events) == 0 {
+		t.Fatal("no collect events")
+	}
+	for _, ev := range events {
+		if ev.Time < sim.MapStart || ev.Time > sim.MapEnd+1e-9 {
+			t.Errorf("event at %.2f outside map window [%.2f,%.2f]",
+				ev.Time, sim.MapStart, sim.MapEnd)
+		}
+	}
+	ends := TaskEndTimes(sim)
+	if len(ends) != len(sim.Producers) {
+		t.Error("end times length mismatch")
+	}
+}
+
+func TestSchedulerSlotBounds(t *testing.T) {
+	s := newSlots(2)
+	_, e1, _ := s.place(0, 10)
+	_, e2, _ := s.place(0, 10)
+	st3, _, _ := s.place(0, 10)
+	if e1 != 10 || e2 != 10 {
+		t.Error("first two tasks should run immediately")
+	}
+	if st3 != 10 {
+		t.Errorf("third task should wait for a slot, started at %f", st3)
+	}
+	if s.maxEnd() != 20 {
+		t.Errorf("maxEnd = %f", s.maxEnd())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := DefaultParams()
+	qs := runAggregate(t, core.New(), nil)
+	a := simulateTotal(p, qs)
+	b := simulateTotal(p, qs)
+	if a != b {
+		t.Errorf("simulation not deterministic: %f vs %f", a, b)
+	}
+}
+
+func TestSortSpans(t *testing.T) {
+	spans := []TaskSpan{
+		{ID: 2, Start: 5},
+		{ID: 0, Start: 1},
+		{ID: 1, Start: 5},
+	}
+	SortSpans(spans)
+	if spans[0].ID != 0 || spans[1].ID != 1 || spans[2].ID != 2 {
+		t.Errorf("spans out of order: %+v", spans)
+	}
+}
+
+func TestSimulateEmptyStage(t *testing.T) {
+	p := DefaultParams()
+	sim := p.SimulateStage(&trace.Stage{Name: "empty", Engine: "hadoop"})
+	if sim.Total < sim.Startup {
+		t.Errorf("empty stage total %.1f below startup %.1f", sim.Total, sim.Startup)
+	}
+	series := UtilizationSeries([]*StageTiming{sim}, p.Cluster)
+	if len(series) == 0 {
+		t.Error("empty stage should still sample at least one second")
+	}
+	events := CollectTimeline(&trace.Stage{}, sim)
+	if len(events) != 0 {
+		t.Errorf("no tasks should mean no events, got %d", len(events))
+	}
+}
+
+func TestRemoteReadCostsMore(t *testing.T) {
+	p := DefaultParams()
+	mk := func(local bool) *trace.Stage {
+		return &trace.Stage{
+			Name: "s", Engine: "hadoop",
+			Producers: []*trace.Task{{
+				ID: 0, Kind: trace.KindMap,
+				InputBytes: 64 << 10, InputRecords: 400, LocalRead: local,
+				CollectSizes: trace.NewSizeHistogram(),
+			}},
+		}
+	}
+	local := p.SimulateStage(mk(true)).Total
+	remote := p.SimulateStage(mk(false)).Total
+	if remote < local {
+		t.Errorf("remote read %.2f should not beat local %.2f", remote, local)
+	}
+}

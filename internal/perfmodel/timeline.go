@@ -1,0 +1,151 @@
+package perfmodel
+
+import (
+	"hivempi/internal/trace"
+)
+
+// CollectEvent is one reconstructed collect/send timestamp (Fig. 2a/2b
+// and Fig. 6 plot these per task).
+type CollectEvent struct {
+	TaskID int
+	Time   float64 // seconds from stage start
+	Bytes  float64 // scaled bytes moved at this event
+}
+
+// CollectTimeline reconstructs the collect/send time sequence of a
+// simulated stage: each recorded send event happened at the progress
+// fraction of its task's compute window.
+func CollectTimeline(st *trace.Stage, sim *StageTiming) []CollectEvent {
+	var out []CollectEvent
+	byID := map[int]TaskSpan{}
+	for _, sp := range sim.Producers {
+		byID[sp.ID] = sp
+	}
+	for _, t := range st.Producers {
+		sp, ok := byID[t.ID]
+		if !ok {
+			continue
+		}
+		window := sp.ComputeEnd - sp.ReadEnd
+		if window < 0 {
+			window = 0
+		}
+		for _, ev := range t.SendEvents {
+			out = append(out, CollectEvent{
+				TaskID: t.ID,
+				Time:   sp.ReadEnd + ev.Progress*window,
+				Bytes:  float64(ev.Bytes),
+			})
+		}
+	}
+	return out
+}
+
+// TaskEndTimes returns each producer's finish time.
+func TaskEndTimes(sim *StageTiming) []float64 {
+	out := make([]float64, len(sim.Producers))
+	for i, sp := range sim.Producers {
+		out[i] = sp.End
+	}
+	return out
+}
+
+// TaskDurations returns each producer's runtime. Fig. 2(a) vs 2(b)
+// contrasts these: Hive tasks vary with operator paths and collected
+// output sizes, TeraSort tasks are uniform (wave scheduling spreads end
+// times for both, so durations are the skew signal).
+func TaskDurations(sim *StageTiming) []float64 {
+	out := make([]float64, len(sim.Producers))
+	for i, sp := range sim.Producers {
+		out[i] = sp.End - sp.Start
+	}
+	return out
+}
+
+// Utilization is one sampled second of simulated cluster activity
+// (Fig. 13's dstat series).
+type Utilization struct {
+	Time      float64
+	CPUPct    float64 // fraction of cluster cores busy, 0..100
+	DiskRead  float64 // bytes/sec
+	DiskWrite float64
+	Net       float64 // bytes/sec
+	MemBytes  float64 // resident intermediate data + task working sets
+}
+
+// UtilizationSeries samples the stage schedule once per simulated
+// second. Each task contributes its I/O evenly over its segment and
+// CPU during its compute segment.
+func UtilizationSeries(sims []*StageTiming, cluster Cluster) []Utilization {
+	var horizon float64
+	var offsets []float64
+	cur := 0.0
+	for _, s := range sims {
+		offsets = append(offsets, cur)
+		cur += s.Total
+	}
+	horizon = cur
+	n := int(horizon) + 1
+	out := make([]Utilization, n)
+	for i := range out {
+		out[i].Time = float64(i)
+	}
+	totalCores := float64(cluster.Nodes * cluster.SlotsPerNode)
+
+	add := func(lo, hi, perSec float64, f func(*Utilization, float64)) {
+		if hi <= lo {
+			return
+		}
+		for s := int(lo); s < int(hi)+1 && s < n; s++ {
+			secLo, secHi := float64(s), float64(s+1)
+			if lo > secLo {
+				secLo = lo
+			}
+			if hi < secHi {
+				secHi = hi
+			}
+			if secHi > secLo {
+				f(&out[s], perSec*(secHi-secLo))
+			}
+		}
+	}
+
+	for si, sim := range sims {
+		off := offsets[si]
+		spans := append(append([]TaskSpan{}, sim.Producers...), sim.Consumers...)
+		for _, sp := range spans {
+			readDur := sp.ReadEnd - sp.Start
+			compDur := sp.ComputeEnd - sp.ReadEnd
+			writeDur := sp.End - sp.ComputeEnd
+			if readDur > 0 && sp.ReadBytes > 0 {
+				add(off+sp.Start, off+sp.ReadEnd, sp.ReadBytes/readDur,
+					func(u *Utilization, v float64) { u.DiskRead += v })
+			}
+			if compDur > 0 {
+				add(off+sp.ReadEnd, off+sp.ComputeEnd, 100/totalCores,
+					func(u *Utilization, v float64) { u.CPUPct += v })
+				if sp.NetBytes > 0 {
+					add(off+sp.ReadEnd, off+sp.ComputeEnd, sp.NetBytes/compDur,
+						func(u *Utilization, v float64) { u.Net += v })
+				}
+			}
+			if writeDur > 0 && sp.WriteBytes > 0 {
+				add(off+sp.ComputeEnd, off+sp.End, sp.WriteBytes/writeDur,
+					func(u *Utilization, v float64) { u.DiskWrite += v })
+			}
+			if sp.CacheBytes > 0 {
+				add(off+sp.Start, off+sp.End, sp.CacheBytes,
+					func(u *Utilization, v float64) { u.MemBytes += v })
+			}
+			// Task working set while running.
+			add(off+sp.Start, off+sp.End, 256e6,
+				func(u *Utilization, v float64) { u.MemBytes += v })
+		}
+	}
+	for i := range out {
+		if out[i].CPUPct > 100 {
+			out[i].CPUPct = 100
+		}
+	}
+	return out
+}

@@ -1,0 +1,574 @@
+// Package refexec is an independent reference evaluator for the TPC-H
+// queries: each query is implemented directly in Go over the generated
+// in-memory rows, with no SQL machinery shared with the engines. The
+// test suite compares engine results against these to validate the
+// whole compiler/executor stack end to end.
+package refexec
+
+import (
+	"fmt"
+	"sort"
+
+	"hivempi/internal/tpch"
+	"hivempi/internal/types"
+)
+
+// Column ordinals for the eight tables.
+const (
+	lOrderkey = iota
+	lPartkey
+	lSuppkey
+	lLinenumber
+	lQuantity
+	lExtendedprice
+	lDiscount
+	lTax
+	lReturnflag
+	lLinestatus
+	lShipdate
+	lCommitdate
+	lReceiptdate
+	lShipinstruct
+	lShipmode
+	lComment
+)
+
+const (
+	oOrderkey = iota
+	oCustkey
+	oOrderstatus
+	oTotalprice
+	oOrderdate
+	oOrderpriority
+	oClerk
+	oShippriority
+	oComment
+)
+
+const (
+	cCustkey = iota
+	cName
+	cAddress
+	cNationkey
+	cPhone
+	cAcctbal
+	cMktsegment
+	cComment
+)
+
+const (
+	sSuppkey = iota
+	sName
+	sAddress
+	sNationkey
+	sPhone
+	sAcctbal
+	sComment
+)
+
+const (
+	pPartkey = iota
+	pName
+	pMfgr
+	pBrand
+	pType
+	pSize
+	pContainer
+	pRetailprice
+	pComment
+)
+
+const (
+	psPartkey = iota
+	psSuppkey
+	psAvailqty
+	psSupplycost
+	psComment
+)
+
+const (
+	nNationkey = iota
+	nName
+	nRegionkey
+	nComment
+)
+
+const (
+	rRegionkey = iota
+	rName
+	rComment
+)
+
+// DB holds the dataset in memory with lookup indexes.
+type DB struct {
+	Region, Nation, Supplier, Customer []types.Row
+	Part, PartSupp, Orders, Lineitem   []types.Row
+
+	nationByKey  map[int64]types.Row
+	regionByKey  map[int64]types.Row
+	partByKey    map[int64]types.Row
+	suppByKey    map[int64]types.Row
+	custByKey    map[int64]types.Row
+	orderByKey   map[int64]types.Row
+	linesByOrder map[int64][]types.Row
+	psByPartSupp map[[2]int64]types.Row
+	linesByPart  map[int64][]types.Row
+}
+
+// Load generates the dataset and builds indexes.
+func Load(sf tpch.ScaleFactor, seed int64) *DB {
+	g := tpch.NewGenerator(sf, seed)
+	orders, lines := g.OrderAndLines()
+	db := &DB{
+		Region:   g.Region(),
+		Nation:   g.Nation(),
+		Supplier: g.Supplier(),
+		Customer: g.Customer(),
+		Part:     g.Part(),
+		PartSupp: g.PartSupp(),
+		Orders:   orders,
+		Lineitem: lines,
+	}
+	db.index()
+	return db
+}
+
+func (db *DB) index() {
+	db.nationByKey = keyIndex(db.Nation, nNationkey)
+	db.regionByKey = keyIndex(db.Region, rRegionkey)
+	db.partByKey = keyIndex(db.Part, pPartkey)
+	db.suppByKey = keyIndex(db.Supplier, sSuppkey)
+	db.custByKey = keyIndex(db.Customer, cCustkey)
+	db.orderByKey = keyIndex(db.Orders, oOrderkey)
+	db.linesByOrder = groupIndex(db.Lineitem, lOrderkey)
+	db.linesByPart = groupIndex(db.Lineitem, lPartkey)
+	db.psByPartSupp = make(map[[2]int64]types.Row, len(db.PartSupp))
+	for _, ps := range db.PartSupp {
+		db.psByPartSupp[[2]int64{ps[psPartkey].Int(), ps[psSuppkey].Int()}] = ps
+	}
+}
+
+func keyIndex(rows []types.Row, col int) map[int64]types.Row {
+	m := make(map[int64]types.Row, len(rows))
+	for _, r := range rows {
+		m[r[col].Int()] = r
+	}
+	return m
+}
+
+func groupIndex(rows []types.Row, col int) map[int64][]types.Row {
+	m := map[int64][]types.Row{}
+	for _, r := range rows {
+		m[r[col].Int()] = append(m[r[col].Int()], r)
+	}
+	return m
+}
+
+func day(s string) int64 { return types.MustDate(s).I }
+
+// like is an independent LIKE implementation (recursive, not shared
+// with the engine's matcher).
+func like(s, pat string) bool {
+	if pat == "" {
+		return s == ""
+	}
+	switch pat[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if like(s[i:], pat[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && like(s[1:], pat[1:])
+	default:
+		return s != "" && s[0] == pat[0] && like(s[1:], pat[1:])
+	}
+}
+
+// key builds a composite sort key (mirrors multi-column ORDER BY).
+type key []types.Datum
+
+func lessKeys(a, b key, descs []bool) bool {
+	for i := range a {
+		c := types.Compare(a[i], b[i])
+		if descs != nil && i < len(descs) && descs[i] {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// orderAndLimit sorts rows by the given key columns and truncates.
+func orderAndLimit(rows []types.Row, keyFn func(types.Row) key, descs []bool, limit int) []types.Row {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return lessKeys(keyFn(rows[i]), keyFn(rows[j]), descs)
+	})
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+// Query evaluates TPC-H query q against the database.
+func Query(db *DB, q int) ([]types.Row, error) {
+	fns := []func(*DB) []types.Row{
+		q1, q2, q3, q4, q5, q6, q7, q8, q9, q10, q11,
+		q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22,
+	}
+	if q < 1 || q > len(fns) {
+		return nil, fmt.Errorf("refexec: query %d out of range", q)
+	}
+	return fns[q-1](db), nil
+}
+
+func q1(db *DB) []types.Row {
+	type acc struct {
+		qty, base, disc, charge, discount float64
+		n                                 int64
+	}
+	groups := map[[2]string]*acc{}
+	cut := day("1998-09-02")
+	for _, l := range db.Lineitem {
+		if l[lShipdate].I > cut {
+			continue
+		}
+		k := [2]string{l[lReturnflag].S, l[lLinestatus].S}
+		a := groups[k]
+		if a == nil {
+			a = &acc{}
+			groups[k] = a
+		}
+		ext, dc, tax := l[lExtendedprice].F, l[lDiscount].F, l[lTax].F
+		a.qty += l[lQuantity].F
+		a.base += ext
+		a.disc += ext * (1 - dc)
+		a.charge += ext * (1 - dc) * (1 + tax)
+		a.discount += dc
+		a.n++
+	}
+	var out []types.Row
+	for k, a := range groups {
+		out = append(out, types.Row{
+			types.String(k[0]), types.String(k[1]),
+			types.Float(a.qty), types.Float(a.base), types.Float(a.disc),
+			types.Float(a.charge),
+			types.Float(a.qty / float64(a.n)),
+			types.Float(a.base / float64(a.n)),
+			types.Float(a.discount / float64(a.n)),
+			types.Int(a.n),
+		})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0], r[1]} }, nil, 0)
+}
+
+func q2(db *DB) []types.Row {
+	type cand struct {
+		row  types.Row
+		cost float64
+		part int64
+	}
+	var cands []cand
+	minCost := map[int64]float64{}
+	for _, ps := range db.PartSupp {
+		p := db.partByKey[ps[psPartkey].Int()]
+		if p[pSize].Int() != 15 || !like(p[pType].S, "%BRASS") {
+			continue
+		}
+		s := db.suppByKey[ps[psSuppkey].Int()]
+		n := db.nationByKey[s[sNationkey].Int()]
+		r := db.regionByKey[n[nRegionkey].Int()]
+		if r[rName].S != "EUROPE" {
+			continue
+		}
+		cost := ps[psSupplycost].F
+		part := ps[psPartkey].Int()
+		if cur, ok := minCost[part]; !ok || cost < cur {
+			minCost[part] = cost
+		}
+		cands = append(cands, cand{
+			row: types.Row{
+				s[sAcctbal], s[sName], n[nName], p[pPartkey], p[pMfgr],
+				s[sAddress], s[sPhone], s[sComment],
+			},
+			cost: cost,
+			part: part,
+		})
+	}
+	var out []types.Row
+	for _, c := range cands {
+		if c.cost == minCost[c.part] {
+			out = append(out, c.row)
+		}
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0], r[2], r[1], r[3]} },
+		[]bool{true, false, false, false}, 100)
+}
+
+func q3(db *DB) []types.Row {
+	cut := day("1995-03-15")
+	type acc struct {
+		rev   float64
+		odate types.Datum
+		prio  types.Datum
+	}
+	groups := map[int64]*acc{}
+	for _, l := range db.Lineitem {
+		if l[lShipdate].I <= cut {
+			continue
+		}
+		o, ok := db.orderByKey[l[lOrderkey].Int()]
+		if !ok || o[oOrderdate].I >= cut {
+			continue
+		}
+		c := db.custByKey[o[oCustkey].Int()]
+		if c[cMktsegment].S != "BUILDING" {
+			continue
+		}
+		a := groups[l[lOrderkey].Int()]
+		if a == nil {
+			a = &acc{odate: o[oOrderdate], prio: o[oShippriority]}
+			groups[l[lOrderkey].Int()] = a
+		}
+		a.rev += l[lExtendedprice].F * (1 - l[lDiscount].F)
+	}
+	var out []types.Row
+	for k, a := range groups {
+		out = append(out, types.Row{types.Int(k), types.Float(a.rev), a.odate, a.prio})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[1], r[2]} },
+		[]bool{true, false}, 10)
+}
+
+func q4(db *DB) []types.Row {
+	late := map[int64]bool{}
+	for _, l := range db.Lineitem {
+		if l[lCommitdate].I < l[lReceiptdate].I {
+			late[l[lOrderkey].Int()] = true
+		}
+	}
+	lo, hi := day("1993-07-01"), day("1993-10-01")
+	counts := map[string]int64{}
+	for _, o := range db.Orders {
+		if o[oOrderdate].I < lo || o[oOrderdate].I >= hi || !late[o[oOrderkey].Int()] {
+			continue
+		}
+		counts[o[oOrderpriority].S]++
+	}
+	var out []types.Row
+	for k, c := range counts {
+		out = append(out, types.Row{types.String(k), types.Int(c)})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0]} }, nil, 0)
+}
+
+func q5(db *DB) []types.Row {
+	lo, hi := day("1994-01-01"), day("1995-01-01")
+	rev := map[string]float64{}
+	for _, l := range db.Lineitem {
+		o := db.orderByKey[l[lOrderkey].Int()]
+		if o[oOrderdate].I < lo || o[oOrderdate].I >= hi {
+			continue
+		}
+		s := db.suppByKey[l[lSuppkey].Int()]
+		c := db.custByKey[o[oCustkey].Int()]
+		if c[cNationkey].I != s[sNationkey].I {
+			continue
+		}
+		n := db.nationByKey[s[sNationkey].Int()]
+		r := db.regionByKey[n[nRegionkey].Int()]
+		if r[rName].S != "ASIA" {
+			continue
+		}
+		rev[n[nName].S] += l[lExtendedprice].F * (1 - l[lDiscount].F)
+	}
+	var out []types.Row
+	for k, v := range rev {
+		out = append(out, types.Row{types.String(k), types.Float(v)})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[1]} }, []bool{true}, 0)
+}
+
+func q6(db *DB) []types.Row {
+	lo, hi := day("1994-01-01"), day("1995-01-01")
+	var rev float64
+	matched := false
+	for _, l := range db.Lineitem {
+		if l[lShipdate].I < lo || l[lShipdate].I >= hi {
+			continue
+		}
+		if l[lDiscount].F < 0.05 || l[lDiscount].F > 0.07 || l[lQuantity].F >= 24 {
+			continue
+		}
+		rev += l[lExtendedprice].F * l[lDiscount].F
+		matched = true
+	}
+	if !matched {
+		return []types.Row{{types.Null()}} // SQL: sum over zero rows is NULL
+	}
+	return []types.Row{{types.Float(rev)}}
+}
+
+func q7(db *DB) []types.Row {
+	lo, hi := day("1995-01-01"), day("1996-12-31")
+	type k3 struct {
+		sn, cn string
+		y      int64
+	}
+	rev := map[k3]float64{}
+	for _, l := range db.Lineitem {
+		if l[lShipdate].I < lo || l[lShipdate].I > hi {
+			continue
+		}
+		s := db.suppByKey[l[lSuppkey].Int()]
+		o := db.orderByKey[l[lOrderkey].Int()]
+		c := db.custByKey[o[oCustkey].Int()]
+		n1 := db.nationByKey[s[sNationkey].Int()][nName].S
+		n2 := db.nationByKey[c[cNationkey].Int()][nName].S
+		if !((n1 == "FRANCE" && n2 == "GERMANY") || (n1 == "GERMANY" && n2 == "FRANCE")) {
+			continue
+		}
+		y := yearOf(l[lShipdate])
+		rev[k3{n1, n2, y}] += l[lExtendedprice].F * (1 - l[lDiscount].F)
+	}
+	var out []types.Row
+	for k, v := range rev {
+		out = append(out, types.Row{
+			types.String(k.sn), types.String(k.cn), types.Int(k.y), types.Float(v)})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0], r[1], r[2]} }, nil, 0)
+}
+
+func yearOf(d types.Datum) int64 {
+	return int64(mustYear(d))
+}
+
+func mustYear(d types.Datum) int {
+	s := d.DateString()
+	y := 0
+	for i := 0; i < 4; i++ {
+		y = y*10 + int(s[i]-'0')
+	}
+	return y
+}
+
+func q8(db *DB) []types.Row {
+	lo, hi := day("1995-01-01"), day("1996-12-31")
+	num := map[int64]float64{}
+	den := map[int64]float64{}
+	for _, l := range db.Lineitem {
+		p := db.partByKey[l[lPartkey].Int()]
+		if p[pType].S != "ECONOMY ANODIZED STEEL" {
+			continue
+		}
+		o := db.orderByKey[l[lOrderkey].Int()]
+		if o[oOrderdate].I < lo || o[oOrderdate].I > hi {
+			continue
+		}
+		c := db.custByKey[o[oCustkey].Int()]
+		n1 := db.nationByKey[c[cNationkey].Int()]
+		r := db.regionByKey[n1[nRegionkey].Int()]
+		if r[rName].S != "AMERICA" {
+			continue
+		}
+		s := db.suppByKey[l[lSuppkey].Int()]
+		n2 := db.nationByKey[s[sNationkey].Int()][nName].S
+		y := yearOf(o[oOrderdate])
+		vol := l[lExtendedprice].F * (1 - l[lDiscount].F)
+		den[y] += vol
+		if n2 == "BRAZIL" {
+			num[y] += vol
+		}
+	}
+	var out []types.Row
+	for y, d := range den {
+		out = append(out, types.Row{types.Int(y), types.Float(num[y] / d)})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0]} }, nil, 0)
+}
+
+func q9(db *DB) []types.Row {
+	type k2 struct {
+		nation string
+		y      int64
+	}
+	profit := map[k2]float64{}
+	for _, l := range db.Lineitem {
+		p := db.partByKey[l[lPartkey].Int()]
+		if !like(p[pName].S, "%green%") {
+			continue
+		}
+		s := db.suppByKey[l[lSuppkey].Int()]
+		ps := db.psByPartSupp[[2]int64{l[lPartkey].Int(), l[lSuppkey].Int()}]
+		o := db.orderByKey[l[lOrderkey].Int()]
+		n := db.nationByKey[s[sNationkey].Int()][nName].S
+		amount := l[lExtendedprice].F*(1-l[lDiscount].F) - ps[psSupplycost].F*l[lQuantity].F
+		profit[k2{n, yearOf(o[oOrderdate])}] += amount
+	}
+	var out []types.Row
+	for k, v := range profit {
+		out = append(out, types.Row{types.String(k.nation), types.Int(k.y), types.Float(v)})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0], r[1]} },
+		[]bool{false, true}, 0)
+}
+
+func q10(db *DB) []types.Row {
+	lo, hi := day("1993-10-01"), day("1994-01-01")
+	type acc struct {
+		rev  float64
+		cust types.Row
+	}
+	groups := map[int64]*acc{}
+	for _, l := range db.Lineitem {
+		if l[lReturnflag].S != "R" {
+			continue
+		}
+		o := db.orderByKey[l[lOrderkey].Int()]
+		if o[oOrderdate].I < lo || o[oOrderdate].I >= hi {
+			continue
+		}
+		ck := o[oCustkey].Int()
+		a := groups[ck]
+		if a == nil {
+			a = &acc{cust: db.custByKey[ck]}
+			groups[ck] = a
+		}
+		a.rev += l[lExtendedprice].F * (1 - l[lDiscount].F)
+	}
+	var out []types.Row
+	for _, a := range groups {
+		c := a.cust
+		n := db.nationByKey[c[cNationkey].Int()]
+		out = append(out, types.Row{
+			c[cCustkey], c[cName], types.Float(a.rev), c[cAcctbal],
+			n[nName], c[cAddress], c[cPhone], c[cComment],
+		})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[2]} }, []bool{true}, 20)
+}
+
+func q11(db *DB) []types.Row {
+	value := map[int64]float64{}
+	var total float64
+	for _, ps := range db.PartSupp {
+		s := db.suppByKey[ps[psSuppkey].Int()]
+		if db.nationByKey[s[sNationkey].Int()][nName].S != "GERMANY" {
+			continue
+		}
+		v := ps[psSupplycost].F * float64(ps[psAvailqty].Int())
+		value[ps[psPartkey].Int()] += v
+		total += v
+	}
+	var out []types.Row
+	for k, v := range value {
+		if v > total*0.0001 {
+			out = append(out, types.Row{types.Int(k), types.Float(v)})
+		}
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[1]} }, []bool{true}, 0)
+}

@@ -1,0 +1,352 @@
+package refexec
+
+import (
+	"hivempi/internal/types"
+)
+
+func q12(db *DB) []types.Row {
+	lo, hi := day("1994-01-01"), day("1995-01-01")
+	high := map[string]int64{}
+	low := map[string]int64{}
+	seen := map[string]bool{}
+	for _, l := range db.Lineitem {
+		m := l[lShipmode].S
+		if m != "MAIL" && m != "SHIP" {
+			continue
+		}
+		if !(l[lCommitdate].I < l[lReceiptdate].I && l[lShipdate].I < l[lCommitdate].I) {
+			continue
+		}
+		if l[lReceiptdate].I < lo || l[lReceiptdate].I >= hi {
+			continue
+		}
+		o := db.orderByKey[l[lOrderkey].Int()]
+		seen[m] = true
+		if p := o[oOrderpriority].S; p == "1-URGENT" || p == "2-HIGH" {
+			high[m]++
+		} else {
+			low[m]++
+		}
+	}
+	var out []types.Row
+	for m := range seen {
+		out = append(out, types.Row{types.String(m), types.Int(high[m]), types.Int(low[m])})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0]} }, nil, 0)
+}
+
+func q13(db *DB) []types.Row {
+	perCust := map[int64]int64{}
+	for _, c := range db.Customer {
+		perCust[c[cCustkey].Int()] = 0
+	}
+	for _, o := range db.Orders {
+		if like(o[oComment].S, "%special%requests%") {
+			continue
+		}
+		perCust[o[oCustkey].Int()]++
+	}
+	dist := map[int64]int64{}
+	for _, n := range perCust {
+		dist[n]++
+	}
+	var out []types.Row
+	for cnt, custs := range dist {
+		out = append(out, types.Row{types.Int(cnt), types.Int(custs)})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[1], r[0]} },
+		[]bool{true, true}, 0)
+}
+
+func q14(db *DB) []types.Row {
+	lo, hi := day("1995-09-01"), day("1995-10-01")
+	var promo, total float64
+	for _, l := range db.Lineitem {
+		if l[lShipdate].I < lo || l[lShipdate].I >= hi {
+			continue
+		}
+		p := db.partByKey[l[lPartkey].Int()]
+		v := l[lExtendedprice].F * (1 - l[lDiscount].F)
+		total += v
+		if like(p[pType].S, "PROMO%") {
+			promo += v
+		}
+	}
+	if total == 0 {
+		return []types.Row{{types.Null()}} // SQL: NULL/NULL over zero rows
+	}
+	return []types.Row{{types.Float(100.0 * promo / total)}}
+}
+
+func q15(db *DB) []types.Row {
+	lo, hi := day("1996-01-01"), day("1996-04-01")
+	rev := map[int64]float64{}
+	for _, l := range db.Lineitem {
+		if l[lShipdate].I < lo || l[lShipdate].I >= hi {
+			continue
+		}
+		rev[l[lSuppkey].Int()] += l[lExtendedprice].F * (1 - l[lDiscount].F)
+	}
+	var max float64
+	first := true
+	for _, v := range rev {
+		if first || v > max {
+			max = v
+			first = false
+		}
+	}
+	var out []types.Row
+	for sk, v := range rev {
+		if v == max {
+			s := db.suppByKey[sk]
+			out = append(out, types.Row{
+				s[sSuppkey], s[sName], s[sAddress], s[sPhone], types.Float(v)})
+		}
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0]} }, nil, 0)
+}
+
+func q16(db *DB) []types.Row {
+	bad := map[int64]bool{}
+	for _, s := range db.Supplier {
+		if like(s[sComment].S, "%Customer%Complaints%") {
+			bad[s[sSuppkey].Int()] = true
+		}
+	}
+	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true,
+		19: true, 3: true, 36: true, 9: true}
+	type k3 struct {
+		brand, ptype string
+		size         int64
+	}
+	supps := map[k3]map[int64]bool{}
+	for _, ps := range db.PartSupp {
+		if bad[ps[psSuppkey].Int()] {
+			continue
+		}
+		p := db.partByKey[ps[psPartkey].Int()]
+		if p[pBrand].S == "Brand#45" || like(p[pType].S, "MEDIUM POLISHED%") ||
+			!sizes[p[pSize].Int()] {
+			continue
+		}
+		k := k3{p[pBrand].S, p[pType].S, p[pSize].Int()}
+		if supps[k] == nil {
+			supps[k] = map[int64]bool{}
+		}
+		supps[k][ps[psSuppkey].Int()] = true
+	}
+	var out []types.Row
+	for k, set := range supps {
+		out = append(out, types.Row{
+			types.String(k.brand), types.String(k.ptype),
+			types.Int(k.size), types.Int(int64(len(set)))})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[3], r[0], r[1], r[2]} },
+		[]bool{true, false, false, false}, 0)
+}
+
+func q17(db *DB) []types.Row {
+	avgQty := map[int64]float64{}
+	cnt := map[int64]int64{}
+	for _, l := range db.Lineitem {
+		avgQty[l[lPartkey].Int()] += l[lQuantity].F
+		cnt[l[lPartkey].Int()]++
+	}
+	var total float64
+	matched := false
+	for _, l := range db.Lineitem {
+		p := db.partByKey[l[lPartkey].Int()]
+		if p[pBrand].S != "Brand#23" || p[pContainer].S != "MED BOX" {
+			continue
+		}
+		pk := l[lPartkey].Int()
+		threshold := 0.2 * (avgQty[pk] / float64(cnt[pk]))
+		if l[lQuantity].F < threshold {
+			total += l[lExtendedprice].F
+			matched = true
+		}
+	}
+	if !matched {
+		return []types.Row{{types.Null()}}
+	}
+	return []types.Row{{types.Float(total / 7.0)}}
+}
+
+func q18(db *DB) []types.Row {
+	qty := map[int64]float64{}
+	for _, l := range db.Lineitem {
+		qty[l[lOrderkey].Int()] += l[lQuantity].F
+	}
+	var out []types.Row
+	for ok, q := range qty {
+		if q <= 300 {
+			continue
+		}
+		o := db.orderByKey[ok]
+		c := db.custByKey[o[oCustkey].Int()]
+		out = append(out, types.Row{
+			c[cName], c[cCustkey], o[oOrderkey], o[oOrderdate],
+			o[oTotalprice], types.Float(q)})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[4], r[3]} },
+		[]bool{true, false}, 100)
+}
+
+func q19(db *DB) []types.Row {
+	in := func(s string, list ...string) bool {
+		for _, x := range list {
+			if s == x {
+				return true
+			}
+		}
+		return false
+	}
+	var rev float64
+	matched := false
+	for _, l := range db.Lineitem {
+		if !in(l[lShipmode].S, "AIR", "REG AIR") ||
+			l[lShipinstruct].S != "DELIVER IN PERSON" {
+			continue
+		}
+		p := db.partByKey[l[lPartkey].Int()]
+		q := l[lQuantity].F
+		sz := p[pSize].Int()
+		match := (p[pBrand].S == "Brand#12" &&
+			in(p[pContainer].S, "SM CASE", "SM BOX", "SM PACK", "SM PKG") &&
+			q >= 1 && q <= 11 && sz >= 1 && sz <= 5) ||
+			(p[pBrand].S == "Brand#23" &&
+				in(p[pContainer].S, "MED BAG", "MED BOX", "MED PKG", "MED PACK") &&
+				q >= 10 && q <= 20 && sz >= 1 && sz <= 10) ||
+			(p[pBrand].S == "Brand#34" &&
+				in(p[pContainer].S, "LG CASE", "LG BOX", "LG PACK", "LG PKG") &&
+				q >= 20 && q <= 30 && sz >= 1 && sz <= 15)
+		if match {
+			rev += l[lExtendedprice].F * (1 - l[lDiscount].F)
+			matched = true
+		}
+	}
+	if !matched {
+		return []types.Row{{types.Null()}}
+	}
+	return []types.Row{{types.Float(rev)}}
+}
+
+func q20(db *DB) []types.Row {
+	forest := map[int64]bool{}
+	for _, p := range db.Part {
+		if like(p[pName].S, "forest%") {
+			forest[p[pPartkey].Int()] = true
+		}
+	}
+	lo, hi := day("1994-01-01"), day("1995-01-01")
+	half := map[[2]int64]float64{}
+	for _, l := range db.Lineitem {
+		if l[lShipdate].I < lo || l[lShipdate].I >= hi {
+			continue
+		}
+		half[[2]int64{l[lPartkey].Int(), l[lSuppkey].Int()}] += l[lQuantity].F
+	}
+	goodSupp := map[int64]bool{}
+	for _, ps := range db.PartSupp {
+		if !forest[ps[psPartkey].Int()] {
+			continue
+		}
+		h, ok := half[[2]int64{ps[psPartkey].Int(), ps[psSuppkey].Int()}]
+		if !ok {
+			continue // inner join with the qty table
+		}
+		if float64(ps[psAvailqty].Int()) > 0.5*h {
+			goodSupp[ps[psSuppkey].Int()] = true
+		}
+	}
+	var out []types.Row
+	for sk := range goodSupp {
+		s := db.suppByKey[sk]
+		if db.nationByKey[s[sNationkey].Int()][nName].S != "CANADA" {
+			continue
+		}
+		out = append(out, types.Row{s[sName], s[sAddress]})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0]} }, nil, 0)
+}
+
+func q21(db *DB) []types.Row {
+	allSupp := map[int64]map[int64]bool{}
+	lateSupp := map[int64]map[int64]bool{}
+	for _, l := range db.Lineitem {
+		ok := l[lOrderkey].Int()
+		sk := l[lSuppkey].Int()
+		if allSupp[ok] == nil {
+			allSupp[ok] = map[int64]bool{}
+		}
+		allSupp[ok][sk] = true
+		if l[lReceiptdate].I > l[lCommitdate].I {
+			if lateSupp[ok] == nil {
+				lateSupp[ok] = map[int64]bool{}
+			}
+			lateSupp[ok][sk] = true
+		}
+	}
+	numwait := map[string]int64{}
+	for _, l := range db.Lineitem {
+		if l[lReceiptdate].I <= l[lCommitdate].I {
+			continue
+		}
+		ok := l[lOrderkey].Int()
+		o := db.orderByKey[ok]
+		if o[oOrderstatus].S != "F" {
+			continue
+		}
+		s := db.suppByKey[l[lSuppkey].Int()]
+		if db.nationByKey[s[sNationkey].Int()][nName].S != "SAUDI ARABIA" {
+			continue
+		}
+		if len(allSupp[ok]) <= 1 || len(lateSupp[ok]) != 1 {
+			continue
+		}
+		numwait[s[sName].S]++
+	}
+	var out []types.Row
+	for name, n := range numwait {
+		out = append(out, types.Row{types.String(name), types.Int(n)})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[1], r[0]} },
+		[]bool{true, false}, 100)
+}
+
+func q22(db *DB) []types.Row {
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true,
+		"30": true, "18": true, "17": true}
+	hasOrder := map[int64]bool{}
+	for _, o := range db.Orders {
+		hasOrder[o[oCustkey].Int()] = true
+	}
+	var avgBal float64
+	var avgN int64
+	for _, c := range db.Customer {
+		code := c[cPhone].S[:2]
+		if !codes[code] || c[cAcctbal].F <= 0 {
+			continue
+		}
+		avgBal += c[cAcctbal].F
+		avgN++
+	}
+	if avgN > 0 {
+		avgBal /= float64(avgN)
+	}
+	cnt := map[string]int64{}
+	tot := map[string]float64{}
+	for _, c := range db.Customer {
+		code := c[cPhone].S[:2]
+		if !codes[code] || hasOrder[c[cCustkey].Int()] || c[cAcctbal].F <= avgBal {
+			continue
+		}
+		cnt[code]++
+		tot[code] += c[cAcctbal].F
+	}
+	var out []types.Row
+	for code, n := range cnt {
+		out = append(out, types.Row{types.String(code), types.Int(n), types.Float(tot[code])})
+	}
+	return orderAndLimit(out, func(r types.Row) key { return key{r[0]} }, nil, 0)
+}

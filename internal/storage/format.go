@@ -1,0 +1,191 @@
+// Package storage implements the three table file formats the paper
+// evaluates: delimited Text, a binary Sequence format (HiBench's
+// default input), and an ORC-like columnar format with stripes, column
+// projection, lightweight compression and stripe statistics for
+// predicate pushdown (the source of Table II's Text vs ORC gap).
+package storage
+
+import (
+	"fmt"
+	"io"
+
+	"hivempi/internal/dfs"
+	"hivempi/internal/types"
+)
+
+// Format selects a table file format.
+type Format int
+
+// Supported formats.
+const (
+	FormatText Format = iota + 1
+	FormatSequence
+	FormatORC
+)
+
+// String returns the HiveQL STORED AS spelling.
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "textfile"
+	case FormatSequence:
+		return "sequencefile"
+	case FormatORC:
+		return "orc"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// ParseFormat parses a STORED AS clause value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "textfile", "text":
+		return FormatText, nil
+	case "sequencefile", "sequence", "seq":
+		return FormatSequence, nil
+	case "orc", "orcfile":
+		return FormatORC, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown format %q", s)
+	}
+}
+
+// RowWriter writes rows of one schema to a file.
+type RowWriter interface {
+	Write(types.Row) error
+	Close() error
+}
+
+// RowReader iterates rows; Next returns io.EOF at end of input.
+type RowReader interface {
+	Next() (types.Row, error)
+}
+
+// NewWriter creates a writer of the given format over w.
+func NewWriter(f Format, w io.WriteCloser, schema *types.Schema) (RowWriter, error) {
+	switch f {
+	case FormatText:
+		return newTextWriter(w, schema), nil
+	case FormatSequence:
+		return newSeqWriter(w, schema), nil
+	case FormatORC:
+		return newORCWriter(w, schema, ORCOptions{}), nil
+	default:
+		return nil, fmt.Errorf("storage: unknown format %v", f)
+	}
+}
+
+// CreateTableFile creates path on fs and returns a writer for it. ORC
+// stripes are cut at the DFS block size (Hive's default couples stripe
+// and block sizes) so every split carries whole stripes.
+func CreateTableFile(fs *dfs.FileSystem, path string, f Format, schema *types.Schema) (RowWriter, error) {
+	w, err := fs.CreateOverwrite(path)
+	if err != nil {
+		return nil, err
+	}
+	if f == FormatORC {
+		return newORCWriter(w, schema, ORCOptions{StripeBytes: fs.Config().BlockSize}), nil
+	}
+	return NewWriter(f, w, schema)
+}
+
+// PhysicalReader is implemented by readers whose physical I/O differs
+// from the split length (ORC column projection + stripe skipping).
+type PhysicalReader interface {
+	PhysicalBytes() int64
+}
+
+// OpenSplit returns a reader over one input split. Each format applies
+// its own boundary rule: text splits break at line boundaries, sequence
+// splits at sync markers, ORC splits at stripe starts.
+//
+// projection optionally lists the column ordinals to materialize (ORC
+// reads only those columns; row formats fill the full row regardless).
+// predicate optionally enables stripe skipping in ORC.
+func OpenSplit(fs *dfs.FileSystem, split dfs.Split, f Format, schema *types.Schema,
+	projection []int, predicate *Predicate) (RowReader, error) {
+	r, err := fs.Open(split.Path)
+	if err != nil {
+		return nil, err
+	}
+	switch f {
+	case FormatText:
+		return newTextSplitReader(r, split.Offset, split.Length, schema)
+	case FormatSequence:
+		return newSeqSplitReader(r, split.Offset, split.Length, schema)
+	case FormatORC:
+		return newORCSplitReader(r, split.Offset, split.Length, schema, projection, predicate)
+	default:
+		return nil, fmt.Errorf("storage: unknown format %v", f)
+	}
+}
+
+// ReadAll reads every row of a file (testing and small-table helper).
+func ReadAll(fs *dfs.FileSystem, path string, f Format, schema *types.Schema) ([]types.Row, error) {
+	sz, err := fs.Size(path)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := OpenSplit(fs, dfs.Split{Path: path, Offset: 0, Length: sz}, f, schema, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rows []types.Row
+	for {
+		row, err := rd.Next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+}
+
+// Predicate is a simple single-column comparison used for ORC stripe
+// skipping (min/max pruning). The planner extracts one from pushed-down
+// filters when possible.
+type Predicate struct {
+	Column int
+	Op     PredicateOp
+	Value  types.Datum
+}
+
+// PredicateOp enumerates prunable comparison operators.
+type PredicateOp int
+
+// Prunable operators.
+const (
+	PredEQ PredicateOp = iota + 1
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+// matchesRange reports whether any value in [min, max] can satisfy the
+// predicate (if not, the stripe is skipped).
+func (p *Predicate) matchesRange(min, max types.Datum) bool {
+	if p == nil {
+		return true
+	}
+	if min.IsNull() || max.IsNull() {
+		return true // stats unavailable; cannot prune
+	}
+	switch p.Op {
+	case PredEQ:
+		return types.Compare(p.Value, min) >= 0 && types.Compare(p.Value, max) <= 0
+	case PredLT:
+		return types.Compare(min, p.Value) < 0
+	case PredLE:
+		return types.Compare(min, p.Value) <= 0
+	case PredGT:
+		return types.Compare(max, p.Value) > 0
+	case PredGE:
+		return types.Compare(max, p.Value) >= 0
+	default:
+		return true
+	}
+}

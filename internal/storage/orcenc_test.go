@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hivempi/internal/types"
+)
+
+func TestIntRLERoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{1},
+		{5, 5, 5, 5, 5, 5},                   // pure run
+		{1, 2, 3, 4, 5},                      // pure literals
+		{7, 7, 7, 7, 1, 2, 9, 9, 9, 9, 9, 3}, // mixed
+		{-1, -1, -1, -1, 0, 1 << 40, -(1 << 40)},
+	}
+	for i, vals := range cases {
+		buf := appendInts(nil, vals)
+		got, n, err := decodeInts(buf)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Errorf("case %d: consumed %d of %d", i, n, len(buf))
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("case %d: %d values, want %d", i, len(got), len(vals))
+		}
+		for j := range vals {
+			if got[j] != vals[j] {
+				t.Errorf("case %d value %d: %d != %d", i, j, got[j], vals[j])
+			}
+		}
+	}
+}
+
+func TestIntRLECompressesRuns(t *testing.T) {
+	run := make([]int64, 10000)
+	for i := range run {
+		run[i] = 42
+	}
+	buf := appendInts(nil, run)
+	if len(buf) > 32 {
+		t.Errorf("run of 10000 encoded to %d bytes", len(buf))
+	}
+}
+
+func TestIntRLEProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		buf := appendInts(nil, vals)
+		got, _, err := decodeInts(buf)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDictionaryChosenForLowCardinality(t *testing.T) {
+	vals := make([]string, 1000)
+	for i := range vals {
+		vals[i] = []string{"aa", "bb", "cc"}[i%3]
+	}
+	buf := appendStrings(nil, vals)
+	// The mode byte follows the uvarint count (1000 -> 2 bytes).
+	if buf[2] != strDict {
+		t.Error("low-cardinality strings should use dictionary encoding")
+	}
+	got, _, err := decodeStrings(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}
+
+func TestStringDirectChosenForHighCardinality(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	vals := make([]string, 200)
+	for i := range vals {
+		b := make([]byte, 8)
+		r.Read(b)
+		vals[i] = string(b)
+	}
+	buf := appendStrings(nil, vals)
+	if buf[2] != strDirect && buf[1] != strDirect {
+		t.Error("unique strings should use direct encoding")
+	}
+	got, _, err := decodeStrings(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}
+
+func TestStringsProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		buf := appendStrings(nil, vals)
+		got, _, err := decodeStrings(buf)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatsRoundTrip(t *testing.T) {
+	vals := []float64{0, -1.5, 3.14159, 1e300, -1e-300}
+	buf := appendFloats(nil, vals)
+	got, n, err := decodeFloats(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v (n=%d)", err, n)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("value %d: %g != %g", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestPresenceBitmap(t *testing.T) {
+	col := []types.Datum{
+		types.Int(1), types.Null(), types.Int(3),
+		types.Null(), types.Null(), types.Int(6),
+		types.Int(7), types.Int(8), types.Int(9), // crosses byte boundary
+	}
+	buf := appendPresence(nil, col)
+	present, _, err := decodePresence(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(present) != len(col) {
+		t.Fatalf("presence length %d, want %d", len(present), len(col))
+	}
+	for i, d := range col {
+		if present[i] != !d.IsNull() {
+			t.Errorf("presence[%d] = %v", i, present[i])
+		}
+	}
+}
+
+func TestColumnRoundTripWithNulls(t *testing.T) {
+	cols := map[types.Kind][]types.Datum{
+		types.KindInt: {types.Int(5), types.Null(), types.Int(-9)},
+		types.KindString: {types.String("x"), types.Null(),
+			types.String(""), types.String("yy")},
+		types.KindFloat: {types.Null(), types.Float(2.5)},
+		types.KindDate:  {types.Date(1000), types.Null(), types.Date(2000)},
+		types.KindBool:  {types.Bool(true), types.Null(), types.Bool(false)},
+	}
+	for kind, col := range cols {
+		buf, err := encodeColumn(kind, col)
+		if err != nil {
+			t.Fatalf("%v encode: %v", kind, err)
+		}
+		got, err := decodeColumn(kind, buf)
+		if err != nil {
+			t.Fatalf("%v decode: %v", kind, err)
+		}
+		if len(got) != len(col) {
+			t.Fatalf("%v: %d values, want %d", kind, len(got), len(col))
+		}
+		for i := range col {
+			if col[i].IsNull() != got[i].IsNull() {
+				t.Errorf("%v[%d] null mismatch", kind, i)
+			}
+			if !col[i].IsNull() && types.Compare(col[i], got[i]) != 0 {
+				t.Errorf("%v[%d]: %v != %v", kind, i, got[i], col[i])
+			}
+		}
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	if _, _, err := decodeInts([]byte{}); err == nil {
+		t.Error("empty int stream should fail")
+	}
+	good := appendInts(nil, []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	if _, _, err := decodeInts(good[:len(good)-2]); err == nil {
+		t.Error("truncated int stream should fail")
+	}
+	goodS := appendStrings(nil, []string{"hello", "world"})
+	if _, _, err := decodeStrings(goodS[:len(goodS)-3]); err == nil {
+		t.Error("truncated string stream should fail")
+	}
+}

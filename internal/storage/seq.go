@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hivempi/internal/types"
+)
+
+// The sequence format stores binary-encoded rows in blocks, each
+// preceded by a 16-byte sync marker so a reader can resynchronize at an
+// arbitrary split offset, like Hadoop SequenceFiles.
+
+var seqSync = []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x53, 0x45, 0x51, 0x46,
+	0x13, 0x37, 0xC0, 0xDE, 0x0B, 0x10, 0xC4, 0x5D}
+
+const seqBlockTarget = 64 << 10 // flush a block at ~64 KB
+
+// seqWriter buffers encoded rows into sync-delimited blocks.
+type seqWriter struct {
+	w      io.WriteCloser
+	schema *types.Schema
+	buf    []byte
+	rows   uint32
+}
+
+func newSeqWriter(w io.WriteCloser, schema *types.Schema) *seqWriter {
+	return &seqWriter{w: w, schema: schema}
+}
+
+func (s *seqWriter) Write(row types.Row) error {
+	if len(row) != s.schema.Len() {
+		return fmt.Errorf("storage: seq row has %d columns, schema %d", len(row), s.schema.Len())
+	}
+	s.buf = types.EncodeRow(s.buf, row)
+	s.rows++
+	if len(s.buf) >= seqBlockTarget {
+		return s.flushBlock()
+	}
+	return nil
+}
+
+func (s *seqWriter) flushBlock() error {
+	if s.rows == 0 {
+		return nil
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(s.buf)))
+	binary.LittleEndian.PutUint32(hdr[4:], s.rows)
+	if _, err := s.w.Write(seqSync); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		return err
+	}
+	s.buf = s.buf[:0]
+	s.rows = 0
+	return nil
+}
+
+func (s *seqWriter) Close() error {
+	if err := s.flushBlock(); err != nil {
+		return err
+	}
+	return s.w.Close()
+}
+
+// seqSplitReader reads the blocks whose sync marker starts inside the
+// split's byte range.
+type seqSplitReader struct {
+	r      io.ReadSeeker
+	schema *types.Schema
+	pos    int64
+	end    int64
+	rows   []types.Row // decoded rows of the current block
+	i      int
+	window []byte // scan buffer
+}
+
+func newSeqSplitReader(r io.ReadSeeker, offset, length int64, schema *types.Schema) (*seqSplitReader, error) {
+	if _, err := r.Seek(offset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return &seqSplitReader{r: r, schema: schema, pos: offset, end: offset + length}, nil
+}
+
+// scanToSync advances to the next sync marker at or after pos,
+// returning io.EOF when none starts before the split end.
+func (s *seqSplitReader) scanToSync() error {
+	// Read forward in chunks looking for the marker.
+	const chunk = 32 << 10
+	var tail []byte
+	base := s.pos
+	if _, err := s.r.Seek(s.pos, io.SeekStart); err != nil {
+		return err
+	}
+	for {
+		buf := make([]byte, chunk)
+		n, err := s.r.Read(buf)
+		if n == 0 {
+			if err == io.EOF {
+				return io.EOF
+			}
+			if err != nil {
+				return err
+			}
+		}
+		window := append(tail, buf[:n]...)
+		if idx := bytes.Index(window, seqSync); idx >= 0 {
+			markerPos := base - int64(len(tail)) + int64(idx)
+			if markerPos >= s.end {
+				return io.EOF
+			}
+			s.pos = markerPos
+			return nil
+		}
+		if err == io.EOF {
+			return io.EOF
+		}
+		// Keep a marker-sized tail in case the sync spans chunks.
+		if len(window) >= len(seqSync)-1 {
+			tail = append([]byte(nil), window[len(window)-(len(seqSync)-1):]...)
+		} else {
+			tail = append([]byte(nil), window...)
+		}
+		base += int64(n)
+		if base-int64(len(tail)) >= s.end {
+			return io.EOF
+		}
+	}
+}
+
+// loadBlock reads the block at the current marker position.
+func (s *seqSplitReader) loadBlock() error {
+	if err := s.scanToSync(); err != nil {
+		return err
+	}
+	hdrPos := s.pos + int64(len(seqSync))
+	if _, err := s.r.Seek(hdrPos, io.SeekStart); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(s.r, hdr[:]); err != nil {
+		return fmt.Errorf("storage: seq block header: %w", err)
+	}
+	blen := binary.LittleEndian.Uint32(hdr[0:])
+	nrows := binary.LittleEndian.Uint32(hdr[4:])
+	payload := make([]byte, blen)
+	if _, err := io.ReadFull(s.r, payload); err != nil {
+		return fmt.Errorf("storage: seq block payload: %w", err)
+	}
+	s.pos = hdrPos + 8 + int64(blen)
+	s.rows = make([]types.Row, 0, nrows)
+	p := 0
+	for i := uint32(0); i < nrows; i++ {
+		row, n, err := types.DecodeRow(payload[p:])
+		if err != nil {
+			return fmt.Errorf("storage: seq row %d: %w", i, err)
+		}
+		if len(row) != s.schema.Len() {
+			return fmt.Errorf("storage: seq row has %d columns, schema %d", len(row), s.schema.Len())
+		}
+		s.rows = append(s.rows, row)
+		p += n
+	}
+	s.i = 0
+	return nil
+}
+
+func (s *seqSplitReader) Next() (types.Row, error) {
+	for s.i >= len(s.rows) {
+		if err := s.loadBlock(); err != nil {
+			return nil, err
+		}
+	}
+	row := s.rows[s.i]
+	s.i++
+	return row, nil
+}

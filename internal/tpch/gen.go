@@ -1,0 +1,389 @@
+// Package tpch implements the TPC-H substrate used by the paper's main
+// evaluation: a deterministic dbgen-style data generator for all eight
+// tables and the 22 benchmark queries rewritten for the HiveQL subset
+// (joins plus staged temp tables, as the paper's reference [19] does
+// for correlated subqueries).
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hivempi/internal/types"
+)
+
+// ScaleFactor sizes the dataset. SF 1.0 approximates 1 GB of raw text;
+// the paper's 10/20/40 GB runs scale 1:1000 to SF 0.01/0.02/0.04.
+type ScaleFactor float64
+
+// Row counts per SF=1, from the TPC-H specification.
+const (
+	baseSupplier = 10000
+	baseCustomer = 150000
+	basePart     = 200000
+	baseOrders   = 1500000
+)
+
+// Counts reports the generated table cardinalities.
+func (sf ScaleFactor) Counts() map[string]int {
+	n := func(base int) int {
+		v := int(float64(base) * float64(sf))
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	return map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": n(baseSupplier),
+		"customer": n(baseCustomer),
+		"part":     n(basePart),
+		"partsupp": n(basePart) * 4,
+		"orders":   n(baseOrders),
+		// lineitem averages ~4 rows per order.
+	}
+}
+
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationDefs  = []struct {
+		name   string
+		region int
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	containers = []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX",
+		"MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+		"JUMBO BOX", "JUMBO CASE", "JUMBO PKG", "JUMBO PACK", "WRAP BOX", "WRAP CASE"}
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	colors   = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+		"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+		"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+		"grey", "honeydew", "hot", "hotpink", "indian", "ivory", "khaki",
+		"lace", "lavender", "lawn", "lemon", "light", "lime", "linen",
+		"magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
+		"moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale",
+		"papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+		"purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+		"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow",
+		"spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet",
+		"wheat", "white", "yellow"}
+	commentWords = []string{"carefully", "quickly", "furiously", "slyly", "blithely",
+		"ironic", "final", "bold", "express", "regular", "pending", "even",
+		"silent", "unusual", "accounts", "packages", "deposits", "requests",
+		"instructions", "theodolites", "platelets", "pinto", "beans", "foxes",
+		"ideas", "dependencies", "excuses", "asymptotes", "courts", "dolphins",
+		"multipliers", "sauternes", "warthogs", "frets", "dinos"}
+)
+
+// Epoch date range: orders span 1992-01-01 .. 1998-08-02.
+var (
+	startDate = mustDays("1992-01-01")
+	endDate   = mustDays("1998-08-02")
+	cutoff    = mustDays("1995-06-17") // shipped/open boundary
+)
+
+func mustDays(s string) int64 {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(err)
+	}
+	return t.Unix() / 86400
+}
+
+// Generator produces the dataset deterministically for a seed.
+type Generator struct {
+	SF   ScaleFactor
+	Seed int64
+
+	nSupp, nCust, nPart, nOrders int
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(sf ScaleFactor, seed int64) *Generator {
+	c := sf.Counts()
+	return &Generator{
+		SF: sf, Seed: seed,
+		nSupp:   c["supplier"],
+		nCust:   c["customer"],
+		nPart:   c["part"],
+		nOrders: c["orders"],
+	}
+}
+
+func (g *Generator) rng(table string) *rand.Rand {
+	var h int64
+	for _, b := range []byte(table) {
+		h = h*131 + int64(b)
+	}
+	return rand.New(rand.NewSource(g.Seed*1000003 + h))
+}
+
+func comment(r *rand.Rand, words int) string {
+	out := make([]byte, 0, words*8)
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, commentWords[r.Intn(len(commentWords))]...)
+	}
+	return string(out)
+}
+
+func phone(r *rand.Rand, nation int) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nation,
+		100+r.Intn(900), 100+r.Intn(900), 1000+r.Intn(9000))
+}
+
+func money(r *rand.Rand, lo, hi float64) float64 {
+	cents := int64(lo*100) + r.Int63n(int64((hi-lo)*100)+1)
+	return float64(cents) / 100
+}
+
+// Region generates the region table.
+func (g *Generator) Region() []types.Row {
+	r := g.rng("region")
+	rows := make([]types.Row, 5)
+	for i := 0; i < 5; i++ {
+		rows[i] = types.Row{
+			types.Int(int64(i)),
+			types.String(regionNames[i]),
+			types.String(comment(r, 8)),
+		}
+	}
+	return rows
+}
+
+// Nation generates the nation table.
+func (g *Generator) Nation() []types.Row {
+	r := g.rng("nation")
+	rows := make([]types.Row, 25)
+	for i, n := range nationDefs {
+		rows[i] = types.Row{
+			types.Int(int64(i)),
+			types.String(n.name),
+			types.Int(int64(n.region)),
+			types.String(comment(r, 10)),
+		}
+	}
+	return rows
+}
+
+// Supplier generates the supplier table. Roughly 1 in 20 suppliers gets
+// the "Customer ... Complaints" marker Q16 filters on.
+func (g *Generator) Supplier() []types.Row {
+	r := g.rng("supplier")
+	rows := make([]types.Row, g.nSupp)
+	for i := range rows {
+		key := int64(i + 1)
+		nation := r.Intn(25)
+		cmt := comment(r, 12)
+		if i%20 == 7 { // deterministic 5% carry the Q16 marker
+			cmt = "Customer " + cmt + " Complaints"
+		}
+		rows[i] = types.Row{
+			types.Int(key),
+			types.String(fmt.Sprintf("Supplier#%09d", key)),
+			types.String(comment(r, 3)),
+			types.Int(int64(nation)),
+			types.String(phone(r, nation)),
+			types.Float(money(r, -999.99, 9999.99)),
+			types.String(cmt),
+		}
+	}
+	return rows
+}
+
+// Customer generates the customer table.
+func (g *Generator) Customer() []types.Row {
+	r := g.rng("customer")
+	rows := make([]types.Row, g.nCust)
+	for i := range rows {
+		key := int64(i + 1)
+		nation := r.Intn(25)
+		rows[i] = types.Row{
+			types.Int(key),
+			types.String(fmt.Sprintf("Customer#%09d", key)),
+			types.String(comment(r, 3)),
+			types.Int(int64(nation)),
+			types.String(phone(r, nation)),
+			types.Float(money(r, -999.99, 9999.99)),
+			types.String(segments[r.Intn(len(segments))]),
+			types.String(comment(r, 12)),
+		}
+	}
+	return rows
+}
+
+// Part generates the part table.
+func (g *Generator) Part() []types.Row {
+	r := g.rng("part")
+	rows := make([]types.Row, g.nPart)
+	for i := range rows {
+		key := int64(i + 1)
+		m := 1 + r.Intn(5)
+		brand := fmt.Sprintf("Brand#%d%d", m, 1+r.Intn(5))
+		name := colors[r.Intn(len(colors))] + " " + colors[r.Intn(len(colors))] + " " +
+			colors[r.Intn(len(colors))]
+		ptype := typeSyl1[r.Intn(len(typeSyl1))] + " " +
+			typeSyl2[r.Intn(len(typeSyl2))] + " " + typeSyl3[r.Intn(len(typeSyl3))]
+		rows[i] = types.Row{
+			types.Int(key),
+			types.String(name),
+			types.String(fmt.Sprintf("Manufacturer#%d", m)),
+			types.String(brand),
+			types.String(ptype),
+			types.Int(int64(1 + r.Intn(50))),
+			types.String(containers[r.Intn(len(containers))]),
+			types.Float(retailPrice(key)),
+			types.String(comment(r, 5)),
+		}
+	}
+	return rows
+}
+
+// retailPrice follows the spec's deterministic price formula.
+func retailPrice(key int64) float64 {
+	return float64(90000+((key/10)%20001)+100*(key%1000)) / 100
+}
+
+// suppStride spaces the four suppliers of each part.
+func (g *Generator) suppStride() int64 {
+	s := int64(g.nSupp) / 4
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// suppForPart returns the i-th (0..3) supplier of a part, following
+// dbgen's scheme so lineitem's (partkey, suppkey) pairs always exist in
+// partsupp.
+func (g *Generator) suppForPart(part int64, i int) int64 {
+	return (part+int64(i)*g.suppStride())%int64(g.nSupp) + 1
+}
+
+// PartSupp generates the partsupp table (4 suppliers per part).
+func (g *Generator) PartSupp() []types.Row {
+	r := g.rng("partsupp")
+	rows := make([]types.Row, 0, g.nPart*4)
+	for p := int64(1); p <= int64(g.nPart); p++ {
+		for i := 0; i < 4; i++ {
+			rows = append(rows, types.Row{
+				types.Int(p),
+				types.Int(g.suppForPart(p, i)),
+				types.Int(int64(1 + r.Intn(9999))),
+				types.Float(money(r, 1.00, 1000.00)),
+				types.String(comment(r, 15)),
+			})
+		}
+	}
+	return rows
+}
+
+// OrderAndLines generates orders together with their lineitems so the
+// derived columns stay consistent (o_totalprice, o_orderstatus).
+// Roughly 1 in 100 order comments carries the "special ... requests"
+// marker Q13 excludes.
+func (g *Generator) OrderAndLines() (orders, lines []types.Row) {
+	r := g.rng("orders")
+	orders = make([]types.Row, 0, g.nOrders)
+	lines = make([]types.Row, 0, g.nOrders*4)
+	for o := 0; o < g.nOrders; o++ {
+		okey := orderKey(int64(o))
+		cust := int64(1 + r.Intn(g.nCust))
+		odate := startDate + r.Int63n(endDate-startDate-121)
+		nLines := 1 + r.Intn(7)
+		var total float64
+		allF, allO := true, true
+		for ln := 0; ln < nLines; ln++ {
+			part := int64(1 + r.Intn(g.nPart))
+			supp := g.suppForPart(part, r.Intn(4))
+			qty := float64(1 + r.Intn(50))
+			ext := qty * retailPrice(part)
+			disc := float64(r.Intn(11)) / 100
+			tax := float64(r.Intn(9)) / 100
+			ship := odate + 1 + r.Int63n(121)
+			commit := odate + 30 + r.Int63n(60)
+			receipt := ship + 1 + r.Int63n(30)
+			var status string
+			if ship <= cutoff {
+				status = "F"
+				allO = false
+			} else {
+				status = "O"
+				allF = false
+			}
+			flag := "N"
+			if receipt <= cutoff {
+				if r.Intn(2) == 0 {
+					flag = "R"
+				} else {
+					flag = "A"
+				}
+			}
+			total += ext * (1 + tax) * (1 - disc)
+			lines = append(lines, types.Row{
+				types.Int(okey),
+				types.Int(part),
+				types.Int(supp),
+				types.Int(int64(ln + 1)),
+				types.Float(qty),
+				types.Float(ext),
+				types.Float(disc),
+				types.Float(tax),
+				types.String(flag),
+				types.String(status),
+				types.Date(ship),
+				types.Date(commit),
+				types.Date(receipt),
+				types.String(instructs[r.Intn(len(instructs))]),
+				types.String(shipmodes[r.Intn(len(shipmodes))]),
+				types.String(comment(r, 4)),
+			})
+		}
+		ostatus := "P"
+		if allF {
+			ostatus = "F"
+		} else if allO {
+			ostatus = "O"
+		}
+		ocomment := comment(r, 8)
+		if o%100 == 13 { // deterministic 1% carry the Q13 marker
+			ocomment = "special " + comment(r, 3) + " requests " + ocomment
+		}
+		orders = append(orders, types.Row{
+			types.Int(okey),
+			types.Int(cust),
+			types.String(ostatus),
+			types.Float(total),
+			types.Date(odate),
+			types.String(priorities[r.Intn(len(priorities))]),
+			types.String(fmt.Sprintf("Clerk#%09d", 1+r.Intn(1000))),
+			types.Int(0),
+			types.String(ocomment),
+		})
+	}
+	return orders, lines
+}
+
+// orderKey spreads keys sparsely like dbgen (8 of every 32 values).
+func orderKey(ordinal int64) int64 {
+	return (ordinal/8)*32 + ordinal%8 + 1
+}

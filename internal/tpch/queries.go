@@ -1,0 +1,350 @@
+package tpch
+
+import "fmt"
+
+// Query returns the HiveQL script for TPC-H query q (1..22). Each
+// script is self-contained: temp tables are dropped and recreated, and
+// the final statement is the SELECT whose rows are the query's result.
+// Correlated subqueries and IN/EXISTS predicates are rewritten into
+// joins over staged temp tables — the same technique the paper's TPC-H
+// port for Hive ([19]) uses. Validation-parameter substitutions follow
+// the TPC-H specification defaults.
+func Query(q int) (string, error) {
+	if q < 1 || q > len(queries) {
+		return "", fmt.Errorf("tpch: query %d out of range 1..%d", q, len(queries))
+	}
+	return queries[q-1], nil
+}
+
+// NumQueries is the TPC-H query count.
+const NumQueries = 22
+
+var queries = [NumQueries]string{
+	// Q1: pricing summary report.
+	`SELECT l_returnflag, l_linestatus,
+	        sum(l_quantity) AS sum_qty,
+	        sum(l_extendedprice) AS sum_base_price,
+	        sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+	        sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+	        avg(l_quantity) AS avg_qty,
+	        avg(l_extendedprice) AS avg_price,
+	        avg(l_discount) AS avg_disc,
+	        count(*) AS count_order
+	 FROM lineitem
+	 WHERE l_shipdate <= DATE '1998-09-02'
+	 GROUP BY l_returnflag, l_linestatus
+	 ORDER BY l_returnflag, l_linestatus;`,
+
+	// Q2: minimum cost supplier.
+	`DROP TABLE IF EXISTS q2_tmp1;
+	 CREATE TABLE q2_tmp1 STORED AS sequencefile AS
+	 SELECT p.p_partkey, ps.ps_supplycost, s.s_acctbal, s.s_name, n.n_name,
+	        p.p_mfgr, s.s_address, s.s_phone, s.s_comment
+	 FROM part p JOIN partsupp ps ON p.p_partkey = ps.ps_partkey
+	  JOIN supplier s ON s.s_suppkey = ps.ps_suppkey
+	  JOIN nation n ON s.s_nationkey = n.n_nationkey
+	  JOIN region r ON n.n_regionkey = r.r_regionkey
+	 WHERE p.p_size = 15 AND p.p_type LIKE '%BRASS' AND r.r_name = 'EUROPE';
+	 DROP TABLE IF EXISTS q2_tmp2;
+	 CREATE TABLE q2_tmp2 STORED AS sequencefile AS
+	 SELECT p_partkey AS m_partkey, min(ps_supplycost) AS m_min_cost
+	 FROM q2_tmp1 GROUP BY p_partkey;
+	 SELECT t.s_acctbal, t.s_name, t.n_name, t.p_partkey, t.p_mfgr,
+	        t.s_address, t.s_phone, t.s_comment
+	 FROM q2_tmp1 t JOIN q2_tmp2 m
+	   ON t.p_partkey = m.m_partkey AND t.ps_supplycost = m.m_min_cost
+	 ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+	 LIMIT 100;`,
+
+	// Q3: shipping priority.
+	`SELECT l_orderkey,
+	        sum(l_extendedprice * (1 - l_discount)) AS revenue,
+	        o_orderdate, o_shippriority
+	 FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey
+	  JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+	 WHERE c.c_mktsegment = 'BUILDING'
+	  AND o.o_orderdate < DATE '1995-03-15'
+	  AND l.l_shipdate > DATE '1995-03-15'
+	 GROUP BY l_orderkey, o_orderdate, o_shippriority
+	 ORDER BY revenue DESC, o_orderdate
+	 LIMIT 10;`,
+
+	// Q4: order priority checking (EXISTS -> semi join via DISTINCT).
+	`DROP TABLE IF EXISTS q4_late;
+	 CREATE TABLE q4_late STORED AS sequencefile AS
+	 SELECT DISTINCT l_orderkey FROM lineitem WHERE l_commitdate < l_receiptdate;
+	 SELECT o_orderpriority, count(*) AS order_count
+	 FROM orders o JOIN q4_late t ON o.o_orderkey = t.l_orderkey
+	 WHERE o.o_orderdate >= DATE '1993-07-01' AND o.o_orderdate < DATE '1993-10-01'
+	 GROUP BY o_orderpriority
+	 ORDER BY o_orderpriority;`,
+
+	// Q5: local supplier volume.
+	`SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+	 FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey
+	  JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+	  JOIN supplier s ON l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+	  JOIN nation n ON s.s_nationkey = n.n_nationkey
+	  JOIN region r ON n.n_regionkey = r.r_regionkey
+	 WHERE r.r_name = 'ASIA'
+	  AND o.o_orderdate >= DATE '1994-01-01' AND o.o_orderdate < DATE '1995-01-01'
+	 GROUP BY n_name
+	 ORDER BY revenue DESC;`,
+
+	// Q6: forecasting revenue change.
+	`SELECT sum(l_extendedprice * l_discount) AS revenue
+	 FROM lineitem
+	 WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+	  AND l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24;`,
+
+	// Q7: volume shipping.
+	`SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+	 FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+	              year(l.l_shipdate) AS l_year,
+	              l.l_extendedprice * (1 - l.l_discount) AS volume
+	       FROM supplier s JOIN lineitem l ON s.s_suppkey = l.l_suppkey
+	        JOIN orders o ON o.o_orderkey = l.l_orderkey
+	        JOIN customer c ON c.c_custkey = o.o_custkey
+	        JOIN nation n1 ON s.s_nationkey = n1.n_nationkey
+	        JOIN nation n2 ON c.c_nationkey = n2.n_nationkey
+	       WHERE ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+	           OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+	        AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31') shipping
+	 GROUP BY supp_nation, cust_nation, l_year
+	 ORDER BY supp_nation, cust_nation, l_year;`,
+
+	// Q8: national market share.
+	`SELECT o_year,
+	        sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) / sum(volume) AS mkt_share
+	 FROM (SELECT year(o.o_orderdate) AS o_year,
+	              l.l_extendedprice * (1 - l.l_discount) AS volume,
+	              n2.n_name AS nation
+	       FROM part p JOIN lineitem l ON p.p_partkey = l.l_partkey
+	        JOIN supplier s ON s.s_suppkey = l.l_suppkey
+	        JOIN orders o ON l.l_orderkey = o.o_orderkey
+	        JOIN customer c ON o.o_custkey = c.c_custkey
+	        JOIN nation n1 ON c.c_nationkey = n1.n_nationkey
+	        JOIN region r ON n1.n_regionkey = r.r_regionkey
+	        JOIN nation n2 ON s.s_nationkey = n2.n_nationkey
+	       WHERE r.r_name = 'AMERICA'
+	        AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+	        AND p.p_type = 'ECONOMY ANODIZED STEEL') all_nations
+	 GROUP BY o_year
+	 ORDER BY o_year;`,
+
+	// Q9: product type profit measure.
+	`SELECT nation, o_year, sum(amount) AS sum_profit
+	 FROM (SELECT n.n_name AS nation, year(o.o_orderdate) AS o_year,
+	              l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity AS amount
+	       FROM part p JOIN lineitem l ON p.p_partkey = l.l_partkey
+	        JOIN supplier s ON s.s_suppkey = l.l_suppkey
+	        JOIN partsupp ps ON ps.ps_suppkey = l.l_suppkey AND ps.ps_partkey = l.l_partkey
+	        JOIN orders o ON o.o_orderkey = l.l_orderkey
+	        JOIN nation n ON s.s_nationkey = n.n_nationkey
+	       WHERE p.p_name LIKE '%green%') profit
+	 GROUP BY nation, o_year
+	 ORDER BY nation, o_year DESC;`,
+
+	// Q10: returned item reporting.
+	`SELECT c_custkey, c_name,
+	        sum(l_extendedprice * (1 - l_discount)) AS revenue,
+	        c_acctbal, n_name, c_address, c_phone, c_comment
+	 FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey
+	  JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+	  JOIN nation n ON c.c_nationkey = n.n_nationkey
+	 WHERE o.o_orderdate >= DATE '1993-10-01' AND o.o_orderdate < DATE '1994-01-01'
+	  AND l.l_returnflag = 'R'
+	 GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+	 ORDER BY revenue DESC
+	 LIMIT 20;`,
+
+	// Q11: important stock identification.
+	`DROP TABLE IF EXISTS q11_part_value;
+	 CREATE TABLE q11_part_value STORED AS sequencefile AS
+	 SELECT ps.ps_partkey AS v_partkey,
+	        sum(ps.ps_supplycost * ps.ps_availqty) AS part_value
+	 FROM partsupp ps JOIN supplier s ON ps.ps_suppkey = s.s_suppkey
+	  JOIN nation n ON s.s_nationkey = n.n_nationkey
+	 WHERE n.n_name = 'GERMANY'
+	 GROUP BY ps.ps_partkey;
+	 DROP TABLE IF EXISTS q11_total;
+	 CREATE TABLE q11_total STORED AS sequencefile AS
+	 SELECT sum(part_value) AS total_value FROM q11_part_value;
+	 SELECT t.v_partkey, t.part_value
+	 FROM q11_part_value t, q11_total g
+	 WHERE t.part_value > g.total_value * 0.0001
+	 ORDER BY part_value DESC;`,
+
+	// Q12: shipping modes and order priority.
+	`SELECT l_shipmode,
+	        sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+	                 THEN 1 ELSE 0 END) AS high_line_count,
+	        sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+	                 THEN 1 ELSE 0 END) AS low_line_count
+	 FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+	 WHERE l.l_shipmode IN ('MAIL', 'SHIP')
+	  AND l.l_commitdate < l.l_receiptdate
+	  AND l.l_shipdate < l.l_commitdate
+	  AND l.l_receiptdate >= DATE '1994-01-01' AND l.l_receiptdate < DATE '1995-01-01'
+	 GROUP BY l_shipmode
+	 ORDER BY l_shipmode;`,
+
+	// Q13: customer distribution (left outer + anti-pattern comment).
+	`SELECT c_count, count(*) AS custdist
+	 FROM (SELECT c.c_custkey AS c_custkey, count(o.o_orderkey) AS c_count
+	       FROM customer c LEFT OUTER JOIN orders o
+	         ON c.c_custkey = o.o_custkey AND o.o_comment NOT LIKE '%special%requests%'
+	       GROUP BY c.c_custkey) c_orders
+	 GROUP BY c_count
+	 ORDER BY custdist DESC, c_count DESC;`,
+
+	// Q14: promotion effect.
+	`SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+	                          THEN l_extendedprice * (1 - l_discount) ELSE 0 END)
+	        / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+	 FROM part p JOIN lineitem l ON l.l_partkey = p.p_partkey
+	 WHERE l.l_shipdate >= DATE '1995-09-01' AND l.l_shipdate < DATE '1995-10-01';`,
+
+	// Q15: top supplier (view -> staged table).
+	`DROP TABLE IF EXISTS q15_revenue;
+	 CREATE TABLE q15_revenue STORED AS sequencefile AS
+	 SELECT l_suppkey AS supplier_no,
+	        sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+	 FROM lineitem
+	 WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+	 GROUP BY l_suppkey;
+	 DROP TABLE IF EXISTS q15_max;
+	 CREATE TABLE q15_max STORED AS sequencefile AS
+	 SELECT max(total_revenue) AS max_revenue FROM q15_revenue;
+	 SELECT s.s_suppkey, s.s_name, s.s_address, s.s_phone, r.total_revenue
+	 FROM supplier s JOIN q15_revenue r ON s.s_suppkey = r.supplier_no, q15_max m
+	 WHERE r.total_revenue = m.max_revenue
+	 ORDER BY s_suppkey;`,
+
+	// Q16: parts/supplier relationship (NOT IN -> anti join).
+	`DROP TABLE IF EXISTS q16_complaints;
+	 CREATE TABLE q16_complaints STORED AS sequencefile AS
+	 SELECT s_suppkey AS bad_suppkey FROM supplier
+	 WHERE s_comment LIKE '%Customer%Complaints%';
+	 SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS supplier_cnt
+	 FROM partsupp ps JOIN part p ON p.p_partkey = ps.ps_partkey
+	  LEFT OUTER JOIN q16_complaints b ON ps.ps_suppkey = b.bad_suppkey
+	 WHERE b.bad_suppkey IS NULL
+	  AND p.p_brand <> 'Brand#45'
+	  AND p.p_type NOT LIKE 'MEDIUM POLISHED%'
+	  AND p.p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+	 GROUP BY p_brand, p_type, p_size
+	 ORDER BY supplier_cnt DESC, p_brand, p_type, p_size;`,
+
+	// Q17: small-quantity-order revenue (correlated avg -> staged).
+	`DROP TABLE IF EXISTS q17_avg;
+	 CREATE TABLE q17_avg STORED AS sequencefile AS
+	 SELECT l_partkey AS a_partkey, 0.2 * avg(l_quantity) AS a_avg_qty
+	 FROM lineitem GROUP BY l_partkey;
+	 SELECT sum(l.l_extendedprice) / 7.0 AS avg_yearly
+	 FROM lineitem l JOIN part p ON p.p_partkey = l.l_partkey
+	  JOIN q17_avg a ON a.a_partkey = l.l_partkey
+	 WHERE p.p_brand = 'Brand#23' AND p.p_container = 'MED BOX'
+	  AND l.l_quantity < a.a_avg_qty;`,
+
+	// Q18: large volume customer (IN group-by-having -> staged).
+	`DROP TABLE IF EXISTS q18_big_orders;
+	 CREATE TABLE q18_big_orders STORED AS sequencefile AS
+	 SELECT l_orderkey AS b_orderkey, sum(l_quantity) AS b_sum_qty
+	 FROM lineitem GROUP BY l_orderkey HAVING sum(l_quantity) > 300;
+	 SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity)
+	 FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey
+	  JOIN q18_big_orders b ON o.o_orderkey = b.b_orderkey
+	  JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+	 GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+	 ORDER BY o_totalprice DESC, o_orderdate
+	 LIMIT 100;`,
+
+	// Q19: discounted revenue (disjunctive composite predicate).
+	`SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+	 FROM lineitem l JOIN part p ON p.p_partkey = l.l_partkey
+	 WHERE (p.p_brand = 'Brand#12'
+	        AND p.p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+	        AND l.l_quantity >= 1 AND l.l_quantity <= 11
+	        AND p.p_size BETWEEN 1 AND 5
+	        AND l.l_shipmode IN ('AIR', 'REG AIR')
+	        AND l.l_shipinstruct = 'DELIVER IN PERSON')
+	    OR (p.p_brand = 'Brand#23'
+	        AND p.p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+	        AND l.l_quantity >= 10 AND l.l_quantity <= 20
+	        AND p.p_size BETWEEN 1 AND 10
+	        AND l.l_shipmode IN ('AIR', 'REG AIR')
+	        AND l.l_shipinstruct = 'DELIVER IN PERSON')
+	    OR (p.p_brand = 'Brand#34'
+	        AND p.p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+	        AND l.l_quantity >= 20 AND l.l_quantity <= 30
+	        AND p.p_size BETWEEN 1 AND 15
+	        AND l.l_shipmode IN ('AIR', 'REG AIR')
+	        AND l.l_shipinstruct = 'DELIVER IN PERSON');`,
+
+	// Q20: potential part promotion (nested IN chain -> staged).
+	`DROP TABLE IF EXISTS q20_forest_parts;
+	 CREATE TABLE q20_forest_parts STORED AS sequencefile AS
+	 SELECT DISTINCT p_partkey AS f_partkey FROM part WHERE p_name LIKE 'forest%';
+	 DROP TABLE IF EXISTS q20_half_qty;
+	 CREATE TABLE q20_half_qty STORED AS sequencefile AS
+	 SELECT l_partkey AS h_partkey, l_suppkey AS h_suppkey,
+	        0.5 * sum(l_quantity) AS h_half_qty
+	 FROM lineitem
+	 WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+	 GROUP BY l_partkey, l_suppkey;
+	 DROP TABLE IF EXISTS q20_supp_keys;
+	 CREATE TABLE q20_supp_keys STORED AS sequencefile AS
+	 SELECT DISTINCT ps.ps_suppkey AS k_suppkey
+	 FROM partsupp ps JOIN q20_forest_parts f ON ps.ps_partkey = f.f_partkey
+	  JOIN q20_half_qty h ON h.h_partkey = ps.ps_partkey AND h.h_suppkey = ps.ps_suppkey
+	 WHERE ps.ps_availqty > h.h_half_qty;
+	 SELECT s_name, s_address
+	 FROM supplier s JOIN q20_supp_keys k ON s.s_suppkey = k.k_suppkey
+	  JOIN nation n ON s.s_nationkey = n.n_nationkey
+	 WHERE n.n_name = 'CANADA'
+	 ORDER BY s_name;`,
+
+	// Q21: suppliers who kept orders waiting (EXISTS/NOT EXISTS -> counts).
+	`DROP TABLE IF EXISTS q21_all_supp;
+	 CREATE TABLE q21_all_supp STORED AS sequencefile AS
+	 SELECT l_orderkey AS a_orderkey, count(DISTINCT l_suppkey) AS cnt_supp
+	 FROM lineitem GROUP BY l_orderkey;
+	 DROP TABLE IF EXISTS q21_late_supp;
+	 CREATE TABLE q21_late_supp STORED AS sequencefile AS
+	 SELECT l_orderkey AS t_orderkey, count(DISTINCT l_suppkey) AS cnt_late
+	 FROM lineitem WHERE l_receiptdate > l_commitdate GROUP BY l_orderkey;
+	 SELECT s_name, count(*) AS numwait
+	 FROM supplier s JOIN lineitem l1 ON s.s_suppkey = l1.l_suppkey
+	  JOIN orders o ON o.o_orderkey = l1.l_orderkey
+	  JOIN nation n ON s.s_nationkey = n.n_nationkey
+	  JOIN q21_all_supp a ON a.a_orderkey = l1.l_orderkey
+	  JOIN q21_late_supp t ON t.t_orderkey = l1.l_orderkey
+	 WHERE o.o_orderstatus = 'F' AND n.n_name = 'SAUDI ARABIA'
+	  AND l1.l_receiptdate > l1.l_commitdate
+	  AND a.cnt_supp > 1 AND t.cnt_late = 1
+	 GROUP BY s_name
+	 ORDER BY numwait DESC, s_name
+	 LIMIT 100;`,
+
+	// Q22: global sales opportunity (NOT EXISTS -> anti join; scalar avg -> staged).
+	`DROP TABLE IF EXISTS q22_cust;
+	 CREATE TABLE q22_cust STORED AS sequencefile AS
+	 SELECT c_custkey, c_acctbal, substr(c_phone, 1, 2) AS cntrycode
+	 FROM customer
+	 WHERE substr(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17');
+	 DROP TABLE IF EXISTS q22_avg;
+	 CREATE TABLE q22_avg STORED AS sequencefile AS
+	 SELECT avg(c_acctbal) AS avg_acctbal FROM q22_cust WHERE c_acctbal > 0.00;
+	 DROP TABLE IF EXISTS q22_ordcust;
+	 CREATE TABLE q22_ordcust STORED AS sequencefile AS
+	 SELECT DISTINCT o_custkey FROM orders;
+	 SELECT cntrycode, count(*) AS numcust, sum(c_acctbal) AS totacctbal
+	 FROM q22_cust c LEFT OUTER JOIN q22_ordcust o ON c.c_custkey = o.o_custkey, q22_avg a
+	 WHERE o.o_custkey IS NULL AND c.c_acctbal > a.avg_acctbal
+	 GROUP BY cntrycode
+	 ORDER BY cntrycode;`,
+}
+
+// QueryName gives a short label ("Q1".."Q22").
+func QueryName(q int) string { return fmt.Sprintf("Q%d", q) }

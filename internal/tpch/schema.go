@@ -1,0 +1,95 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+
+	"hivempi/internal/hive"
+	"hivempi/internal/types"
+)
+
+// TableNames lists the eight TPC-H tables in load order.
+func TableNames() []string {
+	return []string{"region", "nation", "supplier", "customer",
+		"part", "partsupp", "orders", "lineitem"}
+}
+
+// DDL returns the CREATE TABLE script for all tables in the format.
+func DDL(format string) string {
+	ddl := []string{
+		`CREATE TABLE region (r_regionkey bigint, r_name string, r_comment string)`,
+		`CREATE TABLE nation (n_nationkey bigint, n_name string, n_regionkey bigint, n_comment string)`,
+		`CREATE TABLE supplier (s_suppkey bigint, s_name string, s_address string,
+			s_nationkey bigint, s_phone string, s_acctbal double, s_comment string)`,
+		`CREATE TABLE customer (c_custkey bigint, c_name string, c_address string,
+			c_nationkey bigint, c_phone string, c_acctbal double, c_mktsegment string,
+			c_comment string)`,
+		`CREATE TABLE part (p_partkey bigint, p_name string, p_mfgr string, p_brand string,
+			p_type string, p_size bigint, p_container string, p_retailprice double,
+			p_comment string)`,
+		`CREATE TABLE partsupp (ps_partkey bigint, ps_suppkey bigint, ps_availqty bigint,
+			ps_supplycost double, ps_comment string)`,
+		`CREATE TABLE orders (o_orderkey bigint, o_custkey bigint, o_orderstatus string,
+			o_totalprice double, o_orderdate date, o_orderpriority string, o_clerk string,
+			o_shippriority bigint, o_comment string)`,
+		`CREATE TABLE lineitem (l_orderkey bigint, l_partkey bigint, l_suppkey bigint,
+			l_linenumber bigint, l_quantity double, l_extendedprice double,
+			l_discount double, l_tax double, l_returnflag string, l_linestatus string,
+			l_shipdate date, l_commitdate date, l_receiptdate date,
+			l_shipinstruct string, l_shipmode string, l_comment string)`,
+	}
+	var sb strings.Builder
+	for _, d := range ddl {
+		sb.WriteString(d)
+		if format != "" {
+			sb.WriteString(" STORED AS " + format)
+		}
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}
+
+// Load creates the schema and generates/loads every table through the
+// driver. partsPer splits each table into that many part files so the
+// DFS produces multiple splits (1 when <= 0).
+func Load(d *hive.Driver, sf ScaleFactor, seed int64, format string, partsPer int) error {
+	if partsPer <= 0 {
+		partsPer = 1
+	}
+	if _, err := d.Run(DDL(format)); err != nil {
+		return fmt.Errorf("tpch ddl: %w", err)
+	}
+	g := NewGenerator(sf, seed)
+	orders, lines := g.OrderAndLines()
+	data := map[string][]types.Row{
+		"region":   g.Region(),
+		"nation":   g.Nation(),
+		"supplier": g.Supplier(),
+		"customer": g.Customer(),
+		"part":     g.Part(),
+		"partsupp": g.PartSupp(),
+		"orders":   orders,
+		"lineitem": lines,
+	}
+	for _, name := range TableNames() {
+		rows := data[name]
+		parts := partsPer
+		if len(rows) < parts {
+			parts = 1
+		}
+		per := (len(rows) + parts - 1) / parts
+		for pi := 0; pi < parts; pi++ {
+			lo, hi := pi*per, (pi+1)*per
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			if lo >= hi {
+				break
+			}
+			if err := d.LoadTableData(name, pi, rows[lo:hi]); err != nil {
+				return fmt.Errorf("tpch load %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}

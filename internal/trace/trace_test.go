@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSizeHistogramExactAndOverflow(t *testing.T) {
+	h := NewSizeHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(32)
+	}
+	h.Observe(14)
+	h.Observe(14)
+	h.Observe(100000) // overflow bucket
+	h.Observe(-1)     // ignored
+	if h.Total() != 13 {
+		t.Errorf("Total = %d, want 13", h.Total())
+	}
+	if h.Mode() != 32 {
+		t.Errorf("Mode = %d, want 32", h.Mode())
+	}
+	top := h.TopSizes(2)
+	if len(top) != 2 || top[0] != 32 || top[1] != 14 {
+		t.Errorf("TopSizes = %v", top)
+	}
+	// Overflow lands in the enclosing power-of-two bucket.
+	found := false
+	for b, c := range h.Overflow {
+		if c == 1 && b <= 100000 && b*2 > 100000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("overflow buckets wrong: %v", h.Overflow)
+	}
+}
+
+func TestSizeHistogramMerge(t *testing.T) {
+	a, b := NewSizeHistogram(), NewSizeHistogram()
+	a.Observe(10)
+	b.Observe(10)
+	b.Observe(20)
+	b.Observe(9999)
+	a.Merge(b)
+	if a.Total() != 4 {
+		t.Errorf("merged total = %d, want 4", a.Total())
+	}
+	if a.Exact[10] != 2 || a.Exact[20] != 1 {
+		t.Error("merge lost exact counts")
+	}
+	a.Merge(nil) // must not panic
+	if a.Total() != 4 {
+		t.Error("nil merge changed totals")
+	}
+}
+
+func TestStageAggregates(t *testing.T) {
+	st := &Stage{
+		Name:   "s",
+		Engine: "datampi",
+		Producers: []*Task{
+			{ID: 0, ShuffleOutBytes: 100, InputBytes: 1000},
+			{ID: 1, ShuffleOutBytes: 50, InputBytes: 500},
+		},
+		Consumers: []*Task{
+			{ID: 0, WriteBytes: 30},
+		},
+	}
+	if st.TotalShuffleBytes() != 150 {
+		t.Errorf("TotalShuffleBytes = %d", st.TotalShuffleBytes())
+	}
+	if st.TotalInputBytes() != 1500 {
+		t.Errorf("TotalInputBytes = %d", st.TotalInputBytes())
+	}
+	if st.TotalOutputBytes() != 30 {
+		t.Errorf("TotalOutputBytes = %d", st.TotalOutputBytes())
+	}
+	// Map-only stage falls back to producer writes.
+	st2 := &Stage{Producers: []*Task{{WriteBytes: 77}}}
+	if st2.TotalOutputBytes() != 77 {
+		t.Errorf("map-only TotalOutputBytes = %d", st2.TotalOutputBytes())
+	}
+}
+
+func TestCollectorConcurrentStages(t *testing.T) {
+	c := NewCollector()
+	c.BeginQuery("q1")
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.AddStage(&Stage{Name: "s"})
+		}(i)
+	}
+	wg.Wait()
+	qs := c.Queries()
+	if len(qs) != 1 || len(qs[0].Stages) != 20 {
+		t.Errorf("collector lost stages: %d queries, %d stages", len(qs), len(qs[0].Stages))
+	}
+	if len(c.AllStages()) != 20 {
+		t.Errorf("AllStages = %d", len(c.AllStages()))
+	}
+	c.Reset()
+	if len(c.Queries()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCollectorAnonymousQuery(t *testing.T) {
+	c := NewCollector()
+	c.AddStage(&Stage{Name: "orphan"})
+	qs := c.Queries()
+	if len(qs) != 1 || qs[0].Statement != "(anonymous)" {
+		t.Errorf("orphan stage handling wrong: %+v", qs)
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	cases := map[TaskKind]string{
+		KindMap: "map", KindReduce: "reduce", KindOTask: "o", KindATask: "a",
+		TaskKind(99): "?",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

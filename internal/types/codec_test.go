@@ -1,0 +1,248 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rows := []Row{
+		{},
+		{Null()},
+		{Int(1), String("abc"), Float(2.5), Bool(true), MustDate("1996-06-30"), Null()},
+		{String(""), String(string([]byte{0, 1, 2, 0}))},
+	}
+	for _, r := range rows {
+		buf := EncodeRow(nil, r)
+		got, n, err := DecodeRow(buf)
+		if err != nil {
+			t.Fatalf("DecodeRow(%v): %v", r, err)
+		}
+		if n != len(buf) {
+			t.Errorf("DecodeRow consumed %d of %d bytes", n, len(buf))
+		}
+		if len(got) != len(r) {
+			t.Fatalf("row length %d != %d", len(got), len(r))
+		}
+		for i := range r {
+			if got[i] != r[i] {
+				t.Errorf("column %d: got %v, want %v", i, got[i], r[i])
+			}
+		}
+	}
+}
+
+func TestRowCodecConcatenated(t *testing.T) {
+	r1 := Row{Int(1), String("x")}
+	r2 := Row{Int(2), String("y")}
+	buf := EncodeRow(nil, r1)
+	buf = EncodeRow(buf, r2)
+	got1, n, err := DecodeRow(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := DecodeRow(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1[0].Int() != 1 || got2[0].Int() != 2 {
+		t.Errorf("concatenated decode wrong: %v %v", got1, got2)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeDatum(nil); err == nil {
+		t.Error("DecodeDatum(nil) should fail")
+	}
+	if _, _, err := DecodeDatum([]byte{byte(KindString), 0xFF}); err == nil {
+		t.Error("truncated string should fail")
+	}
+	if _, _, err := DecodeDatum([]byte{200}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, _, err := DecodeRow([]byte{}); err == nil {
+		t.Error("DecodeRow empty should fail")
+	}
+}
+
+func TestKeyCodecPreservesOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n = 400
+	ds := make([]Datum, 0, n)
+	for i := 0; i < n; i++ {
+		d := randomDatum(r)
+		if d.K == KindFloat && math.IsInf(d.F, 0) {
+			continue
+		}
+		ds = append(ds, d)
+	}
+	// Only compare datums of comparable families: group by family.
+	families := map[string][]Datum{}
+	for _, d := range ds {
+		// Key columns are schema-typed, so order preservation is only
+		// required within one encoding family: strings, floats, and the
+		// integer-encoded kinds (bool/int/date share an encoding).
+		var fam string
+		switch d.K {
+		case KindString:
+			fam = "s"
+		case KindFloat:
+			fam = "f"
+		case KindNull:
+			continue
+		default:
+			fam = "n"
+		}
+		families[fam] = append(families[fam], d)
+	}
+	for fam, group := range families {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				ka := AppendKeyDatum(nil, a, false)
+				kb := AppendKeyDatum(nil, b, false)
+				cmpD := Compare(a, b)
+				cmpK := bytes.Compare(ka, kb)
+				if sign(cmpD) != sign(cmpK) {
+					t.Fatalf("family %s: key order mismatch for %v vs %v: datum %d key %d",
+						fam, a, b, cmpD, cmpK)
+				}
+				// Descending flips the order.
+				da := AppendKeyDatum(nil, a, true)
+				db := AppendKeyDatum(nil, b, true)
+				if sign(bytes.Compare(da, db)) != -sign(cmpK) && cmpK != 0 {
+					t.Fatalf("descending key order not flipped for %v vs %v", a, b)
+				}
+			}
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestKeyCodecNullSortsFirst(t *testing.T) {
+	kn := AppendKeyDatum(nil, Null(), false)
+	for _, d := range []Datum{Int(math.MinInt64), Float(math.Inf(-1)), String("")} {
+		kd := AppendKeyDatum(nil, d, false)
+		if bytes.Compare(kn, kd) >= 0 {
+			t.Errorf("NULL key must sort before %v", d)
+		}
+	}
+}
+
+func TestKeyDatumRoundTrip(t *testing.T) {
+	cases := []Datum{
+		Null(), Int(-5), Int(0), Int(7),
+		Float(-1.25), Float(0), Float(3.5),
+		String(""), String("abc"), String(string([]byte{0, 'a', 0})),
+		MustDate("1997-07-01"), Bool(true),
+	}
+	for _, d := range cases {
+		for _, desc := range []bool{false, true} {
+			buf := AppendKeyDatum(nil, d, desc)
+			got, n, err := DecodeKeyDatum(buf, d.K, desc)
+			if err != nil {
+				t.Fatalf("DecodeKeyDatum(%v desc=%v): %v", d, desc, err)
+			}
+			if n != len(buf) {
+				t.Errorf("consumed %d of %d bytes for %v", n, len(buf), d)
+			}
+			if d.K == KindFloat {
+				if got.Float() != d.Float() {
+					t.Errorf("float round trip %v -> %v", d, got)
+				}
+			} else if Compare(got, d) != 0 && !(d.IsNull() && got.IsNull()) {
+				t.Errorf("round trip %v -> %v (desc=%v)", d, got, desc)
+			}
+		}
+	}
+}
+
+func TestEncodeKeyMultiColumn(t *testing.T) {
+	// (1, "b") < (1, "c") < (2, "a")
+	rows := [][]Datum{
+		{Int(1), String("b")},
+		{Int(1), String("c")},
+		{Int(2), String("a")},
+	}
+	keys := make([][]byte, len(rows))
+	for i, r := range rows {
+		keys[i] = EncodeKey(nil, r, nil)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 }) {
+		t.Error("multi-column keys not in expected order")
+	}
+	// Mixed asc/desc: sort by col0 asc, col1 desc.
+	k1 := EncodeKey(nil, rows[0], []bool{false, true})
+	k2 := EncodeKey(nil, rows[1], []bool{false, true})
+	if bytes.Compare(k1, k2) <= 0 {
+		t.Error("descending second column should reverse order")
+	}
+}
+
+func TestKeyStringPrefixOrdering(t *testing.T) {
+	// "ab" < "ab\x00" < "ab\x01": terminator must not break prefix order.
+	a := AppendKeyDatum(nil, String("ab"), false)
+	b := AppendKeyDatum(nil, String("ab\x00"), false)
+	c := AppendKeyDatum(nil, String("ab\x01"), false)
+	if !(bytes.Compare(a, b) < 0 && bytes.Compare(b, c) < 0) {
+		t.Error("NUL-containing string ordering broken")
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(Col("a", KindInt), Col("b", KindString))
+	if s.Len() != 2 {
+		t.Error("Len")
+	}
+	if s.Index("b") != 1 || s.Index("zz") != -1 {
+		t.Error("Index")
+	}
+	if s.String() != "(a bigint, b string)" {
+		t.Errorf("String() = %s", s.String())
+	}
+	if got := s.Names(); got[0] != "a" || got[1] != "b" {
+		t.Error("Names")
+	}
+}
+
+func TestParseRowText(t *testing.T) {
+	s := NewSchema(Col("a", KindInt), Col("b", KindString), Col("c", KindFloat))
+	row, err := ParseRowText("5|hello|1.5", '|', s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Int() != 5 || row[1].Str() != "hello" || row[2].Float() != 1.5 {
+		t.Errorf("parsed %v", row)
+	}
+	if got := row.Text('|'); got != "5|hello|1.5" {
+		t.Errorf("Text() = %q", got)
+	}
+	if _, err := ParseRowText("5|x", '|', s); err == nil {
+		t.Error("field count mismatch should fail")
+	}
+	if _, err := ParseRowText("z|x|1", '|', s); err == nil {
+		t.Error("bad int should fail")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), String("a")}
+	c := r.Clone()
+	c[0] = Int(9)
+	if r[0].Int() != 1 {
+		t.Error("Clone must not alias")
+	}
+}
