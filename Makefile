@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# check is the tier-1 verification gate: static checks, then the full
+# suite under the race detector (covers the mpi/datampi concurrency
+# tests and the chaos soak).
+check: vet fmt build race

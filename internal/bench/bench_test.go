@@ -270,3 +270,41 @@ func TestAblationsEveryOptimizationHelps(t *testing.T) {
 	}
 	t.Log("\n" + res.String())
 }
+
+func TestFaultRecoveryFigure(t *testing.T) {
+	r := quickRunner(t)
+	res, err := r.FaultRecovery(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FaultScenario{}
+	for _, sc := range res.Scenarios {
+		byName[sc.Name] = sc
+	}
+	clean := byName["clean"]
+	if clean.Seconds <= 0 || clean.Fired != 0 {
+		t.Fatalf("clean baseline malformed: %+v", clean)
+	}
+	rec := byName["retry+checkpoint"]
+	if rec.Fired == 0 {
+		t.Error("recovery scenario injected no faults")
+	}
+	if rec.Seconds <= clean.Seconds {
+		t.Errorf("recovery (%.1fs) should cost more than clean (%.1fs)",
+			rec.Seconds, clean.Seconds)
+	}
+	spec := byName["straggler+speculation"]
+	noSpec := byName["straggler, no speculation"]
+	if noSpec.Seconds <= spec.Seconds {
+		t.Errorf("speculation off (%.1fs) should be slower than on (%.1fs)",
+			noSpec.Seconds, spec.Seconds)
+	}
+	fb := byName["fallback to hadoop"]
+	if !fb.Degraded || fb.Engine != "hadoop" {
+		t.Errorf("fallback scenario should degrade to hadoop: %+v", fb)
+	}
+	out := res.String()
+	if !strings.Contains(out, "Fault recovery") || !strings.Contains(out, "overhead") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}

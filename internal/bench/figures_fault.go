@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hivempi/internal/chaos"
+	"hivempi/internal/exec"
+	"hivempi/internal/mrengine"
+	"hivempi/internal/tpch"
+)
+
+// FaultScenario is one run of a query under a fault plan.
+type FaultScenario struct {
+	Name     string
+	Engine   string // engine the stages actually ran on
+	Seconds  float64
+	Fired    int  // faults the plane injected
+	Degraded bool // the driver fell back to Hadoop
+}
+
+// FaultRecoveryResult is the fault-tolerance cost comparison: the same
+// query clean, recovered via checkpoint/retry, slowed by a straggler
+// (with and without speculation), and degraded to the Hadoop engine.
+type FaultRecoveryResult struct {
+	Query     int
+	SizeGB    int
+	Scenarios []FaultScenario
+}
+
+// faultPlan is the seeded plan the recovery scenarios share: two read
+// faults on warehouse data, one O-task crash mid-stage, and one slow
+// node. Write faults stay off the work-dir paths the retry loop needs.
+func faultPlan() chaos.Plan {
+	return chaos.Plan{Seed: 7, Specs: []chaos.Spec{
+		{Kind: chaos.DFSRead, Path: "/warehouse/*", Count: 2},
+		{Kind: chaos.TaskCrash, Task: "o", Rank: 0, Count: 1},
+		{Kind: chaos.SlowTask, Task: "o", Rank: chaos.AnyRank, Count: 1, DelaySec: 30},
+	}}
+}
+
+// FaultRecovery runs one TPC-H query on DataMPI under the seeded fault
+// plan and prices the recovery paths against the clean baseline.
+func (r *Runner) FaultRecovery(q, sizeGB int) (*FaultRecoveryResult, error) {
+	out := &FaultRecoveryResult{Query: q, SizeGB: sizeGB}
+	type scenario struct {
+		name string
+		plan *chaos.Plan
+		mut  func(*exec.EngineConf)
+		fall bool
+	}
+	plan := faultPlan()
+	scenarios := []scenario{
+		{name: "clean"},
+		{name: "retry+checkpoint", plan: &plan,
+			mut: func(c *exec.EngineConf) { c.MaxTaskAttempts = 3 }},
+		{name: "straggler+speculation", plan: &chaos.Plan{Specs: []chaos.Spec{
+			{Kind: chaos.SlowTask, Task: "o", Rank: chaos.AnyRank, Count: 1, DelaySec: 30},
+		}}},
+		{name: "straggler, no speculation", plan: &chaos.Plan{Specs: []chaos.Spec{
+			{Kind: chaos.SlowTask, Task: "o", Rank: chaos.AnyRank, Count: 1, DelaySec: 30},
+		}}, mut: func(c *exec.EngineConf) { c.DisableSpeculation = true }},
+		{name: "fallback to hadoop", plan: &chaos.Plan{Specs: []chaos.Spec{
+			{Kind: chaos.DFSRead, Path: "/warehouse/*", Count: 1},
+		}}, fall: true},
+	}
+	for _, sc := range scenarios {
+		// Each scenario loads its own cluster: fault budgets are
+		// stateful, and a plan must not see another scenario's I/O.
+		cl, err := r.loadTPCH(sizeGB, "textfile")
+		if err != nil {
+			return nil, err
+		}
+		d := r.driver(cl, "datampi", sc.mut)
+		if sc.fall {
+			d.Fallback = mrengine.New()
+		}
+		var plane *chaos.Plane
+		if sc.plan != nil {
+			plane = chaos.NewPlane(*sc.plan)
+			d.Env.Chaos = plane
+			d.Env.FS.SetChaos(plane)
+		}
+		script, err := tpch.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		d.Collector.Reset()
+		results, err := d.Run(script)
+		if err != nil {
+			return nil, fmt.Errorf("fault scenario %q: %w", sc.name, err)
+		}
+		engine, degraded := "datampi", false
+		for _, res := range results {
+			if res.Degraded != "" {
+				engine, degraded = res.Degraded, true
+			}
+		}
+		sim := r.simulate(tpch.QueryName(q), engine, sizeGB, d.Collector.Queries())
+		out.Scenarios = append(out.Scenarios, FaultScenario{
+			Name: sc.name, Engine: engine, Seconds: sim.Total,
+			Fired: plane.TotalFired(), Degraded: degraded,
+		})
+	}
+	return out, nil
+}
+
+func (f *FaultRecoveryResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fault recovery: TPC-H %s %d GB on DataMPI (simulated seconds)\n",
+		tpch.QueryName(f.Query), f.SizeGB)
+	var clean float64
+	for _, sc := range f.Scenarios {
+		if sc.Name == "clean" {
+			clean = sc.Seconds
+		}
+	}
+	for _, sc := range f.Scenarios {
+		fmt.Fprintf(&sb, "  %-26s %8.1fs  engine=%-8s faults=%d",
+			sc.Name, sc.Seconds, sc.Engine, sc.Fired)
+		if clean > 0 && sc.Name != "clean" {
+			fmt.Fprintf(&sb, "  overhead=%+.0f%%", 100*(sc.Seconds-clean)/clean)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  (checkpoint/retry and speculation bound the recovery cost; the\n" +
+		"   engine fallback trades DataMPI's speed for Hadoop's resilience)\n")
+	return sb.String()
+}

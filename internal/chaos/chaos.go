@@ -1,0 +1,337 @@
+// Package chaos is the deterministic fault-injection plane. A Plan is
+// a seeded list of fault Specs — DFS read/write failures, MPI message
+// drop/delay/corruption, task crashes at a given rank, and slow-node
+// stragglers — armed once into a Plane that the dfs, mpi, datampi and
+// engine layers consult through injected hooks.
+//
+// Determinism: every spec carries a firing budget (Count) and an
+// optional warm-up (After); matching events are counted under a single
+// lock, so given the same plan and workload the same faults fire. When
+// Prob < 1 the draws come from the plan's seeded RNG, so a (plan,
+// workload) pair is still reproducible run to run.
+//
+// Every injected failure wraps ErrInjected, so callers at any layer can
+// test errors.Is(err, chaos.ErrInjected) uniformly. Delay-style faults
+// (MsgDelay, SlowTask) do not fail anything: they charge virtual
+// seconds that the engines record in traces and the perfmodel adds to
+// the simulated timings, so recovery cost shows up in benchmark
+// figures.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the sentinel every injected fault wraps.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Kind enumerates the fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// DFSRead fails a DFS read of a matching path.
+	DFSRead Kind = iota + 1
+	// DFSWrite fails a DFS write to a matching path.
+	DFSWrite
+	// MsgDrop loses an MPI message in transit. Like real MPI, the
+	// transport failure is fatal: the world aborts and the job fails.
+	MsgDrop
+	// MsgDelay stalls an MPI message for DelaySec virtual seconds
+	// (accumulated on the plane, charged by the perfmodel).
+	MsgDelay
+	// MsgCorrupt corrupts an MPI message payload; the receiver detects
+	// it (checksum analogue) and fails the receive.
+	MsgCorrupt
+	// TaskCrash kills a task at a given (stage, kind, rank).
+	TaskCrash
+	// SlowTask makes a task a straggler: it runs DelaySec virtual
+	// seconds slower unless the engine speculates around it.
+	SlowTask
+)
+
+// String returns a short label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case DFSRead:
+		return "dfs-read"
+	case DFSWrite:
+		return "dfs-write"
+	case MsgDrop:
+		return "msg-drop"
+	case MsgDelay:
+		return "msg-delay"
+	case MsgCorrupt:
+		return "msg-corrupt"
+	case TaskCrash:
+		return "task-crash"
+	case SlowTask:
+		return "slow-task"
+	default:
+		return "?"
+	}
+}
+
+// AnyRank matches every task rank in a Spec.
+const AnyRank = -1
+
+// Spec is one fault rule.
+type Spec struct {
+	Kind Kind
+
+	// Path filters DFS faults: exact match, or prefix match when the
+	// pattern ends in "*". Empty matches every path.
+	Path string
+
+	// Stage filters task faults by stage ID ("" = any stage).
+	Stage string
+	// Task filters task faults by task kind: "o", "a", "map", "reduce"
+	// ("" = any).
+	Task string
+	// Rank filters task faults by rank; AnyRank (-1) matches all ranks.
+	// The zero value targets rank 0.
+	Rank int
+
+	// Tag filters message faults by MPI tag (0 = any; wire tags here
+	// are >= 1).
+	Tag int
+
+	// Count is how many times the spec fires (<= 0 means once).
+	Count int
+	// After lets this many matching events pass before the spec starts
+	// firing (positions a fault mid-run deterministically).
+	After int
+	// Prob fires the spec with this probability per matching event;
+	// <= 0 or >= 1 always fires. Draws use the plan's seeded RNG.
+	Prob float64
+
+	// DelaySec is the virtual delay for MsgDelay and SlowTask specs.
+	DelaySec float64
+}
+
+// Plan is a seeded set of fault specs.
+type Plan struct {
+	Seed  int64
+	Specs []Spec
+}
+
+// Plane is an armed plan. All methods are safe for concurrent use and
+// safe on a nil receiver (no faults fire), so layers can consult an
+// optional plane unconditionally.
+type Plane struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	specs []*specState
+	fired map[Kind]int
+	delay float64 // accumulated virtual seconds from MsgDelay faults
+}
+
+type specState struct {
+	Spec
+	remaining int
+	skip      int
+}
+
+// NewPlane arms a plan.
+func NewPlane(plan Plan) *Plane {
+	p := &Plane{
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		fired: make(map[Kind]int),
+	}
+	for _, s := range plan.Specs {
+		p.arm(s)
+	}
+	return p
+}
+
+func (p *Plane) arm(s Spec) {
+	count := s.Count
+	if count <= 0 {
+		count = 1
+	}
+	p.specs = append(p.specs, &specState{Spec: s, remaining: count, skip: s.After})
+}
+
+// Add arms one more spec on a live plane (the dfs.InjectReadFault /
+// InjectWriteFault compatibility path).
+func (p *Plane) Add(s Spec) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.arm(s)
+}
+
+// take consumes one firing of the first armed spec accepted by match.
+func (p *Plane) take(match func(*Spec) bool) *Spec {
+	for _, st := range p.specs {
+		if st.remaining <= 0 || !match(&st.Spec) {
+			continue
+		}
+		if st.skip > 0 {
+			st.skip--
+			continue
+		}
+		if st.Prob > 0 && st.Prob < 1 && p.rng.Float64() >= st.Prob {
+			continue
+		}
+		st.remaining--
+		p.fired[st.Kind]++
+		return &st.Spec
+	}
+	return nil
+}
+
+func matchPath(pattern, path string) bool {
+	if pattern == "" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(path, strings.TrimSuffix(pattern, "*"))
+	}
+	return pattern == path
+}
+
+func matchTask(s *Spec, stage, task string, rank int) bool {
+	if s.Stage != "" && s.Stage != stage {
+		return false
+	}
+	if s.Task != "" && s.Task != task {
+		return false
+	}
+	return s.Rank == AnyRank || s.Rank == rank
+}
+
+// DFSRead reports an injected failure for a read of path, if armed.
+func (p *Plane) DFSRead(path string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.take(func(s *Spec) bool { return s.Kind == DFSRead && matchPath(s.Path, path) }); s != nil {
+		return fmt.Errorf("%w: dfs read %s", ErrInjected, path)
+	}
+	return nil
+}
+
+// DFSWrite reports an injected failure for a write to path, if armed.
+func (p *Plane) DFSWrite(path string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.take(func(s *Spec) bool { return s.Kind == DFSWrite && matchPath(s.Path, path) }); s != nil {
+		return fmt.Errorf("%w: dfs write %s", ErrInjected, path)
+	}
+	return nil
+}
+
+// TaskCrash reports an injected crash for the task, if armed.
+func (p *Plane) TaskCrash(stage, task string, rank int) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.take(func(s *Spec) bool {
+		return s.Kind == TaskCrash && matchTask(s, stage, task, rank)
+	}); s != nil {
+		return fmt.Errorf("%w: %s task %d crashed in stage %s", ErrInjected, task, rank, stage)
+	}
+	return nil
+}
+
+// StragglerDelay returns the virtual slowdown for the task (0 = none).
+func (p *Plane) StragglerDelay(stage, task string, rank int) float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.take(func(s *Spec) bool {
+		return s.Kind == SlowTask && matchTask(s, stage, task, rank)
+	}); s != nil {
+		return s.DelaySec
+	}
+	return 0
+}
+
+// MsgFault is the verdict for one in-flight message.
+type MsgFault struct {
+	Drop     bool
+	Corrupt  bool
+	DelaySec float64
+}
+
+// Message consults the plane for one MPI message send. Delay seconds
+// are also accumulated on the plane (drained by DrainVirtualDelay).
+func (p *Plane) Message(src, dst, tag int) MsgFault {
+	if p == nil {
+		return MsgFault{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	match := func(kind Kind) func(*Spec) bool {
+		return func(s *Spec) bool {
+			return s.Kind == kind && (s.Tag == 0 || s.Tag == tag)
+		}
+	}
+	var f MsgFault
+	if p.take(match(MsgDrop)) != nil {
+		f.Drop = true
+		return f
+	}
+	if p.take(match(MsgCorrupt)) != nil {
+		f.Corrupt = true
+		return f
+	}
+	if s := p.take(match(MsgDelay)); s != nil {
+		f.DelaySec = s.DelaySec
+		p.delay += s.DelaySec
+	}
+	return f
+}
+
+// DrainVirtualDelay returns and resets the accumulated message delay
+// (virtual seconds); engines attribute it to the running stage.
+func (p *Plane) DrainVirtualDelay() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := p.delay
+	p.delay = 0
+	return d
+}
+
+// Fired returns how many faults of the kind have fired.
+func (p *Plane) Fired(k Kind) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired[k]
+}
+
+// TotalFired returns the total number of fired faults.
+func (p *Plane) TotalFired() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := 0
+	for _, c := range p.fired {
+		t += c
+	}
+	return t
+}

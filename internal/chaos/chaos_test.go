@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilPlaneIsInert(t *testing.T) {
+	var p *Plane
+	if err := p.DFSRead("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DFSWrite("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TaskCrash("s", "o", 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.StragglerDelay("s", "o", 0); d != 0 {
+		t.Fatalf("delay %v on nil plane", d)
+	}
+	if f := p.Message(0, 1, 1); f != (MsgFault{}) {
+		t.Fatalf("message fault %+v on nil plane", f)
+	}
+	if p.DrainVirtualDelay() != 0 || p.Fired(DFSRead) != 0 || p.TotalFired() != 0 {
+		t.Fatal("nil plane accumulated state")
+	}
+	p.Add(Spec{Kind: DFSRead}) // must not panic
+}
+
+func TestCountAndPathMatching(t *testing.T) {
+	p := NewPlane(Plan{Specs: []Spec{
+		{Kind: DFSRead, Path: "/data/part-0", Count: 2},
+		{Kind: DFSWrite, Path: "/tmp/hive/*", Count: 1},
+	}})
+	if err := p.DFSRead("/other"); err != nil {
+		t.Fatalf("non-matching path fired: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.DFSRead("/data/part-0"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+	}
+	if err := p.DFSRead("/data/part-0"); err != nil {
+		t.Fatalf("count exhausted but still fired: %v", err)
+	}
+	if err := p.DFSWrite("/tmp/hive/q1/part-00000"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("prefix pattern did not match: %v", err)
+	}
+	if err := p.DFSWrite("/warehouse/t/part-0"); err != nil {
+		t.Fatalf("prefix pattern over-matched: %v", err)
+	}
+	if p.Fired(DFSRead) != 2 || p.Fired(DFSWrite) != 1 || p.TotalFired() != 3 {
+		t.Fatalf("fired counters: read=%d write=%d total=%d",
+			p.Fired(DFSRead), p.Fired(DFSWrite), p.TotalFired())
+	}
+}
+
+func TestTaskMatching(t *testing.T) {
+	p := NewPlane(Plan{Specs: []Spec{
+		{Kind: TaskCrash, Stage: "stage-1", Task: "o", Rank: 2},
+		{Kind: SlowTask, Rank: AnyRank, DelaySec: 30},
+	}})
+	if err := p.TaskCrash("stage-1", "o", 1); err != nil {
+		t.Fatalf("wrong rank fired: %v", err)
+	}
+	if err := p.TaskCrash("stage-2", "o", 2); err != nil {
+		t.Fatalf("wrong stage fired: %v", err)
+	}
+	if err := p.TaskCrash("stage-1", "a", 2); err != nil {
+		t.Fatalf("wrong task kind fired: %v", err)
+	}
+	if err := p.TaskCrash("stage-1", "o", 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching crash did not fire: %v", err)
+	}
+	if d := p.StragglerDelay("any", "a", 7); d != 30 {
+		t.Fatalf("straggler delay = %v, want 30", d)
+	}
+	if d := p.StragglerDelay("any", "a", 7); d != 0 {
+		t.Fatalf("straggler fired twice: %v", d)
+	}
+}
+
+func TestMessageFaultsAndAfter(t *testing.T) {
+	p := NewPlane(Plan{Specs: []Spec{
+		{Kind: MsgDelay, DelaySec: 2.5, Count: 2},
+		{Kind: MsgDrop, After: 3, Tag: 1},
+	}})
+	drops := 0
+	var delay float64
+	for i := 0; i < 6; i++ {
+		f := p.Message(0, 1, 1)
+		if f.Drop {
+			drops++
+		}
+		delay += f.DelaySec
+	}
+	if drops != 1 {
+		t.Fatalf("drops = %d, want exactly 1 (After warm-up)", drops)
+	}
+	if delay != 5 {
+		t.Fatalf("delay = %v, want 5 (2 x 2.5)", delay)
+	}
+	if got := p.DrainVirtualDelay(); got != 5 {
+		t.Fatalf("drained %v, want 5", got)
+	}
+	if got := p.DrainVirtualDelay(); got != 0 {
+		t.Fatalf("second drain %v, want 0", got)
+	}
+	// Tag filter: a drop spec for tag 2 never fires on tag-1 traffic.
+	p2 := NewPlane(Plan{Specs: []Spec{{Kind: MsgDrop, Tag: 2}}})
+	if f := p2.Message(0, 1, 1); f.Drop {
+		t.Fatal("tag filter ignored")
+	}
+	if f := p2.Message(0, 1, 2); !f.Drop {
+		t.Fatal("matching tag did not drop")
+	}
+}
+
+// TestSeededProbabilityReproducible verifies that Prob draws are
+// reproducible for a given plan seed.
+func TestSeededProbabilityReproducible(t *testing.T) {
+	run := func(seed int64) []bool {
+		p := NewPlane(Plan{Seed: seed, Specs: []Spec{
+			{Kind: DFSRead, Prob: 0.5, Count: 1 << 30},
+		}})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.DFSRead("/f") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical firing sequence")
+	}
+}
+
+func TestConcurrentConsultation(t *testing.T) {
+	p := NewPlane(Plan{Specs: []Spec{
+		{Kind: DFSRead, Path: "/f", Count: 100},
+	}})
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if p.DFSRead("/f") != nil {
+					hits[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total != 100 {
+		t.Fatalf("fired %d times across goroutines, want exactly 100", total)
+	}
+}

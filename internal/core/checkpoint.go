@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hivempi/internal/exec"
+	"hivempi/internal/trace"
+)
+
+// O-task checkpoints make stage retry cheap: a completed O task persists
+// the exact key-value stream it sent to the A side under the stage's
+// work directory, and a retry replays that stream instead of re-reading
+// the split and re-running the operator tree. Commit is atomic
+// (tmp-write + rename), so a torn checkpoint from a crashed attempt is
+// never replayed. Checkpoints live next to the DataMPIWork descriptor
+// and are removed with it by cleanupWork.
+
+// maxCheckpointBytes bounds one task's checkpoint; tasks emitting more
+// simply skip checkpointing and re-run on retry.
+const maxCheckpointBytes = 64 << 20
+
+type kvPair struct{ K, V []byte }
+
+// checkpointMeta preserves the original attempt's input-side counters.
+// A replay re-sends pairs without re-reading the split, so without
+// these the salvaged read/compute work would vanish from the trace and
+// the perfmodel would price a recovered run below a clean one.
+type checkpointMeta struct {
+	InputBytes   int64
+	InputRecords int64
+}
+
+// checkpointPath is where rank's O-task checkpoint lives on the DFS.
+func checkpointPath(stageID string, rank int) string {
+	return fmt.Sprintf("%s/%s/ckpt-o-%05d", workDir, stageID, rank)
+}
+
+// checkpointRecorder accumulates one O task's emitted pairs.
+type checkpointRecorder struct {
+	pairs     []kvPair
+	bytes     int64
+	oversized bool
+}
+
+// record copies one emitted pair (the engine may reuse buffers).
+func (r *checkpointRecorder) record(k, v []byte) {
+	if r.oversized {
+		return
+	}
+	r.bytes += int64(len(k) + len(v))
+	if r.bytes > maxCheckpointBytes {
+		r.oversized = true
+		r.pairs = nil
+		return
+	}
+	r.pairs = append(r.pairs, kvPair{
+		K: append([]byte(nil), k...),
+		V: append([]byte(nil), v...),
+	})
+}
+
+// commit publishes the checkpoint atomically; failures are swallowed
+// (checkpointing is best-effort — without one the task just re-runs).
+// The task's metrics supply the input counters preserved for replay.
+func (r *checkpointRecorder) commit(env *exec.Env, stageID string, rank int, m *trace.Task) {
+	if r.oversized {
+		return
+	}
+	meta := checkpointMeta{InputBytes: m.InputBytes, InputRecords: m.InputRecords}
+	path := checkpointPath(stageID, rank)
+	tmp := path + ".tmp"
+	if err := env.FS.WriteFile(tmp, encodePairs(meta, r.pairs)); err != nil {
+		env.FS.Delete(tmp)
+		return
+	}
+	_ = env.FS.Rename(tmp, path)
+}
+
+// readCheckpoint loads rank's committed checkpoint, if one exists and
+// decodes cleanly.
+func readCheckpoint(env *exec.Env, stageID string, rank int) (checkpointMeta, []kvPair, bool) {
+	data, err := env.FS.ReadFile(checkpointPath(stageID, rank))
+	if err != nil {
+		return checkpointMeta{}, nil, false
+	}
+	meta, pairs, err := decodePairs(data)
+	if err != nil {
+		return checkpointMeta{}, nil, false
+	}
+	return meta, pairs, true
+}
+
+// encodePairs serializes the meta header (input bytes, input records)
+// then uvarint count and length-prefixed key/value bytes.
+func encodePairs(meta checkpointMeta, pairs []kvPair) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(meta.InputBytes))
+	buf = binary.AppendUvarint(buf, uint64(meta.InputRecords))
+	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.AppendUvarint(buf, uint64(len(p.K)))
+		buf = append(buf, p.K...)
+		buf = binary.AppendUvarint(buf, uint64(len(p.V)))
+		buf = append(buf, p.V...)
+	}
+	return buf
+}
+
+func decodePairs(data []byte) (checkpointMeta, []kvPair, error) {
+	var meta checkpointMeta
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("core: checkpoint header corrupt")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	ib, err := readUvarint()
+	if err != nil {
+		return meta, nil, err
+	}
+	ir, err := readUvarint()
+	if err != nil {
+		return meta, nil, err
+	}
+	count, err := readUvarint()
+	if err != nil {
+		return meta, nil, err
+	}
+	meta.InputBytes, meta.InputRecords = int64(ib), int64(ir)
+	pairs := make([]kvPair, 0, count)
+	readBlob := func() ([]byte, error) {
+		l, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < l {
+			return nil, fmt.Errorf("core: checkpoint truncated")
+		}
+		b := data[n : n+int(l)]
+		data = data[n+int(l):]
+		return b, nil
+	}
+	for i := uint64(0); i < count; i++ {
+		k, err := readBlob()
+		if err != nil {
+			return meta, nil, err
+		}
+		v, err := readBlob()
+		if err != nil {
+			return meta, nil, err
+		}
+		pairs = append(pairs, kvPair{K: k, V: v})
+	}
+	return meta, pairs, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hivempi/internal/dfs"
+	"hivempi/internal/exec"
+	"hivempi/internal/trace"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	env := &exec.Env{FS: dfs.New(dfs.Config{BlockSize: 128, Nodes: []string{"n1"}})}
+	var rec checkpointRecorder
+	want := []kvPair{
+		{K: []byte("k1"), V: []byte("v1")},
+		{K: []byte(""), V: []byte("empty-key")},
+		{K: []byte("k3"), V: nil},
+	}
+	for _, p := range want {
+		rec.record(p.K, p.V)
+	}
+	rec.commit(env, "stage-1", 3, &trace.Task{InputBytes: 4096, InputRecords: 37})
+	meta, got, ok := readCheckpoint(env, "stage-1", 3)
+	if !ok {
+		t.Fatal("committed checkpoint not readable")
+	}
+	if meta.InputBytes != 4096 || meta.InputRecords != 37 {
+		t.Errorf("meta round trip: %+v", meta)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].K, want[i].K) || !bytes.Equal(got[i].V, want[i].V) {
+			t.Errorf("pair %d: got %q=%q want %q=%q", i, got[i].K, got[i].V, want[i].K, want[i].V)
+		}
+	}
+	// No tmp file left behind.
+	if env.FS.Exists(checkpointPath("stage-1", 3) + ".tmp") {
+		t.Error("tmp file survived commit")
+	}
+}
+
+func TestCheckpointEmptyAndMissing(t *testing.T) {
+	env := &exec.Env{FS: dfs.New(dfs.Config{BlockSize: 128, Nodes: []string{"n1"}})}
+	if _, _, ok := readCheckpoint(env, "s", 0); ok {
+		t.Fatal("missing checkpoint read as present")
+	}
+	// An empty checkpoint (task completed, emitted nothing) commits and
+	// reads back as zero pairs — distinct from no checkpoint at all.
+	var rec checkpointRecorder
+	rec.commit(env, "s", 0, &trace.Task{})
+	_, pairs, ok := readCheckpoint(env, "s", 0)
+	if !ok || len(pairs) != 0 {
+		t.Fatalf("empty checkpoint: ok=%v pairs=%d", ok, len(pairs))
+	}
+}
+
+func TestCheckpointCorruptRejected(t *testing.T) {
+	env := &exec.Env{FS: dfs.New(dfs.Config{BlockSize: 128, Nodes: []string{"n1"}})}
+	if err := env.FS.WriteFile(checkpointPath("s", 1), []byte{0x05, 0x02, 'k'}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := readCheckpoint(env, "s", 1); ok {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointOversizedSkipped(t *testing.T) {
+	env := &exec.Env{FS: dfs.New(dfs.Config{BlockSize: 1 << 20, Nodes: []string{"n1"}})}
+	rec := checkpointRecorder{bytes: maxCheckpointBytes} // pretend it's full
+	rec.record([]byte("k"), []byte("v"))
+	if !rec.oversized {
+		t.Fatal("recorder did not trip the size cap")
+	}
+	rec.commit(env, "s", 2, &trace.Task{})
+	if _, _, ok := readCheckpoint(env, "s", 2); ok {
+		t.Fatal("oversized checkpoint was committed")
+	}
+}

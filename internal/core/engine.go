@@ -54,22 +54,17 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 	inputBytes := exec.SizingBytes(stage, tasks)
 	numA := exec.ReducerCount(stage, conf, len(tasks), inputBytes)
 
-	var mu sync.Mutex
-	var rows []types.Row
-	collect := func(r types.Row) error {
-		mu.Lock()
-		defer mu.Unlock()
-		rows = append(rows, r.Clone())
-		return nil
-	}
-
 	if stage.Shuffle == nil {
-		return e.runMapOnly(env, stage, conf, tasks, collect, &rows)
+		return e.runWithRetries(env, stage, conf, func(attempt int, collect exec.RowSink) (*trace.Stage, error) {
+			return e.runMapOnly(env, stage, conf, tasks, collect, attempt)
+		})
 	}
 
 	// Serialize the DataMPIWork (plan + jobconf + splits) to the DFS;
 	// every CommonProcess deserializes it before entering its MPI_D
-	// context (paper §IV-B).
+	// context (paper §IV-B). The descriptor is written once: retries
+	// reuse the same rank->split assignment, which is what makes the
+	// per-rank O-task checkpoints replayable.
 	workPath, cmdline, err := writeWork(env, stage, conf, tasks, numA)
 	if err != nil {
 		return nil, err
@@ -100,108 +95,215 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		}
 	}
 
-	job, err := datampi.NewJob(datampi.Config{
-		NumO: len(tasks),
-		NumA: numA,
-		Partitioner: func(key []byte, n int) int {
-			return exec.PartitionForKey(key, partKeys, numKeys, n)
-		},
-		SendBufferBytes: conf.SendBufferBytes,
-		SendQueueSize:   conf.SendQueueSize,
-		MemUsedPercent:  conf.MemUsedPercent,
-		TaskMemoryBytes: conf.TaskMemoryBytes,
-		NonBlocking:     conf.NonBlocking,
-		SpillDir:        conf.SpillDir,
-		Hosts:           hosts,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return e.runWithRetries(env, stage, conf, func(attempt int, collect exec.RowSink) (*trace.Stage, error) {
+		// Each attempt is a fresh bipartite world: an MPI transport
+		// failure is fatal to its communicator, so recovery means
+		// relaunching the job, not patching the old one.
+		job, err := datampi.NewJob(datampi.Config{
+			NumO: len(tasks),
+			NumA: numA,
+			Partitioner: func(key []byte, n int) int {
+				return exec.PartitionForKey(key, partKeys, numKeys, n)
+			},
+			SendBufferBytes: conf.SendBufferBytes,
+			SendQueueSize:   conf.SendQueueSize,
+			MemUsedPercent:  conf.MemUsedPercent,
+			TaskMemoryBytes: conf.TaskMemoryBytes,
+			NonBlocking:     conf.NonBlocking,
+			SpillDir:        conf.SpillDir,
+			Hosts:           hosts,
+			Chaos:           env.Chaos,
+		})
+		if err != nil {
+			return nil, err
+		}
 
-	// The O body is the DataMPIHiveApplication map path: deserialize
-	// the work, look up this rank's split, then run the ExecMapper with
-	// the DataMPICollector as terminal operator.
-	oBody := func(o *datampi.OContext) error {
-		w, err := loadWork()
-		if err != nil {
-			return err
-		}
-		split, mapIdx, err := w.splitFor(o.Rank())
-		if err != nil {
-			return err
-		}
-		return exec.RunMapTask(env, stage, mapIdx, split, o.Send, nil, o.Metrics())
-	}
-	// The A body feeds the grouped iterator into the ExecReducer tree.
-	aBody := func(a *datampi.AContext) error {
-		out, closer, err := exec.BuildTaskOutput(env, stage, a.Rank(), collect)
-		if err != nil {
-			return err
-		}
-		driver, err := exec.NewReduceDriver(env, stage.Reduce, out, a.Metrics())
-		if err != nil {
-			return err
-		}
-		for {
-			key, vals, err := a.NextGroup()
-			if err == io.EOF {
-				break
+		// The O body is the DataMPIHiveApplication map path: deserialize
+		// the work, look up this rank's split, then run the ExecMapper
+		// with the DataMPICollector as terminal operator. On retries a
+		// committed checkpoint replaces the map work entirely.
+		oBody := func(o *datampi.OContext) error {
+			m := o.Metrics()
+			m.Attempts = attempt
+			if err := env.Chaos.TaskCrash(stage.ID, "o", o.Rank()); err != nil {
+				return err
 			}
+			if attempt > 1 {
+				if meta, pairs, ok := readCheckpoint(env, stage.ID, o.Rank()); ok {
+					m.Recovered = true
+					// Restore the salvaged attempt's input counters so
+					// the perfmodel prices that work once, not zero times.
+					m.InputBytes = meta.InputBytes
+					m.InputRecords = meta.InputRecords
+					for _, p := range pairs {
+						m.OutputRecords++
+						m.OutputBytes += int64(len(p.K) + len(p.V))
+						if err := o.Send(p.K, p.V); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+			}
+			exec.ApplyStraggler(m, env.Chaos.StragglerDelay(stage.ID, "o", o.Rank()), conf)
+			w, err := loadWork()
 			if err != nil {
 				return err
 			}
-			if err := driver.Feed(key, vals); err != nil {
+			split, mapIdx, err := w.splitFor(o.Rank())
+			if err != nil {
 				return err
 			}
-			if driver.LimitReached() {
-				break
+			var rec checkpointRecorder
+			send := func(k, v []byte) error {
+				rec.record(k, v)
+				return o.Send(k, v)
 			}
+			if err := exec.RunMapTask(env, stage, mapIdx, split, send, nil, m); err != nil {
+				return err
+			}
+			// Commit even when the task emitted nothing, so a retry
+			// knows this split completed and skips it.
+			rec.commit(env, stage.ID, o.Rank(), m)
+			return nil
 		}
-		if err := driver.Close(); err != nil {
-			return err
+		// The A body feeds the grouped iterator into the ExecReducer tree.
+		aBody := func(a *datampi.AContext) error {
+			m := a.Metrics()
+			m.Attempts = attempt
+			if err := env.Chaos.TaskCrash(stage.ID, "a", a.Rank()); err != nil {
+				return err
+			}
+			exec.ApplyStraggler(m, env.Chaos.StragglerDelay(stage.ID, "a", a.Rank()), conf)
+			out, closer, err := exec.BuildTaskOutput(env, stage, a.Rank(), collect)
+			if err != nil {
+				return err
+			}
+			driver, err := exec.NewReduceDriver(env, stage.Reduce, out, m)
+			if err != nil {
+				return err
+			}
+			for {
+				key, vals, err := a.NextGroup()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				if err := driver.Feed(key, vals); err != nil {
+					return err
+				}
+				if driver.LimitReached() {
+					break
+				}
+			}
+			if err := driver.Close(); err != nil {
+				return err
+			}
+			return closer()
 		}
-		return closer()
-	}
 
-	if err := job.Run(oBody, aBody); err != nil {
-		return nil, fmt.Errorf("datampi stage %s: %w", stage.ID, err)
-	}
+		if err := job.Run(oBody, aBody); err != nil {
+			return nil, fmt.Errorf("datampi stage %s: %w", stage.ID, err)
+		}
 
-	st := &trace.Stage{
-		Name:           stage.ID,
-		Engine:         e.Name(),
-		NumMaps:        len(tasks),
-		NumReds:        numA,
-		Producers:      job.OMetrics(),
-		Consumers:      job.AMetrics(),
-		NonBlocking:    conf.NonBlocking,
-		MemUsedPercent: conf.MemUsedPercent,
-		SendQueueSize:  conf.SendQueueSize,
-		LaunchCommand:  cmdline,
-	}
-	for i, m := range st.Producers {
-		m.LocalRead = tasks[i].Local
-	}
-	fillWriteBytes(env, stage, st)
-	return &exec.StageResult{Trace: st, Rows: rows}, nil
+		st := &trace.Stage{
+			Name:           stage.ID,
+			Engine:         e.Name(),
+			NumMaps:        len(tasks),
+			NumReds:        numA,
+			Producers:      job.OMetrics(),
+			Consumers:      job.AMetrics(),
+			NonBlocking:    conf.NonBlocking,
+			MemUsedPercent: conf.MemUsedPercent,
+			SendQueueSize:  conf.SendQueueSize,
+			LaunchCommand:  cmdline,
+		}
+		for i, m := range st.Producers {
+			m.LocalRead = tasks[i].Local
+		}
+		fillWriteBytes(env, stage, st)
+		return st, nil
+	})
 }
 
-// runMapOnly executes a map-only stage: O tasks run under a slot
-// semaphore with no A side (DataMPI spawns only the O communicator).
+// retryBackoffBase is the first virtual-time retry delay; subsequent
+// attempts back off exponentially (2s, 4s, 8s, ...).
+const retryBackoffBase = 2.0
+
+// runWithRetries executes attempts of one stage until success or the
+// conf.MaxTaskAttempts budget is spent. Every attempt gets a fresh row
+// collector (partial rows from failed attempts are discarded) and the
+// stage sink is wiped between attempts; recovery costs — exponential
+// backoff and injected message delay — are recorded on the stage trace
+// for the perfmodel to charge.
+func (e *Engine) runWithRetries(env *exec.Env, stage *exec.Stage, conf exec.EngineConf,
+	run func(attempt int, collect exec.RowSink) (*trace.Stage, error)) (*exec.StageResult, error) {
+	attempts := conf.MaxTaskAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var backoff, chaosDelay float64
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		var mu sync.Mutex
+		var rows []types.Row
+		collect := func(r types.Row) error {
+			mu.Lock()
+			defer mu.Unlock()
+			rows = append(rows, r.Clone())
+			return nil
+		}
+		st, err := run(attempt, collect)
+		chaosDelay += env.Chaos.DrainVirtualDelay()
+		if err == nil {
+			st.Attempts = attempt
+			st.RetryBackoffSec = backoff
+			st.ChaosDelaySec = chaosDelay
+			return &exec.StageResult{Trace: st, Rows: rows}, nil
+		}
+		lastErr = err
+		// Wipe partial sink output so the retry (or a driver-level
+		// engine fallback) starts from a clean slate.
+		resetStageSink(env, stage)
+		if attempt < attempts {
+			backoff += retryBackoffBase * float64(int(1)<<(attempt-1))
+		}
+	}
+	return nil, lastErr
+}
+
+// resetStageSink removes the stage's partial output files; only this
+// stage writes under its sink directory.
+func resetStageSink(env *exec.Env, stage *exec.Stage) {
+	if stage.Sink != nil && stage.Sink.Dir != "" {
+		env.FS.DeleteDir(stage.Sink.Dir)
+	}
+}
+
+// runMapOnly executes one attempt of a map-only stage: O tasks run
+// under a slot semaphore with no A side (DataMPI spawns only the O
+// communicator).
 func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineConf,
-	tasks []exec.MapTaskSpec, collect exec.RowSink, rows *[]types.Row) (*exec.StageResult, error) {
+	tasks []exec.MapTaskSpec, collect exec.RowSink, attempt int) (*trace.Stage, error) {
 	metrics := make([]*trace.Task, len(tasks))
 	errs := make([]error, len(tasks))
 	sem := make(chan struct{}, conf.MaxSlots())
 	var wg sync.WaitGroup
 	for i := range tasks {
-		metrics[i] = &trace.Task{ID: i, Kind: trace.KindOTask,
+		metrics[i] = &trace.Task{ID: i, Kind: trace.KindOTask, Attempts: attempt,
 			Host: tasks[i].Host, CollectSizes: trace.NewSizeHistogram()}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := env.Chaos.TaskCrash(stage.ID, "o", i); err != nil {
+				errs[i] = err
+				return
+			}
+			exec.ApplyStraggler(metrics[i], env.Chaos.StragglerDelay(stage.ID, "o", i), conf)
 			out, closer, err := exec.BuildTaskOutput(env, stage, i, collect)
 			if err != nil {
 				errs[i] = err
@@ -231,7 +333,7 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 		m.LocalRead = tasks[i].Local
 	}
 	fillWriteBytes(env, stage, st)
-	return &exec.StageResult{Trace: st, Rows: *rows}, nil
+	return st, nil
 }
 
 // fillWriteBytes attributes sink part-file sizes to their tasks.

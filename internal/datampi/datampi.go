@@ -26,6 +26,7 @@ import (
 	"os"
 	"sync"
 
+	"hivempi/internal/chaos"
 	"hivempi/internal/mpi"
 	"hivempi/internal/trace"
 )
@@ -82,6 +83,10 @@ type Config struct {
 	// Hosts optionally assigns each world rank to a simulated node for
 	// locality accounting; len must be NumO+NumA when set.
 	Hosts []string
+
+	// Chaos optionally attaches a fault-injection plane to the job's
+	// MPI world (message drop/delay/corruption faults).
+	Chaos *chaos.Plane
 }
 
 func (c *Config) fill() error {
@@ -145,6 +150,7 @@ func NewJob(cfg Config) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	world.SetChaos(cfg.Chaos)
 	oranks := make([]int, cfg.NumO)
 	for i := range oranks {
 		oranks[i] = i

@@ -17,6 +17,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"hivempi/internal/chaos"
 )
 
 // DefaultBlockSize matches the paper's HDFS configuration (64 MB),
@@ -48,32 +50,50 @@ type FileSystem struct {
 	bytesWrite atomic.Int64
 
 	faultMu sync.Mutex
-	faults  map[string]int // path -> remaining injected read failures
+	plane   *chaos.Plane // fault-injection plane; nil = no faults
+}
+
+// ErrInjectedFault is the error injected reads and writes wrap. It is
+// the chaos sentinel itself, so errors.Is works uniformly with either
+// chaos.ErrInjected or this compatibility alias.
+var ErrInjectedFault = chaos.ErrInjected
+
+// SetChaos attaches a fault-injection plane; nil detaches it.
+func (fs *FileSystem) SetChaos(p *chaos.Plane) {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	fs.plane = p
+}
+
+// chaosPlane returns the attached plane (possibly nil; chaos methods
+// are nil-safe).
+func (fs *FileSystem) chaosPlane() *chaos.Plane {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	return fs.plane
+}
+
+// ensurePlane returns the attached plane, lazily arming an empty one so
+// the Inject*Fault hooks work without an explicit SetChaos.
+func (fs *FileSystem) ensurePlane() *chaos.Plane {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	if fs.plane == nil {
+		fs.plane = chaos.NewPlane(chaos.Plan{})
+	}
+	return fs.plane
 }
 
 // InjectReadFault makes the next n reads of path fail with
 // ErrInjectedFault (testing hook for fault-tolerance paths).
 func (fs *FileSystem) InjectReadFault(p string, n int) {
-	fs.faultMu.Lock()
-	defer fs.faultMu.Unlock()
-	if fs.faults == nil {
-		fs.faults = make(map[string]int)
-	}
-	fs.faults[clean(p)] = n
+	fs.ensurePlane().Add(chaos.Spec{Kind: chaos.DFSRead, Path: clean(p), Count: n})
 }
 
-// ErrInjectedFault is returned by reads hit by InjectReadFault.
-var ErrInjectedFault = errors.New("dfs: injected read fault")
-
-// takeFault consumes one injected failure for the path, if armed.
-func (fs *FileSystem) takeFault(p string) bool {
-	fs.faultMu.Lock()
-	defer fs.faultMu.Unlock()
-	if fs.faults[p] > 0 {
-		fs.faults[p]--
-		return true
-	}
-	return false
+// InjectWriteFault makes the next n writes to path fail with
+// ErrInjectedFault, symmetric to InjectReadFault.
+func (fs *FileSystem) InjectWriteFault(p string, n int) {
+	fs.ensurePlane().Add(chaos.Spec{Kind: chaos.DFSWrite, Path: clean(p), Count: n})
 }
 
 type block struct {
@@ -239,6 +259,9 @@ func (w *Writer) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("dfs: write to closed writer for %s", w.path)
 	}
+	if err := w.fs.chaosPlane().DFSWrite(w.path); err != nil {
+		return 0, err
+	}
 	total := len(p)
 	bs := int(w.fs.cfg.BlockSize)
 	for len(p) > 0 {
@@ -316,8 +339,8 @@ func (r *Reader) Read(p []byte) (int, error) {
 
 // ReadAt implements io.ReaderAt.
 func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
-	if r.fs.takeFault(r.path) {
-		return 0, fmt.Errorf("%w: %s", ErrInjectedFault, r.path)
+	if err := r.fs.chaosPlane().DFSRead(r.path); err != nil {
+		return 0, err
 	}
 	if off >= r.size {
 		return 0, io.EOF

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"hivempi/internal/chaos"
 )
 
 func newTestFS() *FileSystem {
@@ -285,5 +287,61 @@ func TestInjectReadFault(t *testing.T) {
 	fs.InjectReadFault("/flaky", 1)
 	if _, err := fs.ReadFile("/solid"); err != nil {
 		t.Errorf("unrelated file affected: %v", err)
+	}
+}
+
+func TestInjectWriteFault(t *testing.T) {
+	fs := newTestFS()
+	fs.InjectWriteFault("/out", 2)
+	for i := 0; i < 2; i++ {
+		if err := fs.WriteFile("/out", []byte("payload")); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("write %d: err = %v, want injected fault", i, err)
+		}
+		// Injected writes must also surface the uniform chaos sentinel.
+		if err := fs.WriteFile("/other", []byte("x")); err != nil {
+			t.Fatalf("unrelated write failed: %v", err)
+		}
+		fs.InjectWriteFault("/other", 0) // Count<=0 arms one firing
+		if err := fs.WriteFile("/other", []byte("x")); !errors.Is(err, chaos.ErrInjected) {
+			t.Fatalf("chaos.ErrInjected not matched: %v", err)
+		}
+	}
+	if err := fs.WriteFile("/out", []byte("payload")); err != nil {
+		t.Fatalf("write after faults exhausted: %v", err)
+	}
+	got, err := fs.ReadFile("/out")
+	if err != nil || string(got) != "payload" {
+		t.Errorf("content after recovery: %q, %v", got, err)
+	}
+}
+
+// TestSetChaosPlane drives faults through an externally armed plan and
+// verifies reads and writes consult it.
+func TestSetChaosPlane(t *testing.T) {
+	fs := newTestFS()
+	if err := fs.WriteFile("/warehouse/t/part-0", []byte("rows")); err != nil {
+		t.Fatal(err)
+	}
+	plane := chaos.NewPlane(chaos.Plan{Seed: 1, Specs: []chaos.Spec{
+		{Kind: chaos.DFSRead, Path: "/warehouse/*", Count: 1},
+		{Kind: chaos.DFSWrite, Path: "/tmp/*", Count: 1},
+	}})
+	fs.SetChaos(plane)
+	if _, err := fs.ReadFile("/warehouse/t/part-0"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("read fault did not fire: %v", err)
+	}
+	if err := fs.WriteFile("/tmp/spill-0", []byte("x")); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("write fault did not fire: %v", err)
+	}
+	if plane.Fired(chaos.DFSRead) != 1 || plane.Fired(chaos.DFSWrite) != 1 {
+		t.Errorf("fired counters: read=%d write=%d",
+			plane.Fired(chaos.DFSRead), plane.Fired(chaos.DFSWrite))
+	}
+	// Detach: no further faults fire.
+	fs.SetChaos(nil)
+	fs.SetChaos(chaos.NewPlane(chaos.Plan{Specs: []chaos.Spec{{Kind: chaos.DFSRead}}}))
+	fs.SetChaos(nil)
+	if _, err := fs.ReadFile("/warehouse/t/part-0"); err != nil {
+		t.Errorf("read after detach: %v", err)
 	}
 }

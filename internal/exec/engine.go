@@ -47,9 +47,13 @@ type EngineConf struct {
 	TaskMemoryBytes int64
 	NonBlocking     bool // DataMPI shuffle style
 	SpillDir        string
-	// MaxTaskAttempts re-runs failed Hadoop map tasks (MapReduce fault
-	// tolerance; the DataMPI engine has none, like MPI). Default 1.
+	// MaxTaskAttempts re-runs failed work: Hadoop map tasks re-execute
+	// individually; the DataMPI engine retries the whole stage from
+	// O-task checkpoints. Default 1 (no retries).
 	MaxTaskAttempts int
+	// DisableSpeculation turns off speculative re-launch of straggler
+	// tasks (the zero value keeps speculation on).
+	DisableSpeculation bool
 }
 
 // DefaultEngineConf mirrors the paper's testbed at 1:1000 scale.

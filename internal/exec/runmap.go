@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"hivempi/internal/chaos"
 	"hivempi/internal/dfs"
 	"hivempi/internal/storage"
 	"hivempi/internal/trace"
@@ -14,6 +15,35 @@ import (
 // Env gives the runtime access to the cluster substrate.
 type Env struct {
 	FS *dfs.FileSystem
+	// Chaos is the fault-injection plane engines consult for task
+	// crashes and stragglers (nil = no faults). Layers below (dfs, mpi)
+	// carry their own reference.
+	Chaos *chaos.Plane
+}
+
+// SpeculativeDetectSec is the virtual time a speculative scheduler
+// takes to notice a straggler and launch a duplicate; with speculation
+// on, a straggling task costs at most this much extra (plus the
+// duplicate's launch overhead, charged by the perfmodel).
+const SpeculativeDetectSec = 1.5
+
+// ApplyStraggler charges an injected slow-task delay to the metrics.
+// With speculation enabled (the default) the delay is capped at the
+// detection threshold and the task is marked speculative; with it
+// disabled the full delay lands on the task.
+func ApplyStraggler(m *trace.Task, delaySec float64, conf EngineConf) {
+	if m == nil || delaySec <= 0 {
+		return
+	}
+	if conf.DisableSpeculation {
+		m.StragglerDelaySec += delaySec
+		return
+	}
+	if delaySec > SpeculativeDetectSec {
+		delaySec = SpeculativeDetectSec
+	}
+	m.Speculative = true
+	m.StragglerDelaySec += delaySec
 }
 
 // RowSink consumes one produced row.

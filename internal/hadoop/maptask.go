@@ -261,6 +261,9 @@ func (j *Job) runMap(taskID int, body MapBody) error {
 				PartitionBytes: make([]int64, j.cfg.NumReduces)}
 			ctx.metrics = j.mapMetrics[taskID]
 		}
+		// Attempt count survives into the stage trace so the perfmodel
+		// can charge re-execution plus per-attempt retry backoff.
+		ctx.metrics.Attempts = attempt
 		if err := body(ctx); err != nil {
 			ctx.abandon()
 			lastErr = fmt.Errorf("map %d attempt %d: %w", taskID, attempt, err)

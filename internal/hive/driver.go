@@ -20,6 +20,13 @@ type Driver struct {
 	Conf      exec.EngineConf
 	Collector *trace.Collector
 
+	// Fallback, when set, is the engine queries degrade to after the
+	// primary engine exhausts its hive.datampi.maxattempts
+	// (Conf.MaxTaskAttempts) budget on a stage: the failed stage and the
+	// rest of the query rerun there instead of failing the query
+	// (typically DataMPI -> Hadoop).
+	Fallback exec.Engine
+
 	// WarehouseRoot holds managed table data; TmpRoot holds
 	// intermediate stage output (cleaned after each query).
 	WarehouseRoot string
@@ -56,6 +63,9 @@ type Result struct {
 	Rows      []types.Row
 	Stages    []*trace.Stage
 	Plan      string // EXPLAIN text when requested
+	// Degraded names the fallback engine when the query finished there
+	// after the primary engine failed ("" = primary throughout).
+	Degraded string
 }
 
 // Run executes a multi-statement script, stopping at the first error.
@@ -212,8 +222,20 @@ func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSche
 	defer d.Env.FS.DeleteDir(qtmp)
 
 	res := &Result{Statement: sql, Schema: outSch.toSchema()}
+	engine := d.Engine
 	for _, st := range stages {
-		sr, err := d.Engine.Run(d.Env, st, d.Conf)
+		sr, err := engine.Run(d.Env, st, d.Conf)
+		if err != nil && d.Fallback != nil && d.Fallback.Name() != engine.Name() {
+			// Graceful degradation: the primary engine spent its whole
+			// retry budget on this stage. Wipe its partial output and
+			// run the rest of the query on the fallback engine.
+			if st.Sink != nil && st.Sink.Dir != "" {
+				d.Env.FS.DeleteDir(st.Sink.Dir)
+			}
+			engine = d.Fallback
+			res.Degraded = engine.Name()
+			sr, err = engine.Run(d.Env, st, d.Conf)
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("stage %s: %w", st.ID, err)
 		}

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"hivempi/internal/chaos"
 )
 
 // Wildcards for Recv/Irecv matching.
@@ -32,9 +34,10 @@ type Status struct {
 }
 
 type message struct {
-	src  int
-	tag  int
-	data []byte
+	src     int
+	tag     int
+	data    []byte
+	corrupt bool // payload damaged in transit (injected); receiver fails
 }
 
 type recvWaiter struct {
@@ -58,6 +61,57 @@ type World struct {
 	barrierCount int
 	barrierGen   int
 	barrierCond  *sync.Cond
+
+	chaosMu sync.Mutex
+	plane   *chaos.Plane // fault-injection plane; nil = no faults
+	failErr error        // first transport failure; aborts the world
+}
+
+// SetChaos attaches a fault-injection plane consulted on every send.
+func (w *World) SetChaos(p *chaos.Plane) {
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	w.plane = p
+}
+
+func (w *World) chaosPlane() *chaos.Plane {
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	return w.plane
+}
+
+// fail records the first transport error and aborts the world: as in
+// real MPI, a lost message is a communicator failure, so every pending
+// and future operation returns the error instead of deadlocking.
+func (w *World) fail(err error) {
+	w.chaosMu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.chaosMu.Unlock()
+	for _, r := range w.ranks {
+		r.mu.Lock()
+		r.closed = true
+		for _, wt := range r.waiters {
+			close(wt.done)
+		}
+		r.waiters = nil
+		r.mu.Unlock()
+	}
+}
+
+// closedErr is the error for operations on a closed world: the aborting
+// transport failure if one happened, otherwise plain finalization.
+func (w *World) closedErr() error {
+	if w == nil {
+		return ErrFinalized
+	}
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	if w.failErr != nil {
+		return w.failErr
+	}
+	return ErrFinalized
 }
 
 // NewWorld creates a world with n ranks.
@@ -107,11 +161,18 @@ func (w *World) Send(src, dst, tag int, data []byte) error {
 		return err
 	}
 	msg := message{src: src, tag: tag, data: append([]byte(nil), data...)}
+	if f := w.chaosPlane().Message(src, dst, tag); f.Drop {
+		err := fmt.Errorf("%w: message %d->%d tag %d lost in transit", chaos.ErrInjected, src, dst, tag)
+		w.fail(err)
+		return err
+	} else if f.Corrupt {
+		msg.corrupt = true
+	}
 	r := w.ranks[dst]
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return ErrFinalized
+		return w.closedErr()
 	}
 	for i, wt := range r.waiters {
 		if (wt.src == AnySource || wt.src == src) && (wt.tag == AnyTag || wt.tag == tag) {
@@ -154,6 +215,13 @@ type Request struct {
 	msg    message
 	isRecv bool
 	ch     chan message
+	w      *World // for resolving abort errors on a closed world
+}
+
+// corruptErr is what a receiver reports when checksum verification of a
+// delivered message fails (the MsgCorrupt chaos fault).
+func corruptErr(m message) error {
+	return fmt.Errorf("%w: corrupt message from %d tag %d", chaos.ErrInjected, m.src, m.tag)
 }
 
 // Isend starts a non-blocking send. With the eager protocol the send
@@ -183,16 +251,20 @@ func (w *World) Irecv(me, src, tag int) (*Request, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return nil, ErrFinalized
+		return nil, w.closedErr()
 	}
 	if m, ok := r.tryMatch(src, tag); ok {
 		r.mu.Unlock()
-		return &Request{done: true, msg: m, isRecv: true}, nil
+		req := &Request{done: true, msg: m, isRecv: true, w: w}
+		if m.corrupt {
+			req.err = corruptErr(m)
+		}
+		return req, nil
 	}
 	wt := &recvWaiter{src: src, tag: tag, done: make(chan message, 1)}
 	r.waiters = append(r.waiters, wt)
 	r.mu.Unlock()
-	return &Request{isRecv: true, ch: wt.done}, nil
+	return &Request{isRecv: true, ch: wt.done, w: w}, nil
 }
 
 // Wait blocks until the request completes.
@@ -218,12 +290,26 @@ func (r *Request) WaitRecv() ([]byte, Status, error) {
 	msg, ok := <-ch
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.done {
+		// A concurrent Test won the race and recorded the outcome.
+		if r.err != nil {
+			return nil, Status{}, r.err
+		}
+		return r.msg.data, Status{Source: r.msg.src, Tag: r.msg.tag, Bytes: len(r.msg.data)}, nil
+	}
 	r.done = true
 	if !ok {
-		r.err = ErrFinalized
+		r.err = r.w.closedErr()
 		return nil, Status{}, r.err
 	}
 	r.msg = msg
+	// Wake any concurrent Wait/Test racing on this same request; they
+	// observe done and return the recorded outcome.
+	close(ch)
+	if msg.corrupt {
+		r.err = corruptErr(msg)
+		return nil, Status{}, r.err
+	}
 	return msg.data, Status{Source: msg.src, Tag: msg.tag, Bytes: len(msg.data)}, nil
 }
 
@@ -241,11 +327,15 @@ func (r *Request) Test() (bool, error) {
 	case msg, ok := <-r.ch:
 		r.done = true
 		if !ok {
-			r.err = ErrFinalized
+			r.err = r.w.closedErr()
 			return true, r.err
 		}
 		r.msg = msg
-		return true, nil
+		close(r.ch) // wake a concurrent Wait racing on this request
+		if msg.corrupt {
+			r.err = corruptErr(msg)
+		}
+		return true, r.err
 	default:
 		return false, nil
 	}

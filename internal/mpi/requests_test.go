@@ -1,0 +1,181 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hivempi/internal/chaos"
+)
+
+// TestWaitCalledTwice verifies a request handle is reusable: the second
+// Wait returns the recorded outcome without blocking or losing data.
+func TestWaitCalledTwice(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Finalize()
+	req, err := w.Irecv(1, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Send(0, 1, 5, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, st, err := req.WaitRecv()
+	if err != nil || string(data) != "payload" || st.Source != 0 || st.Tag != 5 {
+		t.Fatalf("first wait: %q %+v %v", data, st, err)
+	}
+	data2, st2, err := req.WaitRecv()
+	if err != nil || string(data2) != "payload" || st2.Bytes != 7 {
+		t.Fatalf("second wait: %q %+v %v", data2, st2, err)
+	}
+	if err := req.Wait(); err != nil {
+		t.Fatalf("third wait: %v", err)
+	}
+}
+
+// TestWaitallMixedFailedCompleted drives Waitall over completed sends,
+// a satisfied receive, a failed (corrupt) receive and a nil slot, and
+// checks it returns the first failure while still draining the rest.
+func TestWaitallMixedFailedCompleted(t *testing.T) {
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Finalize()
+	w.SetChaos(chaos.NewPlane(chaos.Plan{Specs: []chaos.Spec{
+		{Kind: chaos.MsgCorrupt, Tag: 9},
+	}}))
+
+	good, err := w.Irecv(2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := w.Irecv(2, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, err := w.Isend(0, 2, 1, []byte("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Send(1, 2, 9, []byte("garbled")); err != nil {
+		t.Fatal(err)
+	}
+
+	err = Waitall([]*Request{sent, nil, good, bad})
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Waitall err = %v, want injected corruption", err)
+	}
+	// The healthy receive still completed with its payload.
+	data, st := good.Payload()
+	if string(data) != "ok" || st.Source != 0 {
+		t.Errorf("good request payload %q from %d", data, st.Source)
+	}
+	// Waiting again on the failed request reports the same error.
+	if err := bad.Wait(); !errors.Is(err, chaos.ErrInjected) {
+		t.Errorf("re-wait on failed request: %v", err)
+	}
+}
+
+// TestTestRacingConcurrentWait hammers Test from one goroutine while
+// another blocks in WaitRecv on the same request; exactly one consumes
+// the message and both observe the same outcome (run under -race).
+func TestTestRacingConcurrentWait(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		w, err := NewWorld(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := w.Irecv(1, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			data, _, err := req.WaitRecv()
+			if err != nil || string(data) != "x" {
+				t.Errorf("wait: %q %v", data, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for {
+				done, err := req.Test()
+				if err != nil {
+					t.Errorf("test: %v", err)
+					return
+				}
+				if done {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := w.Send(0, 1, 1, []byte("x")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}()
+		wg.Wait()
+		w.Finalize()
+	}
+}
+
+// TestDropAbortsWorld verifies an injected message drop is a fatal
+// transport failure: pending receivers unblock with the injected error
+// instead of deadlocking, and later operations fail the same way.
+func TestDropAbortsWorld(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetChaos(chaos.NewPlane(chaos.Plan{Specs: []chaos.Spec{
+		{Kind: chaos.MsgDrop, Tag: 2},
+	}}))
+	pending, err := w.Irecv(1, AnySource, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Send(0, 1, 2, []byte("doomed")); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("send of dropped message: %v", err)
+	}
+	if _, _, err := pending.WaitRecv(); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("pending receive after abort: %v", err)
+	}
+	if err := w.Send(0, 1, 3, []byte("late")); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("send after abort: %v", err)
+	}
+	if _, err := w.Irecv(1, 0, 3); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("irecv after abort: %v", err)
+	}
+}
+
+// TestMsgDelayAccumulatesVirtualTime checks delays do not fail delivery
+// but accrue on the plane for the perfmodel to charge.
+func TestMsgDelayAccumulatesVirtualTime(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Finalize()
+	plane := chaos.NewPlane(chaos.Plan{Specs: []chaos.Spec{
+		{Kind: chaos.MsgDelay, DelaySec: 1.5, Count: 3},
+	}})
+	w.SetChaos(plane)
+	for i := 0; i < 5; i++ {
+		if err := w.Send(0, 1, 1, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Recv(1, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := plane.DrainVirtualDelay(); d != 4.5 {
+		t.Fatalf("accumulated delay %v, want 4.5", d)
+	}
+}

@@ -75,6 +75,10 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 
 	mapBody := func(m *hadoop.MapContext) error {
 		t := tasks[m.TaskID()]
+		if err := env.Chaos.TaskCrash(stage.ID, "map", m.TaskID()); err != nil {
+			return err
+		}
+		exec.ApplyStraggler(m.Metrics(), env.Chaos.StragglerDelay(stage.ID, "map", m.TaskID()), conf)
 		if stage.Shuffle == nil {
 			out, closer, err := exec.BuildTaskOutput(env, stage, m.TaskID(), collect)
 			if err != nil {
@@ -91,6 +95,10 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 	var reduceBody hadoop.ReduceBody
 	if stage.Reduce != nil {
 		reduceBody = func(r *hadoop.ReduceContext) error {
+			if err := env.Chaos.TaskCrash(stage.ID, "reduce", r.TaskID()); err != nil {
+				return err
+			}
+			exec.ApplyStraggler(r.Metrics(), env.Chaos.StragglerDelay(stage.ID, "reduce", r.TaskID()), conf)
 			out, closer, err := exec.BuildTaskOutput(env, stage, r.TaskID(), collect)
 			if err != nil {
 				return err
@@ -141,6 +149,14 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			r.Host = conf.Slaves[i%len(conf.Slaves)]
 		}
 	}
+	// Surface per-task re-executions at the stage level (the attempt
+	// counts themselves stay on each task for the perfmodel).
+	for _, t := range st.Producers {
+		if t.Attempts > 1 {
+			st.TaskRetries += t.Attempts - 1
+		}
+	}
+	st.ChaosDelaySec = env.Chaos.DrainVirtualDelay()
 	fillWriteBytes(env, stage, st)
 	return &exec.StageResult{Trace: st, Rows: rows}, nil
 }

@@ -45,6 +45,7 @@ type EngineParams struct {
 	QueueStall   float64 // per-flush stall unit for small send queues
 	GCFactor     float64 // compute multiplier ramp above the GC knee
 	GCKnee       float64 // memusedpercent where GC pressure starts
+	RetryBackoff float64 // per-attempt scheduler backoff for task re-runs
 }
 
 // sendBufferBytes is DataMPI's partition buffer granularity; the flush
@@ -76,9 +77,10 @@ func DefaultParams() Params {
 		},
 		ScaleUp: 1000,
 		Hadoop: EngineParams{
-			JobStartup: 4.5,
-			TaskLaunch: 1.6,
-			CPUFactor:  1.18, // JVM MapReduce pipeline overhead per row
+			JobStartup:   4.5,
+			TaskLaunch:   1.6,
+			CPUFactor:    1.18, // JVM MapReduce pipeline overhead per row
+			RetryBackoff: 1.0,  // scheduler redeploys a failed map quickly
 		},
 		DataMPI: EngineParams{
 			JobStartup:   3.0,
@@ -88,6 +90,7 @@ func DefaultParams() Params {
 			QueueStall:   0.0002,
 			GCFactor:     3.0,
 			GCKnee:       0.45,
+			RetryBackoff: 2.0, // a stage relaunch re-spawns the MPI world
 		},
 		Compile: 1.2,
 	}
@@ -285,6 +288,26 @@ func (p *Params) reduceTaskDuration(st *trace.Stage, t *trace.Task) (dur, mergeT
 	return dur, mergeT, computeT, writeT
 }
 
+// faultCharge is the extra virtual time one task's recovery costs:
+// each genuine re-execution pays roughly half the task body again
+// (failures land mid-task on average) plus the scheduler's retry
+// backoff; an injected straggler delay lands directly; a speculative
+// duplicate pays one extra task launch. Checkpoint-replayed tasks skip
+// the re-execution charge — their counters are restored from the
+// checkpoint so the salvaged work prices exactly once, and the
+// job-level relaunch is charged on the stage.
+func faultCharge(e EngineParams, t *trace.Task, dur float64) float64 {
+	var extra float64
+	if t.Attempts > 1 && !t.Recovered {
+		extra += float64(t.Attempts-1) * (0.5*dur + e.RetryBackoff)
+	}
+	extra += t.StragglerDelaySec
+	if t.Speculative {
+		extra += e.TaskLaunch
+	}
+	return extra
+}
+
 // SimulateStage produces the stage's simulated schedule.
 func (p *Params) SimulateStage(st *trace.Stage) *StageTiming {
 	e := p.engine(st.Engine)
@@ -299,6 +322,7 @@ func (p *Params) SimulateStage(st *trace.Stage) *StageTiming {
 	firstMapEnd, lastMapEnd := -1.0, 0.0
 	for _, t := range st.Producers {
 		dur, readT, computeT, writeT, netBytes := p.mapTaskDuration(st, t)
+		dur += faultCharge(e, t, dur)
 		start, end, slot := mapSlots.place(mapStart, e.TaskLaunch+dur)
 		span := TaskSpan{
 			ID: t.ID, Kind: t.Kind, Start: start, End: end, Slot: slot,
@@ -347,6 +371,7 @@ func (p *Params) SimulateStage(st *trace.Stage) *StageTiming {
 	reduceEnd := shuffleEnd
 	for _, t := range st.Consumers {
 		dur, mergeT, computeT, writeT := p.reduceTaskDuration(st, t)
+		dur += faultCharge(e, t, dur)
 		_ = mergeT
 		start, end, slot := redSlots.place(shuffleEnd, e.TaskLaunch+dur)
 		span := TaskSpan{
@@ -365,6 +390,13 @@ func (p *Params) SimulateStage(st *trace.Stage) *StageTiming {
 	}
 
 	out.Total = reduceEnd
+	// Job-level recovery: whole-stage relaunches pay startup again, and
+	// the engine's virtual retry backoff plus any chaos-injected message
+	// delays land on the critical path (inside Others, not MapShuffle).
+	if st.Attempts > 1 {
+		out.Total += float64(st.Attempts-1) * e.JobStartup
+	}
+	out.Total += st.RetryBackoffSec + st.ChaosDelaySec
 	out.MapShuffle = shuffleEnd - mapStart
 	out.Others = out.Total - out.Startup - out.MapShuffle
 	if out.Others < 0 {

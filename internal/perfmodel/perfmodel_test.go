@@ -251,3 +251,73 @@ func TestRemoteReadCostsMore(t *testing.T) {
 		t.Errorf("remote read %.2f should not beat local %.2f", remote, local)
 	}
 }
+
+// TestFaultChargesExtendSimulatedTime: the fault-recovery fields are
+// free when zero (fault-free traces simulate exactly as before) and
+// each one — task re-execution, straggler delay, speculation, stage
+// relaunch with backoff — extends the simulated total when set.
+func TestFaultChargesExtendSimulatedTime(t *testing.T) {
+	p := DefaultParams()
+	mk := func(engine string) *trace.Stage {
+		return &trace.Stage{
+			Name: "s", Engine: engine,
+			Producers: []*trace.Task{{
+				ID: 0, Kind: trace.KindMap,
+				InputBytes: 64 << 10, InputRecords: 400,
+				ShuffleOutBytes: 32 << 10, ShuffleOutPairs: 400,
+				LocalRead: true, CollectSizes: trace.NewSizeHistogram(),
+			}},
+			Consumers: []*trace.Task{{
+				ID: 0, Kind: trace.KindReduce,
+				ShuffleInBytes: 32 << 10, ShuffleInPairs: 400,
+				WriteBytes: 8 << 10,
+			}},
+		}
+	}
+	for _, engine := range []string{"hadoop", "datampi"} {
+		base := p.SimulateStage(mk(engine)).Total
+		if again := p.SimulateStage(mk(engine)).Total; again != base {
+			t.Fatalf("%s: zero fault fields changed the baseline: %f vs %f",
+				engine, again, base)
+		}
+
+		retried := mk(engine)
+		retried.Producers[0].Attempts = 3
+		if got := p.SimulateStage(retried).Total; got <= base {
+			t.Errorf("%s: 3 map attempts should cost more than %f, got %f",
+				engine, base, got)
+		}
+
+		// A checkpoint-replayed task pays no re-execution: only the
+		// stage-level relaunch (charged separately) covers it.
+		replayed := mk(engine)
+		replayed.Producers[0].Attempts = 3
+		replayed.Producers[0].Recovered = true
+		if got := p.SimulateStage(replayed).Total; got != base {
+			t.Errorf("%s: replayed task should simulate at baseline %f, got %f",
+				engine, base, got)
+		}
+
+		straggler := mk(engine)
+		straggler.Consumers[0].StragglerDelaySec = 1.5
+		straggler.Consumers[0].Speculative = true
+		if got := p.SimulateStage(straggler).Total; got <= base {
+			t.Errorf("%s: straggler+speculation should cost more than %f, got %f",
+				engine, base, got)
+		}
+
+		relaunched := mk(engine)
+		relaunched.Attempts = 2
+		relaunched.RetryBackoffSec = 2.0
+		relaunched.ChaosDelaySec = 0.5
+		sim := p.SimulateStage(relaunched)
+		e := p.engine(engine)
+		want := base + e.JobStartup + 2.0 + 0.5
+		if diff := sim.Total - want; diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("%s: relaunched stage total %f, want %f", engine, sim.Total, want)
+		}
+		if sim.Others <= p.SimulateStage(mk(engine)).Others {
+			t.Errorf("%s: stage recovery should land in Others", engine)
+		}
+	}
+}

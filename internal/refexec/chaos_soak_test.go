@@ -1,0 +1,119 @@
+package refexec
+
+import (
+	"errors"
+	"testing"
+
+	"hivempi/internal/chaos"
+	"hivempi/internal/tpch"
+)
+
+// soakQueries is the TPC-H subset the soak runs under faults; together
+// they cover scan/filter, group-by, multi-way join and limit shapes.
+var soakQueries = []int{1, 3, 5, 6, 12}
+
+// soakPlan is the seeded fault plan: three read faults against
+// warehouse data, one O-task crash, and one slow node. The plan never
+// targets the engine's work dir, so checkpoints stay recoverable.
+func soakPlan() chaos.Plan {
+	return chaos.Plan{Seed: 1234, Specs: []chaos.Spec{
+		{Kind: chaos.DFSRead, Path: "/warehouse/*", Count: 3},
+		{Kind: chaos.TaskCrash, Task: "o", Rank: 0, Count: 1},
+		{Kind: chaos.SlowTask, Task: "o", Rank: chaos.AnyRank, Count: 1, DelaySec: 10},
+	}}
+}
+
+// TestChaosSoakMatchesReference runs the soak queries on DataMPI under
+// the seeded plan with a retry budget: every fault is absorbed by the
+// checkpoint/retry machinery and each result still matches the
+// reference executor row for row.
+func TestChaosSoakMatchesReference(t *testing.T) {
+	db := Load(testSF, testSeed)
+	d := newDriver(t)
+	// Worst case the four failure faults land one per attempt, so the
+	// budget needs a fifth, clean attempt.
+	d.Conf.MaxTaskAttempts = 5
+	plane := chaos.NewPlane(soakPlan())
+	d.Env.Chaos = plane
+	d.Env.FS.SetChaos(plane)
+
+	for i, q := range soakQueries {
+		if i == len(soakQueries)-1 {
+			// Arm one more straggler for the last query: by now the
+			// failure budgets are exhausted, so the delayed task is part
+			// of a successful attempt and survives into the trace.
+			plane.Add(chaos.Spec{Kind: chaos.SlowTask, Task: "o",
+				Rank: chaos.AnyRank, Count: 1, DelaySec: 10})
+		}
+		script, err := tpch.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := lastRows(t, d, script)
+		want, err := Query(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsMatch(t, q, got, want)
+	}
+
+	if plane.TotalFired() == 0 {
+		t.Fatal("soak plan fired no faults; the run proved nothing")
+	}
+	for _, k := range []chaos.Kind{chaos.DFSRead, chaos.TaskCrash, chaos.SlowTask} {
+		if plane.Fired(k) == 0 {
+			t.Errorf("no %s fault fired during the soak", k)
+		}
+	}
+
+	// The recovery left evidence in the traces: a retried stage and a
+	// straggler-delayed task.
+	retried, slowed := false, false
+	for _, qt := range d.Collector.Queries() {
+		for _, st := range qt.Stages {
+			if st.Attempts > 1 {
+				retried = true
+			}
+			for _, p := range st.Producers {
+				if p.StragglerDelaySec > 0 {
+					slowed = true
+				}
+			}
+		}
+	}
+	if !retried {
+		t.Error("no stage recorded a retry despite injected failures")
+	}
+	if !slowed {
+		t.Error("no task recorded the straggler delay")
+	}
+}
+
+// TestChaosSoakFailsWithoutRetries: the same plan with the retry budget
+// disabled kills the run, and the injected sentinel survives every
+// wrapping layer.
+func TestChaosSoakFailsWithoutRetries(t *testing.T) {
+	d := newDriver(t)
+	d.Conf.MaxTaskAttempts = 1
+	plane := chaos.NewPlane(soakPlan())
+	d.Env.Chaos = plane
+	d.Env.FS.SetChaos(plane)
+
+	var failed bool
+	for _, q := range soakQueries {
+		script, err := tpch.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(script); err != nil {
+			if !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("Q%d failed with a non-injected error: %v", q, err)
+			}
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Error("no query failed with retries disabled under the soak plan")
+	}
+}

@@ -166,6 +166,12 @@ type Task struct {
 	WriteBytes       int64
 	GCPressureBytes  int64 // bytes of application memory displaced by caching
 	MemoryCacheBytes int64 // intermediate bytes held in memory (not spilled)
+
+	// Fault-tolerance accounting.
+	Attempts          int     // execution attempts (0 or 1 = ran once)
+	StragglerDelaySec float64 // virtual slowdown charged to this task
+	Speculative       bool    // a speculative duplicate was launched
+	Recovered         bool    // output replayed from a checkpoint
 }
 
 // SendEvent records one flush from the buffer manager to the wire:
@@ -194,6 +200,12 @@ type Stage struct {
 	// LaunchCommand records the equivalent job launch line (the
 	// DataMPI engine's mpidrun invocation), for diagnostics.
 	LaunchCommand string
+
+	// Fault-tolerance accounting.
+	Attempts        int     // job-level attempts (0 or 1 = ran once)
+	RetryBackoffSec float64 // virtual backoff spent between attempts
+	ChaosDelaySec   float64 // injected message delay charged to the stage
+	TaskRetries     int     // per-task re-executions within the job
 }
 
 // TotalShuffleBytes sums producer shuffle output.
