@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check
+.PHONY: build test race vet fmt check bench
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,11 @@ fmt:
 # suite under the race detector (covers the mpi/datampi concurrency
 # tests and the chaos soak).
 check: vet fmt build race
+
+# bench runs the shuffle hot-path microbenchmarks (kvio framing,
+# MPI_D_Send, dfs memory tier) and writes the parsed numbers to
+# BENCH_shuffle.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/kvio/ ./internal/datampi/ ./internal/dfs/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchfmt > BENCH_shuffle.json

@@ -33,7 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	scale := fs.Int64("scale", 1<<20, "bytes generated per paper-GB (1<<20 = 1:1000)")
 	quick := fs.Bool("quick", false, "shortcut for -scale 131072 (1:8000)")
-	expList := fs.String("exp", "all", "experiments: table1,fig1,fig2,fig6,fig8,fig9,fig10,table2,fig11,fig12,fig13,table3,ablations,fault")
+	expList := fs.String("exp", "all", "experiments: table1,fig1,fig2,fig6,fig8,fig9,fig10,table2,fig11,fig12,fig13,table3,ablations,fault,dag")
 	seed := fs.Int64("seed", 42, "dataset generator seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +72,7 @@ func run(args []string) error {
 		{"table3", func() (fmt.Stringer, error) { return r.TableIII() }},
 		{"ablations", func() (fmt.Stringer, error) { return r.Ablations() }},
 		{"fault", func() (fmt.Stringer, error) { return r.FaultRecovery(12, 20) }},
+		{"dag", func() (fmt.Stringer, error) { return r.DAGOverlap(20) }},
 	}
 
 	if !all {

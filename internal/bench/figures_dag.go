@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hivempi/internal/hibench"
+	"hivempi/internal/hive"
+	"hivempi/internal/tpch"
+)
+
+// DAGMode is one scheduling/storage configuration of a query run.
+type DAGMode struct {
+	Name     string
+	Seconds  float64
+	Stages   int
+	MemRead  int64 // bytes served from the in-memory tier
+	MemWrite int64 // bytes admitted into the in-memory tier
+}
+
+// DAGQueryResult compares one multi-stage query across serial stage
+// execution, DAG-overlapped execution, and DAG with the in-memory
+// intermediate store.
+type DAGQueryResult struct {
+	Query  string
+	SizeGB int
+	Modes  []DAGMode
+}
+
+// DAGOverlapResult is the -exp dag figure: the multi-stage TPC-H
+// queries (Q2/Q8/Q9) and HiBench JOIN, each serial vs DAG-parallel vs
+// DAG + memory tier.
+type DAGOverlapResult struct {
+	SizeGB  int
+	Queries []*DAGQueryResult
+}
+
+// dagModes configures the three compared modes. The memory-tier budget
+// is generous relative to the intermediate volume so the mode isolates
+// the tier's best case (spill behaviour is exercised by unit tests).
+func dagModes(r *Runner, sizeGB int) []struct {
+	name string
+	mut  func(*hive.Driver)
+} {
+	budget := 4 * int64(sizeGB) * r.cfg.BytesPerGB
+	return []struct {
+		name string
+		mut  func(*hive.Driver)
+	}{
+		{"serial", func(d *hive.Driver) { d.SerialStages = true }},
+		{"dag", func(d *hive.Driver) {}},
+		{"dag+imstore", func(d *hive.Driver) { d.InMemBytes = budget }},
+	}
+}
+
+// runDAGQuery runs one script through the three modes on DataMPI over a
+// freshly loaded cluster and simulates each trace.
+func (r *Runner) runDAGQuery(cl *cluster, name, script string, sizeGB int) (*DAGQueryResult, error) {
+	out := &DAGQueryResult{Query: name, SizeGB: sizeGB}
+	for _, mode := range dagModes(r, sizeGB) {
+		// Detach any previous mode's memory tier: the cluster FS is
+		// shared, and the serial/dag baselines must price every
+		// intermediate at disk rates.
+		cl.env.FS.SetMemTier(nil)
+		d := r.driver(cl, "datampi", nil)
+		mode.mut(d)
+		memRead0 := cl.env.FS.MemBytesRead()
+		memWrite0 := cl.env.FS.MemBytesWritten()
+		res, err := r.runScript(d, name, "datampi", sizeGB, script)
+		if err != nil {
+			return nil, fmt.Errorf("dag mode %q: %w", mode.name, err)
+		}
+		out.Modes = append(out.Modes, DAGMode{
+			Name:     mode.name,
+			Seconds:  res.Total,
+			Stages:   len(res.Jobs),
+			MemRead:  cl.env.FS.MemBytesRead() - memRead0,
+			MemWrite: cl.env.FS.MemBytesWritten() - memWrite0,
+		})
+	}
+	cl.env.FS.SetMemTier(nil)
+	return out, nil
+}
+
+// DAGOverlap runs the DAG-scheduling comparison over the multi-stage
+// workloads: TPC-H Q2, Q8, Q9 and HiBench JOIN at sizeGB.
+func (r *Runner) DAGOverlap(sizeGB int) (*DAGOverlapResult, error) {
+	out := &DAGOverlapResult{SizeGB: sizeGB}
+	for _, q := range []int{2, 8, 9} {
+		cl, err := r.loadTPCH(sizeGB, "textfile")
+		if err != nil {
+			return nil, err
+		}
+		script, err := tpch.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		qr, err := r.runDAGQuery(cl, tpch.QueryName(q), script, sizeGB)
+		if err != nil {
+			return nil, err
+		}
+		out.Queries = append(out.Queries, qr)
+	}
+	{
+		cl, err := r.loadHiBench(sizeGB, "sequencefile")
+		if err != nil {
+			return nil, err
+		}
+		qr, err := r.runDAGQuery(cl, "JOIN", hibench.JoinQuery, sizeGB)
+		if err != nil {
+			return nil, err
+		}
+		out.Queries = append(out.Queries, qr)
+	}
+	return out, nil
+}
+
+func (d *DAGOverlapResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DAG stage overlap + memory tier: multi-stage queries, %d GB, DataMPI (simulated seconds)\n", d.SizeGB)
+	for _, q := range d.Queries {
+		var serial float64
+		for _, m := range q.Modes {
+			if m.Name == "serial" {
+				serial = m.Seconds
+			}
+		}
+		fmt.Fprintf(&sb, "  %-8s (%d stages)\n", q.Query, q.Modes[0].Stages)
+		for _, m := range q.Modes {
+			fmt.Fprintf(&sb, "    %-12s %8.1fs", m.Name, m.Seconds)
+			if serial > 0 && m.Name != "serial" {
+				fmt.Fprintf(&sb, "  %5.2fx vs serial", serial/m.Seconds)
+			}
+			if m.MemWrite > 0 {
+				fmt.Fprintf(&sb, "  mem-tier %s written / %s read",
+					fmtBytes(m.MemWrite), fmtBytes(m.MemRead))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

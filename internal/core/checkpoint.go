@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hivempi/internal/exec"
+	"hivempi/internal/kvio"
 	"hivempi/internal/trace"
 )
 
@@ -20,8 +21,6 @@ import (
 // simply skip checkpointing and re-run on retry.
 const maxCheckpointBytes = 64 << 20
 
-type kvPair struct{ K, V []byte }
-
 // checkpointMeta preserves the original attempt's input-side counters.
 // A replay re-sends pairs without re-reading the split, so without
 // these the salvaged read/compute work would vanish from the trace and
@@ -36,14 +35,17 @@ func checkpointPath(stageID string, rank int) string {
 	return fmt.Sprintf("%s/%s/ckpt-o-%05d", workDir, stageID, rank)
 }
 
-// checkpointRecorder accumulates one O task's emitted pairs.
+// checkpointRecorder accumulates one O task's emitted pairs as a single
+// flat kvio-encoded buffer: one append per pair on the shuffle hot
+// path, instead of two per-pair clone allocations.
 type checkpointRecorder struct {
-	pairs     []kvPair
+	buf       []byte
 	bytes     int64
 	oversized bool
 }
 
-// record copies one emitted pair (the engine may reuse buffers).
+// record appends one emitted pair (copying, since the engine may reuse
+// the key/value buffers).
 func (r *checkpointRecorder) record(k, v []byte) {
 	if r.oversized {
 		return
@@ -51,13 +53,10 @@ func (r *checkpointRecorder) record(k, v []byte) {
 	r.bytes += int64(len(k) + len(v))
 	if r.bytes > maxCheckpointBytes {
 		r.oversized = true
-		r.pairs = nil
+		r.buf = nil
 		return
 	}
-	r.pairs = append(r.pairs, kvPair{
-		K: append([]byte(nil), k...),
-		V: append([]byte(nil), v...),
-	})
+	r.buf = kvio.AppendKV(r.buf, k, v)
 }
 
 // commit publishes the checkpoint atomically; failures are swallowed
@@ -70,7 +69,11 @@ func (r *checkpointRecorder) commit(env *exec.Env, stageID string, rank int, m *
 	meta := checkpointMeta{InputBytes: m.InputBytes, InputRecords: m.InputRecords}
 	path := checkpointPath(stageID, rank)
 	tmp := path + ".tmp"
-	if err := env.FS.WriteFile(tmp, encodePairs(meta, r.pairs)); err != nil {
+	data := make([]byte, 0, 2*binary.MaxVarintLen64+len(r.buf))
+	data = binary.AppendUvarint(data, uint64(meta.InputBytes))
+	data = binary.AppendUvarint(data, uint64(meta.InputRecords))
+	data = append(data, r.buf...)
+	if err := env.FS.WriteFile(tmp, data); err != nil {
 		env.FS.Delete(tmp)
 		return
 	}
@@ -78,78 +81,27 @@ func (r *checkpointRecorder) commit(env *exec.Env, stageID string, rank int, m *
 }
 
 // readCheckpoint loads rank's committed checkpoint, if one exists and
-// decodes cleanly.
-func readCheckpoint(env *exec.Env, stageID string, rank int) (checkpointMeta, []kvPair, bool) {
+// decodes cleanly. The returned pairs alias the loaded buffer.
+func readCheckpoint(env *exec.Env, stageID string, rank int) (checkpointMeta, []kvio.KV, bool) {
 	data, err := env.FS.ReadFile(checkpointPath(stageID, rank))
 	if err != nil {
 		return checkpointMeta{}, nil, false
 	}
-	meta, pairs, err := decodePairs(data)
+	var meta checkpointMeta
+	ib, n := binary.Uvarint(data)
+	if n <= 0 {
+		return checkpointMeta{}, nil, false
+	}
+	data = data[n:]
+	ir, n := binary.Uvarint(data)
+	if n <= 0 {
+		return checkpointMeta{}, nil, false
+	}
+	data = data[n:]
+	meta.InputBytes, meta.InputRecords = int64(ib), int64(ir)
+	pairs, err := kvio.DecodeAll(data)
 	if err != nil {
 		return checkpointMeta{}, nil, false
 	}
 	return meta, pairs, true
-}
-
-// encodePairs serializes the meta header (input bytes, input records)
-// then uvarint count and length-prefixed key/value bytes.
-func encodePairs(meta checkpointMeta, pairs []kvPair) []byte {
-	var buf []byte
-	buf = binary.AppendUvarint(buf, uint64(meta.InputBytes))
-	buf = binary.AppendUvarint(buf, uint64(meta.InputRecords))
-	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
-	for _, p := range pairs {
-		buf = binary.AppendUvarint(buf, uint64(len(p.K)))
-		buf = append(buf, p.K...)
-		buf = binary.AppendUvarint(buf, uint64(len(p.V)))
-		buf = append(buf, p.V...)
-	}
-	return buf
-}
-
-func decodePairs(data []byte) (checkpointMeta, []kvPair, error) {
-	var meta checkpointMeta
-	readUvarint := func() (uint64, error) {
-		v, n := binary.Uvarint(data)
-		if n <= 0 {
-			return 0, fmt.Errorf("core: checkpoint header corrupt")
-		}
-		data = data[n:]
-		return v, nil
-	}
-	ib, err := readUvarint()
-	if err != nil {
-		return meta, nil, err
-	}
-	ir, err := readUvarint()
-	if err != nil {
-		return meta, nil, err
-	}
-	count, err := readUvarint()
-	if err != nil {
-		return meta, nil, err
-	}
-	meta.InputBytes, meta.InputRecords = int64(ib), int64(ir)
-	pairs := make([]kvPair, 0, count)
-	readBlob := func() ([]byte, error) {
-		l, n := binary.Uvarint(data)
-		if n <= 0 || uint64(len(data)-n) < l {
-			return nil, fmt.Errorf("core: checkpoint truncated")
-		}
-		b := data[n : n+int(l)]
-		data = data[n+int(l):]
-		return b, nil
-	}
-	for i := uint64(0); i < count; i++ {
-		k, err := readBlob()
-		if err != nil {
-			return meta, nil, err
-		}
-		v, err := readBlob()
-		if err != nil {
-			return meta, nil, err
-		}
-		pairs = append(pairs, kvPair{K: k, V: v})
-	}
-	return meta, pairs, nil
 }

@@ -6,19 +6,20 @@ import (
 
 	"hivempi/internal/dfs"
 	"hivempi/internal/exec"
+	"hivempi/internal/kvio"
 	"hivempi/internal/trace"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	env := &exec.Env{FS: dfs.New(dfs.Config{BlockSize: 128, Nodes: []string{"n1"}})}
 	var rec checkpointRecorder
-	want := []kvPair{
-		{K: []byte("k1"), V: []byte("v1")},
-		{K: []byte(""), V: []byte("empty-key")},
-		{K: []byte("k3"), V: nil},
+	want := []kvio.KV{
+		{Key: []byte("k1"), Value: []byte("v1")},
+		{Key: []byte(""), Value: []byte("empty-key")},
+		{Key: []byte("k3"), Value: nil},
 	}
 	for _, p := range want {
-		rec.record(p.K, p.V)
+		rec.record(p.Key, p.Value)
 	}
 	rec.commit(env, "stage-1", 3, &trace.Task{InputBytes: 4096, InputRecords: 37})
 	meta, got, ok := readCheckpoint(env, "stage-1", 3)
@@ -32,8 +33,8 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("got %d pairs, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if !bytes.Equal(got[i].K, want[i].K) || !bytes.Equal(got[i].V, want[i].V) {
-			t.Errorf("pair %d: got %q=%q want %q=%q", i, got[i].K, got[i].V, want[i].K, want[i].V)
+		if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Errorf("pair %d: got %q=%q want %q=%q", i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
 		}
 	}
 	// No tmp file left behind.

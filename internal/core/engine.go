@@ -55,8 +55,8 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 	numA := exec.ReducerCount(stage, conf, len(tasks), inputBytes)
 
 	if stage.Shuffle == nil {
-		return e.runWithRetries(env, stage, conf, func(attempt int, collect exec.RowSink) (*trace.Stage, error) {
-			return e.runMapOnly(env, stage, conf, tasks, collect, attempt)
+		return e.runWithRetries(env, stage, conf, func(attempt int) (*trace.Stage, []types.Row, error) {
+			return e.runMapOnly(env, stage, conf, tasks, attempt)
 		})
 	}
 
@@ -95,10 +95,11 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		}
 	}
 
-	return e.runWithRetries(env, stage, conf, func(attempt int, collect exec.RowSink) (*trace.Stage, error) {
+	return e.runWithRetries(env, stage, conf, func(attempt int) (*trace.Stage, []types.Row, error) {
 		// Each attempt is a fresh bipartite world: an MPI transport
 		// failure is fatal to its communicator, so recovery means
 		// relaunching the job, not patching the old one.
+		sinks := newShardedRows(numA)
 		job, err := datampi.NewJob(datampi.Config{
 			NumO: len(tasks),
 			NumA: numA,
@@ -115,7 +116,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			Chaos:           env.Chaos,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 
 		// The O body is the DataMPIHiveApplication map path: deserialize
@@ -137,8 +138,8 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 					m.InputRecords = meta.InputRecords
 					for _, p := range pairs {
 						m.OutputRecords++
-						m.OutputBytes += int64(len(p.K) + len(p.V))
-						if err := o.Send(p.K, p.V); err != nil {
+						m.OutputBytes += int64(len(p.Key) + len(p.Value))
+						if err := o.Send(p.Key, p.Value); err != nil {
 							return err
 						}
 					}
@@ -175,7 +176,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 				return err
 			}
 			exec.ApplyStraggler(m, env.Chaos.StragglerDelay(stage.ID, "a", a.Rank()), conf)
-			out, closer, err := exec.BuildTaskOutput(env, stage, a.Rank(), collect)
+			out, closer, err := exec.BuildTaskOutput(env, stage, a.Rank(), sinks.sink(a.Rank()))
 			if err != nil {
 				return err
 			}
@@ -205,7 +206,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		}
 
 		if err := job.Run(oBody, aBody); err != nil {
-			return nil, fmt.Errorf("datampi stage %s: %w", stage.ID, err)
+			return nil, nil, fmt.Errorf("datampi stage %s: %w", stage.ID, err)
 		}
 
 		st := &trace.Stage{
@@ -223,9 +224,47 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		for i, m := range st.Producers {
 			m.LocalRead = tasks[i].Local
 		}
-		fillWriteBytes(env, stage, st)
-		return st, nil
+		exec.FillSinkWriteBytes(env, stage, st)
+		return st, sinks.rows(), nil
 	})
+}
+
+// shardedRows collects rows from concurrently running tasks without a
+// shared lock: each task appends to its own shard, and the shards are
+// merged in task order when the attempt completes. The collected rows
+// are exclusively owned by their producer (readers return fresh rows
+// per record and every operator emits newly built rows), so no
+// defensive Clone is taken.
+type shardedRows struct {
+	shards [][]types.Row
+}
+
+func newShardedRows(n int) *shardedRows {
+	return &shardedRows{shards: make([][]types.Row, n)}
+}
+
+// sink returns task i's private collector.
+func (s *shardedRows) sink(i int) exec.RowSink {
+	return func(r types.Row) error {
+		s.shards[i] = append(s.shards[i], r)
+		return nil
+	}
+}
+
+// rows merges the shards in task order.
+func (s *shardedRows) rows() []types.Row {
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]types.Row, 0, total)
+	for _, sh := range s.shards {
+		out = append(out, sh...)
+	}
+	return out
 }
 
 // retryBackoffBase is the first virtual-time retry delay; subsequent
@@ -233,13 +272,13 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 const retryBackoffBase = 2.0
 
 // runWithRetries executes attempts of one stage until success or the
-// conf.MaxTaskAttempts budget is spent. Every attempt gets a fresh row
-// collector (partial rows from failed attempts are discarded) and the
-// stage sink is wiped between attempts; recovery costs — exponential
-// backoff and injected message delay — are recorded on the stage trace
-// for the perfmodel to charge.
+// conf.MaxTaskAttempts budget is spent. Every attempt builds a fresh
+// sharded row collector (partial rows from failed attempts are
+// discarded) and the stage sink is wiped between attempts; recovery
+// costs — exponential backoff and injected message delay — are recorded
+// on the stage trace for the perfmodel to charge.
 func (e *Engine) runWithRetries(env *exec.Env, stage *exec.Stage, conf exec.EngineConf,
-	run func(attempt int, collect exec.RowSink) (*trace.Stage, error)) (*exec.StageResult, error) {
+	run func(attempt int) (*trace.Stage, []types.Row, error)) (*exec.StageResult, error) {
 	attempts := conf.MaxTaskAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -247,15 +286,7 @@ func (e *Engine) runWithRetries(env *exec.Env, stage *exec.Stage, conf exec.Engi
 	var backoff, chaosDelay float64
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
-		var mu sync.Mutex
-		var rows []types.Row
-		collect := func(r types.Row) error {
-			mu.Lock()
-			defer mu.Unlock()
-			rows = append(rows, r.Clone())
-			return nil
-		}
-		st, err := run(attempt, collect)
+		st, rows, err := run(attempt)
 		chaosDelay += env.Chaos.DrainVirtualDelay()
 		if err == nil {
 			st.Attempts = attempt
@@ -286,9 +317,10 @@ func resetStageSink(env *exec.Env, stage *exec.Stage) {
 // under a slot semaphore with no A side (DataMPI spawns only the O
 // communicator).
 func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineConf,
-	tasks []exec.MapTaskSpec, collect exec.RowSink, attempt int) (*trace.Stage, error) {
+	tasks []exec.MapTaskSpec, attempt int) (*trace.Stage, []types.Row, error) {
 	metrics := make([]*trace.Task, len(tasks))
 	errs := make([]error, len(tasks))
+	sinks := newShardedRows(len(tasks))
 	sem := make(chan struct{}, conf.MaxSlots())
 	var wg sync.WaitGroup
 	for i := range tasks {
@@ -304,7 +336,7 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 				return
 			}
 			exec.ApplyStraggler(metrics[i], env.Chaos.StragglerDelay(stage.ID, "o", i), conf)
-			out, closer, err := exec.BuildTaskOutput(env, stage, i, collect)
+			out, closer, err := exec.BuildTaskOutput(env, stage, i, sinks.sink(i))
 			if err != nil {
 				errs[i] = err
 				return
@@ -320,7 +352,7 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("datampi map-only stage %s: %w", stage.ID, err)
+			return nil, nil, fmt.Errorf("datampi map-only stage %s: %w", stage.ID, err)
 		}
 	}
 	st := &trace.Stage{
@@ -332,23 +364,6 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 	for i, m := range st.Producers {
 		m.LocalRead = tasks[i].Local
 	}
-	fillWriteBytes(env, stage, st)
-	return st, nil
-}
-
-// fillWriteBytes attributes sink part-file sizes to their tasks.
-func fillWriteBytes(env *exec.Env, stage *exec.Stage, st *trace.Stage) {
-	if stage.Sink == nil {
-		return
-	}
-	owner := st.Consumers
-	if len(owner) == 0 {
-		owner = st.Producers
-	}
-	for i, t := range owner {
-		path := fmt.Sprintf("%s/part-%05d", stage.Sink.Dir, i)
-		if sz, err := env.FS.Size(path); err == nil {
-			t.WriteBytes = sz
-		}
-	}
+	exec.FillSinkWriteBytes(env, stage, st)
+	return st, sinks.rows(), nil
 }

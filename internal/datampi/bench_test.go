@@ -1,0 +1,67 @@
+package datampi
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// benchSend pushes b.N pairs through MPI_D_Send with the given shuffle
+// configuration and drains them at the A side. allocs/op is the
+// interesting number: the pooled send-partition buffers keep the
+// steady-state hot path allocation-free.
+func benchSend(b *testing.B, cfg Config) {
+	b.Helper()
+	cfg.NumO = 1
+	cfg.NumA = 4
+	keys := make([][]byte, 256)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%03d", i))
+	}
+	val := []byte("12345678")
+	job, err := NewJob(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err = job.Run(
+		func(o *OContext) error {
+			for i := 0; i < b.N; i++ {
+				if err := o.Send(keys[i%len(keys)], val); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(a *AContext) error {
+			for {
+				if _, _, err := a.NextGroup(); err == io.EOF {
+					return nil
+				} else if err != nil {
+					return err
+				}
+			}
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSendBlocking(b *testing.B) {
+	benchSend(b, Config{NonBlocking: false, SpillDir: b.TempDir()})
+}
+
+func BenchmarkSendNonBlocking(b *testing.B) {
+	benchSend(b, Config{NonBlocking: true, SpillDir: b.TempDir()})
+}
+
+func BenchmarkSendNonBlockingCombiner(b *testing.B) {
+	benchSend(b, Config{
+		NonBlocking: true,
+		SpillDir:    b.TempDir(),
+		Combiner: func(key []byte, vals [][]byte) [][]byte {
+			return vals[:1]
+		},
+	})
+}

@@ -3,6 +3,7 @@ package datampi
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"hivempi/internal/kvio"
 	"hivempi/internal/mpi"
@@ -17,8 +18,17 @@ type OContext struct {
 	job  *Job
 	rank int
 
-	// Send Partition List: one buffer per A task (paper Fig. 7).
+	// Send Partition List: one buffer per A task (paper Fig. 7). Pairs
+	// are kept wire-encoded (kvio framing) so Send never clones keys or
+	// values — one append per pair into a pooled buffer.
 	partitions []partitionBuffer
+
+	// Send-buffer pool: flushed partition buffers return here once the
+	// transport has copied them (mpi.Send/Isend copy their payload), so
+	// steady-state Send allocates nothing. The pool is shared between
+	// the compute thread and the non-blocking sender goroutine.
+	bufMu   sync.Mutex
+	freeBuf [][]byte
 
 	// Non-blocking engine state.
 	sendQueue chan flushItem
@@ -35,7 +45,6 @@ type OContext struct {
 type partitionBuffer struct {
 	data  []byte
 	pairs int
-	kvs   []kvio.KV // retained uncombined pairs when a combiner is set
 }
 
 type flushItem struct {
@@ -77,6 +86,38 @@ func (o *OContext) NumA() int { return o.job.cfg.NumA }
 // input-side counters.
 func (o *OContext) Metrics() *trace.Task { return o.metrics }
 
+// maxFreeBuffers bounds the per-task pool; beyond it buffers are left
+// to the garbage collector (SendQueueSize buffers can be in flight).
+const maxFreeBuffers = 8
+
+// getBuf returns an empty partition buffer with full send-buffer
+// capacity, reusing a previously flushed one when available.
+func (o *OContext) getBuf() []byte {
+	o.bufMu.Lock()
+	if n := len(o.freeBuf); n > 0 {
+		b := o.freeBuf[n-1]
+		o.freeBuf = o.freeBuf[:n-1]
+		o.bufMu.Unlock()
+		return b[:0]
+	}
+	o.bufMu.Unlock()
+	// Slack beyond the flush threshold so the pair that trips the
+	// threshold rarely forces a reallocation.
+	return make([]byte, 0, o.job.cfg.SendBufferBytes+512)
+}
+
+// putBuf recycles a buffer whose contents the transport has copied.
+func (o *OContext) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	o.bufMu.Lock()
+	if len(o.freeBuf) < maxFreeBuffers {
+		o.freeBuf = append(o.freeBuf, b)
+	}
+	o.bufMu.Unlock()
+}
+
 // Send routes one key-value pair toward its aggregator (MPI_D_Send).
 func (o *OContext) Send(key, value []byte) error {
 	if o.finalized {
@@ -96,47 +137,44 @@ func (o *OContext) Send(key, value []byte) error {
 	o.metrics.PartitionBytes[part] += int64(sz)
 	o.pairIndex++
 
-	if o.job.cfg.Combiner != nil {
-		pb.kvs = append(pb.kvs, kvio.KV{
-			Key:   append([]byte(nil), key...),
-			Value: append([]byte(nil), value...),
-		})
-		pb.pairs++
-		pb.data = nil // size accounting via kvs below
-		if approxKVBytes(pb.kvs) >= o.job.cfg.SendBufferBytes {
-			return o.flushPartition(part)
-		}
-		return nil
+	if pb.data == nil {
+		pb.data = o.getBuf()
 	}
-
 	pb.data = kvio.AppendKV(pb.data, key, value)
 	pb.pairs++
 	if len(pb.data) >= o.job.cfg.SendBufferBytes {
-		return o.flushPartition(part)
+		return o.flushPartition(part, false)
 	}
 	return nil
 }
 
-func approxKVBytes(kvs []kvio.KV) int {
-	n := 0
-	for _, p := range kvs {
-		n += p.WireSize()
-	}
-	return n
-}
-
 // flushPartition pushes one full partition into the shuffle engine.
-func (o *OContext) flushPartition(part int) error {
+// force permits the residual flushes finalize issues after the Send
+// path has been closed.
+func (o *OContext) flushPartition(part int, force bool) error {
+	if o.finalized && !force {
+		return errors.New("datampi: flush after finalize")
+	}
 	pb := &o.partitions[part]
 	data := pb.data
-	if o.job.cfg.Combiner != nil {
-		data = o.runCombiner(pb.kvs)
-		pb.kvs = nil
-	}
 	pb.data = nil
 	pb.pairs = 0
 	if len(data) == 0 {
+		o.putBuf(data)
 		return nil
+	}
+	if o.job.cfg.Combiner != nil {
+		kvs, err := kvio.DecodeAll(data)
+		if err != nil {
+			return fmt.Errorf("datampi: partition %d buffer corrupt: %w", part, err)
+		}
+		combined := o.runCombiner(kvs)
+		o.putBuf(data)
+		data = combined
+		if len(data) == 0 {
+			o.putBuf(data)
+			return nil
+		}
 	}
 	o.metrics.ShuffleOutBytes += int64(len(data))
 	o.flushMark = append(o.flushMark, o.pairIndex)
@@ -149,12 +187,16 @@ func (o *OContext) flushPartition(part int) error {
 		select {
 		case err := <-o.senderErr:
 			o.err = err
+			o.putBuf(data)
 			return err
 		case o.sendQueue <- flushItem{dest: part, data: data}:
+			// The sender goroutine recycles the buffer after Isend.
 			return nil
 		}
 	}
-	return o.blockingFlush(part, data)
+	err := o.blockingFlush(part, data)
+	o.putBuf(data)
+	return err
 }
 
 // blockingFlush implements the blocking shuffle style: the compute
@@ -183,6 +225,8 @@ func (o *OContext) senderLoop() {
 	for item := range o.sendQueue {
 		dst := o.job.commA.WorldRank(item.dest)
 		req, err := o.job.world.Isend(o.rank, dst, tagData, item.data)
+		// Isend copies the payload, so the buffer recycles immediately.
+		o.putBuf(item.data)
 		if err != nil {
 			select {
 			case o.senderErr <- fmt.Errorf("datampi: isend to A%d: %w", item.dest, err):
@@ -212,28 +256,32 @@ func (o *OContext) senderLoop() {
 	}
 }
 
-// runCombiner groups the partition's pairs by key and applies the
-// user combiner, returning the encoded output.
+// runCombiner groups the partition's pairs by key with a hash map in
+// first-seen key order and applies the user combiner, returning the
+// encoded output in a pooled buffer. Wire order is correctness-neutral
+// (the A side sorts before grouping), and first-seen order is
+// deterministic for a given input stream, unlike map iteration.
 func (o *OContext) runCombiner(kvs []kvio.KV) []byte {
-	kvio.Sort(kvs)
 	o.metrics.CombineInPairs += int64(len(kvs))
-	var out []byte
-	i := 0
-	for i < len(kvs) {
-		j := i + 1
-		for j < len(kvs) && string(kvs[j].Key) == string(kvs[i].Key) {
-			j++
+	groups := make(map[string]int, len(kvs))
+	keys := make([][]byte, 0, len(kvs))
+	vals := make([][][]byte, 0, len(kvs))
+	for _, p := range kvs {
+		idx, ok := groups[string(p.Key)]
+		if !ok {
+			idx = len(keys)
+			groups[string(p.Key)] = idx
+			keys = append(keys, p.Key)
+			vals = append(vals, nil)
 		}
-		vals := make([][]byte, 0, j-i)
-		for k := i; k < j; k++ {
-			vals = append(vals, kvs[k].Value)
-		}
-		vals = o.job.cfg.Combiner(kvs[i].Key, vals)
-		for _, v := range vals {
-			out = kvio.AppendKV(out, kvs[i].Key, v)
+		vals[idx] = append(vals[idx], p.Value)
+	}
+	out := o.getBuf()
+	for i, key := range keys {
+		for _, v := range o.job.cfg.Combiner(key, vals[i]) {
+			out = kvio.AppendKV(out, key, v)
 			o.metrics.CombineOutPairs++
 		}
-		i = j
 	}
 	return out
 }
@@ -248,8 +296,8 @@ func (o *OContext) finalize() error {
 	var errs []error
 	for part := range o.partitions {
 		pb := &o.partitions[part]
-		if pb.pairs > 0 || len(pb.data) > 0 || len(pb.kvs) > 0 {
-			if err := o.flushPartitionFinal(part); err != nil {
+		if pb.pairs > 0 || len(pb.data) > 0 {
+			if err := o.flushPartition(part, true); err != nil {
 				errs = append(errs, err)
 			}
 		}
@@ -276,13 +324,4 @@ func (o *OContext) finalize() error {
 		}
 	}
 	return errors.Join(errs...)
-}
-
-// flushPartitionFinal is flushPartition but bypasses the Send guard.
-func (o *OContext) flushPartitionFinal(part int) error {
-	wasFinalized := o.finalized
-	o.finalized = false
-	err := o.flushPartition(part)
-	o.finalized = wasFinalized
-	return err
 }

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"hivempi/internal/chaos"
+	"hivempi/internal/imstore"
 )
 
 // DefaultBlockSize matches the paper's HDFS configuration (64 MB),
@@ -49,6 +50,14 @@ type FileSystem struct {
 	bytesRead  atomic.Int64
 	bytesWrite atomic.Int64
 
+	// Memory-tier byte counters: the subset of bytesRead/bytesWrite
+	// served by files resident in the attached imstore.
+	memBytesRead  atomic.Int64
+	memBytesWrite atomic.Int64
+
+	tierMu  sync.Mutex
+	memTier *imstore.Store // in-memory intermediate tier; nil = disk only
+
 	faultMu sync.Mutex
 	plane   *chaos.Plane // fault-injection plane; nil = no faults
 }
@@ -57,6 +66,30 @@ type FileSystem struct {
 // the chaos sentinel itself, so errors.Is works uniformly with either
 // chaos.ErrInjected or this compatibility alias.
 var ErrInjectedFault = chaos.ErrInjected
+
+// SetMemTier attaches the in-memory intermediate store; nil detaches
+// it. Tier placement is decided when a writer closes: eligible files
+// that fit the store's budget become memory-resident, the rest stay on
+// the disk tier. The DFS keeps all blocks in process memory either way
+// (the cluster is simulated); the tier only changes cost accounting.
+func (fs *FileSystem) SetMemTier(s *imstore.Store) {
+	fs.tierMu.Lock()
+	defer fs.tierMu.Unlock()
+	fs.memTier = s
+}
+
+// memStore returns the attached memory tier (possibly nil).
+func (fs *FileSystem) memStore() *imstore.Store {
+	fs.tierMu.Lock()
+	defer fs.tierMu.Unlock()
+	return fs.memTier
+}
+
+// MemResident reports whether the file is held in the memory tier.
+func (fs *FileSystem) MemResident(p string) bool {
+	s := fs.memStore()
+	return s != nil && s.Resident(clean(p))
+}
 
 // SetChaos attaches a fault-injection plane; nil detaches it.
 func (fs *FileSystem) SetChaos(p *chaos.Plane) {
@@ -132,6 +165,12 @@ func (fs *FileSystem) BytesRead() int64 { return fs.bytesRead.Load() }
 // BytesWritten returns the cumulative bytes accepted from writers.
 func (fs *FileSystem) BytesWritten() int64 { return fs.bytesWrite.Load() }
 
+// MemBytesRead returns the cumulative bytes served from memory-tier files.
+func (fs *FileSystem) MemBytesRead() int64 { return fs.memBytesRead.Load() }
+
+// MemBytesWritten returns the cumulative bytes written into memory-tier files.
+func (fs *FileSystem) MemBytesWritten() int64 { return fs.memBytesWrite.Load() }
+
 func clean(p string) string {
 	p = path.Clean("/" + p)
 	return p
@@ -176,9 +215,13 @@ func (fs *FileSystem) List(dir string) []string {
 
 // Delete removes a file; deleting a missing file is not an error.
 func (fs *FileSystem) Delete(p string) {
+	p = clean(p)
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	delete(fs.files, clean(p))
+	delete(fs.files, p)
+	fs.mu.Unlock()
+	if s := fs.memStore(); s != nil {
+		s.Release(p)
+	}
 }
 
 // DeleteDir removes every file under the directory prefix.
@@ -187,25 +230,45 @@ func (fs *FileSystem) DeleteDir(dir string) {
 	if !strings.HasSuffix(dir, "/") {
 		dir += "/"
 	}
+	var removed []string
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	for p := range fs.files {
 		if strings.HasPrefix(p, dir) {
 			delete(fs.files, p)
+			removed = append(removed, p)
+		}
+	}
+	fs.mu.Unlock()
+	if s := fs.memStore(); s != nil {
+		for _, p := range removed {
+			s.Release(p)
 		}
 	}
 }
 
-// Rename moves src to dst atomically, replacing dst.
+// Rename moves src to dst atomically, replacing dst. Memory-tier
+// residency follows the file to its new name (re-admitted under the
+// destination path, which may fall outside the tier's roots).
 func (fs *FileSystem) Rename(src, dst string) error {
+	src, dst = clean(src), clean(dst)
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	f, ok := fs.files[clean(src)]
+	f, ok := fs.files[src]
 	if !ok {
+		fs.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, src)
 	}
-	delete(fs.files, clean(src))
-	fs.files[clean(dst)] = f
+	delete(fs.files, src)
+	fs.files[dst] = f
+	size := f.size
+	fs.mu.Unlock()
+	if s := fs.memStore(); s != nil {
+		wasResident := s.Resident(src)
+		s.Release(src)
+		s.Release(dst)
+		if wasResident {
+			s.TryAdmit(dst, size)
+		}
+	}
 	return nil
 }
 
@@ -290,7 +353,9 @@ func (w *Writer) flushBlock() {
 	w.cur = nil
 }
 
-// Close publishes the final partial block.
+// Close publishes the final partial block and decides the file's tier:
+// eligible files that fit the memory store's budget become resident,
+// the rest stay on the disk tier (the "transparent spill").
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -298,6 +363,14 @@ func (w *Writer) Close() error {
 	w.closed = true
 	if len(w.cur) > 0 {
 		w.flushBlock()
+	}
+	if s := w.fs.memStore(); s != nil {
+		w.fs.mu.RLock()
+		size := w.f.size
+		w.fs.mu.RUnlock()
+		if s.TryAdmit(w.path, size) {
+			w.fs.memBytesWrite.Add(size)
+		}
 	}
 	return nil
 }
@@ -310,7 +383,9 @@ func (fs *FileSystem) Open(p string) (*Reader, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
 	}
-	return &Reader{fs: fs, f: f, size: f.size, path: clean(p)}, nil
+	// Tier is fixed at Writer.Close and files are immutable once
+	// published, so it is safe to latch residency per reader.
+	return &Reader{fs: fs, f: f, size: f.size, path: clean(p), mem: fs.MemResident(p)}, nil
 }
 
 // Reader reads a file sequentially or at random offsets.
@@ -320,6 +395,7 @@ type Reader struct {
 	size int64
 	off  int64
 	path string
+	mem  bool // file was memory-tier resident when opened
 }
 
 var (
@@ -358,6 +434,9 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 		off += int64(c)
 	}
 	r.fs.bytesRead.Add(int64(n))
+	if r.mem {
+		r.fs.memBytesRead.Add(int64(n))
+	}
 	if n < len(p) {
 		return n, io.EOF
 	}

@@ -205,6 +205,33 @@ func BuildTaskOutput(env *Env, stage *Stage, taskID int,
 	return sink, closer, nil
 }
 
+// FillSinkWriteBytes attributes sink part-file sizes to the tasks that
+// wrote them (consumers, or producers for map-only stages). Part files
+// admitted to the memory tier are additionally counted as memory-tier
+// writes and credited as cached intermediate bytes, so the perfmodel
+// prices them at memory bandwidth.
+func FillSinkWriteBytes(env *Env, stage *Stage, st *trace.Stage) {
+	if stage.Sink == nil {
+		return
+	}
+	owner := st.Consumers
+	if len(owner) == 0 {
+		owner = st.Producers
+	}
+	for i, t := range owner {
+		path := fmt.Sprintf("%s/part-%05d", stage.Sink.Dir, i)
+		sz, err := env.FS.Size(path)
+		if err != nil {
+			continue
+		}
+		t.WriteBytes = sz
+		if env.FS.MemResident(path) {
+			t.MemWriteBytes = sz
+			t.MemoryCacheBytes += sz
+		}
+	}
+}
+
 // SizingBytes estimates a stage's logical input size for reducer
 // sizing: per map work, the larger of the measured split bytes and the
 // planner's raw-size estimate (compressed columnar inputs understate

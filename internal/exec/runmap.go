@@ -364,10 +364,15 @@ func RunMapTask(env *Env, stage *Stage, mapIdx int, split dfs.Split,
 		}
 	}
 	if metrics != nil {
+		var in int64
 		if pr, ok := rd.(storage.PhysicalReader); ok {
-			metrics.InputBytes += pr.PhysicalBytes()
+			in = pr.PhysicalBytes()
 		} else {
-			metrics.InputBytes += split.Length
+			in = split.Length
+		}
+		metrics.InputBytes += in
+		if env.FS.MemResident(split.Path) {
+			metrics.MemReadBytes += in
 		}
 	}
 	return c.close()

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hivempi/internal/exec"
+	"hivempi/internal/imstore"
 	"hivempi/internal/storage"
 	"hivempi/internal/trace"
 	"hivempi/internal/types"
@@ -35,12 +36,27 @@ type Driver struct {
 	// MapJoinThresholdBytes is forwarded to the planner.
 	MapJoinThresholdBytes int64
 
+	// SerialStages disables DAG stage scheduling: stages run strictly
+	// one after another in plan order (the pre-DAG driver behaviour,
+	// kept for baselines and A/B benchmarks).
+	SerialStages bool
+	// MaxConcurrentStages bounds how many stages the DAG scheduler runs
+	// at once; 0 picks one stage per worker node.
+	MaxConcurrentStages int
+
+	// InMemBytes is the hive.exec.inmem.bytes budget: when positive,
+	// intermediate stage output under TmpRoot is held in the in-memory
+	// tier up to this many bytes, transparently spilling to the disk
+	// tier beyond it.
+	InMemBytes int64
+
 	// Ablation switches forwarded to the planner (benchmarks only).
 	DisableMapAggregation bool
 	DisableProjection     bool
 	DisablePushdown       bool
 
-	querySeq int
+	querySeq    int
+	memAttached bool
 }
 
 // NewDriver builds a driver with the default layout.
@@ -216,38 +232,63 @@ func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSche
 	if err != nil {
 		return nil, nil, err
 	}
+	d.ensureMemTier()
 	if d.Collector != nil {
 		d.Collector.BeginQuery(sql)
 	}
 	defer d.Env.FS.DeleteDir(qtmp)
 
 	res := &Result{Statement: sql, Schema: outSch.toSchema()}
-	engine := d.Engine
-	for _, st := range stages {
-		sr, err := engine.Run(d.Env, st, d.Conf)
-		if err != nil && d.Fallback != nil && d.Fallback.Name() != engine.Name() {
-			// Graceful degradation: the primary engine spent its whole
-			// retry budget on this stage. Wipe its partial output and
-			// run the rest of the query on the fallback engine.
-			if st.Sink != nil && st.Sink.Dir != "" {
-				d.Env.FS.DeleteDir(st.Sink.Dir)
+	deps := StageDeps(stages)
+	es := &engineState{engine: d.Engine}
+
+	var results []*exec.StageResult
+	if d.SerialStages || len(stages) < 2 {
+		for _, st := range stages {
+			sr, err := d.runOneStage(st, es)
+			if err != nil {
+				return nil, nil, err
 			}
-			engine = d.Fallback
-			res.Degraded = engine.Name()
-			sr, err = engine.Run(d.Env, st, d.Conf)
+			results = append(results, sr)
 		}
+	} else {
+		results, err = d.runStagesDAG(stages, deps, es)
 		if err != nil {
-			return nil, nil, fmt.Errorf("stage %s: %w", st.ID, err)
+			return nil, nil, err
+		}
+		if d.Collector != nil {
+			d.Collector.MarkOverlapped()
+		}
+	}
+	res.Degraded = es.degradedName()
+
+	// Traces and rows are assembled in plan order whatever order the
+	// stages finished in, so results stay deterministic.
+	for i, sr := range results {
+		for _, j := range deps[i] {
+			sr.Trace.DependsOn = append(sr.Trace.DependsOn, stages[j].ID)
 		}
 		if d.Collector != nil {
 			d.Collector.AddStage(sr.Trace)
 		}
 		res.Stages = append(res.Stages, sr.Trace)
-		if st.Collect {
+		if stages[i].Collect {
 			res.Rows = append(res.Rows, sr.Rows...)
 		}
 	}
 	return res, outSch, nil
+}
+
+// ensureMemTier lazily attaches the in-memory intermediate store
+// covering TmpRoot once a hive.exec.inmem.bytes budget is configured.
+func (d *Driver) ensureMemTier() {
+	if d.InMemBytes <= 0 || d.memAttached {
+		return
+	}
+	s := imstore.New(d.InMemBytes)
+	s.AddRoot(d.TmpRoot)
+	d.Env.FS.SetMemTier(s)
+	d.memAttached = true
 }
 
 // explain plans the statement and renders the stage DAG.

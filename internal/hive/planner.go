@@ -136,43 +136,47 @@ func (p *Planner) planSelect(s *SelectStmt, d dest, stages *[]*exec.Stage) (relS
 	// stages only shuffle and materialize those.
 	needed := neededColumns(s)
 
-	// Left-deep join.
-	cur := rels[0]
-	curAliases := map[string]bool{aliases[0]: true}
-	for i := 1; i < len(s.From); i++ {
-		ref := s.From[i]
-		right := rels[i]
-		// Gather join conditions: explicit ON plus residual equalities
-		// now spanning cur and right.
-		var conds []Node
-		splitConjuncts(ref.On, &conds)
-		var stillResidual []Node
-		for _, c := range residual {
-			if p.refersOnly(c, curAliases, aliases[i]) {
-				conds = append(conds, c)
-			} else {
-				stillResidual = append(stillResidual, c)
+	// Bushy decomposition first: an all-inner FROM whose join graph
+	// splits into two connected halves plans each half independently,
+	// so the stage DAG scheduler can overlap them. Falls back to the
+	// left-deep chain when the query does not qualify.
+	cur, rest, bushy, err := p.planBushy(s, rels, aliases, residual, needed, stages)
+	if err != nil {
+		return nil, err
+	}
+	if bushy {
+		residual = rest
+	} else {
+		// Left-deep join.
+		cur = rels[0]
+		curAliases := map[string]bool{aliases[0]: true}
+		for i := 1; i < len(s.From); i++ {
+			ref := s.From[i]
+			right := rels[i]
+			// Gather join conditions: explicit ON plus residual
+			// equalities now spanning cur and right.
+			var conds []Node
+			splitConjuncts(ref.On, &conds)
+			var stillResidual []Node
+			for _, c := range residual {
+				if p.refersOnly(c, curAliases, aliases[i]) {
+					conds = append(conds, c)
+				} else {
+					stillResidual = append(stillResidual, c)
+				}
 			}
-		}
-		residual = stillResidual
+			residual = stillResidual
 
-		var err error
-		cur, err = p.planJoin(cur, right, ref.Join, conds, needed, stages)
-		if err != nil {
-			return nil, err
-		}
-		curAliases[aliases[i]] = true
-
-		// Residual conjuncts now fully resolvable run as filters.
-		var remain []Node
-		for _, c := range residual {
-			if f, _, rerr := resolve(c, cur.sch); rerr == nil {
-				p.pushFilter(cur, f, c)
-			} else {
-				remain = append(remain, c)
+			var err error
+			cur, err = p.planJoin(cur, right, ref.Join, conds, needed, stages)
+			if err != nil {
+				return nil, err
 			}
+			curAliases[aliases[i]] = true
+
+			// Residual conjuncts now fully resolvable run as filters.
+			residual = p.applyResolvable(residual, cur)
 		}
-		residual = remain
 	}
 	if len(residual) > 0 {
 		// Single-table query: filters attach directly.
@@ -205,7 +209,7 @@ func (p *Planner) planSelect(s *SelectStmt, d dest, stages *[]*exec.Stage) (relS
 	}
 
 	// Expand stars.
-	items, err := p.expandStars(items, cur.sch)
+	items, err = p.expandStars(items, cur.sch)
 	if err != nil {
 		return nil, err
 	}

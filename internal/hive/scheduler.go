@@ -1,0 +1,224 @@
+package hive
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hivempi/internal/exec"
+)
+
+// Stage DAG scheduling. The planner emits stages in a valid topological
+// order (every stage reads either base tables or the sink directories
+// of earlier stages), but multi-join queries like TPC-H Q2/Q8/Q9
+// contain independent branches — per-table pre-aggregations feeding a
+// final join — that a serial driver needlessly serializes. The
+// scheduler derives the dependency graph from source/sink paths and
+// launches every ready stage concurrently, bounded by
+// MaxConcurrentStages, so independent branches overlap the way a
+// DAG-parallel engine overlaps them.
+
+// StageDeps derives the stage dependency graph: stage i depends on
+// stage j (j < i) when one of i's inputs — a map work's scan directory
+// or a map join's small-table directory — is stage j's sink directory.
+// The planner assigns each intermediate a unique tmp directory, so
+// exact string equality identifies the producer. Dependencies always
+// point backwards in plan order, which keeps the graph acyclic.
+func StageDeps(stages []*exec.Stage) [][]int {
+	sinkOf := make(map[string]int, len(stages))
+	deps := make([][]int, len(stages))
+	for i, st := range stages {
+		seen := make(map[int]bool)
+		for _, dir := range stageInputDirs(st) {
+			if j, ok := sinkOf[dir]; ok && !seen[j] {
+				seen[j] = true
+				deps[i] = append(deps[i], j)
+			}
+		}
+		sort.Ints(deps[i])
+		if st.Sink != nil && st.Sink.Dir != "" {
+			sinkOf[st.Sink.Dir] = i
+		}
+	}
+	return deps
+}
+
+// stageInputDirs lists every directory the stage scans: each map work's
+// input and any map-join small tables, including map joins nested in a
+// small side's own load chain and in the reduce-side post chain.
+func stageInputDirs(st *exec.Stage) []string {
+	var dirs []string
+	var fromOps func(ops []exec.MapOp)
+	fromOps = func(ops []exec.MapOp) {
+		for _, op := range ops {
+			if mj, ok := op.(*exec.MapJoinOp); ok {
+				if mj.Small.Dir != "" {
+					dirs = append(dirs, mj.Small.Dir)
+				}
+				fromOps(mj.SmallOps)
+			}
+		}
+	}
+	for i := range st.Maps {
+		if st.Maps[i].Input.Dir != "" {
+			dirs = append(dirs, st.Maps[i].Input.Dir)
+		}
+		fromOps(st.Maps[i].Ops)
+	}
+	if st.Reduce != nil {
+		fromOps(st.Reduce.Post)
+	}
+	return dirs
+}
+
+// engineState is the engine selection shared by a query's stages: once
+// any stage exhausts the primary engine's retry budget, the whole rest
+// of the query degrades to the fallback engine, exactly as the serial
+// driver degraded.
+type engineState struct {
+	mu       sync.Mutex
+	engine   exec.Engine
+	degraded string // fallback engine name once degraded, else ""
+}
+
+func (es *engineState) current() exec.Engine {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.engine
+}
+
+func (es *engineState) degrade(to exec.Engine) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	es.engine = to
+	es.degraded = to.Name()
+}
+
+func (es *engineState) degradedName() string {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.degraded
+}
+
+// runOneStage executes one stage on the currently selected engine,
+// degrading to the fallback (and re-running the stage there) when the
+// primary spends its whole retry budget. Safe for concurrent use by
+// the DAG scheduler's stage goroutines.
+func (d *Driver) runOneStage(st *exec.Stage, es *engineState) (*exec.StageResult, error) {
+	engine := es.current()
+	sr, err := engine.Run(d.Env, st, d.Conf)
+	if err != nil && d.Fallback != nil && d.Fallback.Name() != engine.Name() {
+		// Graceful degradation: wipe the stage's partial output and run
+		// it (and, via the shared state, the rest of the query) on the
+		// fallback engine.
+		if st.Sink != nil && st.Sink.Dir != "" {
+			d.Env.FS.DeleteDir(st.Sink.Dir)
+		}
+		es.degrade(d.Fallback)
+		sr, err = d.Fallback.Run(d.Env, st, d.Conf)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stage %s: %w", st.ID, err)
+	}
+	return sr, nil
+}
+
+// stageConcurrency is the bound on concurrently running stages: the
+// configured limit, else one stage per worker node (each stage fans its
+// tasks across the cluster's slots, so node count is the point where
+// extra stage-level concurrency stops buying overlap).
+func (d *Driver) stageConcurrency() int {
+	if d.MaxConcurrentStages > 0 {
+		return d.MaxConcurrentStages
+	}
+	n := len(d.Conf.Slaves)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// runStagesDAG executes the stages with DAG overlap: every stage whose
+// dependencies completed is launched, lowest plan index first, up to
+// the concurrency bound. Results are returned in plan order regardless
+// of completion order, so traces and collected rows stay deterministic.
+// On failure the scheduler stops launching, drains in-flight stages and
+// returns the lowest-index error.
+func (d *Driver) runStagesDAG(stages []*exec.Stage, deps [][]int, es *engineState) ([]*exec.StageResult, error) {
+	n := len(stages)
+	results := make([]*exec.StageResult, n)
+	errs := make([]error, n)
+	waiting := make([]int, n) // unfinished dependencies per stage
+	dependents := make([][]int, n)
+	for i, ds := range deps {
+		waiting[i] = len(ds)
+		for _, j := range ds {
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+
+	var ready []int
+	for i := 0; i < n; i++ {
+		if waiting[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	doneCh := make(chan int)
+	running := 0
+	launched := 0
+	failed := false
+	maxConc := d.stageConcurrency()
+
+	for {
+		for !failed && running < maxConc && len(ready) > 0 {
+			// ready is kept ascending: stages launch in plan order so
+			// equal-priority branches schedule deterministically.
+			i := ready[0]
+			ready = ready[1:]
+			running++
+			launched++
+			go func(i int) {
+				results[i], errs[i] = d.runOneStage(stages[i], es)
+				doneCh <- i
+			}(i)
+		}
+		if running == 0 {
+			break
+		}
+		i := <-doneCh
+		running--
+		if errs[i] != nil {
+			failed = true
+			continue
+		}
+		for _, dep := range dependents[i] {
+			waiting[dep]--
+			if waiting[dep] == 0 {
+				ready = insertSorted(ready, dep)
+			}
+		}
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		_ = i
+	}
+	if launched < n {
+		// Unreachable for planner output (dependencies point backwards),
+		// kept as a guard against a malformed graph.
+		return nil, fmt.Errorf("hive: stage graph deadlock: %d of %d stages ran", launched, n)
+	}
+	return results, nil
+}
+
+// insertSorted inserts v into ascending slice s.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

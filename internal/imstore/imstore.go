@@ -1,0 +1,143 @@
+// Package imstore is the policy side of the in-memory intermediate
+// store (the hive.exec.inmem.bytes tier): stage outputs written under a
+// registered root (the driver's TmpRoot) are held in the memory tier up
+// to a byte budget and transparently "spill" to the disk tier beyond
+// it. The dfs layer consults the store when publishing and deleting
+// files; engines consult it to attribute per-task reads/writes to the
+// memory tier, which the perfmodel then charges at memory bandwidth
+// instead of disk bandwidth.
+//
+// The store tracks placement and budget only — the simulated DFS keeps
+// every block in process memory either way; what the tier changes is
+// the cost model and the accounting, mirroring how the paper's A-side
+// cache avoids disk without changing what data exists.
+package imstore
+
+import (
+	"strings"
+	"sync"
+)
+
+// Store is one memory-tier budget shared by the files of a driver's
+// intermediate directories. All methods are safe for concurrent use by
+// the tasks of concurrently running stages.
+type Store struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	resident map[string]int64 // path -> admitted size
+	roots    []string         // directory prefixes eligible for the tier
+
+	admitted int64 // files accepted into the tier (lifetime)
+	rejected int64 // files spilled to the disk tier for lack of budget
+}
+
+// New creates a store with the given byte budget. A non-positive
+// budget admits nothing (every file stays on the disk tier).
+func New(budget int64) *Store {
+	return &Store{budget: budget, resident: make(map[string]int64)}
+}
+
+// AddRoot registers a directory prefix whose files are eligible for
+// the memory tier.
+func (s *Store) AddRoot(dir string) {
+	if dir == "" {
+		return
+	}
+	if !strings.HasSuffix(dir, "/") {
+		dir += "/"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.roots {
+		if r == dir {
+			return
+		}
+	}
+	s.roots = append(s.roots, dir)
+}
+
+// Eligible reports whether path falls under a registered root.
+func (s *Store) Eligible(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eligibleLocked(path)
+}
+
+func (s *Store) eligibleLocked(path string) bool {
+	for _, r := range s.roots {
+		if strings.HasPrefix(path, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// TryAdmit reserves budget for a finished file of the given size and
+// places it in the memory tier. It returns false — the file stays on
+// the disk tier — when the path is not under a registered root or the
+// budget cannot cover it.
+func (s *Store) TryAdmit(path string, size int64) bool {
+	if size < 0 || s.budget <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.eligibleLocked(path) {
+		return false
+	}
+	if prev, ok := s.resident[path]; ok {
+		// Overwrite: give back the old reservation first.
+		s.used -= prev
+		delete(s.resident, path)
+	}
+	if s.used+size > s.budget {
+		s.rejected++
+		return false
+	}
+	s.used += size
+	s.resident[path] = size
+	s.admitted++
+	return true
+}
+
+// Release evicts path from the tier, returning its budget. Releasing a
+// non-resident path is a no-op.
+func (s *Store) Release(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size, ok := s.resident[path]; ok {
+		s.used -= size
+		delete(s.resident, path)
+	}
+}
+
+// Resident reports whether path is currently held in the memory tier.
+func (s *Store) Resident(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.resident[path]
+	return ok
+}
+
+// Stats is a point-in-time accounting snapshot.
+type Stats struct {
+	Budget   int64
+	Used     int64
+	Files    int
+	Admitted int64 // lifetime admissions
+	Rejected int64 // lifetime budget rejections (spills to disk tier)
+}
+
+// Stats returns the current accounting snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Budget:   s.budget,
+		Used:     s.used,
+		Files:    len(s.resident),
+		Admitted: s.admitted,
+		Rejected: s.rejected,
+	}
+}

@@ -1,0 +1,80 @@
+package imstore
+
+import "testing"
+
+func TestAdmitWithinBudget(t *testing.T) {
+	s := New(100)
+	s.AddRoot("/tmp/hive")
+	if !s.TryAdmit("/tmp/hive/q1/part-00000", 60) {
+		t.Fatal("first file within budget rejected")
+	}
+	if !s.Resident("/tmp/hive/q1/part-00000") {
+		t.Fatal("admitted file not resident")
+	}
+	if s.TryAdmit("/tmp/hive/q1/part-00001", 60) {
+		t.Fatal("admission over budget")
+	}
+	if !s.TryAdmit("/tmp/hive/q1/part-00002", 40) {
+		t.Fatal("file fitting the remaining budget rejected")
+	}
+	st := s.Stats()
+	if st.Used != 100 || st.Files != 2 || st.Admitted != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEligibilityByRoot(t *testing.T) {
+	s := New(1000)
+	s.AddRoot("/tmp/hive")
+	if s.TryAdmit("/warehouse/lineitem/part-00000", 10) {
+		t.Fatal("admitted a path outside every root")
+	}
+	if s.TryAdmit("/tmp/hivemind/part-00000", 10) {
+		t.Fatal("prefix match must respect the path separator")
+	}
+	if !s.TryAdmit("/tmp/hive/q1/part-00000", 10) {
+		t.Fatal("path under root rejected")
+	}
+}
+
+func TestReleaseReturnsBudget(t *testing.T) {
+	s := New(100)
+	s.AddRoot("/t")
+	if !s.TryAdmit("/t/a", 100) {
+		t.Fatal("admit failed")
+	}
+	if s.TryAdmit("/t/b", 1) {
+		t.Fatal("budget should be exhausted")
+	}
+	s.Release("/t/a")
+	if s.Resident("/t/a") {
+		t.Fatal("released file still resident")
+	}
+	if !s.TryAdmit("/t/b", 100) {
+		t.Fatal("budget not returned by Release")
+	}
+}
+
+func TestOverwriteReusesReservation(t *testing.T) {
+	s := New(100)
+	s.AddRoot("/t")
+	if !s.TryAdmit("/t/a", 80) {
+		t.Fatal("admit failed")
+	}
+	// Rewriting the same path replaces its reservation rather than
+	// double-charging the budget.
+	if !s.TryAdmit("/t/a", 90) {
+		t.Fatal("overwrite of a resident file rejected")
+	}
+	if st := s.Stats(); st.Used != 90 || st.Files != 1 {
+		t.Fatalf("stats after overwrite = %+v", st)
+	}
+}
+
+func TestZeroBudgetAdmitsNothing(t *testing.T) {
+	s := New(0)
+	s.AddRoot("/t")
+	if s.TryAdmit("/t/a", 0) {
+		t.Fatal("zero-budget store admitted a file")
+	}
+}

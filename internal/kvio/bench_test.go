@@ -1,0 +1,58 @@
+package kvio
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPairs builds a deterministic working set shaped like shuffle
+// traffic: short grouped keys, small values.
+func benchPairs(n int) ([]KV, []byte) {
+	kvs := make([]KV, n)
+	var wire []byte
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i%997))
+		val := []byte(fmt.Sprintf("%d", i))
+		kvs[i] = KV{Key: key, Value: val}
+		wire = AppendKV(wire, key, val)
+	}
+	return kvs, wire
+}
+
+func BenchmarkAppendKV(b *testing.B) {
+	kvs, _ := benchPairs(1024)
+	buf := make([]byte, 0, 64<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := kvs[i%len(kvs)]
+		buf = AppendKV(buf[:0], p.Key, p.Value)
+	}
+}
+
+func BenchmarkDecodeAll(b *testing.B) {
+	kvs, wire := benchPairs(1024)
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := DecodeAll(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(kvs) {
+			b.Fatalf("decoded %d pairs", len(out))
+		}
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	kvs, _ := benchPairs(4096)
+	scratch := make([]KV, len(kvs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, kvs)
+		Sort(scratch)
+	}
+}

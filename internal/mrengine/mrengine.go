@@ -157,23 +157,6 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		}
 	}
 	st.ChaosDelaySec = env.Chaos.DrainVirtualDelay()
-	fillWriteBytes(env, stage, st)
+	exec.FillSinkWriteBytes(env, stage, st)
 	return &exec.StageResult{Trace: st, Rows: rows}, nil
-}
-
-// fillWriteBytes attributes sink part-file sizes to their tasks.
-func fillWriteBytes(env *exec.Env, stage *exec.Stage, st *trace.Stage) {
-	if stage.Sink == nil {
-		return
-	}
-	owner := st.Consumers
-	if len(owner) == 0 {
-		owner = st.Producers
-	}
-	for i, t := range owner {
-		path := fmt.Sprintf("%s/part-%05d", stage.Sink.Dir, i)
-		if sz, err := env.FS.Size(path); err == nil {
-			t.WriteBytes = sz
-		}
-	}
 }

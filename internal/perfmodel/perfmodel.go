@@ -31,6 +31,7 @@ type Cluster struct {
 	DiskReadBW  float64 // bytes/sec per node
 	DiskWriteBW float64
 	NetBW       float64 // bytes/sec per NIC
+	MemBW       float64 // bytes/sec for memory-tier intermediate reads/writes
 
 	CPUPerRecord float64 // seconds per row through a Hive operator chain
 	CPUPerByte   float64 // seconds per byte of serde work
@@ -72,6 +73,7 @@ func DefaultParams() Params {
 			DiskReadBW:   90e6,
 			DiskWriteBW:  70e6,
 			NetBW:        110e6,
+			MemBW:        2.5e9, // DDR3-era sequential copy bandwidth
 			CPUPerRecord: 6e-6,
 			CPUPerByte:   28e-9,
 		},
@@ -131,6 +133,10 @@ type StageTiming struct {
 	MapShuffle float64 // paper's MS: map phase + copy (Hadoop) / O phase (DataMPI)
 	Others     float64 // merge + reduce + write
 	Total      float64
+	// StartAt is the stage's launch offset within its query: the serial
+	// cumulative offset, or the max of its dependencies' finish times
+	// when the query ran DAG-overlapped.
+	StartAt float64
 
 	MapStart   float64 // absolute time the first map/O task launches
 	MapEnd     float64
@@ -179,24 +185,41 @@ func (s *slotSchedule) maxEnd() float64 {
 	return m
 }
 
+// memTierBW returns the memory-tier bandwidth, falling back to a
+// DDR3-class default for Params built before the tier existed.
+func memTierBW(c Cluster) float64 {
+	if c.MemBW > 0 {
+		return c.MemBW
+	}
+	return 2.5e9
+}
+
 // mapTaskDuration models one producer task (excluding launch).
 func (p *Params) mapTaskDuration(st *trace.Stage, t *trace.Task) (dur, readT, computeT, writeT, netBytes float64) {
 	c := p.Cluster
 	in := float64(t.InputBytes) * p.ScaleUp
+	memIn := float64(t.MemReadBytes) * p.ScaleUp
+	if memIn > in {
+		memIn = in
+	}
+	diskIn := in - memIn
 	recs := float64(t.InputRecords) * p.ScaleUp
 	out := float64(t.ShuffleOutBytes) * p.ScaleUp
 	readBW := c.DiskReadBW
+	memBW := memTierBW(c)
 	if !t.LocalRead {
 		// A remote read still streams from the remote node's disk and
 		// additionally crosses the network; charge the slower of the
-		// two with a transfer penalty.
+		// two with a transfer penalty. A memory-tier read avoids the
+		// remote disk but still pays the wire.
 		readBW = c.DiskReadBW
 		if c.NetBW < readBW {
 			readBW = c.NetBW
 		}
 		readBW *= 0.7
+		memBW = c.NetBW * 0.7
 	}
-	readT = in / readBW
+	readT = diskIn/readBW + memIn/memBW
 	computeT = recs*c.CPUPerRecord + in*c.CPUPerByte
 
 	if st.Engine == "datampi" {
@@ -254,12 +277,17 @@ func (p *Params) reduceTaskDuration(st *trace.Stage, t *trace.Task) (dur, mergeT
 	in := float64(t.ShuffleInBytes) * p.ScaleUp
 	pairs := float64(t.ShuffleInPairs) * p.ScaleUp
 	outW := float64(t.WriteBytes) * p.ScaleUp
+	memOut := float64(t.MemWriteBytes) * p.ScaleUp
+	if memOut > outW {
+		memOut = outW
+	}
 
 	// Reduce-side rows are pre-parsed binary pairs, cheaper per record
 	// than the map-side operator chain over raw input.
 	computeT = pairs * c.CPUPerRecord * 0.7
-	// DFS write with pipeline replication ~1.5x effective cost.
-	writeT = outW * 1.5 / c.DiskWriteBW
+	// DFS write with pipeline replication ~1.5x effective cost; the
+	// memory-tier share skips the disk pipeline entirely.
+	writeT = (outW-memOut)*1.5/c.DiskWriteBW + memOut/memTierBW(c)
 
 	if st.Engine == "datampi" {
 		e := p.DataMPI
@@ -405,22 +433,45 @@ func (p *Params) SimulateStage(st *trace.Stage) *StageTiming {
 	return out
 }
 
-// QueryTiming aggregates a query's stages (run back to back, as the
-// driver executes them).
+// QueryTiming aggregates a query's stages: run back to back as the
+// serial driver executes them, or along the stage DAG's critical path
+// when the query ran overlapped.
 type QueryTiming struct {
 	Compile float64
 	Stages  []*StageTiming
 	Total   float64
 }
 
-// SimulateQuery simulates every stage of a query trace.
+// SimulateQuery simulates every stage of a query trace. For a serial
+// query the total is compile plus the sum of stage times; for a
+// DAG-overlapped query each stage starts at the latest finish of its
+// dependencies (sum along dependency chains, max over parallel
+// branches) and the total is compile plus the DAG's makespan.
 func (p *Params) SimulateQuery(q *trace.Query) *QueryTiming {
-	out := &QueryTiming{Compile: p.Compile, Total: p.Compile}
+	out := &QueryTiming{Compile: p.Compile}
+	finish := make(map[string]float64, len(q.Stages))
+	var makespan float64
 	for _, st := range q.Stages {
 		sim := p.SimulateStage(st)
+		if q.Overlapped {
+			var startAt float64
+			for _, dep := range st.DependsOn {
+				if f, ok := finish[dep]; ok && f > startAt {
+					startAt = f
+				}
+			}
+			sim.StartAt = startAt
+		} else {
+			sim.StartAt = makespan
+		}
+		end := sim.StartAt + sim.Total
+		finish[st.Name] = end
+		if end > makespan {
+			makespan = end
+		}
 		out.Stages = append(out.Stages, sim)
-		out.Total += sim.Total
 	}
+	out.Total = p.Compile + makespan
 	return out
 }
 

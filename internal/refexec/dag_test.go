@@ -1,0 +1,78 @@
+package refexec
+
+import (
+	"testing"
+
+	"hivempi/internal/hive"
+	"hivempi/internal/tpch"
+	"hivempi/internal/types"
+)
+
+// TestDAGSchedulingMatchesSerialOnAll22Queries runs every TPC-H query
+// four ways — serial stages vs DAG-parallel stages, each with and
+// without the in-memory intermediate tier — and requires identical row
+// sets. This is the end-to-end guard that concurrent stage execution
+// and memory-tier placement change only timing, never results.
+func TestDAGSchedulingMatchesSerialOnAll22Queries(t *testing.T) {
+	modes := []struct {
+		name string
+		mut  func(*hive.Driver)
+	}{
+		{"serial", func(d *hive.Driver) { d.SerialStages = true }},
+		{"dag", func(d *hive.Driver) {}},
+		{"serial+imstore", func(d *hive.Driver) {
+			d.SerialStages = true
+			d.InMemBytes = 64 << 20
+		}},
+		{"dag+imstore", func(d *hive.Driver) { d.InMemBytes = 64 << 20 }},
+	}
+
+	// One driver per mode; each loads its own cluster so memory-tier
+	// state never leaks across modes.
+	drivers := make([]*hive.Driver, len(modes))
+	for i, m := range modes {
+		drivers[i] = newDriver(t)
+		m.mut(drivers[i])
+	}
+
+	for q := 1; q <= tpch.NumQueries; q++ {
+		q := q
+		t.Run(tpch.QueryName(q), func(t *testing.T) {
+			script, err := tpch.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var base []types.Row
+			for i, m := range modes {
+				rows := lastRows(t, drivers[i], script)
+				if i == 0 {
+					base = rows
+					continue
+				}
+				if len(rows) != len(base) {
+					t.Fatalf("Q%d: %s returned %d rows, serial %d",
+						q, m.name, len(rows), len(base))
+				}
+				rowsMatch(t, q, rows, base)
+			}
+		})
+	}
+}
+
+// TestDAGTinyMemoryBudgetSpills reruns a multi-stage query with a
+// budget too small for any intermediate: every write must spill to the
+// disk tier and results must still match.
+func TestDAGTinyMemoryBudgetSpills(t *testing.T) {
+	script, err := tpch.Query(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newDriver(t)
+	ref.SerialStages = true
+	want := lastRows(t, ref, script)
+
+	d := newDriver(t)
+	d.InMemBytes = 1 // nothing fits: transparent spill everywhere
+	got := lastRows(t, d, script)
+	rowsMatch(t, 8, got, want)
+}

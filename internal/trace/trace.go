@@ -167,6 +167,12 @@ type Task struct {
 	GCPressureBytes  int64 // bytes of application memory displaced by caching
 	MemoryCacheBytes int64 // intermediate bytes held in memory (not spilled)
 
+	// Memory-tier I/O: the subset of InputBytes / WriteBytes served by
+	// the in-memory intermediate store instead of disk. The perfmodel
+	// charges these at memory bandwidth.
+	MemReadBytes  int64
+	MemWriteBytes int64
+
 	// Fault-tolerance accounting.
 	Attempts          int     // execution attempts (0 or 1 = ran once)
 	StragglerDelaySec float64 // virtual slowdown charged to this task
@@ -206,6 +212,11 @@ type Stage struct {
 	RetryBackoffSec float64 // virtual backoff spent between attempts
 	ChaosDelaySec   float64 // injected message delay charged to the stage
 	TaskRetries     int     // per-task re-executions within the job
+
+	// DependsOn names the stages whose output this stage reads (the
+	// query's stage DAG). The perfmodel uses it for critical-path
+	// virtual-time accounting when the query ran DAG-overlapped.
+	DependsOn []string
 }
 
 // TotalShuffleBytes sums producer shuffle output.
@@ -246,6 +257,10 @@ func (s *Stage) TotalOutputBytes() int64 {
 type Query struct {
 	Statement string
 	Stages    []*Stage
+	// Overlapped marks that independent stages ran concurrently (DAG
+	// scheduling): virtual time is then the critical path through the
+	// stage DAG instead of the serial sum.
+	Overlapped bool
 }
 
 // Collector accumulates stages from concurrently running tasks.
@@ -264,6 +279,18 @@ func (c *Collector) BeginQuery(statement string) {
 	defer c.mu.Unlock()
 	c.current = &Query{Statement: statement}
 	c.queries = append(c.queries, c.current)
+}
+
+// MarkOverlapped flags the current query as DAG-overlapped (creating an
+// anonymous query if none was begun).
+func (c *Collector) MarkOverlapped() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current == nil {
+		c.current = &Query{Statement: "(anonymous)"}
+		c.queries = append(c.queries, c.current)
+	}
+	c.current.Overlapped = true
 }
 
 // AddStage appends a completed stage to the current query (creating an
