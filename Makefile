@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench
+.PHONY: build test race vet fmt check bench obscheck trace
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,17 @@ fmt:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# obscheck vets and race-tests the observability plane (the metrics
+# registry and the span/Chrome-trace exporter) explicitly; `race`
+# covers them too, but this keeps the plane's gate visible on its own.
+obscheck:
+	$(GO) vet ./internal/obs/ ./internal/metrics/
+	$(GO) test -race ./internal/obs/ ./internal/metrics/
+
 # check is the tier-1 verification gate: static checks, then the full
 # suite under the race detector (covers the mpi/datampi concurrency
 # tests and the chaos soak).
-check: vet fmt build race
+check: vet fmt build obscheck race
 
 # bench runs the shuffle hot-path microbenchmarks (kvio framing,
 # MPI_D_Send, dfs memory tier) and writes the parsed numbers to
@@ -32,3 +39,9 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
 		./internal/kvio/ ./internal/datampi/ ./internal/dfs/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchfmt > BENCH_shuffle.json
+
+# trace runs TPC-H Q9 DAG-parallel at quick scale and exports its
+# Chrome trace-event timeline (schema-checked by benchsuite before the
+# file is written). Open /tmp/q9.trace.json in Perfetto.
+trace:
+	$(GO) run ./cmd/benchsuite -quick -exp dag -trace /tmp/q9.trace.json

@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	benchsuite [-scale N] [-exp list] [-quick]
+//	benchsuite [-scale N] [-exp list] [-quick] [-trace out.json]
 //
 // -scale sets bytes generated per paper-GB (default 1 MiB = 1:1000).
 // -exp selects experiments by name (comma separated), e.g.
 // "table1,fig9,table2"; default runs everything.
+// -trace writes the Chrome trace-event JSON of a DAG-parallel TPC-H Q9
+// run to the given file (open in Perfetto); typically combined with
+// "-exp dag".
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"hivempi/internal/bench"
+	"hivempi/internal/obs"
 )
 
 func main() {
@@ -35,6 +40,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shortcut for -scale 131072 (1:8000)")
 	expList := fs.String("exp", "all", "experiments: table1,fig1,fig2,fig6,fig8,fig9,fig10,table2,fig11,fig12,fig13,table3,ablations,fault,dag")
 	seed := fs.Int64("seed", 42, "dataset generator seed")
+	tracePath := fs.String("trace", "", "write a Chrome trace of a DAG-parallel TPC-H Q9 run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +106,24 @@ func run(args []string) error {
 		}
 		fmt.Println(res.String())
 		fmt.Printf("  [%s completed in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *tracePath != "" {
+		var buf bytes.Buffer
+		events, err := r.TraceDAG(9, 20, &buf)
+		if err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+		// Schema sanity check before publishing the file: every event
+		// must carry a name, a known phase and non-negative timestamps.
+		if _, err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+			return fmt.Errorf("trace export produced invalid JSON: %w", err)
+		}
+		if err := os.WriteFile(*tracePath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
+			events, *tracePath)
 	}
 	return nil
 }

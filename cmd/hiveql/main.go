@@ -6,7 +6,12 @@
 //
 //	hiveql [-engine hadoop|datampi] [-dataset tpch|hibench|none]
 //	       [-size GB] [-format textfile|sequencefile|orc] [-f script.sql]
-//	       [-explain]
+//	       [-explain] [-analyze]
+//
+// -analyze wraps each statement in EXPLAIN ANALYZE: the statement
+// executes and the plan is printed annotated with per-stage rows,
+// bytes, virtual seconds and engine (plus the counter snapshot).
+// EXPLAIN ANALYZE also works typed directly at the prompt.
 package main
 
 import (
@@ -23,7 +28,9 @@ import (
 	"hivempi/internal/hibench"
 	"hivempi/internal/hive"
 	"hivempi/internal/mrengine"
+	"hivempi/internal/obs"
 	"hivempi/internal/tpch"
+	"hivempi/internal/trace"
 )
 
 func main() {
@@ -41,6 +48,7 @@ func run(args []string) error {
 	format := fs.String("format", "textfile", "table format: textfile, sequencefile or orc")
 	script := fs.String("f", "", "script file to execute (default: interactive)")
 	explain := fs.Bool("explain", false, "print the plan for each statement instead of running it")
+	analyze := fs.Bool("analyze", false, "run each statement and print its runtime-annotated plan (EXPLAIN ANALYZE)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,15 +95,20 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return execute(d, string(data), *explain)
+		return execute(d, string(data), *explain, *analyze)
 	}
-	return repl(d, *explain)
+	return repl(d, *explain, *analyze)
 }
 
-func execute(d *hive.Driver, script string, explain bool) error {
+func execute(d *hive.Driver, script string, explain, analyze bool) error {
 	for _, stmt := range hive.SplitStatements(script) {
-		if explain && !strings.HasPrefix(strings.ToLower(stmt), "explain") {
-			stmt = "EXPLAIN " + stmt
+		if !strings.HasPrefix(strings.ToLower(stmt), "explain") {
+			switch {
+			case analyze:
+				stmt = "EXPLAIN ANALYZE " + stmt
+			case explain:
+				stmt = "EXPLAIN " + stmt
+			}
 		}
 		start := time.Now()
 		res, err := d.Execute(stmt)
@@ -108,6 +121,17 @@ func execute(d *hive.Driver, script string, explain bool) error {
 }
 
 func printResult(res *hive.Result, elapsed time.Duration) {
+	if res.Analyzed {
+		q := &trace.Query{
+			Statement:  res.Statement,
+			Stages:     res.Stages,
+			Overlapped: res.Overlapped,
+		}
+		fmt.Print(obs.RenderAnalyzedPlan(q, res.Degraded, res.Metrics, nil))
+		fmt.Printf("-- %d row(s), %d stage(s), %s\n",
+			len(res.Rows), len(res.Stages), elapsed.Round(time.Millisecond))
+		return
+	}
 	if res.Plan != "" {
 		fmt.Println(res.Plan)
 		return
@@ -121,7 +145,7 @@ func printResult(res *hive.Result, elapsed time.Duration) {
 	fmt.Printf("-- %d row(s), %d stage(s), %s\n", len(res.Rows), len(res.Stages), elapsed.Round(time.Millisecond))
 }
 
-func repl(d *hive.Driver, explain bool) error {
+func repl(d *hive.Driver, explain, analyze bool) error {
 	fmt.Println(`enter HiveQL statements terminated by ";" (quit/exit to leave; \q <n> runs TPC-H query n)`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -140,7 +164,7 @@ func repl(d *hive.Driver, explain bool) error {
 				q, err := tpch.Query(n)
 				if err != nil {
 					fmt.Println("error:", err)
-				} else if err := execute(d, q, explain); err != nil {
+				} else if err := execute(d, q, explain, analyze); err != nil {
 					fmt.Println("error:", err)
 				}
 				fmt.Print("hiveql> ")
@@ -153,7 +177,7 @@ func repl(d *hive.Driver, explain bool) error {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.Contains(line, ";") {
-			if err := execute(d, buf.String(), explain); err != nil {
+			if err := execute(d, buf.String(), explain, analyze); err != nil {
 				fmt.Println("error:", err)
 			}
 			buf.Reset()

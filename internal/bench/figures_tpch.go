@@ -398,6 +398,13 @@ func (r *Runner) Figure13() (*Figure13Result, error) {
 		var total float64
 		for _, q := range d.Collector.Queries() {
 			sim := r.cfg.Params.SimulateQuery(q)
+			// Successive statements run back to back: shift this query's
+			// critical-path offsets by the script time already elapsed, so
+			// the concatenated series stays serial across queries while
+			// preserving intra-query stage overlap.
+			for _, st := range sim.Stages {
+				st.StartAt += total
+			}
 			total += sim.Total
 			sims = append(sims, sim.Stages...)
 		}

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hivempi/internal/obs"
+	"hivempi/internal/tpch"
+)
+
+// TraceDAG runs one multi-stage TPC-H query DAG-parallel on DataMPI and
+// writes the Chrome trace-event JSON of its simulated timeline to w
+// (open the file in Perfetto / chrome://tracing). Returns the number of
+// events written.
+func (r *Runner) TraceDAG(q, sizeGB int, w io.Writer) (int, error) {
+	cl, err := r.loadTPCH(sizeGB, "textfile")
+	if err != nil {
+		return 0, err
+	}
+	script, err := tpch.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	d := r.driver(cl, "datampi", nil)
+	d.Collector.Reset()
+	if _, err := d.Run(script); err != nil {
+		return 0, fmt.Errorf("trace %s: %w", tpch.QueryName(q), err)
+	}
+	return obs.WriteChromeTrace(w, d.Collector.Queries(), &r.cfg.Params)
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hivempi/internal/obs"
+)
+
+// TestTraceDAGEndToEnd drives the full export path the benchsuite
+// -trace flag uses: run TPC-H Q9 DAG-parallel, export the Chrome trace
+// and check it is schema-valid with real span content.
+func TestTraceDAGEndToEnd(t *testing.T) {
+	r := quickRunner(t)
+	var buf bytes.Buffer
+	events, err := r.TraceDAG(9, 5, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+	if n != events {
+		t.Errorf("validator saw %d events, exporter reported %d", n, events)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var spans, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur < 0 {
+				t.Errorf("span %q has negative duration", ev.Name)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans == 0 {
+		t.Error("trace has no complete (X) span events")
+	}
+	if meta == 0 {
+		t.Error("trace has no metadata (process/thread name) events")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"hivempi/internal/exec"
 	"hivempi/internal/kvio"
+	"hivempi/internal/metrics"
 	"hivempi/internal/trace"
 )
 
@@ -77,7 +78,10 @@ func (r *checkpointRecorder) commit(env *exec.Env, stageID string, rank int, m *
 		env.FS.Delete(tmp)
 		return
 	}
-	_ = env.FS.Rename(tmp, path)
+	if err := env.FS.Rename(tmp, path); err == nil {
+		env.Metrics.Counter(metrics.CtrCheckpointCommits).Inc()
+		env.Metrics.Counter(metrics.CtrCheckpointBytes).Add(int64(len(data)))
+	}
 }
 
 // readCheckpoint loads rank's committed checkpoint, if one exists and

@@ -22,6 +22,7 @@ import (
 
 	"hivempi/internal/datampi"
 	"hivempi/internal/exec"
+	"hivempi/internal/metrics"
 	"hivempi/internal/trace"
 	"hivempi/internal/types"
 )
@@ -114,6 +115,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			SpillDir:        conf.SpillDir,
 			Hosts:           hosts,
 			Chaos:           env.Chaos,
+			Metrics:         env.Metrics,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -132,6 +134,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			if attempt > 1 {
 				if meta, pairs, ok := readCheckpoint(env, stage.ID, o.Rank()); ok {
 					m.Recovered = true
+					env.Metrics.Counter(metrics.CtrCheckpointReplays).Inc()
 					// Restore the salvaged attempt's input counters so
 					// the perfmodel prices that work once, not zero times.
 					m.InputBytes = meta.InputBytes
@@ -292,6 +295,9 @@ func (e *Engine) runWithRetries(env *exec.Env, stage *exec.Stage, conf exec.Engi
 			st.Attempts = attempt
 			st.RetryBackoffSec = backoff
 			st.ChaosDelaySec = chaosDelay
+			// Fold exactly once per successful stage — failed attempts'
+			// partial traces are discarded with their rows.
+			metrics.FoldStage(env.Metrics, st)
 			return &exec.StageResult{Trace: st, Rows: rows}, nil
 		}
 		lastErr = err
@@ -318,13 +324,13 @@ func resetStageSink(env *exec.Env, stage *exec.Stage) {
 // communicator).
 func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineConf,
 	tasks []exec.MapTaskSpec, attempt int) (*trace.Stage, []types.Row, error) {
-	metrics := make([]*trace.Task, len(tasks))
+	taskMetrics := make([]*trace.Task, len(tasks))
 	errs := make([]error, len(tasks))
 	sinks := newShardedRows(len(tasks))
 	sem := make(chan struct{}, conf.MaxSlots())
 	var wg sync.WaitGroup
 	for i := range tasks {
-		metrics[i] = &trace.Task{ID: i, Kind: trace.KindOTask, Attempts: attempt,
+		taskMetrics[i] = &trace.Task{ID: i, Kind: trace.KindOTask, Attempts: attempt,
 			Host: tasks[i].Host, CollectSizes: trace.NewSizeHistogram()}
 		wg.Add(1)
 		go func(i int) {
@@ -335,14 +341,14 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 				errs[i] = err
 				return
 			}
-			exec.ApplyStraggler(metrics[i], env.Chaos.StragglerDelay(stage.ID, "o", i), conf)
+			exec.ApplyStraggler(taskMetrics[i], env.Chaos.StragglerDelay(stage.ID, "o", i), conf)
 			out, closer, err := exec.BuildTaskOutput(env, stage, i, sinks.sink(i))
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			if err := exec.RunMapTask(env, stage, tasks[i].MapIdx, tasks[i].Split,
-				nil, out, metrics[i]); err != nil {
+				nil, out, taskMetrics[i]); err != nil {
 				errs[i] = err
 				return
 			}
@@ -359,7 +365,7 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 		Name:      stage.ID,
 		Engine:    e.Name(),
 		NumMaps:   len(tasks),
-		Producers: metrics,
+		Producers: taskMetrics,
 	}
 	for i, m := range st.Producers {
 		m.LocalRead = tasks[i].Local

@@ -121,6 +121,7 @@ func (a *AContext) spill() error {
 	}
 	a.metrics.SpillCount++
 	a.metrics.SpillBytes += kw.BytesWritten()
+	a.job.ctrSpillPairs.Add(kw.Pairs())
 	a.spills = append(a.spills, f)
 	a.cache = nil
 	a.cacheBytes = 0

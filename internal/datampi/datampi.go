@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"hivempi/internal/chaos"
+	"hivempi/internal/metrics"
 	"hivempi/internal/mpi"
 	"hivempi/internal/trace"
 )
@@ -87,6 +88,11 @@ type Config struct {
 	// Chaos optionally attaches a fault-injection plane to the job's
 	// MPI world (message drop/delay/corruption faults).
 	Chaos *chaos.Plane
+
+	// Metrics optionally attaches the observability registry; the job
+	// counts send-queue flushes, blocking all-to-all rounds and spilled
+	// pairs live (nil = no counting).
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill() error {
@@ -137,6 +143,13 @@ type Job struct {
 
 	oTasks []*trace.Task
 	aTasks []*trace.Task
+
+	// Live observability counters, resolved once at job construction so
+	// the Send/flush hot paths pay one atomic add each (nil registry
+	// yields nil counters, whose methods are no-ops).
+	ctrFlushes    *metrics.Counter
+	ctrRounds     *metrics.Counter
+	ctrSpillPairs *metrics.Counter
 }
 
 // NewJob validates the configuration and builds the bipartite world:
@@ -168,6 +181,9 @@ func NewJob(cfg Config) (*Job, error) {
 		return nil, err
 	}
 	j := &Job{cfg: cfg, world: world, commO: commO, commA: commA}
+	j.ctrFlushes = cfg.Metrics.Counter(metrics.CtrMPISendFlushes)
+	j.ctrRounds = cfg.Metrics.Counter(metrics.CtrMPIBlockingRounds)
+	j.ctrSpillPairs = cfg.Metrics.Counter(metrics.CtrMPISpillPairs)
 	j.oTasks = make([]*trace.Task, cfg.NumO)
 	j.aTasks = make([]*trace.Task, cfg.NumA)
 	for i := range j.oTasks {

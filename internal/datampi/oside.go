@@ -177,6 +177,7 @@ func (o *OContext) flushPartition(part int, force bool) error {
 		}
 	}
 	o.metrics.ShuffleOutBytes += int64(len(data))
+	o.job.ctrFlushes.Inc()
 	o.flushMark = append(o.flushMark, o.pairIndex)
 	o.metrics.SendEvents = append(o.metrics.SendEvents, trace.SendEvent{
 		Bytes: int64(len(data)),
@@ -207,6 +208,7 @@ func (o *OContext) blockingFlush(part int, data []byte) error {
 	o.job.roundMu.Lock()
 	defer o.job.roundMu.Unlock()
 	o.metrics.WaitRounds++
+	o.job.ctrRounds.Inc()
 	dst := o.job.commA.WorldRank(part)
 	if err := o.job.world.Send(o.rank, dst, tagData, data); err != nil {
 		return fmt.Errorf("datampi: blocking send to A%d: %w", part, err)

@@ -20,6 +20,7 @@ import (
 
 	"hivempi/internal/chaos"
 	"hivempi/internal/imstore"
+	"hivempi/internal/metrics"
 )
 
 // DefaultBlockSize matches the paper's HDFS configuration (64 MB),
@@ -60,6 +61,14 @@ type FileSystem struct {
 
 	faultMu sync.Mutex
 	plane   *chaos.Plane // fault-injection plane; nil = no faults
+
+	// Observability counters, cached as atomic pointers so the hot
+	// read/write paths skip the registry map. A nil counter is a no-op,
+	// so unattached filesystems pay one atomic load per I/O.
+	ctrRead     atomic.Pointer[metrics.Counter]
+	ctrWrite    atomic.Pointer[metrics.Counter]
+	ctrMemRead  atomic.Pointer[metrics.Counter]
+	ctrMemWrite atomic.Pointer[metrics.Counter]
 }
 
 // ErrInjectedFault is the error injected reads and writes wrap. It is
@@ -89,6 +98,16 @@ func (fs *FileSystem) memStore() *imstore.Store {
 func (fs *FileSystem) MemResident(p string) bool {
 	s := fs.memStore()
 	return s != nil && s.Resident(clean(p))
+}
+
+// SetMetrics attaches an observability registry: cumulative disk- and
+// memory-tier I/O bytes are published under the metrics.CtrDFS* names.
+// A nil registry detaches (the counters become no-ops again).
+func (fs *FileSystem) SetMetrics(r *metrics.Registry) {
+	fs.ctrRead.Store(r.Counter(metrics.CtrDFSReadBytes))
+	fs.ctrWrite.Store(r.Counter(metrics.CtrDFSWriteBytes))
+	fs.ctrMemRead.Store(r.Counter(metrics.CtrDFSMemReadBytes))
+	fs.ctrMemWrite.Store(r.Counter(metrics.CtrDFSMemWriteBytes))
 }
 
 // SetChaos attaches a fault-injection plane; nil detaches it.
@@ -214,59 +233,66 @@ func (fs *FileSystem) List(dir string) []string {
 }
 
 // Delete removes a file; deleting a missing file is not an error.
+// Memory-tier residency is released inside the namespace critical
+// section: with a split release, a concurrent Writer.Close could
+// re-admit the path between the delete and the release, leaving a
+// deleted file resident and its tier budget leaked. Lock order is
+// fs.mu -> tierMu -> store.mu; the store never calls back into dfs.
 func (fs *FileSystem) Delete(p string) {
 	p = clean(p)
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	delete(fs.files, p)
-	fs.mu.Unlock()
 	if s := fs.memStore(); s != nil {
 		s.Release(p)
 	}
 }
 
-// DeleteDir removes every file under the directory prefix.
+// DeleteDir removes every file under the directory prefix, releasing
+// memory-tier residency atomically with the namespace removal (see
+// Delete for why the split version races with Close/Rename admission).
 func (fs *FileSystem) DeleteDir(dir string) {
 	dir = clean(dir)
 	if !strings.HasSuffix(dir, "/") {
 		dir += "/"
 	}
-	var removed []string
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s := fs.memStore()
 	for p := range fs.files {
 		if strings.HasPrefix(p, dir) {
 			delete(fs.files, p)
-			removed = append(removed, p)
-		}
-	}
-	fs.mu.Unlock()
-	if s := fs.memStore(); s != nil {
-		for _, p := range removed {
-			s.Release(p)
+			if s != nil {
+				s.Release(p)
+			}
 		}
 	}
 }
 
 // Rename moves src to dst atomically, replacing dst. Memory-tier
 // residency follows the file to its new name (re-admitted under the
-// destination path, which may fall outside the tier's roots).
+// destination path, which may fall outside the tier's roots). The
+// residency move shares the namespace critical section: done outside
+// it, a concurrent DeleteDir covering dst could release the old dst
+// reservation and then lose against this re-admission, leaving a
+// deleted path resident — or see src already renamed away and leak its
+// budget.
 func (fs *FileSystem) Rename(src, dst string) error {
 	src, dst = clean(src), clean(dst)
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f, ok := fs.files[src]
 	if !ok {
-		fs.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, src)
 	}
 	delete(fs.files, src)
 	fs.files[dst] = f
-	size := f.size
-	fs.mu.Unlock()
 	if s := fs.memStore(); s != nil {
 		wasResident := s.Resident(src)
 		s.Release(src)
 		s.Release(dst)
 		if wasResident {
-			s.TryAdmit(dst, size)
+			s.TryAdmit(dst, f.size)
 		}
 	}
 	return nil
@@ -341,6 +367,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 		p = p[n:]
 	}
 	w.fs.bytesWrite.Add(int64(total))
+	w.fs.ctrWrite.Load().Add(int64(total))
 	return total, nil
 }
 
@@ -364,13 +391,22 @@ func (w *Writer) Close() error {
 	if len(w.cur) > 0 {
 		w.flushBlock()
 	}
-	if s := w.fs.memStore(); s != nil {
-		w.fs.mu.RLock()
-		size := w.f.size
-		w.fs.mu.RUnlock()
-		if s.TryAdmit(w.path, size) {
-			w.fs.memBytesWrite.Add(size)
-		}
+	s := w.fs.memStore()
+	if s == nil {
+		return nil
+	}
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	// Admit only while the file is still published under this writer's
+	// path: a Delete/DeleteDir/Rename sneaking between the final flush
+	// and an unlocked admission would leave an unreachable file holding
+	// tier budget forever.
+	if w.fs.files[w.path] != w.f {
+		return nil
+	}
+	if s.TryAdmit(w.path, w.f.size) {
+		w.fs.memBytesWrite.Add(w.f.size)
+		w.fs.ctrMemWrite.Load().Add(w.f.size)
 	}
 	return nil
 }
@@ -434,8 +470,10 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 		off += int64(c)
 	}
 	r.fs.bytesRead.Add(int64(n))
+	r.fs.ctrRead.Load().Add(int64(n))
 	if r.mem {
 		r.fs.memBytesRead.Add(int64(n))
+		r.fs.ctrMemRead.Load().Add(int64(n))
 	}
 	if n < len(p) {
 		return n, io.EOF

@@ -1,0 +1,141 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hivempi/internal/imstore"
+)
+
+// TestCloseVsDeleteNoBudgetLeak is the regression test for the
+// Writer.Close / Delete lock split: admission used to happen outside
+// the namespace lock, so a Delete racing a Close could remove the file
+// and release its (not yet existing) reservation, then lose to the
+// admission — leaving a deleted, unreachable path resident and its
+// budget leaked. Run under -race.
+func TestCloseVsDeleteNoBudgetLeak(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 10, Nodes: []string{"a", "b"}})
+	store := imstore.New(1 << 30)
+	store.AddRoot("/tmp/x")
+	fs.SetMemTier(store)
+
+	for i := 0; i < 500; i++ {
+		p := fmt.Sprintf("/tmp/x/f%d", i)
+		w, err := fs.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(make([]byte, 512)); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = w.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			fs.Delete(p)
+		}()
+		wg.Wait()
+		if !fs.Exists(p) && store.Resident(p) {
+			t.Fatalf("iteration %d: deleted path %s still memory-resident", i, p)
+		}
+		fs.Delete(p)
+	}
+	if st := store.Stats(); st.Used != 0 || st.Files != 0 {
+		t.Fatalf("tier budget leaked after deleting every file: %+v", st)
+	}
+}
+
+// TestRenameVsDeleteDirNoBudgetLeak is the regression test for the
+// Rename lock split: the namespace move and the residency move used to
+// run in two critical sections, so a DeleteDir covering the rename
+// destination could interleave — releasing paths it found in the
+// namespace, then losing to Rename's re-admission of the destination —
+// leaving a deleted path resident forever. Run under -race.
+func TestRenameVsDeleteDirNoBudgetLeak(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 10, Nodes: []string{"a", "b"}})
+	store := imstore.New(1 << 30)
+	store.AddRoot("/tmp/x")
+	fs.SetMemTier(store)
+
+	for i := 0; i < 100; i++ {
+		src := fmt.Sprintf("/tmp/x/a/f%d", i)
+		dst := fmt.Sprintf("/tmp/x/b/f%d", i)
+		if err := fs.WriteFile(src, make([]byte, 512)); err != nil {
+			t.Fatal(err)
+		}
+		if !store.Resident(src) {
+			t.Fatalf("iteration %d: %s not admitted", i, src)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			// Ping-pong across the directory the deleter is wiping;
+			// ErrNotFound is fine once the delete wins.
+			for k := 0; k < 200; k++ {
+				_ = fs.Rename(src, dst)
+				_ = fs.Rename(dst, src)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			for k := 0; k < 200; k++ {
+				fs.DeleteDir("/tmp/x/b")
+			}
+		}()
+		close(start)
+		wg.Wait()
+		fs.DeleteDir("/tmp/x")
+		if st := store.Stats(); st.Used != 0 || st.Files != 0 {
+			t.Fatalf("iteration %d: tier budget leaked: %+v", i, st)
+		}
+	}
+}
+
+// TestConcurrentAdmitReleaseStress drives every tier-mutating DFS
+// operation from concurrent goroutines over a shared store and checks
+// that the budget balances once the namespace is emptied. This is the
+// -race exerciser for the fs.mu -> tierMu -> store.mu lock ordering.
+func TestConcurrentAdmitReleaseStress(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 10, Nodes: []string{"a", "b", "c"}})
+	store := imstore.New(64 << 10) // small budget: admissions and rejections mix
+	store.AddRoot("/tmp/x")
+	fs.SetMemTier(store)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := fmt.Sprintf("/tmp/x/w%d/f%d", wkr, i)
+				if err := fs.WriteFile(p, make([]byte, 700)); err != nil {
+					t.Error(err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					fs.Delete(p)
+				case 1:
+					_ = fs.Rename(p, fmt.Sprintf("/tmp/x/w%d/r%d", wkr, i))
+				case 2:
+					fs.DeleteDir(fmt.Sprintf("/tmp/x/w%d", wkr))
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	fs.DeleteDir("/tmp/x")
+	if st := store.Stats(); st.Used != 0 || st.Files != 0 {
+		t.Fatalf("tier budget leaked under stress: %+v", st)
+	}
+}

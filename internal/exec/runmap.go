@@ -7,6 +7,7 @@ import (
 
 	"hivempi/internal/chaos"
 	"hivempi/internal/dfs"
+	"hivempi/internal/metrics"
 	"hivempi/internal/storage"
 	"hivempi/internal/trace"
 	"hivempi/internal/types"
@@ -19,6 +20,10 @@ type Env struct {
 	// crashes and stragglers (nil = no faults). Layers below (dfs, mpi)
 	// carry their own reference.
 	Chaos *chaos.Plane
+	// Metrics is the observability registry engines fold completed
+	// stage traces into and thread down to the shuffle/storage layers
+	// (nil = no metrics; every consumer is nil-safe).
+	Metrics *metrics.Registry
 }
 
 // SpeculativeDetectSec is the virtual time a speculative scheduler

@@ -43,8 +43,11 @@ type InsertOverwrite struct {
 func (*InsertOverwrite) isStatement() {}
 
 // Explain wraps a statement to print its plan instead of executing.
+// With Analyze set (EXPLAIN ANALYZE) the statement is executed and the
+// result carries its stage traces for runtime-annotated plan output.
 type Explain struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool
 }
 
 func (*Explain) isStatement() {}

@@ -6,6 +6,7 @@ import (
 
 	"hivempi/internal/exec"
 	"hivempi/internal/imstore"
+	"hivempi/internal/metrics"
 	"hivempi/internal/storage"
 	"hivempi/internal/trace"
 	"hivempi/internal/types"
@@ -57,6 +58,9 @@ type Driver struct {
 
 	querySeq    int
 	memAttached bool
+	memStore    *imstore.Store
+
+	metricsAttached bool
 }
 
 // NewDriver builds a driver with the default layout.
@@ -82,6 +86,16 @@ type Result struct {
 	// Degraded names the fallback engine when the query finished there
 	// after the primary engine failed ("" = primary throughout).
 	Degraded string
+	// Analyzed marks an EXPLAIN ANALYZE result: the statement really
+	// executed and Stages/Metrics carry its runtime profile.
+	Analyzed bool
+	// Overlapped reports that the stages ran DAG-parallel, so virtual
+	// time follows the critical path rather than the serial sum.
+	Overlapped bool
+	// Metrics is the observability snapshot for this statement: counter
+	// deltas (shuffle/spill/checkpoint/dfs traffic, per-engine task
+	// counts) plus the imstore gauges sampled at completion.
+	Metrics map[string]int64
 }
 
 // Run executes a multi-statement script, stopping at the first error.
@@ -117,6 +131,14 @@ func (d *Driver) Execute(sql string) (*Result, error) {
 func (d *Driver) executeStmt(sql string, stmt Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *Explain:
+		if s.Analyze {
+			res, err := d.executeStmt(sql, s.Stmt)
+			if err != nil {
+				return nil, err
+			}
+			res.Analyzed = true
+			return res, nil
+		}
 		return d.explain(sql, s.Stmt)
 	case *CreateTable:
 		return d.createTable(sql, s)
@@ -233,6 +255,8 @@ func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSche
 		return nil, nil, err
 	}
 	d.ensureMemTier()
+	d.ensureMetrics()
+	before := d.Env.Metrics.Snapshot()
 	if d.Collector != nil {
 		d.Collector.BeginQuery(sql)
 	}
@@ -247,6 +271,7 @@ func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSche
 		for _, st := range stages {
 			sr, err := d.runOneStage(st, es)
 			if err != nil {
+				d.recordPartial(stages, deps, results)
 				return nil, nil, err
 			}
 			results = append(results, sr)
@@ -254,13 +279,17 @@ func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSche
 	} else {
 		results, err = d.runStagesDAG(stages, deps, es)
 		if err != nil {
+			d.recordPartial(stages, deps, results)
 			return nil, nil, err
 		}
 		if d.Collector != nil {
 			d.Collector.MarkOverlapped()
 		}
+		res.Overlapped = true
 	}
 	res.Degraded = es.degradedName()
+	d.sampleIMGauges()
+	res.Metrics = metricsDelta(before, d.Env.Metrics.Snapshot())
 
 	// Traces and rows are assembled in plan order whatever order the
 	// stages finished in, so results stay deterministic.
@@ -288,7 +317,74 @@ func (d *Driver) ensureMemTier() {
 	s := imstore.New(d.InMemBytes)
 	s.AddRoot(d.TmpRoot)
 	d.Env.FS.SetMemTier(s)
+	d.memStore = s
 	d.memAttached = true
+}
+
+// ensureMetrics guarantees the query runs with a live observability
+// registry (creating one when the caller supplied none) and wires it
+// into the filesystem's byte counters once.
+func (d *Driver) ensureMetrics() {
+	if d.Env.Metrics == nil {
+		d.Env.Metrics = metrics.NewRegistry()
+	}
+	if !d.metricsAttached {
+		d.Env.FS.SetMetrics(d.Env.Metrics)
+		d.metricsAttached = true
+	}
+}
+
+// sampleIMGauges refreshes the imstore gauges from the memory tier's
+// accounting (no-op without an attached tier).
+func (d *Driver) sampleIMGauges() {
+	if d.memStore == nil {
+		return
+	}
+	st := d.memStore.Stats()
+	r := d.Env.Metrics
+	r.Gauge(metrics.GaugeIMUsedBytes).Set(st.Used)
+	r.Gauge(metrics.GaugeIMHWMBytes).Set(st.HighWater)
+	r.Gauge(metrics.GaugeIMAdmitted).Set(st.Admitted)
+	r.Gauge(metrics.GaugeIMRejected).Set(st.Rejected)
+	r.Gauge(metrics.GaugeIMFiles).Set(int64(st.Files))
+}
+
+// metricsDelta extracts one statement's slice of the cumulative
+// registry: counters as after-minus-before deltas, imstore gauges as
+// their sampled absolute values. Zero entries are dropped.
+func metricsDelta(before, after map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(after))
+	for k, v := range after {
+		if strings.HasPrefix(k, "imstore.") {
+			if v != 0 {
+				out[k] = v
+			}
+			continue
+		}
+		if dv := v - before[k]; dv != 0 {
+			out[k] = dv
+		}
+	}
+	return out
+}
+
+// recordPartial preserves the traces of the stages that did complete
+// when a mid-query stage failed, so a failed DAG run still contributes
+// its finished stages to the collector (annotated with their
+// dependencies, like the success path).
+func (d *Driver) recordPartial(stages []*exec.Stage, deps [][]int, results []*exec.StageResult) {
+	if d.Collector == nil {
+		return
+	}
+	for i, sr := range results {
+		if sr == nil {
+			continue
+		}
+		for _, j := range deps[i] {
+			sr.Trace.DependsOn = append(sr.Trace.DependsOn, stages[j].ID)
+		}
+		d.Collector.AddStage(sr.Trace)
+	}
 }
 
 // explain plans the statement and renders the stage DAG.

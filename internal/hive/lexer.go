@@ -39,7 +39,7 @@ var keywords = map[string]bool{
 	"table": true, "drop": true, "insert": true, "overwrite": true,
 	"into": true, "stored": true, "location": true, "exists": true,
 	"if": true, "date": true, "interval": true, "true": true, "false": true,
-	"explain": true, "union": true, "all": true, "sum": true, "count": true,
+	"explain": true, "analyze": true, "union": true, "all": true, "sum": true, "count": true,
 	"avg": true, "min": true, "max": true,
 }
 

@@ -104,11 +104,12 @@ func (p *parser) expectIdent() (string, error) {
 func (p *parser) parseStatement() (Statement, error) {
 	switch {
 	case p.acceptKw("explain"):
+		analyze := p.acceptKw("analyze")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	case p.peekKw("select"):
 		return p.parseSelect()
 	case p.acceptKw("create"):

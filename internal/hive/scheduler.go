@@ -142,8 +142,10 @@ func (d *Driver) stageConcurrency() int {
 // dependencies completed is launched, lowest plan index first, up to
 // the concurrency bound. Results are returned in plan order regardless
 // of completion order, so traces and collected rows stay deterministic.
-// On failure the scheduler stops launching, drains in-flight stages and
-// returns the lowest-index error.
+// On failure the scheduler stops launching, drains every in-flight
+// stage (no goroutine outlives the call) and returns the lowest-index
+// error alongside the partial results — completed stages keep their
+// entries so the driver can preserve their traces.
 func (d *Driver) runStagesDAG(stages []*exec.Stage, deps [][]int, es *engineState) ([]*exec.StageResult, error) {
 	n := len(stages)
 	results := make([]*exec.StageResult, n)
@@ -200,11 +202,10 @@ func (d *Driver) runStagesDAG(stages []*exec.Stage, deps [][]int, es *engineStat
 		}
 	}
 
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return results, err
 		}
-		_ = i
 	}
 	if launched < n {
 		// Unreachable for planner output (dependencies point backwards),

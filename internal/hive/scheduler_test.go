@@ -2,7 +2,9 @@ package hive
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"hivempi/internal/core"
 	"hivempi/internal/exec"
@@ -185,6 +187,57 @@ func TestDAGFallbackMidQuery(t *testing.T) {
 	}
 	if !sawHadoop {
 		t.Error("no stage trace reports the fallback engine")
+	}
+}
+
+// TestDAGFailureDrainsAndKeepsTraces: when a mid-DAG stage fails with
+// no fallback engine, the scheduler drains every in-flight stage (no
+// goroutine survives the query) and the stages that did complete keep
+// their traces in the collector instead of vanishing with the error.
+func TestDAGFailureDrainsAndKeepsTraces(t *testing.T) {
+	d := newTestDriver(t, core.New())
+	d.MapJoinThresholdBytes = 1 // force the bushy two-branch DAG
+	seedChain(t, d)
+	t4, err := d.MS.Get("t4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fault, no retry budget, no fallback: the branch reading t4
+	// fails while the independent t1-t2 branch is in flight.
+	d.Env.FS.InjectReadFault(t4.DataPaths(d.Env.FS)[0], 1)
+
+	before := runtime.NumGoroutine()
+	if _, err := d.Execute(chainQuery); err == nil {
+		t.Fatal("query with an unrecoverable stage fault should fail")
+	}
+
+	// The concurrently running branch completed and its trace survived.
+	qs := d.Collector.Queries()
+	if len(qs) == 0 {
+		t.Fatal("collector recorded no query")
+	}
+	partial := qs[len(qs)-1].Stages
+	if len(partial) == 0 {
+		t.Error("no completed-stage traces preserved from the failed DAG run")
+	}
+	for _, st := range partial {
+		if st.Name == "" || st.Engine == "" {
+			t.Errorf("preserved trace incomplete: %+v", st)
+		}
+	}
+
+	// Every stage goroutine drained. Allow the runtime a moment to
+	// retire finished goroutines before calling it a leak.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before query, %d after drain",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

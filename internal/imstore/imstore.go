@@ -28,8 +28,9 @@ type Store struct {
 	resident map[string]int64 // path -> admitted size
 	roots    []string         // directory prefixes eligible for the tier
 
-	admitted int64 // files accepted into the tier (lifetime)
-	rejected int64 // files spilled to the disk tier for lack of budget
+	admitted  int64 // files accepted into the tier (lifetime)
+	rejected  int64 // files spilled to the disk tier for lack of budget
+	highWater int64 // max bytes ever resident at once
 }
 
 // New creates a store with the given byte budget. A non-positive
@@ -86,18 +87,21 @@ func (s *Store) TryAdmit(path string, size int64) bool {
 	if !s.eligibleLocked(path) {
 		return false
 	}
-	if prev, ok := s.resident[path]; ok {
-		// Overwrite: give back the old reservation first.
-		s.used -= prev
-		delete(s.resident, path)
-	}
-	if s.used+size > s.budget {
+	// Overwrite re-admission must not disturb the prior reservation
+	// until the new size is known to fit: budget-check against the net
+	// occupancy first, so a rejected overwrite leaves the previous copy
+	// resident instead of evicting it and counting a rejection.
+	prev := s.resident[path]
+	if s.used-prev+size > s.budget {
 		s.rejected++
 		return false
 	}
-	s.used += size
+	s.used += size - prev
 	s.resident[path] = size
 	s.admitted++
+	if s.used > s.highWater {
+		s.highWater = s.used
+	}
 	return true
 }
 
@@ -122,11 +126,12 @@ func (s *Store) Resident(path string) bool {
 
 // Stats is a point-in-time accounting snapshot.
 type Stats struct {
-	Budget   int64
-	Used     int64
-	Files    int
-	Admitted int64 // lifetime admissions
-	Rejected int64 // lifetime budget rejections (spills to disk tier)
+	Budget    int64
+	Used      int64
+	Files     int
+	Admitted  int64 // lifetime admissions
+	Rejected  int64 // lifetime budget rejections (spills to disk tier)
+	HighWater int64 // max bytes resident at once (lifetime)
 }
 
 // Stats returns the current accounting snapshot.
@@ -134,10 +139,11 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Budget:   s.budget,
-		Used:     s.used,
-		Files:    len(s.resident),
-		Admitted: s.admitted,
-		Rejected: s.rejected,
+		Budget:    s.budget,
+		Used:      s.used,
+		Files:     len(s.resident),
+		Admitted:  s.admitted,
+		Rejected:  s.rejected,
+		HighWater: s.highWater,
 	}
 }

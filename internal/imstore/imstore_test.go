@@ -71,6 +71,50 @@ func TestOverwriteReusesReservation(t *testing.T) {
 	}
 }
 
+// TestRejectedOverwriteKeepsPriorResident is the regression test for
+// the overwrite-path reservation drop: a re-admission that exceeds the
+// budget must leave the previously admitted copy resident and its
+// budget charged, not evict it while reporting a rejection.
+func TestRejectedOverwriteKeepsPriorResident(t *testing.T) {
+	s := New(100)
+	s.AddRoot("/t")
+	if !s.TryAdmit("/t/a", 80) {
+		t.Fatal("admit failed")
+	}
+	if s.TryAdmit("/t/a", 150) {
+		t.Fatal("overwrite beyond budget admitted")
+	}
+	if !s.Resident("/t/a") {
+		t.Fatal("rejected overwrite evicted the prior resident copy")
+	}
+	st := s.Stats()
+	if st.Used != 80 || st.Files != 1 {
+		t.Fatalf("stats after rejected overwrite = %+v, want Used=80 Files=1", st)
+	}
+	if st.Admitted != 1 || st.Rejected != 1 {
+		t.Fatalf("lifetime counters = %+v, want Admitted=1 Rejected=1", st)
+	}
+	// The reservation stays live: budget beyond it is still grantable.
+	if !s.TryAdmit("/t/b", 20) {
+		t.Fatal("remaining budget unavailable after rejected overwrite")
+	}
+}
+
+func TestHighWaterTracksPeakOccupancy(t *testing.T) {
+	s := New(100)
+	s.AddRoot("/t")
+	s.TryAdmit("/t/a", 70)
+	s.TryAdmit("/t/b", 30)
+	s.Release("/t/a")
+	st := s.Stats()
+	if st.Used != 30 {
+		t.Fatalf("used = %d, want 30", st.Used)
+	}
+	if st.HighWater != 100 {
+		t.Fatalf("high water = %d, want 100", st.HighWater)
+	}
+}
+
 func TestZeroBudgetAdmitsNothing(t *testing.T) {
 	s := New(0)
 	s.AddRoot("/t")

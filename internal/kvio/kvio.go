@@ -83,9 +83,10 @@ func Sort(kvs []KV) {
 
 // Writer streams encoded pairs to a sorted-run file.
 type Writer struct {
-	w   *bufio.Writer
-	buf []byte
-	n   int64
+	w     *bufio.Writer
+	buf   []byte
+	n     int64
+	pairs int64
 }
 
 // NewWriter wraps w for run output.
@@ -99,6 +100,7 @@ func (kw *Writer) Write(p KV) error {
 	kw.buf = AppendKV(kw.buf, p.Key, p.Value)
 	n, err := kw.w.Write(kw.buf)
 	kw.n += int64(n)
+	kw.pairs++
 	return err
 }
 
@@ -107,6 +109,9 @@ func (kw *Writer) Flush() error { return kw.w.Flush() }
 
 // BytesWritten returns the run size so far.
 func (kw *Writer) BytesWritten() int64 { return kw.n }
+
+// Pairs returns the number of pairs written so far.
+func (kw *Writer) Pairs() int64 { return kw.pairs }
 
 // Reader streams pairs back from a run.
 type Reader struct {

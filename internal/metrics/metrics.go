@@ -1,0 +1,257 @@
+// Package metrics is the counters/gauges half of the observability
+// plane: a lock-cheap registry threaded through the scheduler, engines,
+// datampi shuffle library and the dfs/imstore storage substrate. It is
+// a leaf package (it imports only the trace schema) so every execution
+// layer can link it without cycles; internal/obs re-exports its API
+// under the obs façade next to the span model and trace exporters.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hivempi/internal/trace"
+)
+
+// Canonical metric names. Each name is owned by exactly one layer so
+// concurrent producers never double-count: engines fold completed stage
+// traces (FoldStage), the datampi library counts live shuffle events,
+// core counts checkpoint traffic, dfs counts tier I/O, and the driver
+// samples imstore occupancy into gauges.
+const (
+	// FoldStage (per completed stage, both engines).
+	CtrShuffleOutBytes  = "shuffle.out.bytes"
+	CtrShuffleOutPairs  = "shuffle.out.pairs"
+	CtrSpillCount       = "spill.count"
+	CtrSpillBytes       = "spill.bytes"
+	CtrCombineInPairs   = "combiner.in.pairs"
+	CtrCombineOutPairs  = "combiner.out.pairs"
+	CtrTaskRetries      = "tasks.retries"
+	CtrTasksRecovered   = "tasks.recovered"
+	CtrTasksSpeculative = "tasks.speculative"
+	CtrStageRetries     = "stages.retries"
+	CtrTasksPrefix      = "tasks." // + engine name ("tasks.datampi", "tasks.hadoop")
+
+	// internal/core (DataMPI engine checkpoint path).
+	CtrCheckpointBytes   = "checkpoint.bytes"
+	CtrCheckpointCommits = "checkpoint.commits"
+	CtrCheckpointReplays = "checkpoint.replays"
+
+	// internal/datampi (live shuffle engine counters).
+	CtrMPISendFlushes    = "datampi.send.flushes"
+	CtrMPIBlockingRounds = "datampi.blocking.rounds"
+	CtrMPISpillPairs     = "datampi.spill.pairs"
+
+	// internal/dfs (tier-attributed I/O).
+	CtrDFSReadBytes     = "dfs.read.bytes"
+	CtrDFSWriteBytes    = "dfs.write.bytes"
+	CtrDFSMemReadBytes  = "dfs.mem.read.bytes"
+	CtrDFSMemWriteBytes = "dfs.mem.write.bytes"
+
+	// Driver-sampled imstore occupancy (gauges).
+	GaugeIMUsedBytes = "imstore.used.bytes"
+	GaugeIMHWMBytes  = "imstore.used.hwm.bytes"
+	GaugeIMAdmitted  = "imstore.admitted"
+	GaugeIMRejected  = "imstore.rejected"
+	GaugeIMFiles     = "imstore.resident.files"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; a nil *Counter is a no-op, so layers can hold counters
+// unconditionally and stay silent when no registry is attached.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a sampled value that additionally tracks its high-water
+// mark. Nil gauges are no-ops, like counters.
+type Gauge struct {
+	v  atomic.Int64
+	hi atomic.Int64
+}
+
+// Set records the current value and raises the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		hi := g.hi.Load()
+		if v <= hi || g.hi.CompareAndSwap(hi, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// High returns the high-water mark.
+func (g *Gauge) High() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.hi.Load()
+}
+
+// Registry is a names-to-metrics table. Lookup takes a read lock only
+// (metrics are created once and then shared), and every update is a
+// single atomic op, so instrumented hot paths stay cheap. All methods
+// are safe on a nil *Registry — they return nil metrics, whose own
+// methods are no-ops — so instrumentation needs no nil checks.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Add increments the named counter (convenience for one-shot call sites).
+func (r *Registry) Add(name string, n int64) { r.Counter(name).Add(n) }
+
+// Snapshot returns every metric's current value: counters under their
+// name, gauges under their name plus a ".hwm" entry for the high-water
+// mark when it differs from the current value. Nil registries snapshot
+// to nil.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+		if hi := g.High(); hi != g.Value() {
+			out[name+".hwm"] = hi
+		}
+	}
+	return out
+}
+
+// Names returns the sorted metric names currently registered.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FoldStage accumulates one completed stage trace into the registry:
+// per-engine task counts, shuffle volume, spills, combiner traffic and
+// the fault-path accounting. Engines call it exactly once per
+// successful stage, so the registry never double-counts retried
+// attempts (their traces are discarded with the failed attempt).
+func FoldStage(r *Registry, st *trace.Stage) {
+	if r == nil || st == nil {
+		return
+	}
+	r.Counter(CtrTasksPrefix + st.Engine).Add(int64(len(st.Producers) + len(st.Consumers)))
+	if st.Attempts > 1 {
+		r.Counter(CtrStageRetries).Add(int64(st.Attempts - 1))
+	}
+	r.Counter(CtrTaskRetries).Add(int64(st.TaskRetries))
+	fold := func(tasks []*trace.Task) {
+		for _, t := range tasks {
+			r.Counter(CtrShuffleOutBytes).Add(t.ShuffleOutBytes)
+			r.Counter(CtrShuffleOutPairs).Add(t.ShuffleOutPairs)
+			r.Counter(CtrSpillCount).Add(t.SpillCount)
+			r.Counter(CtrSpillBytes).Add(t.SpillBytes)
+			r.Counter(CtrCombineInPairs).Add(t.CombineInPairs)
+			r.Counter(CtrCombineOutPairs).Add(t.CombineOutPairs)
+			if t.Recovered {
+				r.Counter(CtrTasksRecovered).Inc()
+			}
+			if t.Speculative {
+				r.Counter(CtrTasksSpeculative).Inc()
+			}
+		}
+	}
+	fold(st.Producers)
+	fold(st.Consumers)
+}

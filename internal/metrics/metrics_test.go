@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"hivempi/internal/trace"
+)
+
+// TestNilSafety: a nil registry and the nil metrics it hands out must
+// absorb every operation — instrumented code holds them unconditionally.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Error("nil counter reported a value")
+	}
+	g := r.Gauge("y")
+	g.Set(42)
+	if g.Value() != 0 || g.High() != 0 {
+		t.Error("nil gauge reported a value")
+	}
+	r.Add("z", 1)
+	if r.Snapshot() != nil || r.Names() != nil {
+		t.Error("nil registry snapshot/names not nil")
+	}
+	FoldStage(r, &trace.Stage{Engine: "datampi"})
+}
+
+// TestRegistryConcurrent hammers lookup+update from many goroutines;
+// run under -race (obscheck does) this proves the lock-cheap claim.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter(CtrShuffleOutBytes).Inc()
+				r.Gauge(GaugeIMUsedBytes).Set(id*1000 + int64(j))
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := r.Counter(CtrShuffleOutBytes).Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if hi := r.Gauge(GaugeIMUsedBytes).High(); hi != 7999 {
+		t.Errorf("gauge high-water = %d, want 7999", hi)
+	}
+}
+
+// TestSnapshotGaugeHWM: snapshot exposes a ".hwm" entry only when the
+// high-water mark differs from the current value.
+func TestSnapshotGaugeHWM(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge(GaugeIMUsedBytes)
+	g.Set(100)
+	g.Set(40)
+	snap := r.Snapshot()
+	if snap[GaugeIMUsedBytes] != 40 {
+		t.Errorf("gauge value = %d, want 40", snap[GaugeIMUsedBytes])
+	}
+	if snap[GaugeIMUsedBytes+".hwm"] != 100 {
+		t.Errorf("gauge hwm = %d, want 100", snap[GaugeIMUsedBytes+".hwm"])
+	}
+	g.Set(100)
+	if snap = r.Snapshot(); snap[GaugeIMUsedBytes+".hwm"] != 0 {
+		t.Error("hwm entry emitted when equal to current value")
+	}
+}
+
+// TestFoldStage: one call accumulates task counts, shuffle/spill
+// volume and fault accounting with the documented names.
+func TestFoldStage(t *testing.T) {
+	r := NewRegistry()
+	st := &trace.Stage{
+		Engine:      "datampi",
+		Attempts:    3,
+		TaskRetries: 2,
+		Producers: []*trace.Task{
+			{ShuffleOutBytes: 100, ShuffleOutPairs: 10, SpillCount: 1, SpillBytes: 50,
+				CombineInPairs: 10, CombineOutPairs: 4},
+			{ShuffleOutBytes: 200, ShuffleOutPairs: 20, Recovered: true},
+		},
+		Consumers: []*trace.Task{{Speculative: true}},
+	}
+	FoldStage(r, st)
+	want := map[string]int64{
+		CtrTasksPrefix + "datampi": 3,
+		CtrStageRetries:            2,
+		CtrTaskRetries:             2,
+		CtrShuffleOutBytes:         300,
+		CtrShuffleOutPairs:         30,
+		CtrSpillCount:              1,
+		CtrSpillBytes:              50,
+		CtrCombineInPairs:          10,
+		CtrCombineOutPairs:         4,
+		CtrTasksRecovered:          1,
+		CtrTasksSpeculative:        1,
+	}
+	snap := r.Snapshot()
+	for name, v := range want {
+		if snap[name] != v {
+			t.Errorf("%s = %d, want %d", name, snap[name], v)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"hivempi/internal/exec"
 	"hivempi/internal/hadoop"
+	"hivempi/internal/metrics"
 	"hivempi/internal/trace"
 	"hivempi/internal/types"
 )
@@ -158,5 +159,6 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 	}
 	st.ChaosDelaySec = env.Chaos.DrainVirtualDelay()
 	exec.FillSinkWriteBytes(env, stage, st)
+	metrics.FoldStage(env.Metrics, st)
 	return &exec.StageResult{Trace: st, Rows: rows}, nil
 }

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hivempi/internal/perfmodel"
+	"hivempi/internal/trace"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry ts+dur, "M" metadata events name processes
+// and threads, and "s"/"f" pairs draw async flow arrows. Perfetto and
+// chrome://tracing both open the result directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usec = 1e6 // virtual seconds -> trace microseconds
+
+// WriteChromeTrace renders the simulated timeline of the given query
+// traces as Chrome trace-event JSON. Each query becomes one process;
+// tid 0 is the stage row (with flow arrows along the stage DAG) and
+// each cluster slot gets its own thread row carrying task spans with
+// nested phase spans. Returns the number of events written.
+func WriteChromeTrace(w io.Writer, queries []*trace.Query, p *perfmodel.Params) (int, error) {
+	if p == nil {
+		def := perfmodel.DefaultParams()
+		p = &def
+	}
+	var events []chromeEvent
+	flowID := 0
+	for qi, q := range queries {
+		pid := qi + 1
+		root, _ := BuildQuerySpans(q, p)
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("Q%d: %s", pid, root.Name)},
+		})
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "stages"},
+		})
+
+		lanes := newLaneTable(p.Cluster.SlotsPerNode)
+		stageEnd := map[string]float64{} // stage name -> end ts (for flows)
+		for _, ss := range root.Children {
+			events = append(events, spanEvent(ss, "stage", pid, 0))
+			stageEnd[ss.Name] = ss.End
+
+			// Flow arrows: one s->f pair per dependency edge.
+			for _, dep := range splitDeps(ss.Attrs["depends_on"]) {
+				from, ok := stageEnd[dep]
+				if !ok {
+					continue
+				}
+				flowID++
+				events = append(events,
+					chromeEvent{Name: "dep", Cat: "dag", Ph: "s", Ts: from * usec, Pid: pid, ID: flowID},
+					chromeEvent{Name: "dep", Cat: "dag", Ph: "f", BP: "e", Ts: ss.Start * usec, Pid: pid, ID: flowID},
+				)
+			}
+
+			for _, tsp := range ss.Children {
+				tid := lanes.place(tsp.Slot, tsp.Start, tsp.End)
+				events = append(events, spanEvent(tsp, "task", pid, tid))
+				for _, ph := range tsp.Children {
+					events = append(events, spanEvent(ph, "phase", pid, tid))
+				}
+			}
+		}
+		for tid, label := range lanes.names {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": label},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return 0, err
+	}
+	return len(events), nil
+}
+
+func spanEvent(s *Span, cat string, pid, tid int) chromeEvent {
+	ev := chromeEvent{
+		Name: s.Name, Cat: cat, Ph: "X",
+		Ts: s.Start * usec, Dur: (s.End - s.Start) * usec,
+		Pid: pid, Tid: tid,
+	}
+	if len(s.Attrs) > 0 {
+		ev.Args = make(map[string]any, len(s.Attrs))
+		for k, v := range s.Attrs {
+			ev.Args[k] = v
+		}
+	}
+	return ev
+}
+
+func splitDeps(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for start := 0; start <= len(s); {
+		end := start
+		for end < len(s) && s[end] != ',' {
+			end++
+		}
+		if end > start {
+			out = append(out, s[start:end])
+		}
+		start = end + 1
+	}
+	return out
+}
+
+// laneTable assigns task spans to thread rows. The base row for a task
+// is its simulated cluster slot (tid 1+slot: one row per node/slot),
+// but concurrent DAG stages schedule their slots independently, so two
+// stages can place partially-overlapping tasks on the same slot index —
+// invalid for "X" events on one tid. Overlapping tasks overflow to a
+// parallel lane (tid + k*laneStride) labelled with the same slot.
+type laneTable struct {
+	slotsPerNode int
+	busy         map[int][][2]float64 // tid -> occupied intervals
+	names        map[int]string       // tid -> thread_name
+}
+
+const laneStride = 1 << 10
+
+func newLaneTable(slotsPerNode int) *laneTable {
+	if slotsPerNode < 1 {
+		slotsPerNode = 1
+	}
+	return &laneTable{
+		slotsPerNode: slotsPerNode,
+		busy:         make(map[int][][2]float64),
+		names:        make(map[int]string),
+	}
+}
+
+func (l *laneTable) place(slot int, start, end float64) int {
+	base := 1 + slot
+	for k := 0; ; k++ {
+		tid := base + k*laneStride
+		if l.fits(tid, start, end) {
+			l.busy[tid] = append(l.busy[tid], [2]float64{start, end})
+			if _, ok := l.names[tid]; !ok {
+				label := fmt.Sprintf("node%d/slot%d", slot/l.slotsPerNode, slot%l.slotsPerNode)
+				if k > 0 {
+					label = fmt.Sprintf("%s (+%d)", label, k)
+				}
+				l.names[tid] = label
+			}
+			return tid
+		}
+	}
+}
+
+func (l *laneTable) fits(tid int, start, end float64) bool {
+	for _, iv := range l.busy[tid] {
+		if start < iv[1] && iv[0] < end {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateChromeTrace checks that data parses as trace-event JSON with
+// a non-empty traceEvents array whose entries all carry a name, a known
+// phase, and non-negative timing. Returns the event count.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var t struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  float64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return 0, fmt.Errorf("chrome trace: %w", err)
+	}
+	if len(t.TraceEvents) == 0 {
+		return 0, fmt.Errorf("chrome trace: no events")
+	}
+	for i, ev := range t.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("chrome trace: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X", "M", "s", "f", "b", "e", "i":
+		default:
+			return 0, fmt.Errorf("chrome trace: event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ph != "M" && ev.Ts == nil {
+			return 0, fmt.Errorf("chrome trace: event %d (%s) has no ts", i, ev.Name)
+		}
+		if ev.Ts != nil && *ev.Ts < 0 {
+			return 0, fmt.Errorf("chrome trace: event %d (%s) has negative ts", i, ev.Name)
+		}
+		if ev.Ph == "X" && ev.Dur < 0 {
+			return 0, fmt.Errorf("chrome trace: event %d (%s) has negative dur", i, ev.Name)
+		}
+	}
+	return len(t.TraceEvents), nil
+}

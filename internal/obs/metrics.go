@@ -1,0 +1,75 @@
+// Package obs is the query-lifecycle observability plane: a lock-cheap
+// counters/gauges registry threaded through driver, scheduler, engines
+// and the storage substrate; hierarchical virtual-time spans (query ->
+// stage -> task -> phase) reconstructed from execution traces and the
+// perfmodel's cluster timing; and a Chrome trace-event exporter that
+// renders the simulated DAG timeline for Perfetto.
+//
+// The paper argues from visibility — per-task collect sequences
+// (Fig. 2), send timelines (Fig. 6) and dstat resource series
+// (Fig. 13) are how it attributes the DataMPI wins to startup weight,
+// shuffle overlap and spill avoidance. This package is the repro's
+// equivalent window, and the harness later perf work is validated
+// against.
+//
+// The registry itself lives in the leaf package internal/metrics (so
+// low-level layers can link it without pulling in perfmodel); obs
+// re-exports it via type aliases, and driver-level code uses only the
+// obs names.
+package obs
+
+import (
+	"hivempi/internal/metrics"
+	"hivempi/internal/trace"
+)
+
+// Registry types, re-exported from internal/metrics. The aliases make
+// obs.Registry and metrics.Registry the same type, so a registry built
+// here threads directly into dfs.SetMetrics, datampi.Config and the
+// engines.
+type (
+	Counter  = metrics.Counter
+	Gauge    = metrics.Gauge
+	Registry = metrics.Registry
+)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return metrics.NewRegistry() }
+
+// FoldStage accumulates one completed stage trace into the registry
+// (see metrics.FoldStage for the ownership rules).
+func FoldStage(r *Registry, st *trace.Stage) { metrics.FoldStage(r, st) }
+
+// Canonical metric names, re-exported from internal/metrics.
+const (
+	CtrShuffleOutBytes  = metrics.CtrShuffleOutBytes
+	CtrShuffleOutPairs  = metrics.CtrShuffleOutPairs
+	CtrSpillCount       = metrics.CtrSpillCount
+	CtrSpillBytes       = metrics.CtrSpillBytes
+	CtrCombineInPairs   = metrics.CtrCombineInPairs
+	CtrCombineOutPairs  = metrics.CtrCombineOutPairs
+	CtrTaskRetries      = metrics.CtrTaskRetries
+	CtrTasksRecovered   = metrics.CtrTasksRecovered
+	CtrTasksSpeculative = metrics.CtrTasksSpeculative
+	CtrStageRetries     = metrics.CtrStageRetries
+	CtrTasksPrefix      = metrics.CtrTasksPrefix
+
+	CtrCheckpointBytes   = metrics.CtrCheckpointBytes
+	CtrCheckpointCommits = metrics.CtrCheckpointCommits
+	CtrCheckpointReplays = metrics.CtrCheckpointReplays
+
+	CtrMPISendFlushes    = metrics.CtrMPISendFlushes
+	CtrMPIBlockingRounds = metrics.CtrMPIBlockingRounds
+	CtrMPISpillPairs     = metrics.CtrMPISpillPairs
+
+	CtrDFSReadBytes     = metrics.CtrDFSReadBytes
+	CtrDFSWriteBytes    = metrics.CtrDFSWriteBytes
+	CtrDFSMemReadBytes  = metrics.CtrDFSMemReadBytes
+	CtrDFSMemWriteBytes = metrics.CtrDFSMemWriteBytes
+
+	GaugeIMUsedBytes = metrics.GaugeIMUsedBytes
+	GaugeIMHWMBytes  = metrics.GaugeIMHWMBytes
+	GaugeIMAdmitted  = metrics.GaugeIMAdmitted
+	GaugeIMRejected  = metrics.GaugeIMRejected
+	GaugeIMFiles     = metrics.GaugeIMFiles
+)

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+
+	"hivempi/internal/perfmodel"
+	"hivempi/internal/trace"
+)
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Counter("x").Inc()
+	r.Gauge("g").Set(7)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("nil registry counter = %d", got)
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	if r.Names() != nil {
+		t.Error("nil registry names should be nil")
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(CtrShuffleOutBytes).Add(100)
+	r.Add(CtrShuffleOutBytes, 50)
+	g := r.Gauge(GaugeIMUsedBytes)
+	g.Set(80)
+	g.Set(30)
+	snap := r.Snapshot()
+	if snap[CtrShuffleOutBytes] != 150 {
+		t.Errorf("counter = %d, want 150", snap[CtrShuffleOutBytes])
+	}
+	if snap[GaugeIMUsedBytes] != 30 {
+		t.Errorf("gauge = %d, want 30", snap[GaugeIMUsedBytes])
+	}
+	if snap[GaugeIMUsedBytes+".hwm"] != 80 {
+		t.Errorf("gauge hwm = %d, want 80", snap[GaugeIMUsedBytes+".hwm"])
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(n*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if hi := r.Gauge("g").High(); hi < 7000 {
+		t.Errorf("gauge hwm = %d, want >= 7000", hi)
+	}
+}
+
+func TestFoldStage(t *testing.T) {
+	r := NewRegistry()
+	st := &trace.Stage{
+		Name: "s0", Engine: "datampi", Attempts: 3, TaskRetries: 2,
+		Producers: []*trace.Task{
+			{ID: 0, Kind: trace.KindOTask, ShuffleOutBytes: 100, ShuffleOutPairs: 10,
+				SpillCount: 1, SpillBytes: 40, CombineInPairs: 10, CombineOutPairs: 4},
+			{ID: 1, Kind: trace.KindOTask, ShuffleOutBytes: 50, Recovered: true},
+		},
+		Consumers: []*trace.Task{
+			{ID: 0, Kind: trace.KindATask, Speculative: true},
+		},
+	}
+	FoldStage(r, st)
+	snap := r.Snapshot()
+	want := map[string]int64{
+		CtrTasksPrefix + "datampi": 3,
+		CtrStageRetries:            2,
+		CtrTaskRetries:             2,
+		CtrShuffleOutBytes:         150,
+		CtrShuffleOutPairs:         10,
+		CtrSpillCount:              1,
+		CtrSpillBytes:              40,
+		CtrCombineInPairs:          10,
+		CtrCombineOutPairs:         4,
+		CtrTasksRecovered:          1,
+		CtrTasksSpeculative:        1,
+	}
+	for name, w := range want {
+		if snap[name] != w {
+			t.Errorf("%s = %d, want %d", name, snap[name], w)
+		}
+	}
+	FoldStage(nil, st) // must not panic
+	FoldStage(r, nil)
+}
+
+// dagQuery builds a synthetic overlapped diamond: s0 and s1 independent,
+// s2 depending on both.
+func dagQuery() *trace.Query {
+	mk := func(name string, bytesIn int64, deps ...string) *trace.Stage {
+		return &trace.Stage{
+			Name: name, Engine: "datampi", NonBlocking: true, SendQueueSize: 6,
+			DependsOn: deps,
+			Producers: []*trace.Task{
+				{ID: 0, Kind: trace.KindOTask, Host: "s1", InputBytes: bytesIn,
+					InputRecords: 1000, ShuffleOutBytes: bytesIn / 4, ShuffleOutPairs: 500},
+			},
+			Consumers: []*trace.Task{
+				{ID: 0, Kind: trace.KindATask, Host: "s2", ShuffleInBytes: bytesIn / 4,
+					ShuffleInPairs: 500, WriteBytes: bytesIn / 8},
+			},
+		}
+	}
+	return &trace.Query{
+		Statement:  "select test",
+		Overlapped: true,
+		Stages: []*trace.Stage{
+			mk("s0", 1<<20),
+			mk("s1", 4<<20),
+			mk("s2", 1<<19, "s0", "s1"),
+		},
+	}
+}
+
+func TestBuildQuerySpansHierarchy(t *testing.T) {
+	p := perfmodel.DefaultParams()
+	q := dagQuery()
+	root, sim := BuildQuerySpans(q, &p)
+	if root.Kind != SpanQuery || len(root.Children) != 3 {
+		t.Fatalf("root: kind=%s children=%d", root.Kind, len(root.Children))
+	}
+	if math.Abs(root.End-sim.Total) > 1e-9 {
+		t.Errorf("root end %f != sim total %f", root.End, sim.Total)
+	}
+	for i, ss := range root.Children {
+		if ss.Kind != SpanStage {
+			t.Fatalf("child %d kind = %s", i, ss.Kind)
+		}
+		wantStart := sim.Compile + sim.Stages[i].StartAt
+		if math.Abs(ss.Start-wantStart) > 1e-9 {
+			t.Errorf("stage %s start %f, want %f", ss.Name, ss.Start, wantStart)
+		}
+		if len(ss.Children) != 2 { // 1 producer + 1 consumer
+			t.Fatalf("stage %s has %d task spans", ss.Name, len(ss.Children))
+		}
+		for _, tsp := range ss.Children {
+			if tsp.Kind != SpanTask {
+				t.Fatalf("task span kind = %s", tsp.Kind)
+			}
+			if tsp.Start < ss.Start-1e-9 || tsp.End > ss.End+1e-9 {
+				t.Errorf("task %s [%f,%f] escapes stage [%f,%f]",
+					tsp.Name, tsp.Start, tsp.End, ss.Start, ss.End)
+			}
+			if len(tsp.Children) == 0 {
+				t.Errorf("task %s has no phase spans", tsp.Name)
+			}
+			for _, ph := range tsp.Children {
+				if ph.Kind != SpanPhase {
+					t.Fatalf("phase kind = %s", ph.Kind)
+				}
+				if ph.Start < tsp.Start-1e-9 || ph.End > tsp.End+1e-9 {
+					t.Errorf("phase %s escapes task %s", ph.Name, tsp.Name)
+				}
+			}
+		}
+	}
+	// The dependent stage's attrs carry the DAG edges.
+	if got := root.Children[2].Attrs["depends_on"]; got != "s0,s1" {
+		t.Errorf("depends_on = %q", got)
+	}
+	// Critical path: s2 starts at max(end s0, end s1).
+	s0End := sim.Stages[0].StartAt + sim.Stages[0].Total
+	s1End := sim.Stages[1].StartAt + sim.Stages[1].Total
+	wantS2 := math.Max(s0End, s1End)
+	if math.Abs(sim.Stages[2].StartAt-wantS2) > 1e-9 {
+		t.Errorf("s2 StartAt %f, want %f", sim.Stages[2].StartAt, wantS2)
+	}
+}
+
+func TestBuildQuerySpansAnnotations(t *testing.T) {
+	p := perfmodel.DefaultParams()
+	q := dagQuery()
+	q.Stages[0].Attempts = 2
+	q.Stages[0].Producers[0].Attempts = 3
+	q.Stages[0].Producers[0].Recovered = true
+	q.Stages[0].Consumers[0].Speculative = true
+	q.Stages[0].Consumers[0].StragglerDelaySec = 4.5
+	root, _ := BuildQuerySpans(q, &p)
+	ss := root.Children[0]
+	if ss.Attrs["attempts"] != "2" {
+		t.Errorf("stage attempts attr = %q", ss.Attrs["attempts"])
+	}
+	prod, cons := ss.Children[0], ss.Children[1]
+	if prod.Attrs["attempts"] != "3" || prod.Attrs["recovered"] != "true" {
+		t.Errorf("producer attrs = %v", prod.Attrs)
+	}
+	if cons.Attrs["speculative"] != "true" || cons.Attrs["straggler_sec"] == "" {
+		t.Errorf("consumer attrs = %v", cons.Attrs)
+	}
+}
+
+// TestChromeTraceStageStartsMatchCriticalPath is the acceptance
+// assertion: the exported per-stage span starts equal the perfmodel's
+// critical-path virtual times (compile + StartAt), in microseconds.
+func TestChromeTraceStageStartsMatchCriticalPath(t *testing.T) {
+	p := perfmodel.DefaultParams()
+	q := dagQuery()
+	sim := p.SimulateQuery(q)
+
+	var buf bytes.Buffer
+	n, err := WriteChromeTrace(&buf, []*trace.Query{q}, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no events written")
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("self-validation failed: %v", err)
+	}
+
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+
+	stageTs := map[string]float64{}
+	stageDur := map[string]float64{}
+	flows := 0
+	taskEvents := 0
+	for _, ev := range parsed.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Cat == "stage":
+			stageTs[ev.Name] = ev.Ts
+			stageDur[ev.Name] = ev.Dur
+			if ev.Tid != 0 {
+				t.Errorf("stage %s on tid %d, want 0", ev.Name, ev.Tid)
+			}
+		case ev.Ph == "X" && ev.Cat == "task":
+			taskEvents++
+			if ev.Tid < 1 {
+				t.Errorf("task %s on tid %d, want >= 1", ev.Name, ev.Tid)
+			}
+		case ev.Ph == "s" || ev.Ph == "f":
+			flows++
+		}
+	}
+	if len(stageTs) != 3 {
+		t.Fatalf("got %d stage events, want 3: %v", len(stageTs), stageTs)
+	}
+	for i, st := range q.Stages {
+		want := (sim.Compile + sim.Stages[i].StartAt) * 1e6
+		if got := stageTs[st.Name]; math.Abs(got-want) > 1 { // within 1 us
+			t.Errorf("stage %s ts = %f us, want %f us (critical path)", st.Name, got, want)
+		}
+		wantDur := sim.Stages[i].Total * 1e6
+		if got := stageDur[st.Name]; math.Abs(got-wantDur) > 1 {
+			t.Errorf("stage %s dur = %f us, want %f us", st.Name, got, wantDur)
+		}
+	}
+	// The overlapped branches really overlap: s1 starts before s0 ends.
+	if stageTs["s1"] >= stageTs["s0"]+stageDur["s0"] {
+		t.Error("independent stages did not overlap in the exported trace")
+	}
+	// Two dependency edges (s2 -> s0, s2 -> s1) = two s/f pairs.
+	if flows != 4 {
+		t.Errorf("flow events = %d, want 4", flows)
+	}
+	if taskEvents == 0 {
+		t.Error("no task events exported")
+	}
+}
+
+func TestChromeTraceLaneOverflow(t *testing.T) {
+	lt := newLaneTable(4)
+	a := lt.place(0, 0, 10)
+	b := lt.place(0, 5, 15) // overlaps -> overflow lane
+	c := lt.place(0, 10, 20)
+	if a == b {
+		t.Errorf("overlapping tasks share tid %d", a)
+	}
+	if c != a {
+		t.Errorf("disjoint task got tid %d, want reuse of %d", c, a)
+	}
+	if lt.names[a] != "node0/slot0" {
+		t.Errorf("lane name = %q", lt.names[a])
+	}
+}
+
+func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ValidateChromeTrace([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"ph":"X","ts":1}]}`)); err == nil {
+		t.Error("nameless event accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"name":"a","ph":"Z","ts":1}]}`)); err == nil {
+		t.Error("unknown phase accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"name":"a","ph":"X","ts":-4}]}`)); err == nil {
+		t.Error("negative ts accepted")
+	}
+	n, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"name":"a","ph":"M"},{"name":"b","ph":"X","ts":0,"dur":5}]}`))
+	if err != nil || n != 2 {
+		t.Errorf("valid trace rejected: n=%d err=%v", n, err)
+	}
+}

@@ -76,15 +76,39 @@ type Utilization struct {
 // UtilizationSeries samples the stage schedule once per simulated
 // second. Each task contributes its I/O evenly over its segment and
 // CPU during its compute segment.
+//
+// Stage offsets follow the critical-path start times SimulateQuery
+// computed (StartAt), so a DAG-overlapped query's concurrent stages
+// contribute to the same simulated seconds instead of being laid end
+// to end — the serial concatenation overstated the horizon and never
+// summed overlapping load. Sims built without query context (every
+// StartAt zero across multiple stages, e.g. direct SimulateStage
+// calls) keep the legacy serial layout.
 func UtilizationSeries(sims []*StageTiming, cluster Cluster) []Utilization {
+	offsets := make([]float64, len(sims))
 	var horizon float64
-	var offsets []float64
-	cur := 0.0
+	allZero := true
 	for _, s := range sims {
-		offsets = append(offsets, cur)
-		cur += s.Total
+		if s.StartAt != 0 {
+			allZero = false
+			break
+		}
 	}
-	horizon = cur
+	if allZero && len(sims) > 1 {
+		cur := 0.0
+		for i, s := range sims {
+			offsets[i] = cur
+			cur += s.Total
+		}
+		horizon = cur
+	} else {
+		for i, s := range sims {
+			offsets[i] = s.StartAt
+			if end := s.StartAt + s.Total; end > horizon {
+				horizon = end
+			}
+		}
+	}
 	n := int(horizon) + 1
 	out := make([]Utilization, n)
 	for i := range out {

@@ -1,0 +1,92 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"hivempi/internal/trace"
+)
+
+func dagStage(name string, inputBytes int64, deps ...string) *trace.Stage {
+	return &trace.Stage{
+		Name: name, Engine: "datampi", NonBlocking: true, SendQueueSize: 6,
+		DependsOn: deps,
+		Producers: []*trace.Task{
+			{ID: 0, Kind: trace.KindOTask, InputBytes: inputBytes, InputRecords: 1000,
+				ShuffleOutBytes: inputBytes / 4, ShuffleOutPairs: 500, LocalRead: true},
+		},
+		Consumers: []*trace.Task{
+			{ID: 0, Kind: trace.KindATask, ShuffleInBytes: inputBytes / 4,
+				ShuffleInPairs: 500, WriteBytes: inputBytes / 8},
+		},
+	}
+}
+
+// TestUtilizationSeriesDAGOffsets is the regression test for the serial
+// concatenation bug: with a DAG-overlapped query the series must place
+// each stage at its critical-path start (StartAt), so the horizon is
+// the DAG makespan — the old `cur += s.Total` layout stretched it to
+// the serial sum and never summed concurrent load.
+func TestUtilizationSeriesDAGOffsets(t *testing.T) {
+	p := DefaultParams()
+	q := &trace.Query{
+		Statement:  "dag",
+		Overlapped: true,
+		Stages: []*trace.Stage{
+			dagStage("s0", 2<<20),
+			dagStage("s1", 2<<20),
+			dagStage("s2", 1<<20, "s0", "s1"),
+		},
+	}
+	sim := p.SimulateQuery(q)
+	var makespan, serialSum float64
+	for _, s := range sim.Stages {
+		serialSum += s.Total
+		if end := s.StartAt + s.Total; end > makespan {
+			makespan = end
+		}
+	}
+	if serialSum <= makespan+2 {
+		t.Fatalf("test DAG does not overlap: serial %.1fs vs makespan %.1fs", serialSum, makespan)
+	}
+
+	series := UtilizationSeries(sim.Stages, p.Cluster)
+	horizon := float64(len(series))
+	if horizon > makespan+2 {
+		t.Errorf("series horizon %.0fs overstates the DAG makespan %.1fs (serial sum %.1fs)",
+			horizon, makespan, serialSum)
+	}
+	if horizon < makespan-1 {
+		t.Errorf("series horizon %.0fs falls short of the DAG makespan %.1fs", horizon, makespan)
+	}
+
+	// The two independent branches really share simulated seconds: while
+	// both are in their compute window the sampled CPU must exceed what
+	// one branch's single task can contribute alone.
+	onePct := 100 / float64(p.Cluster.Nodes*p.Cluster.SlotsPerNode)
+	var peakCPU float64
+	for _, u := range series {
+		if u.CPUPct > peakCPU {
+			peakCPU = u.CPUPct
+		}
+	}
+	if peakCPU <= onePct*1.5 {
+		t.Errorf("peak CPU %.2f%% shows no overlapped load (single task = %.2f%%)", peakCPU, onePct)
+	}
+}
+
+// TestUtilizationSeriesSerialFallback: sims produced without query
+// context (direct SimulateStage calls leave every StartAt zero) keep
+// the legacy end-to-end layout rather than piling up at t=0.
+func TestUtilizationSeriesSerialFallback(t *testing.T) {
+	p := DefaultParams()
+	a := p.SimulateStage(dagStage("a", 1<<20))
+	b := p.SimulateStage(dagStage("b", 1<<20))
+	if a.StartAt != 0 || b.StartAt != 0 {
+		t.Fatalf("SimulateStage should leave StartAt zero: %f %f", a.StartAt, b.StartAt)
+	}
+	series := UtilizationSeries([]*StageTiming{a, b}, p.Cluster)
+	want := int(a.Total + b.Total)
+	if len(series) < want {
+		t.Errorf("serial fallback horizon %d < concatenated %d", len(series), want)
+	}
+}

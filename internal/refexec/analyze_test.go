@@ -1,0 +1,72 @@
+package refexec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hivempi/internal/obs"
+	"hivempi/internal/tpch"
+	"hivempi/internal/trace"
+)
+
+// TestExplainAnalyzeQ9: EXPLAIN ANALYZE really executes the statement
+// (rows still match the reference evaluator) and the rendered plan
+// reports every stage's rows, bytes, virtual seconds and engine.
+func TestExplainAnalyzeQ9(t *testing.T) {
+	db := Load(testSF, testSeed)
+	want, err := Query(db, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDriver(t)
+	script, err := tpch.Query(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := d.Run("EXPLAIN ANALYZE " + script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[len(results)-1]
+	if !res.Analyzed {
+		t.Fatal("EXPLAIN ANALYZE result not marked Analyzed")
+	}
+	rowsMatch(t, 9, res.Rows, want)
+	if len(res.Stages) == 0 {
+		t.Fatal("EXPLAIN ANALYZE carried no stage traces")
+	}
+	if len(res.Metrics) == 0 {
+		t.Error("EXPLAIN ANALYZE carried no metrics snapshot")
+	}
+
+	plan := obs.RenderAnalyzedPlan(&trace.Query{
+		Statement:  res.Statement,
+		Stages:     res.Stages,
+		Overlapped: res.Overlapped,
+	}, res.Degraded, res.Metrics, nil)
+
+	for _, frag := range []string{
+		"EXPLAIN ANALYZE", "STAGE ", "[datampi]", "rows out",
+		"start ", "dur ", "input ", "shuffle ", "counters:",
+	} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("rendered plan missing %q:\n%s", frag, plan)
+		}
+	}
+	for _, st := range res.Stages {
+		if !strings.Contains(plan, fmt.Sprintf("STAGE %s [", st.Name)) {
+			t.Errorf("plan missing stage %s", st.Name)
+		}
+	}
+	// Q9 is a multi-join: the DAG scheduler must have overlapped it and
+	// the plan must expose at least one dependency edge.
+	if len(res.Stages) > 1 {
+		if !res.Overlapped {
+			t.Error("multi-stage Q9 did not run DAG-overlapped")
+		}
+		if !strings.Contains(plan, "depends on:") {
+			t.Error("plan shows no stage dependencies")
+		}
+	}
+}
