@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench obscheck trace
+.PHONY: build test race vet fmt lint check bench obscheck trace
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ fmt:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# lint runs the project-specific analyzers (cmd/hivelint): wall-clock
+# use in virtual-time packages, leaked MPI requests, lock-order cycles,
+# per-call metric lookups on hot paths, unsignalled goroutines. Exits
+# non-zero on any diagnostic.
+lint:
+	$(GO) run ./cmd/hivelint
+
 # obscheck vets and race-tests the observability plane (the metrics
 # registry and the span/Chrome-trace exporter) explicitly; `race`
 # covers them too, but this keeps the plane's gate visible on its own.
@@ -30,7 +37,7 @@ obscheck:
 # check is the tier-1 verification gate: static checks, then the full
 # suite under the race detector (covers the mpi/datampi concurrency
 # tests and the chaos soak).
-check: vet fmt build obscheck race
+check: vet fmt lint build obscheck race
 
 # bench runs the shuffle hot-path microbenchmarks (kvio framing,
 # MPI_D_Send, dfs memory tier) and writes the parsed numbers to

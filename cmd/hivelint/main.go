@@ -1,0 +1,130 @@
+// Command hivelint runs the project-invariant analyzer suite
+// (internal/analysis) over the whole module and exits non-zero on any
+// diagnostic. It is the static half of the tier-1 gate: make lint runs
+// it, and make check runs make lint.
+//
+//	hivelint            # human-readable diagnostics on stdout
+//	hivelint -json      # machine-readable diagnostics + summary
+//	hivelint -list      # list the analyzers and their docs
+//
+// Suppressions: a comment of the form
+//
+//	//lint:ignore hivelint/<analyzer> <reason>
+//
+// on (or on the line before) the offending line silences that analyzer
+// there. The reason is mandatory, and stale suppressions are themselves
+// diagnostics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hivempi/internal/analysis"
+)
+
+type jsonReport struct {
+	ModulePath  string                `json:"module"`
+	Packages    int                   `json:"packages"`
+	Analyzers   []string              `json:"analyzers"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Counts      map[string]int        `json:"counts"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hivelint:", err)
+			os.Exit(2)
+		}
+	}
+
+	prog, err := analysis.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hivelint: load:", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(prog, analyzers)
+
+	// Report paths relative to the module root so output is stable
+	// across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(dir, diags[i].File); err == nil {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		counts := make(map[string]int)
+		for _, d := range diags {
+			counts[d.Analyzer]++
+		}
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		rep := jsonReport{
+			ModulePath:  prog.ModulePath,
+			Packages:    len(prog.Packages),
+			Analyzers:   names,
+			Diagnostics: diags,
+			Counts:      counts,
+		}
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "hivelint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		fmt.Fprintf(os.Stderr, "hivelint: %d package(s), %d analyzer(s), %d diagnostic(s)\n",
+			len(prog.Packages), len(analyzers), len(diags))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

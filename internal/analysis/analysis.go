@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check over a loaded Program.
+type Analyzer struct {
+	Name string // short name; suppressions refer to "hivelint/<Name>"
+	Doc  string // one-line description
+	Run  func(prog *Program) []Diagnostic
+}
+
+// diag is the helper analyzers use to build a Diagnostic from a Pos.
+func diag(prog *Program, name string, pos token.Pos, format string, args ...any) Diagnostic {
+	p := prog.Fset.Position(pos)
+	return Diagnostic{
+		Analyzer: name,
+		Pos:      p,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// SuppressPrefix is the namespace suppression comments use:
+// //lint:ignore hivelint/<analyzer> <reason>
+const SuppressPrefix = "hivelint/"
+
+var suppressRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// suppression marks one //lint:ignore comment: it silences diagnostics
+// of the named analyzers on the comment's own line and the next line.
+type suppression struct {
+	analyzers map[string]bool
+	line      int
+	file      string
+	pos       token.Pos
+	reason    string
+}
+
+// collectSuppressions scans every file's comments for lint:ignore
+// directives. Malformed directives (no reason, or a target outside the
+// hivelint/ namespace) are themselves diagnostics so suppressions stay
+// auditable.
+func collectSuppressions(prog *Program) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := suppressRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					reason := strings.TrimSpace(m[2])
+					if reason == "" {
+						diags = append(diags, diag(prog, "suppress", c.Pos(),
+							"lint:ignore needs a reason: //lint:ignore %s <why this site is exempt>", m[1]))
+						continue
+					}
+					names := make(map[string]bool)
+					bad := false
+					for _, target := range strings.Split(m[1], ",") {
+						name, ok := strings.CutPrefix(target, SuppressPrefix)
+						if !ok || name == "" {
+							diags = append(diags, diag(prog, "suppress", c.Pos(),
+								"lint:ignore target %q is not in the %s<analyzer> namespace", target, SuppressPrefix))
+							bad = true
+							break
+						}
+						names[name] = true
+					}
+					if bad {
+						continue
+					}
+					sups = append(sups, suppression{
+						analyzers: names,
+						line:      pos.Line,
+						file:      pos.Filename,
+						pos:       c.Pos(),
+						reason:    reason,
+					})
+				}
+			}
+		}
+	}
+	return sups, diags
+}
+
+// RunAnalyzers runs the analyzers over the program, applies lint:ignore
+// suppressions and returns the surviving diagnostics sorted by
+// position. Unused suppressions are reported so stale exemptions do not
+// accumulate.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		all = append(all, a.Run(prog)...)
+	}
+	sups, diags := collectSuppressions(prog)
+	used := make([]bool, len(sups))
+	for _, d := range all {
+		hit := false
+		for i, s := range sups {
+			if s.file == d.File && s.analyzers[d.Analyzer] && (d.Line == s.line || d.Line == s.line+1) {
+				used[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			diags = append(diags, d)
+		}
+	}
+	for i, s := range sups {
+		if !used[i] {
+			names := make([]string, 0, len(s.analyzers))
+			for n := range s.analyzers {
+				names = append(names, SuppressPrefix+n)
+			}
+			sort.Strings(names)
+			diags = append(diags, diag(prog, "suppress", s.pos,
+				"lint:ignore %s suppresses nothing here; remove the stale exemption", strings.Join(names, ",")))
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// internalPath reports whether pkg lives under modulePath/internal/<one
+// of names>.
+func (prog *Program) internalPath(pkg *Package, names ...string) bool {
+	for _, n := range names {
+		if pkg.Path == prog.ModulePath+"/internal/"+n {
+			return true
+		}
+	}
+	return false
+}

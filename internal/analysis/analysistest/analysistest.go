@@ -1,0 +1,108 @@
+// Package analysistest is the golden-fixture harness for the hivelint
+// analyzers. A fixture is a miniature module tree under
+// testdata/<analyzer>/src with module path "hivempi", so package paths
+// inside fixtures match the real project's paths exactly and the
+// analyzers run unmodified. Expectations are `// want "substring"`
+// comments: each declares that a diagnostic whose message contains the
+// substring must be reported on that line.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hivempi/internal/analysis"
+)
+
+// FixtureModulePath is the module path every fixture tree uses; it
+// matches the real module so path-scoped analyzers behave identically.
+const FixtureModulePath = "hivempi"
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	text string
+	hit  bool
+}
+
+// Run loads the fixture rooted at dir/src and checks the analyzer's
+// diagnostics (after suppression filtering) against the fixture's want
+// comments: every want must be matched by a diagnostic on its line,
+// and every diagnostic must be claimed by a want.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	root := filepath.Join(dir, "src")
+	dirs, err := analysis.DiscoverDirs(root)
+	if err != nil {
+		t.Fatalf("discover %s: %v", root, err)
+	}
+	prog, err := analysis.Load(root, FixtureModulePath, dirs)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", root, err)
+	}
+	diags := analysis.RunAnalyzers(prog, []*analysis.Analyzer{a})
+
+	wants := collectWants(t, prog.Fset, root)
+
+	for _, d := range diags {
+		claimed := false
+		for i := range wants {
+			w := &wants[i]
+			if !w.hit && w.file == d.File && w.line == d.Line && strings.Contains(d.Message, w.text) {
+				w.hit = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.text)
+		}
+	}
+}
+
+// collectWants scans every fixture file for want comments. It reads
+// the files directly (rather than through the AST) so wants attached
+// to any token position are found uniformly.
+func collectWants(t *testing.T, fset *token.FileSet, root string) []expectation {
+	t.Helper()
+	var wants []expectation
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				text := arg[1]
+				if text == "" {
+					text = arg[2]
+				}
+				wants = append(wants, expectation{file: path, line: i + 1, text: text})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan wants: %v", err)
+	}
+	return wants
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// All returns the full hivelint analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, MPIReq, LockOrder, MetricsHot, CtxLeak}
+}

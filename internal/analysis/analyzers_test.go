@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hivempi/internal/analysis"
+	"hivempi/internal/analysis/analysistest"
+)
+
+// Each analyzer must fail on its seeded fixture violations and stay
+// silent on the compliant code next to them (acceptance criterion:
+// every analyzer demonstrated against a fixture).
+
+func TestWallclockFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/wallclock", analysis.Wallclock)
+}
+
+func TestMPIReqFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/mpireq", analysis.MPIReq)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/lockorder", analysis.LockOrder)
+}
+
+func TestMetricsHotFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/metricshot", analysis.MetricsHot)
+}
+
+func TestCtxLeakFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxleak", analysis.CtxLeak)
+}

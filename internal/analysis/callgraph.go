@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncInfo pairs a declared function (or method) with its body.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// FuncIndex maps every declared function and method in the program to
+// its declaration, so analyzers can chase static call edges into bodies.
+func (prog *Program) FuncIndex() map[*types.Func]*FuncInfo {
+	if prog.funcIndex != nil {
+		return prog.funcIndex
+	}
+	idx := make(map[*types.Func]*FuncInfo)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[obj] = &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+	prog.funcIndex = idx
+	return idx
+}
+
+// Callee resolves the static callee of a call expression: the declared
+// function or method it invokes, or nil for calls through function
+// values, interface methods, builtins and conversions.
+func Callee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// recvNamed unwraps a method receiver type to its named type, looking
+// through one level of pointer.
+func recvNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMethodOn reports whether f is a method whose receiver's named type
+// is pkgPath.typeName.
+func isMethodOn(f *types.Func, pkgPath, typeName string) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := recvNamed(sig.Recv().Type())
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == typeName
+}

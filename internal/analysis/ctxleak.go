@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxLeakPackages are the packages whose goroutines must signal
+// completion: the DAG stage scheduler, the DataMPI engine core and the
+// shuffle library. PR 3's runStagesDAG leak — stage goroutines parked
+// on a send nobody drained — is the regression class this check pins.
+var ctxLeakPackages = []string{"hive", "core", "datampi"}
+
+// CtxLeak requires every goroutine spawned in the scheduler/engine
+// packages to contain a completion signal: a channel send or receive, a
+// select, a range over a channel, a close, or a sync.WaitGroup.Done.
+// A goroutine with none of these is fire-and-forget — nothing can
+// observe it finishing, so nothing can prove it did not leak.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "goroutines in scheduler/core/datampi must signal completion (channel op, select, or WaitGroup.Done)",
+	Run:  runCtxLeak,
+}
+
+func runCtxLeak(prog *Program) []Diagnostic {
+	idx := prog.FuncIndex()
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !prog.internalPath(pkg, ctxLeakPackages...) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var body *ast.BlockStmt
+				switch fun := ast.Unparen(g.Call.Fun).(type) {
+				case *ast.FuncLit:
+					body = fun.Body
+				default:
+					// go obj.method() / go fn(): inspect the callee's
+					// body when it is declared in this program.
+					if c := Callee(pkg, g.Call); c != nil {
+						if fi, known := idx[c]; known {
+							body = fi.Decl.Body
+						}
+					}
+				}
+				if body == nil {
+					return true // dynamic callee: nothing to inspect
+				}
+				if !hasCompletionSignal(pkg, idx, body) {
+					diags = append(diags, diag(prog, "ctxleak", g.Pos(),
+						"goroutine has no completion signal (no channel send/receive, select, close, or WaitGroup.Done); it can leak past its spawner"))
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// hasCompletionSignal reports whether the body contains any construct
+// by which a spawner (or test) can observe the goroutine finishing.
+func hasCompletionSignal(pkg *Package, idx map[*types.Func]*FuncInfo, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if st.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			c := Callee(pkg, st)
+			if c == nil {
+				// close(ch) is a builtin, not a *types.Func.
+				if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "close" {
+					if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+				return true
+			}
+			if c.Name() == "Done" || c.Name() == "Wait" {
+				if isMethodOn(c, "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

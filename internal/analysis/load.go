@@ -1,0 +1,261 @@
+// Package analysis is the hivelint analyzer suite: project-specific
+// static checks for the invariants the DataMPI engine depends on —
+// virtual-time determinism (wallclock), non-blocking request completion
+// (mpireq), cross-package mutex acquisition order (lockorder), cached
+// metric handles on shuffle hot paths (metricshot) and goroutine
+// completion signalling (ctxleak).
+//
+// Loading is deliberately dependency-free: packages are parsed with
+// go/parser and type-checked with go/types, importing module-internal
+// packages from the already-checked set and everything else (the
+// standard library) through go/importer's source importer. No
+// golang.org/x/tools machinery is required.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("hivempi/internal/mpi")
+	Dir   string // absolute source directory
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Program is the full set of packages hivelint analyzes in one run.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Packages   []*Package // sorted by import path
+	ByPath     map[string]*Package
+
+	funcIndex map[*types.Func]*FuncInfo // built lazily by FuncIndex
+}
+
+// moduleImporter resolves module-internal import paths from the set of
+// packages already type-checked in this run and defers everything else
+// (the standard library) to the source importer.
+type moduleImporter struct {
+	std  types.ImporterFrom
+	pkgs map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// ModulePathOf reads the module path from root's go.mod.
+func ModulePathOf(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(strings.TrimSuffix(rest, "// indirect")), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// DiscoverDirs walks root and returns the module-relative directories
+// that contain non-test Go files, skipping testdata, hidden and vendor
+// trees. "." stands for the module root package itself.
+func DiscoverDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// LoadModule loads every package of the module rooted at root.
+func LoadModule(root string) (*Program, error) {
+	modPath, err := ModulePathOf(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := DiscoverDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	return Load(root, modPath, dirs)
+}
+
+type rawPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// Load parses and type-checks the packages found in the given
+// module-relative directories, in dependency order.
+func Load(root, modulePath string, dirs []string) (*Program, error) {
+	fset := token.NewFileSet()
+	raw := make(map[string]*rawPkg, len(dirs))
+	for _, dir := range dirs {
+		importPath := modulePath
+		if dir != "." && dir != "" {
+			importPath = modulePath + "/" + dir
+		}
+		abs := filepath.Join(root, filepath.FromSlash(dir))
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, err
+		}
+		rp := &rawPkg{path: importPath, dir: abs}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(abs, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+			}
+			rp.files = append(rp.files, f)
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == modulePath || strings.HasPrefix(p, modulePath+"/") {
+					rp.imports = append(rp.imports, p)
+				}
+			}
+		}
+		if len(rp.files) > 0 {
+			raw[importPath] = rp
+		}
+	}
+
+	order, err := topoSort(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	imp := &moduleImporter{std: std, pkgs: make(map[string]*types.Package, len(order))}
+
+	prog := &Program{Fset: fset, ModulePath: modulePath, ByPath: make(map[string]*Package, len(order))}
+	for _, path := range order {
+		rp := raw[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+		}
+		imp.pkgs[path] = tpkg
+		p := &Package{Path: path, Dir: rp.dir, Files: rp.files, Pkg: tpkg, Info: info}
+		prog.Packages = append(prog.Packages, p)
+		prog.ByPath[path] = p
+	}
+	return prog, nil
+}
+
+// topoSort orders the raw packages so every module-internal import of a
+// package precedes it.
+func topoSort(raw map[string]*rawPkg) ([]string, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(raw))
+	var order []string
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		rp, ok := raw[path]
+		if !ok {
+			// Imported module path not among the loaded dirs (e.g. a
+			// pruned subtree); the importer will fail later if it is
+			// actually needed.
+			return nil
+		}
+		switch state[path] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("analysis: import cycle: %s", strings.Join(append(stack, path), " -> "))
+		}
+		state[path] = grey
+		for _, dep := range rp.imports {
+			if err := visit(dep, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockScopePackages are the packages whose mutexes participate in the
+// cross-layer acquisition graph: the dfs namespace lock, the imstore
+// budget lock and the metrics registry lock. PR 3 fixed races exactly
+// here (dfs rename/delete vs imstore residency), and its fix depends on
+// the documented order fs.mu -> tierMu -> store.mu staying acyclic.
+var lockScopePackages = []string{"dfs", "imstore", "metrics"}
+
+// LockOrder builds the mutex acquisition graph of the storage
+// substrate from source — an edge A -> B means some function acquires B
+// while holding A, directly or through a static call chain — and
+// reports every edge that participates in a cycle, plus recursive
+// acquisitions of the same mutex. New code that inverts the documented
+// dfs -> imstore order shows up as a cycle the moment it is written.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "reject mutex acquisition cycles across dfs/imstore/metrics",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one "acquired while held" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func runLockOrder(prog *Program) []Diagnostic {
+	idx := prog.FuncIndex()
+
+	// Pass 1: the set of lock IDs each function acquires directly.
+	direct := make(map[*types.Func]map[string]bool)
+	callees := make(map[*types.Func][]*types.Func)
+	for obj, fi := range idx {
+		locks := make(map[string]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, acquire := lockCall(fi.Pkg, call); id != "" && acquire {
+				locks[id] = true
+			} else if c := Callee(fi.Pkg, call); c != nil {
+				if _, known := idx[c]; known {
+					callees[obj] = append(callees[obj], c)
+				}
+			}
+			return true
+		})
+		if len(locks) > 0 {
+			direct[obj] = locks
+		}
+	}
+
+	// Pass 2: transitive closure — every lock a call into f may take.
+	trans := make(map[*types.Func]map[string]bool, len(direct))
+	for obj := range idx {
+		trans[obj] = make(map[string]bool, len(direct[obj]))
+		for id := range direct[obj] {
+			trans[obj][id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, cs := range callees {
+			for _, c := range cs {
+				for id := range trans[c] {
+					if !trans[obj][id] {
+						trans[obj][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: hold-region walk over the scoped packages, recording
+	// edges held -> acquired for direct locks and for calls whose
+	// transitive set takes locks.
+	var edges []lockEdge
+	for _, pkg := range prog.Packages {
+		if !prog.internalPath(pkg, lockScopePackages...) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				edges = append(edges, walkHoldRegions(pkg, fd.Body, idx, trans)...)
+			}
+		}
+	}
+
+	// Cycle detection: keep the first position per edge, find strongly
+	// connected components, report every edge inside one.
+	first := make(map[[2]string]token.Pos)
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		k := [2]string{e.from, e.to}
+		if _, ok := first[k]; !ok {
+			first[k] = e.pos
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	scc := stronglyConnected(adj)
+
+	var diags []Diagnostic
+	for k, pos := range first {
+		from, to := k[0], k[1]
+		if from == to {
+			diags = append(diags, diag(prog, "lockorder", pos,
+				"recursive acquisition: %s is taken while already held (self-deadlock)", from))
+			continue
+		}
+		if scc[from] != "" && scc[from] == scc[to] {
+			diags = append(diags, diag(prog, "lockorder", pos,
+				"lock-order cycle: %s is acquired while holding %s, but the reverse order also exists (cycle through %s)",
+				to, from, cyclePath(adj, scc, from)))
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		return diags[i].Line < diags[j].Line
+	})
+	return diags
+}
+
+// walkHoldRegions traverses body in source order tracking the held
+// lock set. Function literals (deferred closures, goroutines) start
+// with an empty held set: a goroutine does not inherit its spawner's
+// locks, and a deferred unlock is modeled by simply never removing the
+// lock from the held set.
+func walkHoldRegions(pkg *Package, body *ast.BlockStmt, idx map[*types.Func]*FuncInfo, trans map[*types.Func]map[string]bool) []lockEdge {
+	var edges []lockEdge
+	var held []string
+
+	release := func(id string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == id {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncLit:
+				// Separate execution context: fresh held set.
+				saved := held
+				held = nil
+				walk(st.Body)
+				held = saved
+				return false
+			case *ast.DeferStmt:
+				// defer x.Unlock() keeps the lock held to function end;
+				// deferred closures run after the region, so skip both.
+				return false
+			case *ast.CallExpr:
+				if id, acquire := lockCall(pkg, st); id != "" {
+					if acquire {
+						for _, h := range held {
+							edges = append(edges, lockEdge{from: h, to: id, pos: st.Pos()})
+						}
+						held = append(held, id)
+					} else {
+						release(id)
+					}
+					return true
+				}
+				if len(held) == 0 {
+					return true
+				}
+				if c := Callee(pkg, st); c != nil {
+					if _, known := idx[c]; known {
+						ids := make([]string, 0, len(trans[c]))
+						for id := range trans[c] {
+							ids = append(ids, id)
+						}
+						sort.Strings(ids)
+						for _, id := range ids {
+							for _, h := range held {
+								edges = append(edges, lockEdge{from: h, to: id, pos: st.Pos()})
+							}
+						}
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body)
+	return edges
+}
+
+// lockCall classifies a call as a mutex acquire/release and returns
+// the canonical lock ID ("" when the call is not a trackable mutex
+// operation). Lock and RLock map to the same node: RLock-under-Lock on
+// the same RWMutex self-deadlocks just as hard with a writer pending.
+func lockCall(pkg *Package, call *ast.CallExpr) (id string, acquire bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch f.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false
+	}
+	return lockID(pkg, sel.X), acquire
+}
+
+// lockID names the mutex a Lock/Unlock selector refers to:
+// "pkg.Type.field" for a struct-field mutex reached through any base
+// expression, "pkg.var" for a package-level mutex. Local mutexes
+// return "" — they cannot participate in cross-function ordering.
+func lockID(pkg *Package, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if n := recvNamed(s.Recv()); n != nil && n.Obj().Pkg() != nil {
+				return fmt.Sprintf("%s.%s.%s", n.Obj().Pkg().Name(), n.Obj().Name(), e.Sel.Name)
+			}
+		}
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// stronglyConnected returns, for every node in a component of size > 1,
+// the component's representative (smallest member); nodes alone in
+// their component map to "". Tarjan's algorithm, iterative-free since
+// the lock graphs here are tiny.
+func stronglyConnected(adj map[string][]string) map[string]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	comp := make(map[string]string)
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				sort.Strings(members)
+				for _, m := range members {
+					comp[m] = members[0]
+				}
+			} else {
+				comp[members[0]] = ""
+			}
+		}
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+	return comp
+}
+
+// cyclePath renders one cycle through the component containing start,
+// for the diagnostic message.
+func cyclePath(adj map[string][]string, comp map[string]string, start string) string {
+	path := []string{start}
+	seen := map[string]bool{start: true}
+	cur := start
+	for {
+		advanced := false
+		for _, w := range adj[cur] {
+			if comp[w] != "" && comp[w] == comp[start] {
+				if w == start {
+					return strings.Join(append(path, start), " -> ")
+				}
+				if !seen[w] {
+					seen[w] = true
+					path = append(path, w)
+					cur = w
+					advanced = true
+					break
+				}
+			}
+		}
+		if !advanced {
+			return strings.Join(path, " -> ")
+		}
+	}
+}

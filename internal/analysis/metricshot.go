@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MetricsHot flags per-call metrics.Registry lookups (Counter, Gauge,
+// Add) inside functions reachable from the shuffle/kvio hot paths.
+// Registry lookups take the registry's read lock and hash the name on
+// every call; hot paths must cache the *Counter/*Gauge handle once at
+// setup (as datampi.NewJob and dfs.SetMetrics do) and hit the cached
+// atomic afterwards. Setup-shaped functions — New*/new*, Set*/set*,
+// init — are exempt: running once per job is the sanctioned pattern.
+var MetricsHot = &Analyzer{
+	Name: "metricshot",
+	Doc:  "no per-call Registry lookups in functions reachable from shuffle/kvio hot paths",
+	Run:  runMetricsHot,
+}
+
+// hotRootPackages contribute every declared function as a hot-path
+// root (the shuffle library and the kv wire format).
+var hotRootPackages = []string{"kvio", "datampi"}
+
+// hotRootMethods are individual hot entry points outside those
+// packages: the dfs per-I/O paths.
+var hotRootMethods = map[string][]string{
+	"Writer": {"Write"},
+	"Reader": {"Read", "ReadAt"},
+}
+
+// isSetupFunc reports whether the function is a once-per-job setup
+// site where Registry lookups are the sanctioned caching pattern.
+func isSetupFunc(name string) bool {
+	for _, p := range []string{"New", "new", "Set", "set"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return name == "init"
+}
+
+func runMetricsHot(prog *Program) []Diagnostic {
+	idx := prog.FuncIndex()
+	dfsPath := prog.ModulePath + "/internal/dfs"
+	metricsPath := prog.ModulePath + "/internal/metrics"
+
+	// Roots: the hot packages' functions (minus setup functions) plus
+	// the dfs I/O methods.
+	rootOf := make(map[*types.Func]string)
+	for obj, fi := range idx {
+		if prog.internalPath(fi.Pkg, hotRootPackages...) && !isSetupFunc(obj.Name()) {
+			rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
+		}
+		if fi.Pkg.Path == dfsPath {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if n := recvNamed(sig.Recv().Type()); n != nil {
+					for _, m := range hotRootMethods[n.Obj().Name()] {
+						if obj.Name() == m {
+							rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// BFS over static call edges; remember which root reached each
+	// function for the diagnostic message.
+	via := make(map[*types.Func]string, len(rootOf))
+	queue := make([]*types.Func, 0, len(rootOf))
+	roots := make([]*types.Func, 0, len(rootOf))
+	for obj := range rootOf {
+		roots = append(roots, obj)
+	}
+	sort.Slice(roots, func(i, j int) bool { return rootOf[roots[i]] < rootOf[roots[j]] })
+	for _, obj := range roots {
+		via[obj] = rootOf[obj]
+		queue = append(queue, obj)
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		fi := idx[obj]
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c := Callee(fi.Pkg, call)
+			if c == nil {
+				return true
+			}
+			if _, known := idx[c]; known {
+				if _, seen := via[c]; !seen {
+					via[c] = via[obj]
+					queue = append(queue, c)
+				}
+			}
+			return true
+		})
+	}
+
+	var diags []Diagnostic
+	for obj, root := range via {
+		fi := idx[obj]
+		// The registry's own internals are the lookup implementation,
+		// not a caller that should have cached a handle.
+		if isSetupFunc(obj.Name()) || fi.Pkg.Path == metricsPath {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c := Callee(fi.Pkg, call)
+			if c == nil || !isMethodOn(c, metricsPath, "Registry") {
+				return true
+			}
+			switch c.Name() {
+			case "Counter", "Gauge", "Add":
+				diags = append(diags, diag(prog, "metricshot", call.Pos(),
+					"per-call Registry.%s lookup in %s (reachable from hot path %s); cache the handle once at setup and use the cached *%s",
+					c.Name(), funcDisplayName(obj), root, handleType(c.Name())))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func handleType(method string) string {
+	if method == "Gauge" {
+		return "metrics.Gauge"
+	}
+	return "metrics.Counter"
+}
+
+// funcDisplayName renders "Type.Method" for methods and "Func" for
+// plain functions.
+func funcDisplayName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := recvNamed(sig.Recv().Type()); n != nil {
+			return n.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}

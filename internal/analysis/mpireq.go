@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MPIReq enforces the non-blocking request discipline: every request
+// handle returned by World.Isend/World.Irecv must either reach a
+// completion call (Wait, WaitRecv, Test) in the enclosing function or
+// escape it (returned, appended into a slice, stored into a field or
+// map, sent on a channel, or passed to another function such as
+// mpi.Waitall). A handle that does neither is a leaked request: nothing
+// will ever observe its completion or its error, the exact class of bug
+// behind lost shuffle acknowledgements.
+//
+// The check is flow-insensitive over the function body: one completing
+// or escaping use anywhere satisfies it. Discarding the handle with _
+// is always a violation.
+var MPIReq = &Analyzer{
+	Name: "mpireq",
+	Doc:  "every Isend/Irecv request must be completed (Wait/Waitall/Test) or escape",
+	Run:  runMPIReq,
+}
+
+// requestCompleters are the Request methods that count as observing
+// completion.
+var requestCompleters = map[string]bool{
+	"Wait": true, "WaitRecv": true, "Test": true,
+}
+
+func runMPIReq(prog *Program) []Diagnostic {
+	mpiPath := prog.ModulePath + "/internal/mpi"
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, checkFuncRequests(prog, pkg, fd, mpiPath)...)
+			}
+		}
+	}
+	return diags
+}
+
+// checkFuncRequests finds the Isend/Irecv request bindings in one
+// function and verifies each is completed or escapes.
+func checkFuncRequests(prog *Program, pkg *Package, fd *ast.FuncDecl, mpiPath string) []Diagnostic {
+	type binding struct {
+		obj  types.Object
+		pos  ast.Node
+		op   string
+		done bool
+	}
+	var bindings []binding
+	var diags []Diagnostic
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			callee := Callee(pkg, call)
+			if callee == nil || !isMethodOn(callee, mpiPath, "World") {
+				continue
+			}
+			op := callee.Name()
+			if op != "Isend" && op != "Irecv" {
+				continue
+			}
+			// The request is the first value: lhs[0] for the usual
+			// req, err := ... form, lhs[i] when assigned pairwise.
+			var lhs ast.Expr
+			if len(as.Rhs) == 1 {
+				lhs = as.Lhs[0]
+			} else {
+				lhs = as.Lhs[i]
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue // stored straight into a field/index: escapes
+			}
+			if id.Name == "_" {
+				diags = append(diags, diag(prog, "mpireq", call.Pos(),
+					"%s request discarded with _; complete it (Wait/Waitall/Test) or keep the handle", op))
+				continue
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			bindings = append(bindings, binding{obj: obj, pos: call, op: op})
+		}
+		return true
+	})
+	if len(bindings) == 0 {
+		return diags
+	}
+
+	usesObj := func(e ast.Expr, obj types.Object) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && (pkg.Info.Uses[id] == obj) {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+
+	satisfy := func(obj types.Object) {
+		for i := range bindings {
+			if bindings[i].obj == obj {
+				bindings[i].done = true
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			// req.Wait() / req.WaitRecv() / req.Test() complete the handle.
+			if sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr); ok && requestCompleters[sel.Sel.Name] {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil {
+						satisfy(obj)
+					}
+				}
+			}
+			// Passing the handle to any call (append, mpi.Waitall, a
+			// helper) hands responsibility over: it escapes.
+			for _, arg := range st.Args {
+				for _, b := range bindings {
+					if usesObj(arg, b.obj) {
+						satisfy(b.obj)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				for _, b := range bindings {
+					if usesObj(res, b.obj) {
+						satisfy(b.obj)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Re-assignment into a variable, field or index keeps the
+			// handle alive; discarding it into _ does not.
+			allBlank := true
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+					break
+				}
+			}
+			if allBlank {
+				break
+			}
+			for _, rhs := range st.Rhs {
+				for _, b := range bindings {
+					if usesObj(rhs, b.obj) {
+						satisfy(b.obj)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			for _, b := range bindings {
+				if usesObj(st.Value, b.obj) {
+					satisfy(b.obj)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, b := range bindings {
+		if !b.done {
+			diags = append(diags, diag(prog, "mpireq", b.pos.Pos(),
+				"%s request is never completed (Wait/Waitall/Test) and never escapes this function; its completion and error are lost", b.op))
+		}
+	}
+	return diags
+}

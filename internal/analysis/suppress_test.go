@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"hivempi/internal/analysis"
+)
+
+// TestSuppressions covers the suppression policy end to end: a
+// well-formed lint:ignore silences the diagnostic on the next line, a
+// reason-less directive is rejected (and silences nothing), and a
+// directive matching no diagnostic is reported as stale.
+func TestSuppressions(t *testing.T) {
+	root := "testdata/suppress/src"
+	dirs, err := analysis.DiscoverDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.Load(root, "hivempi", dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.RunAnalyzers(prog, []*analysis.Analyzer{analysis.Wallclock})
+
+	var gotWallclock, gotNoReason, gotStale int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "wallclock":
+			gotWallclock++
+		case strings.Contains(d.Message, "needs a reason"):
+			gotNoReason++
+		case strings.Contains(d.Message, "suppresses nothing"):
+			gotStale++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	// suppressedOK's violation is silenced; noReason's is not (its
+	// directive is invalid), so exactly one wallclock diagnostic.
+	if gotWallclock != 1 {
+		t.Errorf("wallclock diagnostics = %d, want 1 (suppressed site must be silent, reason-less site must not be)", gotWallclock)
+	}
+	if gotNoReason != 1 {
+		t.Errorf("missing-reason diagnostics = %d, want 1", gotNoReason)
+	}
+	if gotStale != 1 {
+		t.Errorf("stale-suppression diagnostics = %d, want 1", gotStale)
+	}
+}

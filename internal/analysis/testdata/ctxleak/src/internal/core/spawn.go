@@ -1,0 +1,66 @@
+// Fixture for the ctxleak analyzer: goroutines in the engine packages
+// must contain a completion signal. Fire-and-forget literals and
+// signal-free spawned methods are violations; WaitGroup.Done, channel
+// sends, range-over-channel and close all count as signals.
+package core
+
+import "sync"
+
+type pump struct {
+	q    chan int
+	done chan struct{}
+	n    int
+}
+
+func fireAndForget(work func()) {
+	go func() { // want "goroutine has no completion signal"
+		work()
+	}()
+}
+
+func okWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func okChannelSend(res chan error, work func() error) {
+	go func() {
+		res <- work()
+	}()
+}
+
+func (p *pump) loop() {
+	for v := range p.q {
+		p.n += v
+	}
+	close(p.done)
+}
+
+func okMethod(p *pump) {
+	go p.loop()
+}
+
+func (p *pump) spin() {
+	for i := 0; i < 1000; i++ {
+		p.n++
+	}
+}
+
+func badMethod(p *pump) {
+	go p.spin() // want "goroutine has no completion signal"
+}
+
+func okSelect(stop chan struct{}, work func()) {
+	go func() {
+		select {
+		case <-stop:
+		default:
+			work()
+		}
+	}()
+}

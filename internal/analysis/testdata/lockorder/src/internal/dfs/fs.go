@@ -1,0 +1,21 @@
+// dfs side of the lockorder fixture: a one-way cross-package order
+// (FS.mu taken before the imstore locks, never after) is legal and must
+// not be reported even though the imstore locks themselves cycle.
+package dfs
+
+import (
+	"sync"
+
+	"hivempi/internal/imstore"
+)
+
+type FS struct {
+	mu sync.Mutex
+	st *imstore.Store
+}
+
+func (f *FS) Delete(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.st.Put(n)
+}

@@ -1,0 +1,59 @@
+// Fixture for the lockorder analyzer: Store.mu and Budget.mu are
+// acquired in both orders (Put holds Store.mu then takes Budget.mu via
+// Reserve; Flush holds Budget.mu then takes Store.mu via Drop), which
+// is the deadlock-capable cycle the analyzer must reject. Recount
+// additionally re-acquires Store.mu through a call while holding it.
+package imstore
+
+import "sync"
+
+type Store struct {
+	mu     sync.Mutex
+	budget *Budget
+	n      int64
+}
+
+type Budget struct {
+	mu    sync.Mutex
+	store *Store
+	left  int64
+}
+
+func (s *Store) Put(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget.Reserve(n) // want "lock-order cycle"
+}
+
+func (b *Budget) Reserve(n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.left -= n
+}
+
+func (b *Budget) Flush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.store.Drop() // want "lock-order cycle"
+}
+
+func (s *Store) Drop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = 0
+}
+
+func (s *Store) Recount() {
+	s.mu.Lock()
+	s.Drop() // want "recursive acquisition"
+	s.mu.Unlock()
+}
+
+// Balanced acquire/release before calling back into the other lock is
+// fine: no overlap, no edge.
+func (s *Store) Rebalance(n int64) {
+	s.mu.Lock()
+	s.n += n
+	s.mu.Unlock()
+	s.budget.Reserve(n)
+}

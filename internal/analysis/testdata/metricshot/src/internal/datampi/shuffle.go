@@ -1,0 +1,17 @@
+// datampi side of the metricshot fixture: the violation sits one call
+// below the hot entry point, proving reachability is transitive.
+package datampi
+
+import "hivempi/internal/metrics"
+
+type job struct {
+	reg *metrics.Registry
+}
+
+func (j *job) send(key []byte) {
+	j.bump(len(key))
+}
+
+func (j *job) bump(n int) {
+	j.reg.Add("datampi.send.flushes", int64(n)) // want "per-call Registry.Add lookup"
+}

@@ -1,0 +1,9 @@
+// driver is not reachable from any hot-path root, so its per-call
+// gauge lookup is cold-path sampling and must not be reported.
+package driver
+
+import "hivempi/internal/metrics"
+
+func Sample(r *metrics.Registry, used int64) {
+	r.Gauge("imstore.used.bytes").Set(used)
+}

@@ -1,0 +1,21 @@
+// Fixture for the metricshot analyzer: kvio functions are hot-path
+// roots, so a per-call Registry lookup inside one is a violation, while
+// caching the handle in a New*/Set* setup function is sanctioned.
+package kvio
+
+import "hivempi/internal/metrics"
+
+type Writer struct {
+	reg *metrics.Registry
+	ctr *metrics.Counter
+}
+
+func NewWriter(reg *metrics.Registry) *Writer {
+	// Setup-time lookup: allowed — this runs once per writer.
+	return &Writer{reg: reg, ctr: reg.Counter("kvio.write.bytes")}
+}
+
+func (w *Writer) WriteHot(p []byte) {
+	w.reg.Counter("kvio.write.bytes").Add(int64(len(p))) // want "per-call Registry.Counter lookup"
+	w.ctr.Add(int64(len(p)))                             // cached handle: allowed
+}

@@ -1,0 +1,22 @@
+// Stub of the real internal/metrics registry surface for the
+// metricshot fixture. The analyzer exempts this package itself: the
+// registry's internals are the lookup implementation.
+package metrics
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Add(n int64) { c.v += n }
+func (c *Counter) Inc()        { c.Add(1) }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+func (r *Registry) Counter(name string) *Counter { return r.counters[name] }
+func (r *Registry) Gauge(name string) *Gauge     { return r.gauges[name] }
+func (r *Registry) Add(name string, n int64)     { r.Counter(name).Add(n) }

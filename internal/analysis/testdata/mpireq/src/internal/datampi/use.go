@@ -1,0 +1,80 @@
+// Fixture for the mpireq analyzer: leaked and discarded request
+// handles are violations; completion via Wait/WaitRecv/Test, escape
+// via append/field/return, and handing off to Waitall are all fine.
+package datampi
+
+import "hivempi/internal/mpi"
+
+type sender struct {
+	w       *mpi.World
+	pending []*mpi.Request
+}
+
+func leak(w *mpi.World) error {
+	req, err := w.Isend(0, 1, 7, nil) // want "Isend request is never completed"
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}
+
+func leakRecv(w *mpi.World) {
+	req, _ := w.Irecv(0, 1, 7) // want "Irecv request is never completed"
+	_ = req
+}
+
+func discard(w *mpi.World) {
+	_, _ = w.Irecv(0, 1, 7) // want "Irecv request discarded with _"
+}
+
+func okWait(w *mpi.World) error {
+	req, err := w.Irecv(0, 1, 7)
+	if err != nil {
+		return err
+	}
+	_, _, err = req.WaitRecv()
+	return err
+}
+
+func okTest(w *mpi.World) (bool, error) {
+	req, err := w.Isend(0, 1, 7, nil)
+	if err != nil {
+		return false, err
+	}
+	return req.Test()
+}
+
+func okWaitall(w *mpi.World) error {
+	var reqs []*mpi.Request
+	for i := 0; i < 3; i++ {
+		req, err := w.Isend(0, i, 1, nil)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return mpi.Waitall(reqs)
+}
+
+func okEscapeField(s *sender) error {
+	req, err := s.w.Isend(0, 1, 2, nil)
+	if err != nil {
+		return err
+	}
+	s.pending = append(s.pending, req)
+	return nil
+}
+
+func okReturn(w *mpi.World) (*mpi.Request, error) {
+	return w.Irecv(0, 1, 3)
+}
+
+func okChannel(w *mpi.World, out chan *mpi.Request) error {
+	req, err := w.Irecv(0, 1, 4)
+	if err != nil {
+		return err
+	}
+	out <- req
+	return nil
+}

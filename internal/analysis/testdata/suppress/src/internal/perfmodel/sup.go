@@ -1,0 +1,21 @@
+// Fixture for suppression handling: a well-formed lint:ignore silences
+// the next line, a reason-less one is itself a diagnostic (and silences
+// nothing), and a suppression that matches no diagnostic is stale.
+package perfmodel
+
+import "time"
+
+func suppressedOK() time.Time {
+	//lint:ignore hivelint/wallclock fixture: audited exemption with a reason
+	return time.Now()
+}
+
+func noReason() time.Time {
+	//lint:ignore hivelint/wallclock
+	return time.Now()
+}
+
+func stale() int {
+	//lint:ignore hivelint/wallclock nothing on the next line violates anything
+	return 1
+}

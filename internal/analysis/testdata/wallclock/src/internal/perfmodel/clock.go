@@ -1,0 +1,33 @@
+// Fixture for the wallclock analyzer: perfmodel is a virtual-time
+// package, so wall-clock reads and global RNG draws are violations;
+// seeded generators and pure duration arithmetic are not.
+package perfmodel
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() time.Time { return time.Now() } // want "time.Now reads the wall clock"
+
+func badSince(t0 time.Time) time.Duration { return time.Since(t0) } // want "time.Since reads the wall clock"
+
+func badSleep() { time.Sleep(time.Millisecond) } // want "time.Sleep reads the wall clock"
+
+func badRand() int { return rand.Intn(10) } // want "rand.Intn draws from the global RNG"
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the global RNG"
+}
+
+func okSeeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func okDuration(d time.Duration) time.Duration { return d * 2 }
+
+func okSuppressed() time.Time {
+	//lint:ignore hivelint/wallclock fixture demonstrates an audited exemption
+	return time.Now()
+}

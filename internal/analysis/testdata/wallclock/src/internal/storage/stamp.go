@@ -1,0 +1,12 @@
+// storage is outside the virtual-time package set, so wall-clock use
+// here is fine: the analyzer must scope itself to the listed packages.
+package storage
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Jitter() int { return rand.Intn(3) }

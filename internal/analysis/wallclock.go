@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// virtualTimePackages are the packages whose timing model is the
+// deterministic virtual clock (perfmodel seconds threaded through
+// traces and spans). A stray wall-clock read or an unseeded RNG in any
+// of them silently corrupts determinism and resume-safety, so both are
+// forbidden mechanically.
+// bench rides along: its numbers feed the paper tables and must come
+// from the model, not the host clock (it audited clean — keep it so).
+var virtualTimePackages = []string{"perfmodel", "core", "datampi", "hive", "obs", "chaos", "bench"}
+
+// forbiddenTimeFuncs are the package-level time functions that read or
+// schedule against the wall clock. Pure-value helpers (time.Duration
+// arithmetic, time.Unix construction) stay allowed.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that produce a
+// seeded generator; everything else at package level draws from the
+// global (unseeded or process-seeded) source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Wallclock forbids wall-clock reads (time.Now and friends) and global
+// math/rand draws inside the virtual-time packages. Methods on a
+// seeded *rand.Rand are fine — the seed comes from the plan — and so
+// is any usage in packages outside the virtual-time set (generators,
+// commands, benchmarks).
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/time.Since/unseeded math/rand in virtual-time packages",
+	Run:  runWallclock,
+}
+
+func runWallclock(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !prog.internalPath(pkg, virtualTimePackages...) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := Callee(pkg, call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				sig, ok := callee.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil {
+					return true // methods (e.g. on a seeded *rand.Rand) are fine
+				}
+				switch callee.Pkg().Path() {
+				case "time":
+					if forbiddenTimeFuncs[callee.Name()] {
+						diags = append(diags, diag(prog, "wallclock", call.Pos(),
+							"time.%s reads the wall clock in virtual-time package %q; thread perfmodel virtual seconds instead",
+							callee.Name(), pkg.Pkg.Name()))
+					}
+				case "math/rand", "math/rand/v2":
+					if !allowedRandFuncs[callee.Name()] {
+						diags = append(diags, diag(prog, "wallclock", call.Pos(),
+							"rand.%s draws from the global RNG in virtual-time package %q; use a generator seeded from the plan (rand.New(rand.NewSource(seed)))",
+							callee.Name(), pkg.Pkg.Name()))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"hivempi/internal/testutil/leakcheck"
 )
 
 // runWordCount runs a word-count shaped job and returns the aggregated
@@ -89,18 +91,21 @@ func checkCounts(t *testing.T, got, want map[string]int) {
 }
 
 func TestWordCountNonBlocking(t *testing.T) {
+	defer leakcheck.Check(t)()
 	words, want := wordCorpus(5000)
 	got := runWordCount(t, Config{NumO: 4, NumA: 3, NonBlocking: true}, words)
 	checkCounts(t, got, want)
 }
 
 func TestWordCountBlocking(t *testing.T) {
+	defer leakcheck.Check(t)()
 	words, want := wordCorpus(5000)
 	got := runWordCount(t, Config{NumO: 4, NumA: 3, NonBlocking: false}, words)
 	checkCounts(t, got, want)
 }
 
 func TestWordCountTinyBuffersForceManyFlushes(t *testing.T) {
+	defer leakcheck.Check(t)()
 	words, want := wordCorpus(2000)
 	cfg := Config{NumO: 3, NumA: 2, NonBlocking: true, SendBufferBytes: 16, SendQueueSize: 2}
 	got := runWordCount(t, cfg, words)
@@ -108,6 +113,7 @@ func TestWordCountTinyBuffersForceManyFlushes(t *testing.T) {
 }
 
 func TestSpillPathProducesSameResult(t *testing.T) {
+	defer leakcheck.Check(t)()
 	words, want := wordCorpus(4000)
 	cfg := Config{
 		NumO: 2, NumA: 2, NonBlocking: true,
@@ -164,6 +170,7 @@ func TestSpillPathProducesSameResult(t *testing.T) {
 }
 
 func TestGroupsArriveInKeyOrder(t *testing.T) {
+	defer leakcheck.Check(t)()
 	cfg := Config{NumO: 3, NumA: 1, NonBlocking: true}
 	job, err := NewJob(cfg)
 	if err != nil {
@@ -209,6 +216,7 @@ func TestGroupsArriveInKeyOrder(t *testing.T) {
 }
 
 func TestCombinerReducesTraffic(t *testing.T) {
+	defer leakcheck.Check(t)()
 	words, want := wordCorpus(3000)
 	sum := func(key []byte, values [][]byte) [][]byte {
 		total := 0
@@ -278,6 +286,7 @@ func TestCombinerReducesTraffic(t *testing.T) {
 }
 
 func TestMetricsPopulated(t *testing.T) {
+	defer leakcheck.Check(t)()
 	words, _ := wordCorpus(1000)
 	cfg := Config{NumO: 2, NumA: 2, NonBlocking: true, SendBufferBytes: 64}
 	job, err := NewJob(cfg)
@@ -341,6 +350,7 @@ func TestMetricsPopulated(t *testing.T) {
 }
 
 func TestBlockingStyleCountsWaitRounds(t *testing.T) {
+	defer leakcheck.Check(t)()
 	words, _ := wordCorpus(2000)
 	cfg := Config{NumO: 2, NumA: 2, NonBlocking: false, SendBufferBytes: 64}
 	job, err := NewJob(cfg)
@@ -375,6 +385,7 @@ func TestBlockingStyleCountsWaitRounds(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
+	defer leakcheck.Check(t)()
 	if _, err := NewJob(Config{NumO: 0, NumA: 1}); err == nil {
 		t.Error("NumO=0 should fail")
 	}
@@ -387,6 +398,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestOBodyErrorPropagates(t *testing.T) {
+	defer leakcheck.Check(t)()
 	job, err := NewJob(Config{NumO: 2, NumA: 1, NonBlocking: true})
 	if err != nil {
 		t.Fatal(err)
@@ -414,6 +426,7 @@ func TestOBodyErrorPropagates(t *testing.T) {
 }
 
 func TestEmptyJob(t *testing.T) {
+	defer leakcheck.Check(t)()
 	job, err := NewJob(Config{NumO: 2, NumA: 2, NonBlocking: true})
 	if err != nil {
 		t.Fatal(err)
@@ -445,6 +458,7 @@ func TestEmptyJob(t *testing.T) {
 }
 
 func TestHashPartitionerRangeAndBalance(t *testing.T) {
+	defer leakcheck.Check(t)()
 	const numA = 7
 	counts := make([]int, numA)
 	for i := 0; i < 10000; i++ {
@@ -462,6 +476,7 @@ func TestHashPartitionerRangeAndBalance(t *testing.T) {
 }
 
 func TestSendAfterFinalizeRejected(t *testing.T) {
+	defer leakcheck.Check(t)()
 	job, err := NewJob(Config{NumO: 1, NumA: 1, NonBlocking: true})
 	if err != nil {
 		t.Fatal(err)
@@ -482,6 +497,7 @@ func TestSendAfterFinalizeRejected(t *testing.T) {
 }
 
 func TestBadPartitionerSurfacesError(t *testing.T) {
+	defer leakcheck.Check(t)()
 	job, err := NewJob(Config{
 		NumO: 1, NumA: 2, NonBlocking: true,
 		Partitioner: func(key []byte, numA int) int { return numA + 5 },
@@ -504,6 +520,7 @@ func TestBadPartitionerSurfacesError(t *testing.T) {
 }
 
 func TestContextAccessors(t *testing.T) {
+	defer leakcheck.Check(t)()
 	job, err := NewJob(Config{NumO: 3, NumA: 2, NonBlocking: true,
 		Hosts: []string{"h0", "h1", "h2", "h3", "h4"}})
 	if err != nil {

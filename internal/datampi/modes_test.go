@@ -7,12 +7,15 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"hivempi/internal/testutil/leakcheck"
 )
 
 // TestIterativePageRank runs power iteration over a small directed
 // graph with the iteration mode and checks convergence against a
 // single-threaded reference computation.
 func TestIterativePageRank(t *testing.T) {
+	defer leakcheck.Check(t)()
 	// A ring with one hub: 0 <- everyone, i -> i+1.
 	const n = 20
 	const damping = 0.85
@@ -134,6 +137,7 @@ func TestIterativePageRank(t *testing.T) {
 }
 
 func TestIterativeConvergenceStopsEarly(t *testing.T) {
+	defer leakcheck.Check(t)()
 	job, err := NewIterativeJob(Config{NumO: 2, NumA: 1, NonBlocking: true})
 	if err != nil {
 		t.Fatal(err)
@@ -173,6 +177,7 @@ func TestIterativeConvergenceStopsEarly(t *testing.T) {
 // TestStreamingWindowedCounts streams records into 1-unit windows and
 // checks per-window aggregates arrive complete and in window order.
 func TestStreamingWindowedCounts(t *testing.T) {
+	defer leakcheck.Check(t)()
 	const windows = 5
 	const perWindow = 200
 	type rec struct {
@@ -235,6 +240,7 @@ func TestStreamingWindowedCounts(t *testing.T) {
 }
 
 func TestStreamingSameKeySamePartition(t *testing.T) {
+	defer leakcheck.Check(t)()
 	// All windows of one key must land on the same A task.
 	var mu sync.Mutex
 	owner := map[string]map[int]bool{}

@@ -9,6 +9,7 @@ import (
 	"hivempi/internal/core"
 	"hivempi/internal/exec"
 	"hivempi/internal/mrengine"
+	"hivempi/internal/testutil/leakcheck"
 	"hivempi/internal/types"
 )
 
@@ -31,6 +32,7 @@ func stageWith(id, sink string, inputs ...string) *exec.Stage {
 }
 
 func TestStageDeps(t *testing.T) {
+	defer leakcheck.Check(t)()
 	stages := []*exec.Stage{
 		stageWith("s0", "/tmp/q/stage1", "/warehouse/a"),
 		stageWith("s1", "/tmp/q/stage2", "/warehouse/b"),
@@ -48,6 +50,7 @@ func TestStageDeps(t *testing.T) {
 }
 
 func TestStageDepsNestedMapJoin(t *testing.T) {
+	defer leakcheck.Check(t)()
 	// A map join whose small side itself map-joins another stage's
 	// output, plus a reduce-side map join: all three dirs must count.
 	st := stageWith("s2", "/tmp/q/out", "/warehouse/fact")
@@ -111,6 +114,7 @@ const chainQuery = `
 // into two branch joins with no dependency between them, both feeding
 // the top join, and the DAG run returns the same rows as serial.
 func TestBushyPlanRunsIndependentBranches(t *testing.T) {
+	defer leakcheck.Check(t)()
 	d := newTestDriver(t, core.New())
 	d.MapJoinThresholdBytes = 1 // force shuffle joins
 	seedChain(t, d)
@@ -154,6 +158,7 @@ func TestBushyPlanRunsIndependentBranches(t *testing.T) {
 // query degrades the whole rest of the query to the fallback engine
 // without changing the result.
 func TestDAGFallbackMidQuery(t *testing.T) {
+	defer leakcheck.Check(t)()
 	clean := newTestDriver(t, core.New())
 	clean.MapJoinThresholdBytes = 1
 	seedChain(t, clean)
@@ -195,6 +200,7 @@ func TestDAGFallbackMidQuery(t *testing.T) {
 // goroutine survives the query) and the stages that did complete keep
 // their traces in the collector instead of vanishing with the error.
 func TestDAGFailureDrainsAndKeepsTraces(t *testing.T) {
+	defer leakcheck.Check(t)()
 	d := newTestDriver(t, core.New())
 	d.MapJoinThresholdBytes = 1 // force the bushy two-branch DAG
 	seedChain(t, d)
@@ -245,6 +251,7 @@ func TestDAGFailureDrainsAndKeepsTraces(t *testing.T) {
 // a concurrency bound of one the event loop still completes the graph
 // in dependency order.
 func TestMaxConcurrentStagesOne(t *testing.T) {
+	defer leakcheck.Check(t)()
 	d := newTestDriver(t, core.New())
 	d.MapJoinThresholdBytes = 1
 	d.MaxConcurrentStages = 1

@@ -12,6 +12,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"hivempi/internal/chaos"
@@ -65,6 +66,30 @@ type World struct {
 	chaosMu sync.Mutex
 	plane   *chaos.Plane // fault-injection plane; nil = no faults
 	failErr error        // first transport failure; aborts the world
+	watch   *watchdog    // opt-in deadlock sentinel; nil = off
+}
+
+// SetDeadlockCheck toggles the communicator deadlock watchdog (see
+// watchdog.go). NewWorld arms it automatically when MPI_CHECK=1 is set
+// in the environment.
+func (w *World) SetDeadlockCheck(on bool) {
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	if on && w.watch == nil {
+		w.watch = newWatchdog()
+	} else if !on {
+		w.watch = nil
+	}
+}
+
+// watchdogPlane returns the armed watchdog (possibly nil).
+func (w *World) watchdogPlane() *watchdog {
+	if w == nil {
+		return nil
+	}
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	return w.watch
 }
 
 // SetChaos attaches a fault-injection plane consulted on every send.
@@ -124,6 +149,9 @@ func NewWorld(n int) (*World, error) {
 		w.ranks[i] = &rankState{}
 	}
 	w.barrierCond = sync.NewCond(&w.barrierMu)
+	if os.Getenv("MPI_CHECK") == "1" {
+		w.watch = newWatchdog()
+	}
 	return w, nil
 }
 
@@ -178,6 +206,13 @@ func (w *World) Send(src, dst, tag int, data []byte) error {
 		if (wt.src == AnySource || wt.src == src) && (wt.tag == AnyTag || wt.tag == tag) {
 			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
 			r.mu.Unlock()
+			// Tell the watchdog this wait is fulfilled BEFORE delivering:
+			// otherwise the receiver can drain the channel and proceed
+			// while still registered, and a concurrent park would read the
+			// stale empty-channel wait as a blocked edge (false deadlock).
+			if wd := w.watchdogPlane(); wd != nil {
+				wd.satisfy(wt.done)
+			}
 			wt.done <- msg
 			return nil
 		}
@@ -216,6 +251,10 @@ type Request struct {
 	isRecv bool
 	ch     chan message
 	w      *World // for resolving abort errors on a closed world
+
+	// Receive matching terms, kept for the deadlock watchdog: the rank
+	// that posted the receive and what it is waiting for.
+	me, src, tag int
 }
 
 // corruptErr is what a receiver reports when checksum verification of a
@@ -264,7 +303,7 @@ func (w *World) Irecv(me, src, tag int) (*Request, error) {
 	wt := &recvWaiter{src: src, tag: tag, done: make(chan message, 1)}
 	r.waiters = append(r.waiters, wt)
 	r.mu.Unlock()
-	return &Request{isRecv: true, ch: wt.done, w: w}, nil
+	return &Request{isRecv: true, ch: wt.done, w: w, me: me, src: src, tag: tag}, nil
 }
 
 // Wait blocks until the request completes.
@@ -286,6 +325,18 @@ func (r *Request) WaitRecv() ([]byte, Status, error) {
 	}
 	ch := r.ch
 	r.mu.Unlock()
+
+	// Deadlock watchdog: this receive is about to park. If registering
+	// it closes a rank wait cycle, abort the world — fail() closes every
+	// waiter channel, so the park below wakes immediately with the
+	// deadlock error instead of hanging forever.
+	if wd := r.w.watchdogPlane(); wd != nil && r.isRecv {
+		pw := &parkedWait{me: r.me, src: r.src, tag: r.tag, ch: ch}
+		if cycle := wd.register(pw); cycle != "" {
+			r.w.fail(fmt.Errorf("%w: %s", ErrDeadlock, cycle))
+		}
+		defer wd.unregister(pw)
+	}
 
 	msg, ok := <-ch
 	r.mu.Lock()

@@ -5,9 +5,12 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hivempi/internal/testutil/leakcheck"
 )
 
 func TestSendRecvBasic(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, err := NewWorld(2)
 	if err != nil {
 		t.Fatal(err)
@@ -31,6 +34,7 @@ func TestSendRecvBasic(t *testing.T) {
 }
 
 func TestUnexpectedMessageQueue(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(2)
 	// Send before any receive is posted: message goes to unexpected queue.
 	if err := w.Send(0, 1, 3, []byte("early")); err != nil {
@@ -43,6 +47,7 @@ func TestUnexpectedMessageQueue(t *testing.T) {
 }
 
 func TestTagAndSourceMatching(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(3)
 	if err := w.Send(0, 2, 10, []byte("fromA")); err != nil {
 		t.Fatal(err)
@@ -62,6 +67,7 @@ func TestTagAndSourceMatching(t *testing.T) {
 }
 
 func TestIsendIrecvWaitall(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(4)
 	const msgs = 10
 	var wg sync.WaitGroup
@@ -106,6 +112,7 @@ func TestIsendIrecvWaitall(t *testing.T) {
 }
 
 func TestTestNonBlocking(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(2)
 	req, err := w.Irecv(1, 0, 5)
 	if err != nil {
@@ -136,6 +143,7 @@ func TestTestNonBlocking(t *testing.T) {
 }
 
 func TestSendBufferIsCopied(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(2)
 	buf := []byte("orig")
 	if err := w.Send(0, 1, 0, buf); err != nil {
@@ -149,6 +157,7 @@ func TestSendBufferIsCopied(t *testing.T) {
 }
 
 func TestBarrier(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(4)
 	var reached sync.WaitGroup
 	counter := make(chan int, 8)
@@ -179,6 +188,7 @@ func TestBarrier(t *testing.T) {
 }
 
 func TestFinalizeUnblocksReceivers(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(2)
 	errc := make(chan error, 1)
 	go func() {
@@ -201,6 +211,7 @@ func TestFinalizeUnblocksReceivers(t *testing.T) {
 }
 
 func TestRankValidation(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(2)
 	if err := w.Send(0, 5, 0, nil); err == nil {
 		t.Error("send to invalid rank should fail")
@@ -217,6 +228,7 @@ func TestRankValidation(t *testing.T) {
 }
 
 func TestComm(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(6)
 	// O communicator = ranks 0..3, A communicator = ranks 4..5.
 	o, err := w.NewComm([]int{0, 1, 2, 3})
@@ -242,6 +254,7 @@ func TestComm(t *testing.T) {
 }
 
 func TestManyToOneStress(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, _ := NewWorld(9)
 	const per = 200
 	var wg sync.WaitGroup

@@ -5,12 +5,15 @@ import (
 	"sync"
 	"testing"
 
+	"hivempi/internal/testutil/leakcheck"
+
 	"hivempi/internal/chaos"
 )
 
 // TestWaitCalledTwice verifies a request handle is reusable: the second
 // Wait returns the recorded outcome without blocking or losing data.
 func TestWaitCalledTwice(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, err := NewWorld(2)
 	if err != nil {
 		t.Fatal(err)
@@ -40,6 +43,7 @@ func TestWaitCalledTwice(t *testing.T) {
 // a satisfied receive, a failed (corrupt) receive and a nil slot, and
 // checks it returns the first failure while still draining the rest.
 func TestWaitallMixedFailedCompleted(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, err := NewWorld(3)
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +88,7 @@ func TestWaitallMixedFailedCompleted(t *testing.T) {
 // another blocks in WaitRecv on the same request; exactly one consumes
 // the message and both observe the same outcome (run under -race).
 func TestTestRacingConcurrentWait(t *testing.T) {
+	defer leakcheck.Check(t)()
 	for iter := 0; iter < 200; iter++ {
 		w, err := NewWorld(2)
 		if err != nil {
@@ -130,6 +135,7 @@ func TestTestRacingConcurrentWait(t *testing.T) {
 // transport failure: pending receivers unblock with the injected error
 // instead of deadlocking, and later operations fail the same way.
 func TestDropAbortsWorld(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, err := NewWorld(2)
 	if err != nil {
 		t.Fatal(err)
@@ -158,6 +164,7 @@ func TestDropAbortsWorld(t *testing.T) {
 // TestMsgDelayAccumulatesVirtualTime checks delays do not fail delivery
 // but accrue on the plane for the perfmodel to charge.
 func TestMsgDelayAccumulatesVirtualTime(t *testing.T) {
+	defer leakcheck.Check(t)()
 	w, err := NewWorld(2)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,141 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrDeadlock is the sentinel the opt-in deadlock watchdog wraps when
+// it aborts a world whose parked receives form a wait cycle.
+var ErrDeadlock = errors.New("mpi: deadlock detected")
+
+// watchdog is the opt-in communicator deadlock sentinel (MPI_CHECK=1
+// or World.SetDeadlockCheck). It tracks which rank every parked
+// receive waits on; when a new park closes a cycle of ranks all parked
+// with no matching message in flight, it aborts the world with a
+// deterministic rank/tag report. The check assumes the CommonProcess
+// discipline the paper's engine uses — one goroutine drives one rank —
+// so a rank parked in a receive cannot produce the send another parked
+// rank is waiting for. Wildcard (AnySource) receives never contribute
+// edges: they cannot name the rank they depend on.
+type watchdog struct {
+	mu    sync.Mutex
+	waits map[int][]*parkedWait // rank -> currently parked receives
+}
+
+// parkedWait is one receive that has reached the blocking point.
+type parkedWait struct {
+	me, src, tag int
+	ch           chan message
+	satisfied    bool // sender has (or is about to) deliver; guarded by watchdog.mu
+}
+
+func newWatchdog() *watchdog {
+	return &watchdog{waits: make(map[int][]*parkedWait)}
+}
+
+// register records a parked receive and reports the wait cycle it
+// closes, if any ("" when the wait graph stays acyclic).
+func (wd *watchdog) register(w *parkedWait) string {
+	wd.mu.Lock()
+	defer wd.mu.Unlock()
+	wd.waits[w.me] = append(wd.waits[w.me], w)
+	return wd.findCycle(w.me)
+}
+
+// unregister removes a wait once its receive wakes.
+func (wd *watchdog) unregister(w *parkedWait) {
+	wd.mu.Lock()
+	defer wd.mu.Unlock()
+	ws := wd.waits[w.me]
+	for i, x := range ws {
+		if x == w {
+			wd.waits[w.me] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(wd.waits[w.me]) == 0 {
+		delete(wd.waits, w.me)
+	}
+}
+
+// satisfy marks every registered wait on ch as fulfilled. Senders call
+// this before delivering so the wait stops counting as a blocked edge
+// from that point on — even in the window after the receiver drains the
+// channel but before its deferred unregister runs.
+func (wd *watchdog) satisfy(ch chan message) {
+	wd.mu.Lock()
+	defer wd.mu.Unlock()
+	for _, ws := range wd.waits {
+		for _, w := range ws {
+			if w.ch == ch {
+				w.satisfied = true
+			}
+		}
+	}
+}
+
+// blockedEdges lists rank r's genuinely blocked waits — a satisfied
+// wait or a delivered message sitting in the channel means the receive
+// is about to wake, so it is not an edge — in deterministic (src, tag)
+// order.
+func (wd *watchdog) blockedEdges(r int) []*parkedWait {
+	var out []*parkedWait
+	for _, w := range wd.waits[r] {
+		if w.src >= 0 && !w.satisfied && len(w.ch) == 0 {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].src != out[j].src {
+			return out[i].src < out[j].src
+		}
+		return out[i].tag < out[j].tag
+	})
+	return out
+}
+
+// findCycle searches for a wait cycle through rank start (any cycle
+// completed by the newest park necessarily passes through it) and
+// renders it deterministically: edges are explored in sorted order, so
+// the same deadlock always produces the same report.
+func (wd *watchdog) findCycle(start int) string {
+	var path []*parkedWait
+	visited := make(map[int]bool)
+	var dfs func(r int) bool
+	dfs = func(r int) bool {
+		if visited[r] {
+			return false
+		}
+		visited[r] = true
+		for _, w := range wd.blockedEdges(r) {
+			path = append(path, w)
+			if w.src == start || dfs(w.src) {
+				return true
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	if !dfs(start) {
+		return ""
+	}
+	var b strings.Builder
+	for i, w := range path {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "rank %d waits on rank %d (tag %s)", w.me, w.src, tagString(w.tag))
+	}
+	return b.String()
+}
+
+func tagString(tag int) string {
+	if tag == AnyTag {
+		return "any"
+	}
+	return fmt.Sprintf("%d", tag)
+}

@@ -1,0 +1,193 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"hivempi/internal/testutil/leakcheck"
+)
+
+// TestWatchdogMutualRecvDeadlock: two ranks each park in a receive from
+// the other with nothing in flight. The watchdog must abort the world
+// and both parked receives must surface ErrDeadlock with the same
+// deterministic cycle report.
+func TestWatchdogMutualRecvDeadlock(t *testing.T) {
+	defer leakcheck.Check(t)()
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Finalize()
+	w.SetDeadlockCheck(true)
+
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for me := 0; me < 2; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			_, _, errs[me] = w.Recv(me, 1-me, 7)
+		}(me)
+	}
+	wg.Wait()
+
+	for me, e := range errs {
+		if !errors.Is(e, ErrDeadlock) {
+			t.Fatalf("rank %d: got %v, want ErrDeadlock", me, e)
+		}
+	}
+	// The report names both edges of the cycle, regardless of which
+	// rank's park closed it.
+	msg := errs[0].Error()
+	for _, want := range []string{
+		"rank 0 waits on rank 1 (tag 7)",
+		"rank 1 waits on rank 0 (tag 7)",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("report %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestWatchdogThreeRankCycle: 0 waits on 1, 1 waits on 2, 2 waits on 0.
+func TestWatchdogThreeRankCycle(t *testing.T) {
+	defer leakcheck.Check(t)()
+	w, _ := NewWorld(3)
+	defer w.Finalize()
+	w.SetDeadlockCheck(true)
+
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for me := 0; me < 3; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			_, _, errs[me] = w.Recv(me, (me+1)%3, 3)
+		}(me)
+	}
+	wg.Wait()
+	for me, e := range errs {
+		if !errors.Is(e, ErrDeadlock) {
+			t.Fatalf("rank %d: got %v, want ErrDeadlock", me, e)
+		}
+	}
+}
+
+// TestWatchdogNoFalsePositive: a correct ping-pong exchange with the
+// watchdog armed must complete normally — a receive whose message is
+// already in flight (or that parks without closing a cycle) is fine.
+func TestWatchdogNoFalsePositive(t *testing.T) {
+	defer leakcheck.Check(t)()
+	w, _ := NewWorld(2)
+	defer w.Finalize()
+	w.SetDeadlockCheck(true)
+
+	const rounds = 50
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	report := func(err error) {
+		mu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := w.Send(0, 1, i, []byte{byte(i)}); err != nil {
+				report(err)
+				return
+			}
+			if _, _, err := w.Recv(0, 1, i); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, _, err := w.Recv(1, 0, i); err != nil {
+				report(err)
+				return
+			}
+			if err := w.Send(1, 0, i, []byte{byte(i)}); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatalf("watchdog broke a correct ping-pong: %v", firstErr)
+	}
+}
+
+// TestWatchdogAnySourceNeverEdges: a wildcard receive cannot name the
+// rank it depends on, so it must never be reported as part of a cycle
+// even while parked.
+func TestWatchdogAnySourceNeverEdges(t *testing.T) {
+	defer leakcheck.Check(t)()
+	w, _ := NewWorld(2)
+	defer w.Finalize()
+	w.SetDeadlockCheck(true)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := w.Recv(0, AnySource, AnyTag)
+		done <- err
+	}()
+	// Rank 1 sends after rank 0 has (likely) parked; no deadlock report
+	// may fire in the window in between.
+	if err := w.Send(1, 0, 9, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("wildcard receive failed: %v", err)
+	}
+}
+
+// TestWatchdogEnvArming: MPI_CHECK=1 arms the watchdog at NewWorld.
+func TestWatchdogEnvArming(t *testing.T) {
+	defer leakcheck.Check(t)()
+	t.Setenv("MPI_CHECK", "1")
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Finalize()
+	if w.watchdogPlane() == nil {
+		t.Fatal("MPI_CHECK=1 did not arm the deadlock watchdog")
+	}
+
+	t.Setenv("MPI_CHECK", "0")
+	w2, _ := NewWorld(2)
+	defer w2.Finalize()
+	if w2.watchdogPlane() != nil {
+		t.Fatal("watchdog armed without MPI_CHECK=1")
+	}
+}
+
+// TestWatchdogSetDeadlockCheckToggle: the programmatic switch arms and
+// disarms the sentinel.
+func TestWatchdogSetDeadlockCheckToggle(t *testing.T) {
+	defer leakcheck.Check(t)()
+	w, _ := NewWorld(2)
+	defer w.Finalize()
+	if w.watchdogPlane() != nil {
+		t.Fatal("watchdog armed by default")
+	}
+	w.SetDeadlockCheck(true)
+	if w.watchdogPlane() == nil {
+		t.Fatal("SetDeadlockCheck(true) did not arm")
+	}
+	w.SetDeadlockCheck(false)
+	if w.watchdogPlane() != nil {
+		t.Fatal("SetDeadlockCheck(false) did not disarm")
+	}
+}

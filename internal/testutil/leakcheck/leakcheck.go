@@ -1,0 +1,141 @@
+// Package leakcheck is the runtime goroutine-leak sentinel for the
+// concurrency-heavy test suites (scheduler, mpi, datampi): it snapshots
+// the live goroutines when a test starts and fails the test if new
+// goroutines survive it. This asserts the PR 3 regression class —
+// scheduler stage goroutines parked forever on an undrained channel —
+// in every suite that adopts it, not just in one bespoke test.
+//
+// Usage: first line of the test body.
+//
+//	func TestX(t *testing.T) {
+//		defer leakcheck.Check(t)()
+//		...
+//	}
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB leakcheck needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// ignoredPrefixes mark goroutines that are part of the runtime or test
+// harness rather than code under test.
+var ignoredPrefixes = []string{
+	"testing.",
+	"runtime.",
+	"os/signal.",
+	"created by runtime",
+	"created by testing",
+}
+
+// goroutine is one parsed stack dump entry.
+type goroutine struct {
+	id    string
+	state string
+	stack string
+}
+
+// snapshot parses runtime.Stack(all=true) into goroutine records.
+func snapshot() map[string]goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]goroutine)
+	for _, chunk := range strings.Split(string(buf), "\n\n") {
+		lines := strings.SplitN(chunk, "\n", 2)
+		header := strings.TrimSpace(lines[0])
+		if !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		fields := strings.SplitN(header, " ", 3)
+		if len(fields) < 3 {
+			continue
+		}
+		g := goroutine{id: fields[1], state: strings.Trim(fields[2], "[]:"), stack: chunk}
+		out[g.id] = g
+	}
+	return out
+}
+
+// interesting reports whether a goroutine belongs to code under test:
+// its top frame is outside the runtime/test harness. A goroutine
+// parked inside a runtime primitive (chan receive, mutex) still shows
+// the blocked user function as its top frame, so real leaks survive
+// this filter.
+func interesting(g goroutine) bool {
+	first := firstFrame(g.stack)
+	for _, p := range ignoredPrefixes {
+		if strings.HasPrefix(first, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// firstFrame returns the top function name of the dump.
+func firstFrame(stack string) string {
+	lines := strings.Split(stack, "\n")
+	if len(lines) < 2 {
+		return ""
+	}
+	return strings.TrimSpace(lines[1])
+}
+
+// settleWindow bounds how long the verifier waits for legitimate
+// teardown goroutines to exit before declaring a leak.
+var settleWindow = 2 * time.Second
+
+// Check snapshots the current goroutines and returns the verifier to
+// defer: it polls briefly for stragglers to exit (cleanup is async —
+// world finalization, channel drains), then fails the test naming each
+// leaked goroutine with its stack.
+func Check(t TB) func() {
+	base := snapshot()
+	return func() {
+		t.Helper()
+		var leaked []goroutine
+		// Generous but bounded settle window: legitimate teardown
+		// (Finalize unblocking receivers, senders draining) finishes in
+		// microseconds; a parked leak never does.
+		for deadline := time.Now().Add(settleWindow); ; {
+			leaked = leaked[:0]
+			cur := snapshot()
+			for id, g := range cur {
+				if _, ok := base[id]; ok {
+					continue
+				}
+				if interesting(g) {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if len(leaked) == 0 {
+			return
+		}
+		sort.Slice(leaked, func(i, j int) bool { return leaked[i].id < leaked[j].id })
+		var b strings.Builder
+		for _, g := range leaked {
+			fmt.Fprintf(&b, "\n--- leaked goroutine %s [%s]:\n%s\n", g.id, g.state, g.stack)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked by this test:%s", len(leaked), b.String())
+	}
+}

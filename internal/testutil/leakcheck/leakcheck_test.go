@@ -1,0 +1,71 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB captures Errorf calls so the sentinel can be tested both ways.
+type fakeTB struct {
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = format
+	for _, a := range args {
+		if s, ok := a.(string); ok {
+			f.msg += s
+		}
+	}
+}
+
+func TestNoLeakPasses(t *testing.T) {
+	ft := &fakeTB{}
+	verify := Check(ft)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	verify()
+	if ft.failed {
+		t.Fatalf("leakcheck failed on a clean test: %s", ft.msg)
+	}
+}
+
+func TestTransientGoroutinePasses(t *testing.T) {
+	ft := &fakeTB{}
+	verify := Check(ft)
+	// Goroutine still running at verify time but exiting shortly: the
+	// settle poll must absorb it.
+	go func() { time.Sleep(30 * time.Millisecond) }()
+	verify()
+	if ft.failed {
+		t.Fatalf("leakcheck failed on a transient goroutine: %s", ft.msg)
+	}
+}
+
+func TestLeakDetected(t *testing.T) {
+	old := settleWindow
+	settleWindow = 100 * time.Millisecond
+	defer func() { settleWindow = old }()
+	ft := &fakeTB{}
+	verify := Check(ft)
+	stop := make(chan struct{})
+	leak := make(chan struct{})
+	go func() {
+		<-leak // parked forever from verify's perspective
+		close(stop)
+	}()
+	verify()
+	close(leak)
+	<-stop
+	if !ft.failed {
+		t.Fatal("leakcheck did not report a parked goroutine")
+	}
+	if !strings.Contains(ft.msg, "leaked") {
+		t.Fatalf("unexpected report: %s", ft.msg)
+	}
+}
