@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench obscheck trace
+.PHONY: build test race vet fmt lint check bench benchdiff obscheck trace comm
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,24 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
 		./internal/kvio/ ./internal/datampi/ ./internal/dfs/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchfmt > BENCH_shuffle.json
+
+# benchdiff re-runs the shuffle microbenchmarks and compares them to
+# the committed BENCH_shuffle.json baseline; it fails on a >30% ns/op
+# regression (or any allocs/op growth). Advisory by design — CI runs it
+# with continue-on-error because shared runners are noisy — but run it
+# locally before touching the kvio/datampi/dfs hot paths.
+benchdiff:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/kvio/ ./internal/datampi/ ./internal/dfs/ \
+		| $(GO) run ./cmd/benchfmt > /tmp/bench_current.json
+	$(GO) run ./cmd/benchdiff -tol 0.30 BENCH_shuffle.json /tmp/bench_current.json
+
+# comm runs TPC-H Q1 (aggregate) + Q9 (join) on DataMPI at quick scale
+# and writes the communication report — per-stage O x A shuffle
+# matrices with skew statistics — to BENCH_comm.json (the committed
+# snapshot of the comm plane's output).
+comm:
+	$(GO) run ./cmd/benchsuite -quick -exp none -comm BENCH_comm.json
 
 # trace runs TPC-H Q9 DAG-parallel at quick scale and exports its
 # Chrome trace-event timeline (schema-checked by benchsuite before the

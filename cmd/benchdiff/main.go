@@ -1,0 +1,136 @@
+// Command benchdiff compares two benchfmt JSON reports and fails when
+// the current run regresses past the tolerance, so committed baseline
+// numbers (BENCH_shuffle.json) gate hot-path changes:
+//
+//	go test -bench . -benchmem ./internal/kvio/ | benchfmt > /tmp/cur.json
+//	benchdiff -tol 0.30 BENCH_shuffle.json /tmp/cur.json
+//
+// A benchmark regresses when its ns/op grows by more than -tol
+// (fractional, default 0.30: microbenchmark noise on shared runners
+// makes tighter gates flaky) or when it allocates more per op than the
+// baseline. Benchmarks present on only one side are reported but never
+// fail the diff — adding or retiring a benchmark is not a regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Result mirrors cmd/benchfmt's schema.
+type Result struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerSec   float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.30, "allowed fractional ns/op growth before a benchmark counts as regressed")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol frac] baseline.json current.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	regressions := Diff(os.Stdout, base, cur, *tol)
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%% tolerance\n", regressions, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions beyond %.0f%% tolerance\n", *tol*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+func load(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// key disambiguates benchmarks with the same name across packages.
+func key(r Result) string {
+	if r.Package == "" {
+		return r.Name
+	}
+	return r.Package + "." + r.Name
+}
+
+// Diff prints a per-benchmark comparison to w and returns the number
+// of regressions: ns/op growth beyond tol, or more allocs/op than the
+// baseline.
+func Diff(w io.Writer, base, cur []Result, tol float64) int {
+	baseBy := make(map[string]Result, len(base))
+	for _, r := range base {
+		baseBy[key(r)] = r
+	}
+	curBy := make(map[string]Result, len(cur))
+	keys := make([]string, 0, len(cur))
+	for _, r := range cur {
+		curBy[key(r)] = r
+		keys = append(keys, key(r))
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	for _, k := range keys {
+		c := curBy[k]
+		b, ok := baseBy[k]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-40s %12.1f ns/op (no baseline)\n", k, c.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = c.NsPerOp/b.NsPerOp - 1
+		}
+		verdict := "ok"
+		switch {
+		case delta > tol:
+			verdict = "REGRESSED"
+			regressions++
+		case c.AllocsOp > b.AllocsOp:
+			verdict = "REGRESSED (allocs)"
+			regressions++
+		case delta < -tol:
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "  %-8s %-40s %12.1f -> %12.1f ns/op (%+6.1f%%)  %d -> %d allocs/op\n",
+			verdict, k, b.NsPerOp, c.NsPerOp, delta*100, b.AllocsOp, c.AllocsOp)
+	}
+	for k := range baseBy {
+		if _, ok := curBy[k]; !ok {
+			fmt.Fprintf(w, "  gone     %-40s (in baseline only)\n", k)
+		}
+	}
+	return regressions
+}

@@ -6,13 +6,18 @@
 // Usage:
 //
 //	benchsuite [-scale N] [-exp list] [-quick] [-trace out.json]
+//	           [-comm report.json]
 //
 // -scale sets bytes generated per paper-GB (default 1 MiB = 1:1000).
 // -exp selects experiments by name (comma separated), e.g.
-// "table1,fig9,table2"; default runs everything.
+// "table1,fig9,table2"; default runs everything, "none" runs no
+// experiment (useful with -trace or -comm alone).
 // -trace writes the Chrome trace-event JSON of a DAG-parallel TPC-H Q9
 // run to the given file (open in Perfetto); typically combined with
 // "-exp dag".
+// -comm runs TPC-H Q1 (aggregate) and Q9 (join) on DataMPI and writes
+// their communication report — per-stage shuffle matrices with skew
+// statistics — to the given JSON file.
 package main
 
 import (
@@ -41,6 +46,7 @@ func run(args []string) error {
 	expList := fs.String("exp", "all", "experiments: table1,fig1,fig2,fig6,fig8,fig9,fig10,table2,fig11,fig12,fig13,table3,ablations,fault,dag")
 	seed := fs.Int64("seed", 42, "dataset generator seed")
 	tracePath := fs.String("trace", "", "write a Chrome trace of a DAG-parallel TPC-H Q9 run to this file")
+	commPath := fs.String("comm", "", "write the communication report of TPC-H Q1+Q9 on DataMPI to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,7 +88,7 @@ func run(args []string) error {
 	}
 
 	if !all {
-		known := map[string]bool{}
+		known := map[string]bool{"none": true}
 		for _, e := range experiments {
 			known[e.name] = true
 		}
@@ -91,6 +97,10 @@ func run(args []string) error {
 				return fmt.Errorf("unknown experiment %q (see -exp usage)", name)
 			}
 		}
+	}
+	if want["none"] {
+		// "-exp none" runs only the export paths (-trace / -comm).
+		sel = func(string) bool { return false }
 	}
 
 	fmt.Printf("hivempi benchsuite: scale=%d bytes/GB (1:%d), seed=%d\n\n",
@@ -124,6 +134,19 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
 			events, *tracePath)
+	}
+
+	if *commPath != "" {
+		var buf bytes.Buffer
+		queries, stages, err := r.CommReport(5, &buf)
+		if err != nil {
+			return fmt.Errorf("comm report: %w", err)
+		}
+		if err := os.WriteFile(*commPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote comm report (%d queries, %d shuffle stages) to %s\n",
+			queries, stages, *commPath)
 	}
 	return nil
 }

@@ -6,12 +6,16 @@
 //
 //	hiveql [-engine hadoop|datampi] [-dataset tpch|hibench|none]
 //	       [-size GB] [-format textfile|sequencefile|orc] [-f script.sql]
-//	       [-explain] [-analyze]
+//	       [-explain] [-analyze] [-comm report.json] [-heatmap]
 //
 // -analyze wraps each statement in EXPLAIN ANALYZE: the statement
 // executes and the plan is printed annotated with per-stage rows,
 // bytes, virtual seconds and engine (plus the counter snapshot).
 // EXPLAIN ANALYZE also works typed directly at the prompt.
+//
+// -comm writes the session's communication report (per-stage O x A
+// shuffle matrices with skew statistics) as JSON on exit; -heatmap
+// additionally prints each matrix as a text heatmap.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"hivempi/internal/hive"
 	"hivempi/internal/mrengine"
 	"hivempi/internal/obs"
+	"hivempi/internal/obs/comm"
 	"hivempi/internal/tpch"
 	"hivempi/internal/trace"
 )
@@ -49,6 +54,8 @@ func run(args []string) error {
 	script := fs.String("f", "", "script file to execute (default: interactive)")
 	explain := fs.Bool("explain", false, "print the plan for each statement instead of running it")
 	analyze := fs.Bool("analyze", false, "run each statement and print its runtime-annotated plan (EXPLAIN ANALYZE)")
+	commOut := fs.String("comm", "", "write the session's communication report (skew matrices) to this JSON file")
+	heatmap := fs.Bool("heatmap", false, "print a text heatmap of each shuffle stage's communication matrix on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,9 +102,56 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return execute(d, string(data), *explain, *analyze)
+		if err := execute(d, string(data), *explain, *analyze); err != nil {
+			return err
+		}
+		return writeCommReport(d, *commOut, *heatmap)
 	}
-	return repl(d, *explain, *analyze)
+	if err := repl(d, *explain, *analyze); err != nil {
+		return err
+	}
+	return writeCommReport(d, *commOut, *heatmap)
+}
+
+// writeCommReport renders the session's communication-plane report:
+// optional text heatmaps to stdout and the validated comm_report JSON
+// to path (no-op when neither output was requested).
+func writeCommReport(d *hive.Driver, path string, heatmap bool) error {
+	if path == "" && !heatmap {
+		return nil
+	}
+	rep := comm.BuildReport(d.Collector.Queries(), nil)
+	if err := rep.Validate(); err != nil {
+		return err
+	}
+	if heatmap {
+		for _, q := range rep.Queries {
+			for _, sc := range q.Stages {
+				fmt.Print(comm.RenderHeatmap(sc))
+			}
+		}
+	}
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := comm.WriteJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	stages := 0
+	for _, q := range rep.Queries {
+		stages += len(q.Stages)
+	}
+	fmt.Printf("comm report: %d quer(ies), %d shuffle stage(s) -> %s\n",
+		len(rep.Queries), stages, path)
+	return nil
 }
 
 func execute(d *hive.Driver, script string, explain, analyze bool) error {

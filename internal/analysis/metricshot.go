@@ -8,7 +8,8 @@ import (
 )
 
 // MetricsHot flags per-call metrics.Registry lookups (Counter, Gauge,
-// Add) inside functions reachable from the shuffle/kvio hot paths.
+// Add, Histogram, Timer) inside functions reachable from the
+// shuffle/kvio hot paths.
 // Registry lookups take the registry's read lock and hash the name on
 // every call; hot paths must cache the *Counter/*Gauge handle once at
 // setup (as datampi.NewJob and dfs.SetMetrics do) and hit the cached
@@ -121,7 +122,7 @@ func runMetricsHot(prog *Program) []Diagnostic {
 				return true
 			}
 			switch c.Name() {
-			case "Counter", "Gauge", "Add":
+			case "Counter", "Gauge", "Add", "Histogram", "Timer":
 				diags = append(diags, diag(prog, "metricshot", call.Pos(),
 					"per-call Registry.%s lookup in %s (reachable from hot path %s); cache the handle once at setup and use the cached *%s",
 					c.Name(), funcDisplayName(obj), root, handleType(c.Name())))
@@ -133,8 +134,13 @@ func runMetricsHot(prog *Program) []Diagnostic {
 }
 
 func handleType(method string) string {
-	if method == "Gauge" {
+	switch method {
+	case "Gauge":
 		return "metrics.Gauge"
+	case "Histogram":
+		return "metrics.Histogram"
+	case "Timer":
+		return "metrics.Timer"
 	}
 	return "metrics.Counter"
 }

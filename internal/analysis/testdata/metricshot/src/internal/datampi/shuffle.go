@@ -15,3 +15,7 @@ func (j *job) send(key []byte) {
 func (j *job) bump(n int) {
 	j.reg.Add("datampi.send.flushes", int64(n)) // want "per-call Registry.Add lookup"
 }
+
+func (j *job) wait(sec float64) {
+	j.reg.Timer("datampi.await").ObserveSeconds(sec) // want "per-call Registry.Timer lookup"
+}

@@ -6,16 +6,23 @@ package kvio
 import "hivempi/internal/metrics"
 
 type Writer struct {
-	reg *metrics.Registry
-	ctr *metrics.Counter
+	reg   *metrics.Registry
+	ctr   *metrics.Counter
+	sizes *metrics.Histogram
 }
 
 func NewWriter(reg *metrics.Registry) *Writer {
 	// Setup-time lookup: allowed — this runs once per writer.
-	return &Writer{reg: reg, ctr: reg.Counter("kvio.write.bytes")}
+	return &Writer{
+		reg:   reg,
+		ctr:   reg.Counter("kvio.write.bytes"),
+		sizes: reg.Histogram("kvio.run.write.bytes"),
+	}
 }
 
 func (w *Writer) WriteHot(p []byte) {
-	w.reg.Counter("kvio.write.bytes").Add(int64(len(p))) // want "per-call Registry.Counter lookup"
-	w.ctr.Add(int64(len(p)))                             // cached handle: allowed
+	w.reg.Counter("kvio.write.bytes").Add(int64(len(p)))           // want "per-call Registry.Counter lookup"
+	w.ctr.Add(int64(len(p)))                                       // cached handle: allowed
+	w.reg.Histogram("kvio.run.write.bytes").Observe(int64(len(p))) // want "per-call Registry.Histogram lookup"
+	w.sizes.Observe(int64(len(p)))                                 // cached handle: allowed
 }

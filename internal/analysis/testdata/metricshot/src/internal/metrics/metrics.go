@@ -12,11 +12,23 @@ type Gauge struct{ v int64 }
 
 func (g *Gauge) Set(v int64) { g.v = v }
 
+type Histogram struct{ sum int64 }
+
+func (h *Histogram) Observe(v int64) { h.sum += v }
+
+type Timer struct{ h Histogram }
+
+func (t *Timer) ObserveSeconds(s float64) { t.h.Observe(int64(s * 1e6)) }
+
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
 }
 
-func (r *Registry) Counter(name string) *Counter { return r.counters[name] }
-func (r *Registry) Gauge(name string) *Gauge     { return r.gauges[name] }
-func (r *Registry) Add(name string, n int64)     { r.Counter(name).Add(n) }
+func (r *Registry) Counter(name string) *Counter     { return r.counters[name] }
+func (r *Registry) Gauge(name string) *Gauge         { return r.gauges[name] }
+func (r *Registry) Add(name string, n int64)         { r.Counter(name).Add(n) }
+func (r *Registry) Histogram(name string) *Histogram { return r.hists[name] }
+func (r *Registry) Timer(name string) *Timer         { return r.timers[name] }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"hivempi/internal/obs"
+	"hivempi/internal/obs/comm"
 	"hivempi/internal/tpch"
 )
 
@@ -27,4 +28,37 @@ func (r *Runner) TraceDAG(q, sizeGB int, w io.Writer) (int, error) {
 		return 0, fmt.Errorf("trace %s: %w", tpch.QueryName(q), err)
 	}
 	return obs.WriteChromeTrace(w, d.Collector.Queries(), &r.cfg.Params)
+}
+
+// CommReport runs one AGGREGATE-shaped and one JOIN-shaped TPC-H query
+// (Q1 and Q9) on DataMPI and writes the validated communication report
+// — per-stage shuffle matrices with skew statistics — as JSON to w.
+// Returns the number of queries and analyzed shuffle stages.
+func (r *Runner) CommReport(sizeGB int, w io.Writer) (queries, stages int, err error) {
+	cl, err := r.loadTPCH(sizeGB, "textfile")
+	if err != nil {
+		return 0, 0, err
+	}
+	d := r.driver(cl, "datampi", nil)
+	d.Collector.Reset()
+	for _, q := range []int{1, 9} {
+		script, err := tpch.Query(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := d.Run(script); err != nil {
+			return 0, 0, fmt.Errorf("comm report %s: %w", tpch.QueryName(q), err)
+		}
+	}
+	rep := comm.BuildReport(d.Collector.Queries(), &r.cfg.Params)
+	if err := rep.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if err := comm.WriteJSON(w, rep); err != nil {
+		return 0, 0, err
+	}
+	for _, q := range rep.Queries {
+		stages += len(q.Stages)
+	}
+	return len(rep.Queries), stages, nil
 }

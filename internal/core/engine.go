@@ -219,6 +219,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			NumReds:        numA,
 			Producers:      job.OMetrics(),
 			Consumers:      job.AMetrics(),
+			Comm:           job.Comm(),
 			NonBlocking:    conf.NonBlocking,
 			MemUsedPercent: conf.MemUsedPercent,
 			SendQueueSize:  conf.SendQueueSize,

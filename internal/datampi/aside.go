@@ -73,6 +73,8 @@ func (a *AContext) receiveAll() error {
 			}
 			a.metrics.ShuffleInBytes += int64(len(data))
 			a.metrics.ShuffleInPairs += int64(len(kvs))
+			a.metrics.RecvRounds++
+			a.job.histRecvRound.Observe(int64(len(data)))
 			a.cache = append(a.cache, kvs...)
 			a.cacheBytes += int64(len(data))
 			if a.cacheBytes > a.peakCache {
@@ -109,6 +111,7 @@ func (a *AContext) spill() error {
 		return fmt.Errorf("datampi: create spill: %w", err)
 	}
 	kw := kvio.NewWriter(f)
+	kw.SetSizeHistogram(a.job.histRunWrite)
 	for _, p := range a.cache {
 		if err := kw.Write(p); err != nil {
 			f.Close()

@@ -144,12 +144,21 @@ type Job struct {
 	oTasks []*trace.Task
 	aTasks []*trace.Task
 
+	// comm is the stage's communication matrix, fed by the MPI send
+	// observer (bytes/messages per delivered data message) and the
+	// flush sites (record counts).
+	comm *trace.CommMatrix
+
 	// Live observability counters, resolved once at job construction so
 	// the Send/flush hot paths pay one atomic add each (nil registry
 	// yields nil counters, whose methods are no-ops).
 	ctrFlushes    *metrics.Counter
 	ctrRounds     *metrics.Counter
 	ctrSpillPairs *metrics.Counter
+	ctrForced     *metrics.Counter
+	ctrCtrlMsgs   *metrics.Counter
+	histRecvRound *metrics.Histogram
+	histRunWrite  *metrics.Histogram
 }
 
 // NewJob validates the configuration and builds the bipartite world:
@@ -184,6 +193,18 @@ func NewJob(cfg Config) (*Job, error) {
 	j.ctrFlushes = cfg.Metrics.Counter(metrics.CtrMPISendFlushes)
 	j.ctrRounds = cfg.Metrics.Counter(metrics.CtrMPIBlockingRounds)
 	j.ctrSpillPairs = cfg.Metrics.Counter(metrics.CtrMPISpillPairs)
+	j.ctrForced = cfg.Metrics.Counter(metrics.CtrMPIForcedFlushes)
+	j.ctrCtrlMsgs = cfg.Metrics.Counter(metrics.CtrMPICtrlMessages)
+	j.histRecvRound = cfg.Metrics.Histogram(metrics.HistRecvRoundBytes)
+	j.histRunWrite = cfg.Metrics.Histogram(metrics.HistRunWriteBytes)
+	j.comm = trace.NewCommMatrix(cfg.NumO, cfg.NumA)
+	world.SetSendObserver(func(src, dst, tag int, bytes int) {
+		if tag == tagData && src < cfg.NumO && dst >= cfg.NumO {
+			j.comm.AddMessage(src, dst-cfg.NumO, int64(bytes))
+			return
+		}
+		j.ctrCtrlMsgs.Inc()
+	})
 	j.oTasks = make([]*trace.Task, cfg.NumO)
 	j.aTasks = make([]*trace.Task, cfg.NumA)
 	for i := range j.oTasks {
@@ -208,6 +229,12 @@ func (j *Job) OMetrics() []*trace.Task { return j.oTasks }
 
 // AMetrics returns the trace records of the A tasks (valid after Run).
 func (j *Job) AMetrics() []*trace.Task { return j.aTasks }
+
+// Comm returns the job's communication matrix (valid after Run): bytes
+// on the wire per (O-rank, A-rank) pair, post-combiner, so row sums
+// reconcile with the O tasks' ShuffleOutBytes and column sums with the
+// A tasks' ShuffleInBytes.
+func (j *Job) Comm() *trace.CommMatrix { return j.comm }
 
 // Run executes the bipartite job: NumO operator goroutines and NumA
 // aggregator goroutines are spawned (the mpidrun-spawned CommonProcess

@@ -40,6 +40,11 @@ type OContext struct {
 	flushMark []int64 // pairIndex at each flush, for timeline reconstruction
 	finalized bool
 	err       error
+
+	// bufOccupancy tracks the live Send Partition List footprint (bytes
+	// buffered across all partitions); its peak lands in the task trace
+	// as BufPeakBytes.
+	bufOccupancy int64
 }
 
 type partitionBuffer struct {
@@ -48,8 +53,9 @@ type partitionBuffer struct {
 }
 
 type flushItem struct {
-	dest int // A communicator rank
-	data []byte
+	dest  int // A communicator rank
+	data  []byte
+	pairs int64 // post-combiner records, for comm-matrix attribution
 }
 
 func newOContext(j *Job, rank int) *OContext {
@@ -142,6 +148,10 @@ func (o *OContext) Send(key, value []byte) error {
 	}
 	pb.data = kvio.AppendKV(pb.data, key, value)
 	pb.pairs++
+	o.bufOccupancy += int64(sz)
+	if o.bufOccupancy > o.metrics.BufPeakBytes {
+		o.metrics.BufPeakBytes = o.bufOccupancy
+	}
 	if len(pb.data) >= o.job.cfg.SendBufferBytes {
 		return o.flushPartition(part, false)
 	}
@@ -157,8 +167,10 @@ func (o *OContext) flushPartition(part int, force bool) error {
 	}
 	pb := &o.partitions[part]
 	data := pb.data
+	pairs := int64(pb.pairs)
 	pb.data = nil
 	pb.pairs = 0
+	o.bufOccupancy -= int64(len(data))
 	if len(data) == 0 {
 		o.putBuf(data)
 		return nil
@@ -168,7 +180,9 @@ func (o *OContext) flushPartition(part int, force bool) error {
 		if err != nil {
 			return fmt.Errorf("datampi: partition %d buffer corrupt: %w", part, err)
 		}
+		combineBase := o.metrics.CombineOutPairs
 		combined := o.runCombiner(kvs)
+		pairs = o.metrics.CombineOutPairs - combineBase
 		o.putBuf(data)
 		data = combined
 		if len(data) == 0 {
@@ -178,6 +192,12 @@ func (o *OContext) flushPartition(part int, force bool) error {
 	}
 	o.metrics.ShuffleOutBytes += int64(len(data))
 	o.job.ctrFlushes.Inc()
+	if force {
+		// Residual flush finalize forced out (the buffer never reached
+		// the SendBufferBytes threshold).
+		o.metrics.ForcedFlushes++
+		o.job.ctrForced.Inc()
+	}
 	o.flushMark = append(o.flushMark, o.pairIndex)
 	o.metrics.SendEvents = append(o.metrics.SendEvents, trace.SendEvent{
 		Bytes: int64(len(data)),
@@ -190,13 +210,16 @@ func (o *OContext) flushPartition(part int, force bool) error {
 			o.err = err
 			o.putBuf(data)
 			return err
-		case o.sendQueue <- flushItem{dest: part, data: data}:
+		case o.sendQueue <- flushItem{dest: part, data: data, pairs: pairs}:
 			// The sender goroutine recycles the buffer after Isend.
 			return nil
 		}
 	}
 	err := o.blockingFlush(part, data)
 	o.putBuf(data)
+	if err == nil {
+		o.job.comm.AddRecords(o.rank, part, pairs)
+	}
 	return err
 }
 
@@ -236,6 +259,7 @@ func (o *OContext) senderLoop() {
 			}
 			continue
 		}
+		o.job.comm.AddRecords(o.rank, item.dest, item.pairs)
 		o.pending = append(o.pending, req)
 		// Opportunistically retire completed handles.
 		live := o.pending[:0]

@@ -113,6 +113,10 @@ type Job struct {
 	mapMetrics    []*trace.Task
 	reduceMetrics []*trace.Task
 
+	// comm is the stage's communication matrix, recorded by the reduce
+	// copy phase (one segment pull per completed (map, reduce) pair).
+	comm *trace.CommMatrix
+
 	// mapOutputs[m] is set when map m completes; reducers pull from it.
 	mapOutputs []*mapOutput
 	completed  chan int // map IDs in completion order
@@ -157,8 +161,15 @@ func NewJob(cfg Config) (*Job, error) {
 	}
 	j.mapOutputs = make([]*mapOutput, cfg.NumMaps)
 	j.completed = make(chan int, cfg.NumMaps)
+	j.comm = trace.NewCommMatrix(cfg.NumMaps, cfg.NumReduces)
 	return j, nil
 }
+
+// Comm returns the job's communication matrix (valid after Run; nil for
+// map-only jobs). Cell (m, r) holds the post-combiner segment bytes
+// reduce r pulled from map m, so row sums reconcile with the maps'
+// ShuffleOutBytes and column sums with the reduces' ShuffleInBytes.
+func (j *Job) Comm() *trace.CommMatrix { return j.comm }
 
 // MapMetrics returns the per-map-task trace records (valid after Run).
 func (j *Job) MapMetrics() []*trace.Task { return j.mapMetrics }

@@ -42,7 +42,11 @@ func (j *Job) runReduce(taskID int, completions <-chan int, body ReduceBody) err
 	metrics := j.reduceMetrics[taskID]
 
 	// Copy phase.
-	segments := make([][]byte, 0, j.cfg.NumMaps)
+	type segment struct {
+		mapID int
+		data  []byte
+	}
+	segments := make([]segment, 0, j.cfg.NumMaps)
 	for m := range completions {
 		mo := j.mapOutputs[m]
 		if mo == nil {
@@ -54,19 +58,21 @@ func (j *Job) runReduce(taskID int, completions <-chan int, body ReduceBody) err
 			return fmt.Errorf("reduce %d copy from map %d: %w", taskID, m, err)
 		}
 		if len(seg) > 0 {
-			segments = append(segments, seg)
+			segments = append(segments, segment{mapID: m, data: seg})
 			metrics.ShuffleInBytes += int64(len(seg))
+			j.comm.AddMessage(m, taskID, int64(len(seg)))
 		}
 	}
 
 	// Merge phase: each segment is key-sorted by the map-side merge.
 	sources := make([]kvio.Source, 0, len(segments))
 	for _, seg := range segments {
-		kvs, err := kvio.DecodeAll(seg)
+		kvs, err := kvio.DecodeAll(seg.data)
 		if err != nil {
 			return fmt.Errorf("reduce %d decode segment: %w", taskID, err)
 		}
 		metrics.ShuffleInPairs += int64(len(kvs))
+		j.comm.AddRecords(seg.mapID, taskID, int64(len(kvs)))
 		sources = append(sources, &kvio.SliceSource{KVs: kvs})
 	}
 	metrics.MergeRuns = int64(len(sources))

@@ -114,6 +114,7 @@ func RunTeraSort(records [][2][]byte, numMaps, numReduces int,
 		NumReds:   numReduces,
 		Producers: job.MapMetrics(),
 		Consumers: job.ReduceMetrics(),
+		Comm:      job.Comm(),
 	}
 	return st, all, nil
 }

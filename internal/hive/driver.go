@@ -7,6 +7,7 @@ import (
 	"hivempi/internal/exec"
 	"hivempi/internal/imstore"
 	"hivempi/internal/metrics"
+	"hivempi/internal/obs/comm"
 	"hivempi/internal/storage"
 	"hivempi/internal/trace"
 	"hivempi/internal/types"
@@ -288,6 +289,12 @@ func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSche
 		res.Overlapped = true
 	}
 	res.Degraded = es.degradedName()
+	// Fold each shuffle stage's virtual per-rank receive waits into the
+	// registry before the snapshot so the distribution reaches this
+	// statement's metrics delta.
+	for _, sr := range results {
+		comm.FoldWaits(d.Env.Metrics, comm.AnalyzeStage(sr.Trace, nil))
+	}
 	d.sampleIMGauges()
 	res.Metrics = metricsDelta(before, d.Env.Metrics.Snapshot())
 
@@ -357,6 +364,16 @@ func metricsDelta(before, after map[string]int64) map[string]int64 {
 	for k, v := range after {
 		if strings.HasPrefix(k, "imstore.") {
 			if v != 0 {
+				out[k] = v
+			}
+			continue
+		}
+		if metrics.IsDistributionKey(k) {
+			// Quantiles and maxima do not subtract: report the cumulative
+			// value, and only when the underlying distribution grew during
+			// this statement.
+			base := k[:strings.LastIndex(k, ".")]
+			if v != 0 && after[base+".count"] != before[base+".count"] {
 				out[k] = v
 			}
 			continue

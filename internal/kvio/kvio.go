@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"hivempi/internal/metrics"
 )
 
 // KV is one key-value pair. Keys are compared as raw bytes, so callers
@@ -87,12 +89,18 @@ type Writer struct {
 	buf   []byte
 	n     int64
 	pairs int64
+	sizes *metrics.Histogram
 }
 
 // NewWriter wraps w for run output.
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriter(w)}
 }
+
+// SetSizeHistogram attaches a pre-resolved histogram observing each
+// written pair's wire size. Callers resolve the handle once (outside
+// the write loop, per the metricshot rule); a nil histogram is a no-op.
+func (kw *Writer) SetSizeHistogram(h *metrics.Histogram) { kw.sizes = h }
 
 // Write appends one pair to the run.
 func (kw *Writer) Write(p KV) error {
@@ -101,6 +109,7 @@ func (kw *Writer) Write(p KV) error {
 	n, err := kw.w.Write(kw.buf)
 	kw.n += int64(n)
 	kw.pairs++
+	kw.sizes.Observe(int64(n))
 	return err
 }
 

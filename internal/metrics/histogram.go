@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers every non-negative int64: bucket 0 holds zero (and
+// clamped negatives), bucket b>0 holds values whose bit length is b,
+// i.e. the range [2^(b-1), 2^b).
+const numBuckets = 65
+
+// Histogram is a lock-free log2-bucketed distribution. Observe is one
+// atomic add per bucket plus count/sum/max maintenance, cheap enough
+// for shuffle hot paths when the handle is cached at setup (the same
+// contract as Counter/Gauge, enforced by the metricshot analyzer). A
+// nil *Histogram absorbs every operation, like the other primitives.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its log2 bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLow returns the inclusive lower bound of bucket b.
+func BucketLow(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return int64(1) << (b - 1)
+}
+
+// BucketHigh returns the inclusive upper bound of bucket b.
+func BucketHigh(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 63 {
+		return int64(1)<<62 + (int64(1)<<62 - 1) // max int64
+	}
+	return int64(1)<<b - 1
+}
+
+// Observe records one value. Negative values clamp to the zero bucket
+// (the domains recorded here — bytes, records, microseconds — are
+// non-negative).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram: totals,
+// the exact maximum, bucket-resolution quantiles and the non-empty
+// buckets themselves.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   int64
+	Max   int64
+	P50   int64
+	P95   int64
+	P99   int64
+	// Buckets holds the non-empty buckets in ascending value order.
+	Buckets []Bucket
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	Low   int64 // inclusive
+	High  int64 // inclusive
+	Count int64
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot captures the histogram. Concurrent Observe calls may land
+// between the bucket loads, so the snapshot is consistent only to the
+// bucket level — exactly what a live metrics read needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var s HistogramSnapshot
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	var counts [numBuckets]int64
+	var total int64
+	for b := 0; b < numBuckets; b++ {
+		c := h.buckets[b].Load()
+		counts[b] = c
+		total += c
+		if c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Low: BucketLow(b), High: BucketHigh(b), Count: c})
+		}
+	}
+	// Derive quantiles from the bucket totals (not h.count, which may
+	// run ahead of the bucket adds under concurrency).
+	s.Count = total
+	s.P50 = quantile(counts[:], total, 0.50, s.Max)
+	s.P95 = quantile(counts[:], total, 0.95, s.Max)
+	s.P99 = quantile(counts[:], total, 0.99, s.Max)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// ranked observation, clamped to the observed maximum.
+func quantile(counts []int64, total int64, q float64, max int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for b, c := range counts {
+		cum += c
+		if cum >= rank {
+			hi := BucketHigh(b)
+			if hi > max {
+				hi = max
+			}
+			return hi
+		}
+	}
+	return max
+}
+
+// Timer is a Histogram over durations, recorded in microseconds. The
+// virtual-time packages may not read wall clocks (the wallclock
+// analyzer enforces this), so callers pass durations they computed —
+// typically virtual seconds from the perfmodel.
+type Timer struct {
+	h Histogram
+}
+
+// ObserveSeconds records one duration given in (virtual) seconds.
+func (t *Timer) ObserveSeconds(sec float64) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(int64(sec * 1e6))
+}
+
+// ObserveMicros records one duration given in microseconds.
+func (t *Timer) ObserveMicros(us int64) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(us)
+}
+
+// Count returns the number of recorded durations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.h.Count()
+}
+
+// Snapshot captures the timer's distribution (values in microseconds).
+func (t *Timer) Snapshot() HistogramSnapshot {
+	if t == nil {
+		return HistogramSnapshot{}
+	}
+	return t.h.Snapshot()
+}
+
+// IsDistributionKey reports whether a snapshot key is a non-additive
+// distribution statistic (quantile or max). Per-statement deltas keep
+// additive keys as after-minus-before; distribution keys are reported
+// as their absolute value instead, because quantiles don't subtract.
+func IsDistributionKey(name string) bool {
+	for _, suf := range []string{".p50", ".p95", ".p99", ".max"} {
+		if len(name) > len(suf) && name[len(name)-len(suf):] == suf {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshotInto writes one distribution's snapshot entries under name.
+func snapshotInto(out map[string]int64, name string, s HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	out[name+".count"] = s.Count
+	out[name+".sum"] = s.Sum
+	out[name+".p50"] = s.P50
+	out[name+".p95"] = s.P95
+	out[name+".p99"] = s.P99
+	out[name+".max"] = s.Max
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"hivempi/internal/testutil/leakcheck"
+)
+
+func TestHistogramNilSafe(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var h *Histogram
+	h.Observe(10) // must not panic
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Errorf("nil histogram snapshot = %+v, want zeros", s)
+	}
+	var tm *Timer
+	tm.ObserveSeconds(0.5)
+	tm.ObserveMicros(100)
+	if tm.Count() != 0 {
+		t.Error("nil timer reported observations")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	defer leakcheck.Check(t)()
+	h := &Histogram{}
+	for _, v := range []int64{1, 2, 4, 8, 1024, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1+2+4+8+1024 { // negatives clamp to 0
+		t.Errorf("sum = %d, want %d", s.Sum, 1+2+4+8+1024)
+	}
+	if s.Max != 1024 {
+		t.Errorf("max = %d, want 1024", s.Max)
+	}
+	if s.P50 <= 0 || s.P50 > s.P99 || s.P99 > s.Max {
+		t.Errorf("quantiles out of order: p50=%d p99=%d max=%d", s.P50, s.P99, s.Max)
+	}
+	if m := s.Mean(); m < 170 || m > 175 {
+		t.Errorf("mean = %f, want ~173", m)
+	}
+}
+
+func TestHistogramQuantilesClampToMax(t *testing.T) {
+	defer leakcheck.Check(t)()
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // all in one bucket [512,1024)
+	}
+	s := h.Snapshot()
+	// The bucket upper bound (1023) exceeds the true max; quantiles must
+	// clamp so p99 never reports a value no observation reached.
+	if s.P50 > 1000 || s.P95 > 1000 || s.P99 > 1000 {
+		t.Errorf("quantiles exceed observed max: %+v", s)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe and Snapshot concurrently;
+// run under -race (make check does) this proves the lock-free claim,
+// and the final snapshot must account for every observation.
+func TestHistogramConcurrent(t *testing.T) {
+	defer leakcheck.Check(t)()
+	h := &Histogram{}
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*1000 + i))
+				if i%1000 == 0 {
+					s := h.Snapshot()
+					if s.Count < 0 || s.Max < 0 {
+						t.Error("mid-flight snapshot corrupt")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	if s.Max != 7*1000+perG-1 {
+		t.Errorf("max = %d, want %d", s.Max, 7*1000+perG-1)
+	}
+}
+
+func TestTimerObserve(t *testing.T) {
+	defer leakcheck.Check(t)()
+	tm := &Timer{}
+	tm.ObserveSeconds(0.001) // 1000 µs
+	tm.ObserveMicros(3000)
+	tm.ObserveSeconds(-1) // clamps to 0
+	if tm.Count() != 3 {
+		t.Errorf("count = %d, want 3", tm.Count())
+	}
+	s := tm.Snapshot()
+	if s.Sum != 4000 {
+		t.Errorf("sum = %d µs, want 4000", s.Sum)
+	}
+	if s.Max != 3000 {
+		t.Errorf("max = %d µs, want 3000", s.Max)
+	}
+}
+
+func TestRegistryHistogramTimer(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := NewRegistry()
+	h := r.Histogram("x.bytes")
+	if h == nil || r.Histogram("x.bytes") != h {
+		t.Fatal("histogram lookup not stable")
+	}
+	tm := r.Timer("y.wait")
+	if tm == nil || r.Timer("y.wait") != tm {
+		t.Fatal("timer lookup not stable")
+	}
+	h.Observe(100)
+	h.Observe(300)
+	tm.ObserveMicros(50)
+	snap := r.Snapshot()
+	if snap["x.bytes.count"] != 2 || snap["x.bytes.sum"] != 400 {
+		t.Errorf("histogram snapshot entries wrong: %v", snap)
+	}
+	if snap["y.wait.count"] != 1 || snap["y.wait.max"] != 50 {
+		t.Errorf("timer snapshot entries wrong: %v", snap)
+	}
+	names := r.Names()
+	found := 0
+	for _, n := range names {
+		if n == "x.bytes" || n == "y.wait" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("Names() missing hist/timer: %v", names)
+	}
+
+	// Empty distributions stay out of the snapshot.
+	r2 := NewRegistry()
+	r2.Histogram("empty")
+	if snap := r2.Snapshot(); len(snap) != 0 {
+		t.Errorf("empty histogram leaked into snapshot: %v", snap)
+	}
+
+	// Nil registry lookups are no-op safe.
+	var nilr *Registry
+	nilr.Histogram("h").Observe(1)
+	nilr.Timer("t").ObserveSeconds(1)
+}
+
+func TestIsDistributionKey(t *testing.T) {
+	defer leakcheck.Check(t)()
+	for _, k := range []string{"a.p50", "a.p95", "a.p99", "a.max"} {
+		if !IsDistributionKey(k) {
+			t.Errorf("IsDistributionKey(%q) = false", k)
+		}
+	}
+	for _, k := range []string{"a.count", "a.sum", "a", "shuffle.out.bytes"} {
+		if IsDistributionKey(k) {
+			t.Errorf("IsDistributionKey(%q) = true", k)
+		}
+	}
+}

@@ -42,6 +42,18 @@ const (
 	CtrMPISendFlushes    = "datampi.send.flushes"
 	CtrMPIBlockingRounds = "datampi.blocking.rounds"
 	CtrMPISpillPairs     = "datampi.spill.pairs"
+	CtrMPIForcedFlushes  = "datampi.forced.flushes"
+	CtrMPICtrlMessages   = "datampi.ctrl.messages"
+
+	// Communication-plane distributions. The first is recorded live by
+	// the datampi A-side receive loop (cached handle, one atomic per
+	// data message); the rest are folded from completed stage traces
+	// (FoldStage) or by the obs/comm skew analyzer.
+	HistRecvRoundBytes   = "datampi.recv.round.bytes" // per-message A-side payloads
+	HistFlushBytes       = "datampi.flush.bytes"      // per-flush buffer-manager payloads
+	HistTaskShuffleBytes = "shuffle.task.bytes"       // per-producer shuffle totals
+	HistRunWriteBytes    = "kvio.run.write.bytes"     // per-pair spill-run write sizes
+	TimerAWait           = "datampi.await"            // virtual per-round A-side wait (µs)
 
 	// internal/dfs (tier-attributed I/O).
 	CtrDFSReadBytes     = "dfs.read.bytes"
@@ -128,6 +140,8 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
 }
 
 // NewRegistry returns an empty registry.
@@ -135,6 +149,8 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		timers:   make(map[string]*Timer),
 	}
 }
 
@@ -178,20 +194,62 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.timers[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timers[name]; t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
 // Add increments the named counter (convenience for one-shot call sites).
 func (r *Registry) Add(name string, n int64) { r.Counter(name).Add(n) }
 
 // Snapshot returns every metric's current value: counters under their
 // name, gauges under their name plus a ".hwm" entry for the high-water
-// mark when it differs from the current value. Nil registries snapshot
-// to nil.
+// mark when it differs from the current value, and each non-empty
+// histogram/timer as ".count"/".sum"/".p50"/".p95"/".p99"/".max"
+// entries (timer values in microseconds). Nil registries snapshot to
+// nil.
 func (r *Registry) Snapshot() map[string]int64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+6*(len(r.hists)+len(r.timers)))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
@@ -200,6 +258,12 @@ func (r *Registry) Snapshot() map[string]int64 {
 		if hi := g.High(); hi != g.Value() {
 			out[name+".hwm"] = hi
 		}
+	}
+	for name, h := range r.hists {
+		snapshotInto(out, name, h.Snapshot())
+	}
+	for name, t := range r.timers {
+		snapshotInto(out, name, t.Snapshot())
 	}
 	return out
 }
@@ -211,11 +275,17 @@ func (r *Registry) Names() []string {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.timers))
 	for n := range r.counters {
 		names = append(names, n)
 	}
 	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.timers {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -236,6 +306,8 @@ func FoldStage(r *Registry, st *trace.Stage) {
 		r.Counter(CtrStageRetries).Add(int64(st.Attempts - 1))
 	}
 	r.Counter(CtrTaskRetries).Add(int64(st.TaskRetries))
+	histFlush := r.Histogram(HistFlushBytes)
+	histTask := r.Histogram(HistTaskShuffleBytes)
 	fold := func(tasks []*trace.Task) {
 		for _, t := range tasks {
 			r.Counter(CtrShuffleOutBytes).Add(t.ShuffleOutBytes)
@@ -244,6 +316,12 @@ func FoldStage(r *Registry, st *trace.Stage) {
 			r.Counter(CtrSpillBytes).Add(t.SpillBytes)
 			r.Counter(CtrCombineInPairs).Add(t.CombineInPairs)
 			r.Counter(CtrCombineOutPairs).Add(t.CombineOutPairs)
+			if t.ShuffleOutBytes > 0 {
+				histTask.Observe(t.ShuffleOutBytes)
+			}
+			for _, se := range t.SendEvents {
+				histFlush.Observe(se.Bytes)
+			}
 			if t.Recovered {
 				r.Counter(CtrTasksRecovered).Inc()
 			}

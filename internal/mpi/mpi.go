@@ -67,6 +67,27 @@ type World struct {
 	plane   *chaos.Plane // fault-injection plane; nil = no faults
 	failErr error        // first transport failure; aborts the world
 	watch   *watchdog    // opt-in deadlock sentinel; nil = off
+	sendObs SendObserver // comms flight recorder hook; nil = off
+}
+
+// SendObserver receives one callback per successfully delivered
+// message: source and destination world ranks, the message tag and the
+// payload size. Observers run on the sender's goroutine inside the
+// delivery path, so they must be cheap and thread-safe (the comm
+// matrix recorder is a single atomic add).
+type SendObserver func(src, dst, tag int, bytes int)
+
+// SetSendObserver attaches the delivery observer (nil detaches).
+func (w *World) SetSendObserver(obs SendObserver) {
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	w.sendObs = obs
+}
+
+func (w *World) sendObserver() SendObserver {
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	return w.sendObs
 }
 
 // SetDeadlockCheck toggles the communicator deadlock watchdog (see
@@ -214,11 +235,17 @@ func (w *World) Send(src, dst, tag int, data []byte) error {
 				wd.satisfy(wt.done)
 			}
 			wt.done <- msg
+			if obs := w.sendObserver(); obs != nil {
+				obs(src, dst, tag, len(msg.data))
+			}
 			return nil
 		}
 	}
 	r.unexpected = append(r.unexpected, msg)
 	r.mu.Unlock()
+	if obs := w.sendObserver(); obs != nil {
+		obs(src, dst, tag, len(msg.data))
+	}
 	return nil
 }
 

@@ -141,6 +141,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		NumReds:   numReduces,
 		Producers: job.MapMetrics(),
 		Consumers: job.ReduceMetrics(),
+		Comm:      job.Comm(),
 	}
 	for i, m := range st.Producers {
 		m.LocalRead = tasks[i].Local

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"hivempi/internal/obs/comm"
 	"hivempi/internal/perfmodel"
 	"hivempi/internal/trace"
 )
@@ -62,6 +63,11 @@ func RenderAnalyzedPlan(q *trace.Query, degraded string, metricsSnap map[string]
 		fmt.Fprintf(&sb, "  rows out %d  input %s  shuffle %s  output %s\n",
 			stageRowsOut(st), humanBytes(st.TotalInputBytes()),
 			humanBytes(st.TotalShuffleBytes()), humanBytes(st.TotalOutputBytes()))
+		if sc := comm.AnalyzeStage(st, p); sc != nil {
+			if line := sc.Summary(); line != "" {
+				fmt.Fprintf(&sb, "  %s\n", line)
+			}
+		}
 		if len(st.DependsOn) > 0 {
 			fmt.Fprintf(&sb, "  depends on: %s\n", strings.Join(st.DependsOn, ", "))
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"hivempi/internal/obs/comm"
 	"hivempi/internal/perfmodel"
 	"hivempi/internal/trace"
 )
@@ -58,11 +59,17 @@ func WriteChromeTrace(w io.Writer, queries []*trace.Query, p *perfmodel.Params) 
 			Args: map[string]any{"name": "stages"},
 		})
 
+		stagesByName := make(map[string]*trace.Stage, len(q.Stages))
+		for _, st := range q.Stages {
+			stagesByName[st.Name] = st
+		}
+
 		lanes := newLaneTable(p.Cluster.SlotsPerNode)
 		stageEnd := map[string]float64{} // stage name -> end ts (for flows)
 		for _, ss := range root.Children {
 			events = append(events, spanEvent(ss, "stage", pid, 0))
 			stageEnd[ss.Name] = ss.End
+			events = append(events, commCounterEvents(stagesByName[ss.Name], ss, pid, p)...)
 
 			// Flow arrows: one s->f pair per dependency edge.
 			for _, dep := range splitDeps(ss.Attrs["depends_on"]) {
@@ -112,6 +119,48 @@ func spanEvent(s *Span, cat string, pid, tid int) chromeEvent {
 		}
 	}
 	return ev
+}
+
+// commCounterTracks bounds the per-consumer series one counter event
+// carries (wide shuffles collapse their tail into one "rest" series).
+const commCounterTracks = 16
+
+// commCounterEvents renders a stage's communication picture as Chrome
+// counter ("C") events: one track of per-consumer shuffle bytes and one
+// of the partition-skew ratio, stepping up at stage start and back to
+// zero at stage end so the counters read as per-stage blocks.
+func commCounterEvents(st *trace.Stage, ss *Span, pid int, p *perfmodel.Params) []chromeEvent {
+	sc := comm.AnalyzeStage(st, p)
+	if sc == nil || sc.PartitionSkew == nil {
+		return nil
+	}
+	cols := make(map[string]any, commCounterTracks+1)
+	zeros := make(map[string]any, commCounterTracks+1)
+	var rest int64
+	for a, b := range sc.ColBytes {
+		if a < commCounterTracks {
+			key := fmt.Sprintf("a%d", a)
+			cols[key] = b
+			zeros[key] = 0
+		} else {
+			rest += b
+		}
+	}
+	if rest > 0 {
+		cols["rest"] = rest
+		zeros["rest"] = 0
+	}
+	name := "comm bytes " + ss.Name
+	skewName := "comm skew " + ss.Name
+	ratio := sc.PartitionSkew.MaxMeanRatio
+	return []chromeEvent{
+		{Name: name, Cat: "comm", Ph: "C", Ts: ss.Start * usec, Pid: pid, Args: cols},
+		{Name: name, Cat: "comm", Ph: "C", Ts: ss.End * usec, Pid: pid, Args: zeros},
+		{Name: skewName, Cat: "comm", Ph: "C", Ts: ss.Start * usec, Pid: pid,
+			Args: map[string]any{"max_mean": ratio}},
+		{Name: skewName, Cat: "comm", Ph: "C", Ts: ss.End * usec, Pid: pid,
+			Args: map[string]any{"max_mean": 0}},
+	}
 }
 
 func splitDeps(s string) []string {
@@ -207,7 +256,7 @@ func ValidateChromeTrace(data []byte) (int, error) {
 			return 0, fmt.Errorf("chrome trace: event %d has no name", i)
 		}
 		switch ev.Ph {
-		case "X", "M", "s", "f", "b", "e", "i":
+		case "X", "M", "s", "f", "b", "e", "i", "C":
 		default:
 			return 0, fmt.Errorf("chrome trace: event %d has unknown phase %q", i, ev.Ph)
 		}

@@ -1,0 +1,457 @@
+// Package comm is the communication-plane half of the observability
+// stack: it turns the per-stage (producer, consumer) communication
+// matrices the engines record — or, for stages without one, the
+// producers' PartitionBytes — into skew statistics (max/mean ratio,
+// coefficient of variation, heavy-partition top-k), per-rank virtual
+// wait times derived from the perfmodel, and a serializable
+// comm_report.json consumed by the hiveql/benchsuite -comm flags.
+package comm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"hivempi/internal/metrics"
+	"hivempi/internal/perfmodel"
+	"hivempi/internal/trace"
+)
+
+// Schema identifies the comm_report.json layout; bump on breaking
+// changes so downstream tooling can reject reports it cannot parse.
+const Schema = "hivempi.comm_report/v1"
+
+// TopK is how many heavy cells a Skew keeps.
+const TopK = 5
+
+// HeavyCell is one of the heaviest ranks of a skew dimension.
+type HeavyCell struct {
+	Rank  int     `json:"rank"`
+	Bytes int64   `json:"bytes"`
+	Share float64 `json:"share"` // fraction of the dimension total
+}
+
+// Skew summarizes the imbalance of a byte distribution (per-consumer
+// column totals = partition skew; per-producer row totals = producer
+// skew).
+type Skew struct {
+	MaxBytes     int64       `json:"max_bytes"`
+	MeanBytes    float64     `json:"mean_bytes"`
+	MaxMeanRatio float64     `json:"max_mean_ratio"`
+	CV           float64     `json:"cv"` // stddev / mean
+	Top          []HeavyCell `json:"top,omitempty"`
+}
+
+// SkewOf computes the skew statistics of one byte distribution,
+// keeping the k heaviest non-zero entries. Returns nil for empty or
+// all-zero distributions.
+func SkewOf(values []int64, k int) *Skew {
+	if len(values) == 0 {
+		return nil
+	}
+	var sum, max int64
+	for _, v := range values {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return nil
+	}
+	mean := float64(sum) / float64(len(values))
+	var varSum float64
+	for _, v := range values {
+		d := float64(v) - mean
+		varSum += d * d
+	}
+	s := &Skew{
+		MaxBytes:     max,
+		MeanBytes:    mean,
+		MaxMeanRatio: float64(max) / mean,
+		CV:           math.Sqrt(varSum/float64(len(values))) / mean,
+	}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if values[idx[a]] != values[idx[b]] {
+			return values[idx[a]] > values[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	for _, i := range idx {
+		if len(s.Top) >= k || values[i] == 0 {
+			break
+		}
+		s.Top = append(s.Top, HeavyCell{
+			Rank:  i,
+			Bytes: values[i],
+			Share: float64(values[i]) / float64(sum),
+		})
+	}
+	return s
+}
+
+// StageComm is the analyzed communication picture of one shuffle stage.
+type StageComm struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+
+	NumProducers int `json:"num_producers"`
+	NumConsumers int `json:"num_consumers"`
+
+	// Derived marks a matrix reconstructed from the producers'
+	// PartitionBytes (pre-combiner Send-time sizes) because the engine
+	// recorded no wire-level matrix; such matrices need not reconcile
+	// with the post-combiner shuffle byte counters.
+	Derived bool `json:"derived,omitempty"`
+
+	TotalBytes    int64 `json:"total_bytes"`
+	TotalRecords  int64 `json:"total_records,omitempty"`
+	TotalMessages int64 `json:"total_messages,omitempty"`
+
+	RowBytes []int64   `json:"row_bytes"` // per-producer totals
+	ColBytes []int64   `json:"col_bytes"` // per-consumer totals
+	Matrix   [][]int64 `json:"matrix_bytes"`
+	Records  [][]int64 `json:"matrix_records,omitempty"`
+
+	ProducerSkew  *Skew `json:"producer_skew,omitempty"`
+	PartitionSkew *Skew `json:"partition_skew,omitempty"`
+
+	// Buffer-manager and receive-loop accounting summed over tasks.
+	BufPeakBytes  int64 `json:"buf_peak_bytes,omitempty"` // max over producers
+	ForcedFlushes int64 `json:"forced_flushes,omitempty"`
+	RecvRounds    int64 `json:"recv_rounds,omitempty"`
+	WaitRounds    int64 `json:"wait_rounds,omitempty"` // blocking-style rounds
+
+	// Virtual per-consumer wait: the perfmodel network time to absorb
+	// each consumer's column plus the blocking-sync charge per message
+	// (blocking datampi stages only). Seconds of virtual time.
+	AWaitSec        float64   `json:"a_wait_sec,omitempty"`
+	AWaitSecPerRank []float64 `json:"a_wait_sec_per_rank,omitempty"`
+}
+
+// AnalyzeStage builds the communication picture of one stage. Returns
+// nil for stages without a shuffle (map-only) or without any recorded
+// communication. A nil params analyzes against perfmodel defaults.
+func AnalyzeStage(st *trace.Stage, p *perfmodel.Params) *StageComm {
+	if st == nil {
+		return nil
+	}
+	if p == nil {
+		def := perfmodel.DefaultParams()
+		p = &def
+	}
+	sc := &StageComm{Name: st.Name, Engine: st.Engine}
+	colMsgs := sc.fillMatrix(st)
+	if sc.TotalBytes == 0 {
+		return nil
+	}
+	sc.ProducerSkew = SkewOf(sc.RowBytes, TopK)
+	sc.PartitionSkew = SkewOf(sc.ColBytes, TopK)
+	for _, t := range st.Producers {
+		if t.BufPeakBytes > sc.BufPeakBytes {
+			sc.BufPeakBytes = t.BufPeakBytes
+		}
+		sc.ForcedFlushes += t.ForcedFlushes
+		sc.WaitRounds += t.WaitRounds
+	}
+	for _, t := range st.Consumers {
+		sc.RecvRounds += t.RecvRounds
+	}
+
+	// Virtual A-side wait per consumer rank: column bytes at the NIC
+	// plus the synchronized-round latency per absorbed message when the
+	// stage ran the blocking shuffle style.
+	sync := 0.0
+	if st.Engine == "datampi" && !st.NonBlocking {
+		sync = p.DataMPI.BlockingSync
+	}
+	sc.AWaitSecPerRank = make([]float64, sc.NumConsumers)
+	for a := 0; a < sc.NumConsumers; a++ {
+		w := float64(sc.ColBytes[a]) * p.ScaleUp / p.Cluster.NetBW
+		if a < len(colMsgs) {
+			w += float64(colMsgs[a]) * sync
+		}
+		sc.AWaitSecPerRank[a] = w
+		sc.AWaitSec += w
+	}
+	return sc
+}
+
+// fillMatrix populates the byte/record grids from the stage's recorded
+// matrix, or derives a byte grid from PartitionBytes when the engine
+// recorded none. Returns per-consumer message counts (nil when
+// derived).
+func (sc *StageComm) fillMatrix(st *trace.Stage) []int64 {
+	if m := st.Comm; m != nil && m.TotalBytes() > 0 {
+		sc.NumProducers = m.NumO
+		sc.NumConsumers = m.NumA
+		sc.Matrix = m.BytesGrid()
+		sc.Records = m.RecordsGrid()
+		sc.RowBytes = m.RowBytes()
+		sc.ColBytes = m.ColBytes()
+		sc.TotalBytes = m.TotalBytes()
+		sc.TotalMessages = m.TotalMessages()
+		colMsgs := make([]int64, m.NumA)
+		for o := 0; o < m.NumO; o++ {
+			for a := 0; a < m.NumA; a++ {
+				sc.TotalRecords += m.Records(o, a)
+				colMsgs[a] += m.Messages(o, a)
+			}
+		}
+		return colMsgs
+	}
+
+	// Fallback: Send-time partition sizes (pre-combiner).
+	numA := st.NumReds
+	for _, t := range st.Producers {
+		if len(t.PartitionBytes) > numA {
+			numA = len(t.PartitionBytes)
+		}
+	}
+	if numA == 0 || len(st.Producers) == 0 {
+		return nil
+	}
+	sc.Derived = true
+	sc.NumProducers = len(st.Producers)
+	sc.NumConsumers = numA
+	sc.Matrix = make([][]int64, sc.NumProducers)
+	sc.RowBytes = make([]int64, sc.NumProducers)
+	sc.ColBytes = make([]int64, numA)
+	for o, t := range st.Producers {
+		sc.Matrix[o] = make([]int64, numA)
+		for a, b := range t.PartitionBytes {
+			sc.Matrix[o][a] = b
+			sc.RowBytes[o] += b
+			sc.ColBytes[a] += b
+			sc.TotalBytes += b
+		}
+	}
+	return nil
+}
+
+// Summary renders the one-line skew digest EXPLAIN ANALYZE prints per
+// stage.
+func (sc *StageComm) Summary() string {
+	if sc == nil || sc.PartitionSkew == nil {
+		return ""
+	}
+	ps := sc.PartitionSkew
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "comm: %dx%d matrix, skew max/mean=%.2f cv=%.2f",
+		sc.NumProducers, sc.NumConsumers, ps.MaxMeanRatio, ps.CV)
+	if len(ps.Top) > 0 {
+		fmt.Fprintf(&sb, ", hot %s%d (%.0f%%)",
+			consumerLabel(sc.Engine), ps.Top[0].Rank, 100*ps.Top[0].Share)
+	}
+	if sc.AWaitSec > 0 {
+		fmt.Fprintf(&sb, ", a-wait %.2fs", sc.AWaitSec)
+	}
+	if sc.Derived {
+		sb.WriteString(" (derived)")
+	}
+	return sb.String()
+}
+
+func consumerLabel(engine string) string {
+	if engine == "hadoop" {
+		return "R"
+	}
+	return "A"
+}
+
+// FoldWaits observes the stage's per-rank virtual waits into the
+// registry's datampi.await timer so the distribution lands in the
+// per-statement metrics delta. Nil-safe on both arguments.
+func FoldWaits(r *metrics.Registry, sc *StageComm) {
+	if r == nil || sc == nil {
+		return
+	}
+	t := r.Timer(metrics.TimerAWait)
+	for _, w := range sc.AWaitSecPerRank {
+		if w > 0 {
+			t.ObserveSeconds(w)
+		}
+	}
+}
+
+// QueryComm groups the analyzed shuffle stages of one statement.
+type QueryComm struct {
+	Statement  string       `json:"statement"`
+	Overlapped bool         `json:"overlapped,omitempty"`
+	Stages     []*StageComm `json:"stages"`
+}
+
+// Report is the serializable communication report.
+type Report struct {
+	Schema  string       `json:"schema"`
+	Queries []*QueryComm `json:"queries"`
+}
+
+// BuildReport analyzes every recorded query. Statements whose stages
+// all lack communication (DDL, map-only plans) are kept with an empty
+// stage list so report consumers see every statement that ran.
+func BuildReport(queries []*trace.Query, p *perfmodel.Params) *Report {
+	r := &Report{Schema: Schema}
+	for _, q := range queries {
+		qc := &QueryComm{Statement: q.Statement, Overlapped: q.Overlapped, Stages: []*StageComm{}}
+		for _, st := range q.Stages {
+			if sc := AnalyzeStage(st, p); sc != nil {
+				qc.Stages = append(qc.Stages, sc)
+			}
+		}
+		r.Queries = append(r.Queries, qc)
+	}
+	return r
+}
+
+// Validate checks the report's internal consistency: schema tag, grid
+// dimensions, and that row/column totals both reconcile with each
+// stage's matrix total.
+func (r *Report) Validate() error {
+	if r == nil {
+		return fmt.Errorf("comm report: nil")
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("comm report: schema %q, want %q", r.Schema, Schema)
+	}
+	for _, q := range r.Queries {
+		for _, sc := range q.Stages {
+			if err := sc.validate(); err != nil {
+				return fmt.Errorf("comm report: query %q stage %s: %w", q.Statement, sc.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (sc *StageComm) validate() error {
+	if len(sc.Matrix) != sc.NumProducers {
+		return fmt.Errorf("matrix has %d rows, want %d", len(sc.Matrix), sc.NumProducers)
+	}
+	if len(sc.RowBytes) != sc.NumProducers || len(sc.ColBytes) != sc.NumConsumers {
+		return fmt.Errorf("row/col totals %dx%d, want %dx%d",
+			len(sc.RowBytes), len(sc.ColBytes), sc.NumProducers, sc.NumConsumers)
+	}
+	var rowSum, colSum int64
+	cols := make([]int64, sc.NumConsumers)
+	for o, row := range sc.Matrix {
+		if len(row) != sc.NumConsumers {
+			return fmt.Errorf("row %d has %d cells, want %d", o, len(row), sc.NumConsumers)
+		}
+		var rs int64
+		for a, b := range row {
+			rs += b
+			cols[a] += b
+		}
+		if rs != sc.RowBytes[o] {
+			return fmt.Errorf("row %d sums to %d, row_bytes says %d", o, rs, sc.RowBytes[o])
+		}
+		rowSum += rs
+	}
+	for a, cb := range cols {
+		if cb != sc.ColBytes[a] {
+			return fmt.Errorf("col %d sums to %d, col_bytes says %d", a, cb, sc.ColBytes[a])
+		}
+		colSum += cb
+	}
+	if rowSum != sc.TotalBytes || colSum != sc.TotalBytes {
+		return fmt.Errorf("row sum %d / col sum %d != total %d", rowSum, colSum, sc.TotalBytes)
+	}
+	return nil
+}
+
+// WriteJSON serializes the report deterministically (indented, fixed
+// field order).
+func WriteJSON(w io.Writer, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// heatShades maps cell intensity (fraction of the hottest cell) to a
+// character ramp for the text heatmap.
+const heatShades = " .:-=+*#%@"
+
+// RenderHeatmap draws the stage's byte matrix as a text heatmap: one
+// row per producer, one column per consumer, shaded by each cell's
+// share of the hottest cell, with row/column totals in the margins.
+func RenderHeatmap(sc *StageComm) string {
+	if sc == nil || len(sc.Matrix) == 0 {
+		return ""
+	}
+	var max int64
+	for _, row := range sc.Matrix {
+		for _, b := range row {
+			if b > max {
+				max = b
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "stage %s [%s] %dx%d, %s total",
+		sc.Name, sc.Engine, sc.NumProducers, sc.NumConsumers, humanBytes(sc.TotalBytes))
+	if sc.Derived {
+		sb.WriteString(" (derived from send-time partition sizes)")
+	}
+	sb.WriteString("\n")
+	cl := consumerLabel(sc.Engine)
+	for o, row := range sc.Matrix {
+		fmt.Fprintf(&sb, "  %s%-3d |", producerLabel(sc.Engine), o)
+		for _, b := range row {
+			sb.WriteByte(shade(b, max))
+		}
+		fmt.Fprintf(&sb, "| %s\n", humanBytes(sc.RowBytes[o]))
+	}
+	sb.WriteString("       ")
+	for range sc.ColBytes {
+		sb.WriteByte('-')
+	}
+	sb.WriteString("\n")
+	if ps := sc.PartitionSkew; ps != nil {
+		fmt.Fprintf(&sb, "  cols %s0..%s%d: max %s, max/mean=%.2f cv=%.2f\n",
+			cl, cl, sc.NumConsumers-1, humanBytes(ps.MaxBytes), ps.MaxMeanRatio, ps.CV)
+	}
+	return sb.String()
+}
+
+func producerLabel(engine string) string {
+	if engine == "hadoop" {
+		return "M"
+	}
+	return "O"
+}
+
+func shade(v, max int64) byte {
+	if v <= 0 || max <= 0 {
+		return heatShades[0]
+	}
+	i := 1 + int(float64(v)/float64(max)*float64(len(heatShades)-2))
+	if i >= len(heatShades) {
+		i = len(heatShades) - 1
+	}
+	return heatShades[i]
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1f GB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1f MB", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1f KB", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,382 @@
+package comm_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"hivempi/internal/datampi"
+	"hivempi/internal/metrics"
+	"hivempi/internal/obs/comm"
+	"hivempi/internal/perfmodel"
+	"hivempi/internal/testutil/leakcheck"
+	"hivempi/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestSkewOf(t *testing.T) {
+	defer leakcheck.Check(t)()
+	if comm.SkewOf(nil, 3) != nil || comm.SkewOf([]int64{0, 0}, 3) != nil {
+		t.Error("empty/all-zero distributions must yield nil skew")
+	}
+	s := comm.SkewOf([]int64{100, 100, 100, 100}, 3)
+	if s.MaxMeanRatio != 1 || s.CV != 0 {
+		t.Errorf("uniform distribution: ratio=%f cv=%f, want 1/0", s.MaxMeanRatio, s.CV)
+	}
+	if len(s.Top) != 3 {
+		t.Errorf("top-k kept %d cells, want 3", len(s.Top))
+	}
+
+	// All-to-one: ratio equals the rank count, cv = sqrt(n-1).
+	s = comm.SkewOf([]int64{0, 400, 0, 0}, 5)
+	if s.MaxBytes != 400 || s.MaxMeanRatio != 4 {
+		t.Errorf("all-to-one: max=%d ratio=%f, want 400/4", s.MaxBytes, s.MaxMeanRatio)
+	}
+	if math.Abs(s.CV-math.Sqrt(3)) > 1e-9 {
+		t.Errorf("all-to-one cv = %f, want sqrt(3)", s.CV)
+	}
+	if len(s.Top) != 1 || s.Top[0].Rank != 1 || s.Top[0].Share != 1 {
+		t.Errorf("top = %+v, want single cell rank 1 share 1", s.Top)
+	}
+
+	// Heaviest-first ordering with ties broken by rank.
+	s = comm.SkewOf([]int64{10, 30, 30, 20}, 2)
+	if s.Top[0].Rank != 1 || s.Top[1].Rank != 2 {
+		t.Errorf("top order = %+v, want ranks 1,2", s.Top)
+	}
+}
+
+// skewStage builds a 2x2 datampi stage with a recorded wire matrix and
+// task-level accounting, mirroring what the engine produces.
+func skewStage() *trace.Stage {
+	m := trace.NewCommMatrix(2, 2)
+	m.AddMessage(0, 0, 300)
+	m.AddMessage(0, 1, 100)
+	m.AddMessage(1, 0, 500)
+	m.AddRecords(0, 0, 3)
+	m.AddRecords(1, 0, 5)
+	return &trace.Stage{
+		Name:   "stage1",
+		Engine: "datampi",
+		Producers: []*trace.Task{
+			{ShuffleOutBytes: 400, BufPeakBytes: 512, ForcedFlushes: 2, WaitRounds: 1},
+			{ShuffleOutBytes: 500, BufPeakBytes: 256, WaitRounds: 1},
+		},
+		Consumers: []*trace.Task{
+			{ShuffleInBytes: 800, RecvRounds: 2},
+			{ShuffleInBytes: 100, RecvRounds: 1},
+		},
+		Comm: m,
+	}
+}
+
+func TestAnalyzeStage(t *testing.T) {
+	defer leakcheck.Check(t)()
+	if comm.AnalyzeStage(nil, nil) != nil {
+		t.Error("nil stage must analyze to nil")
+	}
+	if comm.AnalyzeStage(&trace.Stage{Name: "ddl"}, nil) != nil {
+		t.Error("stage without communication must analyze to nil")
+	}
+
+	p := perfmodel.DefaultParams()
+	sc := comm.AnalyzeStage(skewStage(), &p)
+	if sc == nil {
+		t.Fatal("AnalyzeStage returned nil for a shuffle stage")
+	}
+	if sc.Derived {
+		t.Error("recorded matrix misreported as derived")
+	}
+	if sc.TotalBytes != 900 || sc.TotalRecords != 8 || sc.TotalMessages != 3 {
+		t.Errorf("totals bytes=%d records=%d msgs=%d, want 900/8/3",
+			sc.TotalBytes, sc.TotalRecords, sc.TotalMessages)
+	}
+	if sc.RowBytes[0] != 400 || sc.RowBytes[1] != 500 {
+		t.Errorf("row bytes = %v, want [400 500]", sc.RowBytes)
+	}
+	if sc.ColBytes[0] != 800 || sc.ColBytes[1] != 100 {
+		t.Errorf("col bytes = %v, want [800 100]", sc.ColBytes)
+	}
+	if sc.BufPeakBytes != 512 || sc.ForcedFlushes != 2 || sc.RecvRounds != 3 || sc.WaitRounds != 2 {
+		t.Errorf("task accounting = peak %d forced %d recv %d wait %d",
+			sc.BufPeakBytes, sc.ForcedFlushes, sc.RecvRounds, sc.WaitRounds)
+	}
+	if sc.PartitionSkew == nil || sc.PartitionSkew.Top[0].Rank != 0 {
+		t.Errorf("partition skew = %+v, want hot consumer 0", sc.PartitionSkew)
+	}
+
+	// Blocking datampi: per-rank wait = col bytes at the NIC + one
+	// blocking-sync charge per absorbed message.
+	want0 := 800*p.ScaleUp/p.Cluster.NetBW + 2*p.DataMPI.BlockingSync
+	want1 := 100*p.ScaleUp/p.Cluster.NetBW + 1*p.DataMPI.BlockingSync
+	if math.Abs(sc.AWaitSecPerRank[0]-want0) > 1e-12 || math.Abs(sc.AWaitSecPerRank[1]-want1) > 1e-12 {
+		t.Errorf("a-wait per rank = %v, want [%g %g]", sc.AWaitSecPerRank, want0, want1)
+	}
+	if math.Abs(sc.AWaitSec-(want0+want1)) > 1e-12 {
+		t.Errorf("a-wait total = %g, want %g", sc.AWaitSec, want0+want1)
+	}
+
+	if s := sc.Summary(); !strings.Contains(s, "2x2 matrix") ||
+		!strings.Contains(s, "hot A0") || !strings.Contains(s, "a-wait") {
+		t.Errorf("summary line incomplete: %q", s)
+	}
+}
+
+func TestAnalyzeStageNonBlockingSkipsSyncCharge(t *testing.T) {
+	defer leakcheck.Check(t)()
+	st := skewStage()
+	st.NonBlocking = true
+	p := perfmodel.DefaultParams()
+	sc := comm.AnalyzeStage(st, &p)
+	want := 800 * p.ScaleUp / p.Cluster.NetBW
+	if math.Abs(sc.AWaitSecPerRank[0]-want) > 1e-12 {
+		t.Errorf("non-blocking a-wait = %g, want %g (no sync charge)", sc.AWaitSecPerRank[0], want)
+	}
+}
+
+func TestAnalyzeStageDerivedFallback(t *testing.T) {
+	defer leakcheck.Check(t)()
+	st := &trace.Stage{
+		Name:    "legacy",
+		Engine:  "hadoop",
+		NumReds: 2,
+		Producers: []*trace.Task{
+			{PartitionBytes: []int64{10, 20}},
+			{PartitionBytes: []int64{30, 40}},
+		},
+	}
+	sc := comm.AnalyzeStage(st, nil)
+	if sc == nil || !sc.Derived {
+		t.Fatalf("stage without a recorded matrix must derive from PartitionBytes: %+v", sc)
+	}
+	if sc.TotalBytes != 100 || sc.ColBytes[0] != 40 || sc.ColBytes[1] != 60 {
+		t.Errorf("derived totals wrong: total=%d cols=%v", sc.TotalBytes, sc.ColBytes)
+	}
+	if !strings.Contains(sc.Summary(), "(derived)") {
+		t.Errorf("derived summary unmarked: %q", sc.Summary())
+	}
+	if !strings.Contains(comm.RenderHeatmap(sc), "derived from send-time") {
+		t.Error("derived heatmap unmarked")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	defer leakcheck.Check(t)()
+	mk := func() *comm.Report {
+		return &comm.Report{
+			Schema: comm.Schema,
+			Queries: []*comm.QueryComm{{
+				Statement: "SELECT 1",
+				Stages:    []*comm.StageComm{comm.AnalyzeStage(skewStage(), nil)},
+			}},
+		}
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("clean report failed validation: %v", err)
+	}
+	var nilr *comm.Report
+	if nilr.Validate() == nil {
+		t.Error("nil report validated")
+	}
+
+	r := mk()
+	r.Schema = "bogus/v0"
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema not rejected: %v", err)
+	}
+
+	r = mk()
+	r.Queries[0].Stages[0].RowBytes[0] += 7
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "row") {
+		t.Errorf("row corruption not caught: %v", err)
+	}
+
+	r = mk()
+	r.Queries[0].Stages[0].TotalBytes++
+	if err := r.Validate(); err == nil {
+		t.Error("total corruption not caught")
+	}
+
+	r = mk()
+	r.Queries[0].Stages[0].Matrix[0] = r.Queries[0].Stages[0].Matrix[0][:1]
+	if err := r.Validate(); err == nil {
+		t.Error("ragged matrix not caught")
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	defer leakcheck.Check(t)()
+	if comm.RenderHeatmap(nil) != "" {
+		t.Error("nil stage rendered output")
+	}
+	sc := comm.AnalyzeStage(skewStage(), nil)
+	hm := comm.RenderHeatmap(sc)
+	for _, frag := range []string{"stage stage1 [datampi] 2x2", "O0", "O1", "900 B total", "max/mean="} {
+		if !strings.Contains(hm, frag) {
+			t.Errorf("heatmap missing %q:\n%s", frag, hm)
+		}
+	}
+	// The hottest cell (O1→A0, 500B) renders the darkest shade; the
+	// empty cell (O1→A1) renders blank.
+	lines := strings.Split(hm, "\n")
+	var rowO1 string
+	for _, l := range lines {
+		if strings.Contains(l, "O1") {
+			rowO1 = l
+		}
+	}
+	cells := rowO1[strings.Index(rowO1, "|")+1 : strings.LastIndex(rowO1, "|")]
+	if len(cells) != 2 || cells[0] != '@' || cells[1] != ' ' {
+		t.Errorf("O1 cells = %q, want \"@ \"", cells)
+	}
+
+	// Hadoop stages label rows M and columns R.
+	sc.Engine = "hadoop"
+	hm = comm.RenderHeatmap(sc)
+	if !strings.Contains(hm, "M0") || !strings.Contains(hm, "R0..R1") {
+		t.Errorf("hadoop heatmap labels wrong:\n%s", hm)
+	}
+}
+
+func TestFoldWaits(t *testing.T) {
+	defer leakcheck.Check(t)()
+	r := metrics.NewRegistry()
+	comm.FoldWaits(r, nil) // nil-safe
+	comm.FoldWaits(nil, &comm.StageComm{})
+	comm.FoldWaits(r, comm.AnalyzeStage(skewStage(), nil))
+	snap := r.Snapshot()
+	if snap[metrics.TimerAWait+".count"] != 2 {
+		t.Errorf("await count = %d, want 2 (snapshot %v)", snap[metrics.TimerAWait+".count"], snap)
+	}
+	if snap[metrics.TimerAWait+".max"] <= 0 {
+		t.Error("await max not positive")
+	}
+}
+
+// TestSeededSkewDetection runs a real datampi job whose partitioner
+// funnels every key to A-rank 0 and asserts the analyzer flags the
+// imbalance: max/mean equals the consumer count and the hot partition
+// carries 100% of the bytes.
+func TestSeededSkewDetection(t *testing.T) {
+	defer leakcheck.Check(t)()
+	const numO, numA = 3, 4
+	job, err := datampi.NewJob(datampi.Config{
+		NumO: numO, NumA: numA,
+		Partitioner: func(key []byte, n int) int { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = job.Run(
+		func(o *datampi.OContext) error {
+			for i := 0; i < 200; i++ {
+				if err := o.Send([]byte{byte(i), byte(o.Rank())}, []byte("v")); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(a *datampi.AContext) error {
+			for {
+				if _, _, err := a.NextGroup(); err == io.EOF {
+					return nil
+				} else if err != nil {
+					return err
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := &trace.Stage{
+		Name:      "seeded-skew",
+		Engine:    "datampi",
+		NumReds:   numA,
+		Producers: job.OMetrics(),
+		Consumers: job.AMetrics(),
+		Comm:      job.Comm(),
+	}
+	sc := comm.AnalyzeStage(st, nil)
+	if sc == nil {
+		t.Fatal("skewed job analyzed to nil")
+	}
+	ps := sc.PartitionSkew
+	if ps == nil {
+		t.Fatal("no partition skew computed")
+	}
+	if math.Abs(ps.MaxMeanRatio-numA) > 1e-9 {
+		t.Errorf("all-to-one max/mean = %f, want %d", ps.MaxMeanRatio, numA)
+	}
+	if len(ps.Top) != 1 || ps.Top[0].Rank != 0 || ps.Top[0].Share != 1 {
+		t.Errorf("hot partition = %+v, want rank 0 at 100%%", ps.Top)
+	}
+	for a := 1; a < numA; a++ {
+		if sc.ColBytes[a] != 0 {
+			t.Errorf("consumer %d received %d bytes, want 0", a, sc.ColBytes[a])
+		}
+	}
+	// The wire matrix still reconciles with the task counters even
+	// under total skew.
+	for o, task := range st.Producers {
+		if sc.RowBytes[o] != task.ShuffleOutBytes {
+			t.Errorf("row %d = %d, ShuffleOutBytes = %d", o, sc.RowBytes[o], task.ShuffleOutBytes)
+		}
+	}
+	if sc.ColBytes[0] != st.Consumers[0].ShuffleInBytes {
+		t.Errorf("col 0 = %d, ShuffleInBytes = %d", sc.ColBytes[0], st.Consumers[0].ShuffleInBytes)
+	}
+}
+
+// TestReportGoldenSchema pins the serialized comm_report.json layout:
+// a deterministic report must round-trip byte-identical with the
+// committed golden file, so schema drift is an explicit choice
+// (regenerate with -update).
+func TestReportGoldenSchema(t *testing.T) {
+	defer leakcheck.Check(t)()
+	p := perfmodel.DefaultParams()
+	rep := comm.BuildReport([]*trace.Query{
+		{Statement: "SELECT k, count(*) FROM t GROUP BY k", Overlapped: true,
+			Stages: []*trace.Stage{skewStage(), {Name: "ddl"}}},
+	}, &p)
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := comm.WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = "testdata/comm_report_golden.json"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden schema (run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+
+	// And the golden itself must carry the schema tag and parse back.
+	var parsed comm.Report
+	if err := json.Unmarshal(want, &parsed); err != nil {
+		t.Fatalf("golden does not parse: %v", err)
+	}
+	if parsed.Schema != comm.Schema {
+		t.Errorf("golden schema = %q, want %q", parsed.Schema, comm.Schema)
+	}
+	if err := parsed.Validate(); err != nil {
+		t.Errorf("golden fails validation: %v", err)
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"testing"
 
 	"hivempi/internal/perfmodel"
+	"hivempi/internal/testutil/leakcheck"
 	"hivempi/internal/trace"
 )
 
 func TestRegistryNilSafe(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var r *Registry
 	r.Counter("x").Add(5)
 	r.Counter("x").Inc()
@@ -28,6 +30,7 @@ func TestRegistryNilSafe(t *testing.T) {
 }
 
 func TestRegistryCountersAndGauges(t *testing.T) {
+	defer leakcheck.Check(t)()
 	r := NewRegistry()
 	r.Counter(CtrShuffleOutBytes).Add(100)
 	r.Add(CtrShuffleOutBytes, 50)
@@ -47,6 +50,7 @@ func TestRegistryCountersAndGauges(t *testing.T) {
 }
 
 func TestRegistryConcurrent(t *testing.T) {
+	defer leakcheck.Check(t)()
 	r := NewRegistry()
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
@@ -69,6 +73,7 @@ func TestRegistryConcurrent(t *testing.T) {
 }
 
 func TestFoldStage(t *testing.T) {
+	defer leakcheck.Check(t)()
 	r := NewRegistry()
 	st := &trace.Stage{
 		Name: "s0", Engine: "datampi", Attempts: 3, TaskRetries: 2,
@@ -134,6 +139,7 @@ func dagQuery() *trace.Query {
 }
 
 func TestBuildQuerySpansHierarchy(t *testing.T) {
+	defer leakcheck.Check(t)()
 	p := perfmodel.DefaultParams()
 	q := dagQuery()
 	root, sim := BuildQuerySpans(q, &p)
@@ -189,6 +195,7 @@ func TestBuildQuerySpansHierarchy(t *testing.T) {
 }
 
 func TestBuildQuerySpansAnnotations(t *testing.T) {
+	defer leakcheck.Check(t)()
 	p := perfmodel.DefaultParams()
 	q := dagQuery()
 	q.Stages[0].Attempts = 2
@@ -214,6 +221,7 @@ func TestBuildQuerySpansAnnotations(t *testing.T) {
 // assertion: the exported per-stage span starts equal the perfmodel's
 // critical-path virtual times (compile + StartAt), in microseconds.
 func TestChromeTraceStageStartsMatchCriticalPath(t *testing.T) {
+	defer leakcheck.Check(t)()
 	p := perfmodel.DefaultParams()
 	q := dagQuery()
 	sim := p.SimulateQuery(q)
@@ -293,6 +301,7 @@ func TestChromeTraceStageStartsMatchCriticalPath(t *testing.T) {
 }
 
 func TestChromeTraceLaneOverflow(t *testing.T) {
+	defer leakcheck.Check(t)()
 	lt := newLaneTable(4)
 	a := lt.place(0, 0, 10)
 	b := lt.place(0, 5, 15) // overlaps -> overflow lane
@@ -309,6 +318,7 @@ func TestChromeTraceLaneOverflow(t *testing.T) {
 }
 
 func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	defer leakcheck.Check(t)()
 	if _, err := ValidateChromeTrace([]byte("not json")); err == nil {
 		t.Error("garbage accepted")
 	}

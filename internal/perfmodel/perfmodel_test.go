@@ -1,4 +1,4 @@
-package perfmodel
+package perfmodel_test
 
 import (
 	"testing"
@@ -9,6 +9,7 @@ import (
 	"hivempi/internal/hibench"
 	"hivempi/internal/hive"
 	"hivempi/internal/mrengine"
+	"hivempi/internal/perfmodel"
 	"hivempi/internal/trace"
 )
 
@@ -40,12 +41,12 @@ func runAggregate(t *testing.T, engine exec.Engine, mut func(*exec.EngineConf)) 
 	return d.Collector.Queries()
 }
 
-func simulateTotal(p Params, qs []*trace.Query) float64 {
+func simulateTotal(p perfmodel.Params, qs []*trace.Query) float64 {
 	return p.SimulateQueries(qs)
 }
 
 func TestPaperShapeAggregateWorkload(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	dm := runAggregate(t, core.New(), nil)
 	hd := runAggregate(t, mrengine.New(), nil)
 
@@ -78,7 +79,7 @@ func TestPaperShapeAggregateWorkload(t *testing.T) {
 }
 
 func TestBlockingVsNonBlockingShape(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	nb := runAggregate(t, core.New(), func(c *exec.EngineConf) { c.NonBlocking = true })
 	bl := runAggregate(t, core.New(), func(c *exec.EngineConf) { c.NonBlocking = false })
 	nbSim := p.SimulateStage(nb[0].Stages[0])
@@ -92,7 +93,7 @@ func TestBlockingVsNonBlockingShape(t *testing.T) {
 }
 
 func TestMemUsedPercentSweetSpot(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	totals := map[float64]float64{}
 	for _, m := range []float64{0.1, 0.4, 0.9} {
 		qs := runAggregate(t, core.New(), func(c *exec.EngineConf) {
@@ -114,7 +115,7 @@ func TestMemUsedPercentSweetSpot(t *testing.T) {
 }
 
 func TestSendQueueSweep(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	var prev float64
 	for i, q := range []int{2, 6, 10} {
 		qs := runAggregate(t, core.New(), func(c *exec.EngineConf) { c.SendQueueSize = q })
@@ -128,13 +129,13 @@ func TestSendQueueSweep(t *testing.T) {
 }
 
 func TestUtilizationSeries(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	qs := runAggregate(t, core.New(), nil)
-	var sims []*StageTiming
+	var sims []*perfmodel.StageTiming
 	for _, st := range qs[0].Stages {
 		sims = append(sims, p.SimulateStage(st))
 	}
-	series := UtilizationSeries(sims, p.Cluster)
+	series := perfmodel.UtilizationSeries(sims, p.Cluster)
 	if len(series) < 5 {
 		t.Fatalf("series too short: %d samples", len(series))
 	}
@@ -159,11 +160,11 @@ func TestUtilizationSeries(t *testing.T) {
 }
 
 func TestCollectTimeline(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	qs := runAggregate(t, core.New(), nil)
 	st := qs[0].Stages[0]
 	sim := p.SimulateStage(st)
-	events := CollectTimeline(st, sim)
+	events := perfmodel.CollectTimeline(st, sim)
 	if len(events) == 0 {
 		t.Fatal("no collect events")
 	}
@@ -173,30 +174,14 @@ func TestCollectTimeline(t *testing.T) {
 				ev.Time, sim.MapStart, sim.MapEnd)
 		}
 	}
-	ends := TaskEndTimes(sim)
+	ends := perfmodel.TaskEndTimes(sim)
 	if len(ends) != len(sim.Producers) {
 		t.Error("end times length mismatch")
 	}
 }
 
-func TestSchedulerSlotBounds(t *testing.T) {
-	s := newSlots(2)
-	_, e1, _ := s.place(0, 10)
-	_, e2, _ := s.place(0, 10)
-	st3, _, _ := s.place(0, 10)
-	if e1 != 10 || e2 != 10 {
-		t.Error("first two tasks should run immediately")
-	}
-	if st3 != 10 {
-		t.Errorf("third task should wait for a slot, started at %f", st3)
-	}
-	if s.maxEnd() != 20 {
-		t.Errorf("maxEnd = %f", s.maxEnd())
-	}
-}
-
 func TestDeterminism(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	qs := runAggregate(t, core.New(), nil)
 	a := simulateTotal(p, qs)
 	b := simulateTotal(p, qs)
@@ -206,35 +191,35 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestSortSpans(t *testing.T) {
-	spans := []TaskSpan{
+	spans := []perfmodel.TaskSpan{
 		{ID: 2, Start: 5},
 		{ID: 0, Start: 1},
 		{ID: 1, Start: 5},
 	}
-	SortSpans(spans)
+	perfmodel.SortSpans(spans)
 	if spans[0].ID != 0 || spans[1].ID != 1 || spans[2].ID != 2 {
 		t.Errorf("spans out of order: %+v", spans)
 	}
 }
 
 func TestSimulateEmptyStage(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	sim := p.SimulateStage(&trace.Stage{Name: "empty", Engine: "hadoop"})
 	if sim.Total < sim.Startup {
 		t.Errorf("empty stage total %.1f below startup %.1f", sim.Total, sim.Startup)
 	}
-	series := UtilizationSeries([]*StageTiming{sim}, p.Cluster)
+	series := perfmodel.UtilizationSeries([]*perfmodel.StageTiming{sim}, p.Cluster)
 	if len(series) == 0 {
 		t.Error("empty stage should still sample at least one second")
 	}
-	events := CollectTimeline(&trace.Stage{}, sim)
+	events := perfmodel.CollectTimeline(&trace.Stage{}, sim)
 	if len(events) != 0 {
 		t.Errorf("no tasks should mean no events, got %d", len(events))
 	}
 }
 
 func TestRemoteReadCostsMore(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	mk := func(local bool) *trace.Stage {
 		return &trace.Stage{
 			Name: "s", Engine: "hadoop",
@@ -257,7 +242,7 @@ func TestRemoteReadCostsMore(t *testing.T) {
 // each one — task re-execution, straggler delay, speculation, stage
 // relaunch with backoff — extends the simulated total when set.
 func TestFaultChargesExtendSimulatedTime(t *testing.T) {
-	p := DefaultParams()
+	p := perfmodel.DefaultParams()
 	mk := func(engine string) *trace.Stage {
 		return &trace.Stage{
 			Name: "s", Engine: engine,
@@ -311,7 +296,10 @@ func TestFaultChargesExtendSimulatedTime(t *testing.T) {
 		relaunched.RetryBackoffSec = 2.0
 		relaunched.ChaosDelaySec = 0.5
 		sim := p.SimulateStage(relaunched)
-		e := p.engine(engine)
+		e := p.Hadoop
+		if engine == "datampi" {
+			e = p.DataMPI
+		}
 		want := base + e.JobStartup + 2.0 + 0.5
 		if diff := sim.Total - want; diff < -1e-9 || diff > 1e-9 {
 			t.Errorf("%s: relaunched stage total %f, want %f", engine, sim.Total, want)

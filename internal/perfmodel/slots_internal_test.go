@@ -1,0 +1,19 @@
+package perfmodel
+
+import "testing"
+
+func TestSchedulerSlotBounds(t *testing.T) {
+	s := newSlots(2)
+	_, e1, _ := s.place(0, 10)
+	_, e2, _ := s.place(0, 10)
+	st3, _, _ := s.place(0, 10)
+	if e1 != 10 || e2 != 10 {
+		t.Error("first two tasks should run immediately")
+	}
+	if st3 != 10 {
+		t.Errorf("third task should wait for a slot, started at %f", st3)
+	}
+	if s.maxEnd() != 20 {
+		t.Errorf("maxEnd = %f", s.maxEnd())
+	}
+}

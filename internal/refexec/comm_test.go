@@ -1,0 +1,81 @@
+package refexec
+
+import (
+	"testing"
+
+	"hivempi/internal/obs/comm"
+	"hivempi/internal/tpch"
+	"hivempi/internal/trace"
+)
+
+// checkCommReconciles asserts the wire-level communication matrix of
+// every shuffle stage reconciles exactly with the task counters: row
+// sums equal each producer's ShuffleOutBytes, column sums equal each
+// consumer's ShuffleInBytes, and the grand total equals the stage's
+// shuffle byte total. This is the invariant the comm report's skew
+// statistics stand on.
+func checkCommReconciles(t *testing.T, q int, stages []*trace.Stage) {
+	t.Helper()
+	shuffles := 0
+	for _, st := range stages {
+		m := st.Comm
+		if m == nil || m.TotalBytes() == 0 {
+			continue
+		}
+		shuffles++
+		sc := comm.AnalyzeStage(st, nil)
+		if sc == nil || sc.Derived {
+			t.Fatalf("Q%d stage %s: recorded matrix not analyzed as wire-level", q, st.Name)
+		}
+		if len(st.Producers) != m.NumO || len(st.Consumers) != m.NumA {
+			t.Fatalf("Q%d stage %s: matrix %dx%d vs %d producers / %d consumers",
+				q, st.Name, m.NumO, m.NumA, len(st.Producers), len(st.Consumers))
+		}
+		rows, cols := m.RowBytes(), m.ColBytes()
+		for o, task := range st.Producers {
+			if rows[o] != task.ShuffleOutBytes {
+				t.Errorf("Q%d stage %s: row %d sums to %d, producer ShuffleOutBytes = %d",
+					q, st.Name, o, rows[o], task.ShuffleOutBytes)
+			}
+		}
+		for a, task := range st.Consumers {
+			if cols[a] != task.ShuffleInBytes {
+				t.Errorf("Q%d stage %s: col %d sums to %d, consumer ShuffleInBytes = %d",
+					q, st.Name, a, cols[a], task.ShuffleInBytes)
+			}
+		}
+		if m.TotalBytes() != st.TotalShuffleBytes() {
+			t.Errorf("Q%d stage %s: matrix total %d != stage shuffle bytes %d",
+				q, st.Name, m.TotalBytes(), st.TotalShuffleBytes())
+		}
+	}
+	if shuffles == 0 {
+		t.Fatalf("Q%d recorded no communication matrix on any stage", q)
+	}
+}
+
+// TestCommMatrixReconcilesWithShuffleCounters runs one AGGREGATE-shaped
+// (Q1) and one JOIN-shaped (Q3) TPC-H query and checks the recorded
+// matrices against the shuffle counters — and that the rows still match
+// the reference evaluator, so the accounting isn't perturbing results.
+func TestCommMatrixReconcilesWithShuffleCounters(t *testing.T) {
+	db := Load(testSF, testSeed)
+	d := newDriver(t)
+	for _, q := range []int{1, 3} {
+		want, err := Query(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script, err := tpch.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := d.Run(script)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		res := results[len(results)-1]
+		rowsMatch(t, q, res.Rows, want)
+		checkCommReconciles(t, q, res.Stages)
+	}
+}

@@ -1,0 +1,170 @@
+package trace
+
+import "sync/atomic"
+
+// CommMatrix is the per-stage communication matrix: bytes, records and
+// messages moved from each producer (O-rank / map task) to each
+// consumer (A-rank / reduce task). The engines record into it live —
+// datampi from the MPI send path, hadoop from the reduce copy phase —
+// so cells use atomic adds; producers touch disjoint rows but the
+// recording goroutines are not otherwise synchronized.
+type CommMatrix struct {
+	NumO, NumA int
+	bytes      []int64 // flattened rows, atomic access
+	records    []int64
+	msgs       []int64
+}
+
+// NewCommMatrix returns an empty numO x numA matrix (nil when either
+// dimension is not positive).
+func NewCommMatrix(numO, numA int) *CommMatrix {
+	if numO <= 0 || numA <= 0 {
+		return nil
+	}
+	n := numO * numA
+	return &CommMatrix{
+		NumO:    numO,
+		NumA:    numA,
+		bytes:   make([]int64, n),
+		records: make([]int64, n),
+		msgs:    make([]int64, n),
+	}
+}
+
+func (m *CommMatrix) idx(o, a int) (int, bool) {
+	if m == nil || o < 0 || o >= m.NumO || a < 0 || a >= m.NumA {
+		return 0, false
+	}
+	return o*m.NumA + a, true
+}
+
+// AddMessage records one delivered message of the given payload size.
+func (m *CommMatrix) AddMessage(o, a int, bytes int64) {
+	i, ok := m.idx(o, a)
+	if !ok {
+		return
+	}
+	atomic.AddInt64(&m.bytes[i], bytes)
+	atomic.AddInt64(&m.msgs[i], 1)
+}
+
+// AddRecords attributes record (key-value pair) counts to a cell;
+// recorded separately from AddMessage because the record count is
+// known at the flush site while bytes are observed on the wire.
+func (m *CommMatrix) AddRecords(o, a int, records int64) {
+	i, ok := m.idx(o, a)
+	if !ok {
+		return
+	}
+	atomic.AddInt64(&m.records[i], records)
+}
+
+// Bytes returns the bytes moved from producer o to consumer a.
+func (m *CommMatrix) Bytes(o, a int) int64 {
+	i, ok := m.idx(o, a)
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(&m.bytes[i])
+}
+
+// Records returns the records moved from producer o to consumer a.
+func (m *CommMatrix) Records(o, a int) int64 {
+	i, ok := m.idx(o, a)
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(&m.records[i])
+}
+
+// Messages returns the message count from producer o to consumer a.
+func (m *CommMatrix) Messages(o, a int) int64 {
+	i, ok := m.idx(o, a)
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(&m.msgs[i])
+}
+
+// RowBytes returns per-producer byte totals (the O-side view).
+func (m *CommMatrix) RowBytes() []int64 {
+	if m == nil {
+		return nil
+	}
+	out := make([]int64, m.NumO)
+	for o := 0; o < m.NumO; o++ {
+		for a := 0; a < m.NumA; a++ {
+			out[o] += m.Bytes(o, a)
+		}
+	}
+	return out
+}
+
+// ColBytes returns per-consumer byte totals (the A-side view; the
+// partition-skew dimension).
+func (m *CommMatrix) ColBytes() []int64 {
+	if m == nil {
+		return nil
+	}
+	out := make([]int64, m.NumA)
+	for o := 0; o < m.NumO; o++ {
+		for a := 0; a < m.NumA; a++ {
+			out[a] += m.Bytes(o, a)
+		}
+	}
+	return out
+}
+
+// TotalBytes sums the whole matrix.
+func (m *CommMatrix) TotalBytes() int64 {
+	var t int64
+	for _, row := range m.RowBytes() {
+		t += row
+	}
+	return t
+}
+
+// TotalMessages sums the message counts.
+func (m *CommMatrix) TotalMessages() int64 {
+	if m == nil {
+		return 0
+	}
+	var t int64
+	for o := 0; o < m.NumO; o++ {
+		for a := 0; a < m.NumA; a++ {
+			t += m.Messages(o, a)
+		}
+	}
+	return t
+}
+
+// BytesGrid materializes the byte cells as row-major [][]int64 (for
+// reports and rendering).
+func (m *CommMatrix) BytesGrid() [][]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][]int64, m.NumO)
+	for o := 0; o < m.NumO; o++ {
+		out[o] = make([]int64, m.NumA)
+		for a := 0; a < m.NumA; a++ {
+			out[o][a] = m.Bytes(o, a)
+		}
+	}
+	return out
+}
+
+// RecordsGrid materializes the record cells as row-major [][]int64.
+func (m *CommMatrix) RecordsGrid() [][]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][]int64, m.NumO)
+	for o := 0; o < m.NumO; o++ {
+		out[o] = make([]int64, m.NumA)
+		for a := 0; a < m.NumA; a++ {
+			out[o][a] = m.Records(o, a)
+		}
+	}
+	return out
+}

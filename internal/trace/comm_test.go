@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCommMatrixNilAndBounds(t *testing.T) {
+	if NewCommMatrix(0, 4) != nil || NewCommMatrix(4, -1) != nil {
+		t.Error("non-positive dimensions must yield a nil matrix")
+	}
+	var m *CommMatrix
+	// Every method must be a no-op on nil.
+	m.AddMessage(0, 0, 10)
+	m.AddRecords(0, 0, 10)
+	if m.Bytes(0, 0) != 0 || m.Records(0, 0) != 0 || m.Messages(0, 0) != 0 {
+		t.Error("nil matrix reported non-zero cells")
+	}
+	if m.RowBytes() != nil || m.ColBytes() != nil || m.BytesGrid() != nil || m.RecordsGrid() != nil {
+		t.Error("nil matrix accessors must return nil slices")
+	}
+	if m.TotalBytes() != 0 || m.TotalMessages() != 0 {
+		t.Error("nil matrix totals non-zero")
+	}
+
+	m = NewCommMatrix(2, 3)
+	// Out-of-range cells are dropped, not panicked on.
+	m.AddMessage(-1, 0, 5)
+	m.AddMessage(2, 0, 5)
+	m.AddMessage(0, 3, 5)
+	m.AddRecords(5, 5, 5)
+	if m.TotalBytes() != 0 || m.TotalMessages() != 0 {
+		t.Errorf("out-of-range adds leaked into the matrix: bytes=%d msgs=%d",
+			m.TotalBytes(), m.TotalMessages())
+	}
+}
+
+func TestCommMatrixAccounting(t *testing.T) {
+	m := NewCommMatrix(2, 3)
+	m.AddMessage(0, 0, 100)
+	m.AddMessage(0, 0, 50) // second message, same cell
+	m.AddMessage(0, 2, 10)
+	m.AddMessage(1, 1, 30)
+	m.AddRecords(0, 0, 7)
+	m.AddRecords(1, 1, 2)
+
+	if got := m.Bytes(0, 0); got != 150 {
+		t.Errorf("Bytes(0,0) = %d, want 150", got)
+	}
+	if got := m.Messages(0, 0); got != 2 {
+		t.Errorf("Messages(0,0) = %d, want 2", got)
+	}
+	if got := m.Records(0, 0); got != 7 {
+		t.Errorf("Records(0,0) = %d, want 7", got)
+	}
+	rows := m.RowBytes()
+	if rows[0] != 160 || rows[1] != 30 {
+		t.Errorf("RowBytes = %v, want [160 30]", rows)
+	}
+	cols := m.ColBytes()
+	if cols[0] != 150 || cols[1] != 30 || cols[2] != 10 {
+		t.Errorf("ColBytes = %v, want [150 30 10]", cols)
+	}
+	if m.TotalBytes() != 190 {
+		t.Errorf("TotalBytes = %d, want 190", m.TotalBytes())
+	}
+	if m.TotalMessages() != 4 {
+		t.Errorf("TotalMessages = %d, want 4", m.TotalMessages())
+	}
+	grid := m.BytesGrid()
+	if grid[0][0] != 150 || grid[0][2] != 10 || grid[1][1] != 30 {
+		t.Errorf("BytesGrid = %v", grid)
+	}
+	rec := m.RecordsGrid()
+	if rec[0][0] != 7 || rec[1][1] != 2 {
+		t.Errorf("RecordsGrid = %v", rec)
+	}
+}
+
+// TestCommMatrixConcurrent mirrors the engines' recording pattern: each
+// producer goroutine writes its own row while readers snapshot totals.
+// Run under -race this proves the atomic-cell claim.
+func TestCommMatrixConcurrent(t *testing.T) {
+	const numO, numA, perCell = 4, 4, 500
+	m := NewCommMatrix(numO, numA)
+	var wg sync.WaitGroup
+	for o := 0; o < numO; o++ {
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			for i := 0; i < perCell; i++ {
+				for a := 0; a < numA; a++ {
+					m.AddMessage(o, a, 8)
+					m.AddRecords(o, a, 1)
+				}
+				if i%100 == 0 {
+					_ = m.TotalBytes()
+					_ = m.ColBytes()
+				}
+			}
+		}(o)
+	}
+	wg.Wait()
+	want := int64(numO * numA * perCell * 8)
+	if m.TotalBytes() != want {
+		t.Errorf("TotalBytes = %d, want %d", m.TotalBytes(), want)
+	}
+	if m.TotalMessages() != numO*numA*perCell {
+		t.Errorf("TotalMessages = %d, want %d", m.TotalMessages(), numO*numA*perCell)
+	}
+	for o := 0; o < numO; o++ {
+		for a := 0; a < numA; a++ {
+			if m.Records(o, a) != perCell {
+				t.Fatalf("Records(%d,%d) = %d, want %d", o, a, m.Records(o, a), perCell)
+			}
+		}
+	}
+}

@@ -178,6 +178,14 @@ type Task struct {
 	StragglerDelaySec float64 // virtual slowdown charged to this task
 	Speculative       bool    // a speculative duplicate was launched
 	Recovered         bool    // output replayed from a checkpoint
+
+	// Communication-plane accounting (datampi). Producers: peak Send
+	// Partition List occupancy and how many residual flushes finalize
+	// forced out (vs. threshold-triggered). Consumers: data messages
+	// absorbed by the receive loop.
+	BufPeakBytes  int64
+	ForcedFlushes int64
+	RecvRounds    int64
 }
 
 // SendEvent records one flush from the buffer manager to the wire:
@@ -217,6 +225,12 @@ type Stage struct {
 	// query's stage DAG). The perfmodel uses it for critical-path
 	// virtual-time accounting when the query ran DAG-overlapped.
 	DependsOn []string
+
+	// Comm is the per-(producer, consumer) communication matrix the
+	// engine recorded for this stage's shuffle (nil for map-only stages
+	// or engines that did not record one; the obs/comm analyzer then
+	// falls back to the producers' PartitionBytes).
+	Comm *CommMatrix
 }
 
 // TotalShuffleBytes sums producer shuffle output.
