@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench benchdiff obscheck trace comm
+.PHONY: build test race vet fmt lint check bench benchdiff obscheck trace comm soak
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,16 @@ obscheck:
 # suite under the race detector (covers the mpi/datampi concurrency
 # tests and the chaos soak).
 check: vet fmt lint build obscheck race
+
+# soak runs the failure-domain soak under the race detector: all 22
+# TPC-H queries against the reference executor while seeded node-loss
+# schedules (crash mid-stage, crash during re-replication, slow-node
+# flap) tear at the cluster, plus the task/IO chaos soak. The verbose
+# log lands in soak.log (uploaded as a CI artifact).
+soak:
+	$(GO) test -race -count=1 -v \
+		-run 'TestNodeLossSoak|TestChaosSoak' ./internal/refexec/ \
+		| tee soak.log
 
 # bench runs the shuffle hot-path microbenchmarks (kvio framing,
 # MPI_D_Send, dfs memory tier) and writes the parsed numbers to

@@ -11,10 +11,12 @@ import (
 
 // lockScopePackages are the packages whose mutexes participate in the
 // cross-layer acquisition graph: the dfs namespace lock, the imstore
-// budget lock and the metrics registry lock. PR 3 fixed races exactly
-// here (dfs rename/delete vs imstore residency), and its fix depends on
-// the documented order fs.mu -> tierMu -> store.mu staying acyclic.
-var lockScopePackages = []string{"dfs", "imstore", "metrics"}
+// budget lock, the metrics registry lock and the cluster membership
+// lock. PR 3 fixed races exactly here (dfs rename/delete vs imstore
+// residency), and its fix depends on the documented order fs.mu ->
+// tierMu -> store.mu staying acyclic; the membership fires its watcher
+// callbacks (which take fs.mu) outside m.mu for the same reason.
+var lockScopePackages = []string{"dfs", "imstore", "metrics", "cluster"}
 
 // LockOrder builds the mutex acquisition graph of the storage
 // substrate from source — an edge A -> B means some function acquires B

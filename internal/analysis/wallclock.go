@@ -12,7 +12,9 @@ import (
 // forbidden mechanically.
 // bench rides along: its numbers feed the paper tables and must come
 // from the model, not the host clock (it audited clean — keep it so).
-var virtualTimePackages = []string{"perfmodel", "core", "datampi", "hive", "obs", "chaos", "bench"}
+// cluster is the failure detector: its heartbeat timeline IS virtual
+// time, so a wall-clock read there breaks detector determinism.
+var virtualTimePackages = []string{"perfmodel", "core", "datampi", "hive", "obs", "chaos", "bench", "cluster"}
 
 // forbiddenTimeFuncs are the package-level time functions that read or
 // schedule against the wall clock. Pure-value helpers (time.Duration

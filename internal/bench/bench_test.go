@@ -308,3 +308,45 @@ func TestFaultRecoveryFigure(t *testing.T) {
 		t.Errorf("rendering incomplete:\n%s", out)
 	}
 }
+
+func TestNodeLossRecoveryFigure(t *testing.T) {
+	r := quickRunner(t)
+	res, err := r.NodeLossRecovery(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]NodeLossScenario{}
+	for _, sc := range res.Scenarios {
+		byName[sc.Name] = sc
+	}
+	clean := byName["fault-free"]
+	if clean.Seconds <= 0 || clean.Fired != 0 || clean.Rerepl != 0 {
+		t.Fatalf("fault-free baseline malformed: %+v", clean)
+	}
+	one := byName["one node lost"]
+	if one.Fired != 1 || one.DeadNodes != 1 {
+		t.Fatalf("single-crash scenario malformed: %+v", one)
+	}
+	if one.Rerepl == 0 || one.RecoverySec <= 0 {
+		t.Errorf("node death billed no re-replication: %+v", one)
+	}
+	if one.Seconds <= clean.Seconds {
+		t.Errorf("node loss (%.1fs) should cost more than fault-free (%.1fs)",
+			one.Seconds, clean.Seconds)
+	}
+	double := byName["loss during repair"]
+	if double.DeadNodes != 2 || double.Rerepl <= one.Rerepl {
+		t.Errorf("double death should copy more than one (%+v vs %+v)", double, one)
+	}
+	flap := byName["slow-node flap"]
+	if flap.DeadNodes != 0 || flap.Rerepl != 0 {
+		t.Errorf("a flap must not kill nodes or move replicas: %+v", flap)
+	}
+	if flap.Fired == 0 {
+		t.Error("slow-node schedule injected nothing")
+	}
+	out := res.String()
+	if !strings.Contains(out, "Node-loss recovery") || !strings.Contains(out, "overhead") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"hivempi/internal/chaos"
+	membership "hivempi/internal/cluster" // bench's own `cluster` is the loaded dataset
+	"hivempi/internal/exec"
+	"hivempi/internal/metrics"
+	"hivempi/internal/tpch"
+)
+
+// NodeLossScenario is one run of the mini-workload under a node-fault
+// schedule, with the recovery bill broken out of the makespan.
+type NodeLossScenario struct {
+	Name        string
+	Seconds     float64 // simulated makespan, recovery charge included
+	RecoverySec float64 // virtual seconds of re-replication traffic
+	Rerepl      int64   // block copies the repair pipeline made
+	DeadNodes   int     // membership's DEAD population at end
+	DrainTicks  int     // detector ticks past the workload to finish repair
+	Fired       int     // node faults the plane injected
+}
+
+// NodeLossResult compares the node-loss schedules against the
+// fault-free baseline on the same workload and dataset.
+type NodeLossResult struct {
+	Queries   []int
+	SizeGB    int
+	Scenarios []NodeLossScenario
+}
+
+// nodeLossQueries is the mini-workload the scenarios share: enough
+// stages that the detector (one heartbeat per completed stage) walks a
+// crashed node to DEAD and re-replicates its blocks mid-run.
+var nodeLossQueries = []int{1, 3, 5, 6}
+
+// nodeLossDetector compresses the detector thresholds so detection
+// latency, not the workload length, stays small relative to the
+// mini-workload's tick budget; the recovery cost is what the
+// experiment prices.
+func nodeLossDetector() membership.Config {
+	return membership.Config{
+		Nodes:             slaves,
+		HeartbeatInterval: 1,
+		SuspectAfterSec:   1.5,
+		DeadAfterSec:      2.5,
+	}
+}
+
+// NodeLossRecovery runs the TPC-H mini-workload on DataMPI under three
+// seeded node-fault schedules — one crash, a staggered double crash
+// landing during the first death's repair, and a slow-node flap — and
+// prices each against the fault-free baseline: makespan overhead plus
+// the re-replication bill (bytes copied / min(disk,net) bandwidth).
+func (r *Runner) NodeLossRecovery(sizeGB int) (*NodeLossResult, error) {
+	out := &NodeLossResult{Queries: nodeLossQueries, SizeGB: sizeGB}
+	type scenario struct {
+		name string
+		plan *chaos.Plan
+	}
+	scenarios := []scenario{
+		{name: "fault-free"},
+		{name: "one node lost", plan: &chaos.Plan{Seed: 9, Specs: []chaos.Spec{
+			{Kind: chaos.NodeCrash, Node: "slave3", After: 2},
+		}}},
+		{name: "loss during repair", plan: &chaos.Plan{Seed: 17, Specs: []chaos.Spec{
+			{Kind: chaos.NodeCrash, Node: "slave3", After: 2},
+			{Kind: chaos.NodeCrash, Node: "slave5", After: 5},
+		}}},
+		{name: "slow-node flap", plan: &chaos.Plan{Seed: 23, Specs: []chaos.Spec{
+			{Kind: chaos.NodeSlow, Node: "slave6", After: 2, DelaySec: 2, Count: 4},
+		}}},
+	}
+	for _, sc := range scenarios {
+		// Each scenario loads its own cluster: node faults tear down
+		// replicas, and a schedule must not inherit another's damage.
+		cl, err := r.loadTPCH(sizeGB, "textfile")
+		if err != nil {
+			return nil, err
+		}
+		d := r.driver(cl, "datampi", func(c *exec.EngineConf) {
+			c.MaxTaskAttempts = 5 // stale-hostfile ranks retry onto survivors
+		})
+		m := membership.New(nodeLossDetector())
+		var plane *chaos.Plane
+		if sc.plan != nil {
+			plane = chaos.NewPlane(*sc.plan)
+			m.SetChaos(plane)
+		}
+		d.AttachCluster(m, &r.cfg.Params)
+
+		d.Collector.Reset()
+		for _, q := range nodeLossQueries {
+			script, err := tpch.Query(q)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := d.Run(script); err != nil {
+				return nil, fmt.Errorf("node-loss scenario %q, Q%d: %w", sc.name, q, err)
+			}
+		}
+
+		// Drain: the in-band repair budget is one bandwidth-interval per
+		// completed stage, so a late death can leave copies pending when
+		// the workload ends. Keep ticking the detector until the factor
+		// is restored and bill the extra intervals separately.
+		c := r.cfg.Params.Cluster
+		bw := c.DiskReadBW
+		if c.NetBW < bw {
+			bw = c.NetBW
+		}
+		if c.DiskWriteBW < bw {
+			bw = c.DiskWriteBW
+		}
+		drain := 0
+		for drain < 256 && d.Env.FS.UnderReplicated() > 0 {
+			m.Advance(m.Interval())
+			d.Env.FS.Repair(int64(bw * m.Interval()))
+			drain++
+		}
+
+		sim := r.simulate("nodeloss", "datampi", sizeGB, d.Collector.Queries())
+		_, _, dead := m.Counts()
+		out.Scenarios = append(out.Scenarios, NodeLossScenario{
+			Name:        sc.name,
+			Seconds:     sim.Total,
+			RecoverySec: d.Env.FS.RecoverySeconds(),
+			Rerepl:      d.Env.Metrics.Counter(metrics.CtrDFSRereplBlocks).Value(),
+			DeadNodes:   dead,
+			DrainTicks:  drain,
+			Fired:       plane.TotalFired(),
+		})
+	}
+	return out, nil
+}
+
+func (n *NodeLossResult) String() string {
+	var sb strings.Builder
+	qs := make([]string, len(n.Queries))
+	for i, q := range n.Queries {
+		qs[i] = tpch.QueryName(q)
+	}
+	fmt.Fprintf(&sb, "Node-loss recovery: TPC-H {%s} %d GB on DataMPI (simulated seconds)\n",
+		strings.Join(qs, ","), n.SizeGB)
+	var clean float64
+	for _, sc := range n.Scenarios {
+		if sc.Name == "fault-free" {
+			clean = sc.Seconds
+		}
+	}
+	for _, sc := range n.Scenarios {
+		fmt.Fprintf(&sb, "  %-20s %8.1fs  recovery=%6.2fs  copies=%-4d dead=%d faults=%d",
+			sc.Name, sc.Seconds, sc.RecoverySec, sc.Rerepl, sc.DeadNodes, sc.Fired)
+		if clean > 0 && sc.Name != "fault-free" {
+			fmt.Fprintf(&sb, "  overhead=%+.0f%%", 100*(sc.Seconds-clean)/clean)
+		}
+		if sc.DrainTicks > 0 {
+			fmt.Fprintf(&sb, "  drain=%d ticks", sc.DrainTicks)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  (re-replication shares the fabric with the query: the makespan\n" +
+		"   overhead is the detection wait plus the repair traffic's bandwidth bill)\n")
+	return sb.String()
+}

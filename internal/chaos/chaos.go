@@ -52,6 +52,16 @@ const (
 	// SlowTask makes a task a straggler: it runs DelaySec virtual
 	// seconds slower unless the engine speculates around it.
 	SlowTask
+	// NodeCrash fail-stops a matching node: it never heartbeats again
+	// until explicitly rejoined through the membership layer.
+	NodeCrash
+	// NodePause freezes a matching node's heartbeats for DelaySec
+	// virtual seconds (GC pause / network-partition analogue); the node
+	// resumes beating afterwards.
+	NodePause
+	// NodeSlow delivers one matching heartbeat DelaySec virtual seconds
+	// late, which can flap the node through SUSPECT without killing it.
+	NodeSlow
 )
 
 // String returns a short label for the kind.
@@ -71,6 +81,12 @@ func (k Kind) String() string {
 		return "task-crash"
 	case SlowTask:
 		return "slow-task"
+	case NodeCrash:
+		return "node-crash"
+	case NodePause:
+		return "node-pause"
+	case NodeSlow:
+		return "node-slow"
 	default:
 		return "?"
 	}
@@ -99,6 +115,12 @@ type Spec struct {
 	// Tag filters message faults by MPI tag (0 = any; wire tags here
 	// are >= 1).
 	Tag int
+
+	// Node filters node faults by host name, with the same exact-or-
+	// trailing-star matching as Path. Empty matches every node. Count
+	// and After count heartbeat consultations of matching nodes, so a
+	// fault is positioned mid-run by detector ticks.
+	Node string
 
 	// Count is how many times the spec fires (<= 0 means once).
 	Count int
@@ -257,6 +279,52 @@ func (p *Plane) StragglerDelay(stage, task string, rank int) float64 {
 	defer p.mu.Unlock()
 	if s := p.take(func(s *Spec) bool {
 		return s.Kind == SlowTask && matchTask(s, stage, task, rank)
+	}); s != nil {
+		return s.DelaySec
+	}
+	return 0
+}
+
+// NodeCrash reports whether an armed crash fault fires for the node's
+// heartbeat consultation. The membership layer treats a firing as
+// fail-stop: the node is crashed until explicitly rejoined.
+func (p *Plane) NodeCrash(node string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.take(func(s *Spec) bool {
+		return s.Kind == NodeCrash && matchPath(s.Node, node)
+	}) != nil
+}
+
+// NodePause returns the virtual seconds a matching pause fault freezes
+// the node's heartbeats for (0 = none).
+func (p *Plane) NodePause(node string) float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.take(func(s *Spec) bool {
+		return s.Kind == NodePause && matchPath(s.Node, node)
+	}); s != nil {
+		return s.DelaySec
+	}
+	return 0
+}
+
+// NodeSlow returns how many virtual seconds late a matching node's
+// current heartbeat arrives (0 = on time).
+func (p *Plane) NodeSlow(node string) float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.take(func(s *Spec) bool {
+		return s.Kind == NodeSlow && matchPath(s.Node, node)
 	}); s != nil {
 		return s.DelaySec
 	}

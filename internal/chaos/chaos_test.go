@@ -1,7 +1,9 @@
 package chaos
 
 import (
+	"encoding/json"
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -147,6 +149,78 @@ func TestSeededProbabilityReproducible(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds produced identical firing sequence")
+	}
+}
+
+func TestNodeFaults(t *testing.T) {
+	p := NewPlane(Plan{Specs: []Spec{
+		{Kind: NodeCrash, Node: "s2"},
+		{Kind: NodePause, Node: "s3", DelaySec: 4},
+		{Kind: NodeSlow, Node: "s*", After: 2, DelaySec: 2.5},
+	}})
+	if p.NodeCrash("s1") {
+		t.Fatal("crash fired for non-matching node")
+	}
+	if !p.NodeCrash("s2") {
+		t.Fatal("crash did not fire for matching node")
+	}
+	if p.NodeCrash("s2") {
+		t.Fatal("crash fired twice with Count=1")
+	}
+	if d := p.NodePause("s3"); d != 4 {
+		t.Fatalf("pause delay = %v, want 4", d)
+	}
+	// NodeSlow: star pattern, After=2 warm-up consultations first.
+	if d := p.NodeSlow("s1"); d != 0 {
+		t.Fatalf("slow fired during warm-up: %v", d)
+	}
+	if d := p.NodeSlow("s4"); d != 0 {
+		t.Fatalf("slow fired during warm-up: %v", d)
+	}
+	if d := p.NodeSlow("s4"); d != 2.5 {
+		t.Fatalf("slow delay = %v, want 2.5", d)
+	}
+	if p.Fired(NodeCrash) != 1 || p.Fired(NodePause) != 1 || p.Fired(NodeSlow) != 1 {
+		t.Fatalf("fired counters: crash=%d pause=%d slow=%d",
+			p.Fired(NodeCrash), p.Fired(NodePause), p.Fired(NodeSlow))
+	}
+	// Nil plane stays inert for node faults too.
+	var nilp *Plane
+	if nilp.NodeCrash("s1") || nilp.NodePause("s1") != 0 || nilp.NodeSlow("s1") != 0 {
+		t.Fatal("nil plane fired a node fault")
+	}
+}
+
+// TestPlanJSONRoundTrip pins the chaos plan wire format: soak schedules
+// are stored as JSON, so every Spec field — including the node-fault
+// fields added for the failure-domain plane — must survive a
+// marshal/unmarshal cycle unchanged.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plan := Plan{Seed: 42, Specs: []Spec{
+		{Kind: DFSRead, Path: "/warehouse/t/*", Count: 3, After: 1, Prob: 0.5},
+		{Kind: TaskCrash, Stage: "stage-2", Task: "o", Rank: AnyRank},
+		{Kind: MsgDelay, Tag: 7, DelaySec: 1.5},
+		{Kind: NodeCrash, Node: "s2", After: 4},
+		{Kind: NodePause, Node: "s3", DelaySec: 4, Count: 2},
+		{Kind: NodeSlow, Node: "s*", DelaySec: 2.5},
+	}}
+	data, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Plan
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, got) {
+		t.Fatalf("round trip changed the plan:\n before %+v\n after  %+v", plan, got)
+	}
+	// The armed planes behave identically consultation by consultation.
+	a, b := NewPlane(plan), NewPlane(got)
+	for i := 0; i < 6; i++ {
+		if a.NodeCrash("s2") != b.NodeCrash("s2") {
+			t.Fatalf("round-tripped plane diverged at consultation %d", i)
+		}
 	}
 }
 

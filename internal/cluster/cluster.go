@@ -1,0 +1,360 @@
+// Package cluster is the node-level failure domain: a virtual-time
+// cluster-membership table driven by a heartbeat failure detector.
+// Every data node is UP, SUSPECT or DEAD; the detector advances in
+// heartbeat intervals of virtual seconds (the same clock the perfmodel
+// charges), consulting the chaos plane's NodeCrash/NodePause/NodeSlow
+// plans to decide which heartbeats arrive. State transitions are
+// published to subscribed watchers — the dfs uses them to fail reads
+// over, drop dead replicas and trigger re-replication, and the
+// scheduler uses the UP view to blacklist placement.
+//
+// Timing model: a node's heartbeat normally lands every
+// HeartbeatInterval virtual seconds. A node whose last heartbeat is
+// older than SuspectAfterSec becomes SUSPECT (still holding readable
+// replicas — it may just be slow); older than DeadAfterSec becomes
+// DEAD, which is the point of no return for its replicas. A SUSPECT
+// node that beats again recovers to UP; a DEAD node only returns via
+// Join (operator action), re-entering empty like a reformatted HDFS
+// datanode.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"hivempi/internal/chaos"
+	"hivempi/internal/metrics"
+)
+
+// State is a node's membership state.
+type State int
+
+// Node states.
+const (
+	Up State = iota
+	Suspect
+	Dead
+)
+
+// String returns the conventional upper-case label.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "UP"
+	case Suspect:
+		return "SUSPECT"
+	case Dead:
+		return "DEAD"
+	default:
+		return "?"
+	}
+}
+
+// Config describes the detector deployment.
+type Config struct {
+	// Nodes is the initial membership (all UP).
+	Nodes []string
+	// HeartbeatInterval is the virtual seconds between heartbeats
+	// (default 1.0).
+	HeartbeatInterval float64
+	// SuspectAfterSec marks a node SUSPECT when its last heartbeat is
+	// older than this (default 2.5 intervals).
+	SuspectAfterSec float64
+	// DeadAfterSec declares a node DEAD when its last heartbeat is
+	// older than this (default 6 intervals).
+	DeadAfterSec float64
+}
+
+// Event is one state transition, published to watchers.
+type Event struct {
+	Node string
+	From State
+	To   State
+	At   float64 // virtual seconds since the membership started
+}
+
+type nodeState struct {
+	name        string
+	state       State
+	lastBeat    float64
+	pausedUntil float64
+	crashed     bool
+}
+
+// Membership is the live membership table. All methods are safe for
+// concurrent use. Watchers are invoked outside the table lock (so they
+// may call back into IsUp/State), in Subscribe order, serialized per
+// Advance/MarkDead/Join call.
+type Membership struct {
+	mu       sync.Mutex
+	cfg      Config
+	now      float64
+	nodes    map[string]*nodeState
+	order    []string // deterministic iteration order
+	plane    *chaos.Plane
+	watchers []func(Event)
+
+	gUp, gSuspect, gDead *metrics.Gauge
+	ctrFlaps             *metrics.Counter
+}
+
+// New builds a membership table with every node UP at virtual time 0.
+func New(cfg Config) *Membership {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 1.0
+	}
+	if cfg.SuspectAfterSec <= 0 {
+		cfg.SuspectAfterSec = 2.5 * cfg.HeartbeatInterval
+	}
+	if cfg.DeadAfterSec <= cfg.SuspectAfterSec {
+		cfg.DeadAfterSec = 6 * cfg.HeartbeatInterval
+	}
+	m := &Membership{cfg: cfg, nodes: make(map[string]*nodeState, len(cfg.Nodes))}
+	for _, n := range cfg.Nodes {
+		m.nodes[n] = &nodeState{name: n, state: Up}
+		m.order = append(m.order, n)
+	}
+	return m
+}
+
+// SetChaos attaches the fault plane consulted at each heartbeat; nil
+// detaches it (all heartbeats arrive on time).
+func (m *Membership) SetChaos(p *chaos.Plane) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.plane = p
+}
+
+// SetMetrics attaches an observability registry: node-state populations
+// are published as gauges and transitions as a counter. Nil detaches.
+func (m *Membership) SetMetrics(r *metrics.Registry) {
+	m.mu.Lock()
+	m.gUp = r.Gauge(metrics.GaugeClusterUp)
+	m.gSuspect = r.Gauge(metrics.GaugeClusterSuspect)
+	m.gDead = r.Gauge(metrics.GaugeClusterDead)
+	m.ctrFlaps = r.Counter(metrics.CtrClusterFlaps)
+	m.publishLocked()
+	m.mu.Unlock()
+}
+
+// Subscribe registers a watcher for state-transition events. Watchers
+// run outside the membership lock and must not block indefinitely.
+func (m *Membership) Subscribe(fn func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.watchers = append(m.watchers, fn)
+}
+
+// Interval returns the configured heartbeat interval in virtual seconds.
+func (m *Membership) Interval() float64 { return m.cfg.HeartbeatInterval }
+
+// Now returns the current virtual time of the detector.
+func (m *Membership) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// IsUp reports whether the node is UP. Unknown nodes report false —
+// schedulers must not place work on hosts the membership has never
+// seen. (Implements the exec.NodeView the engines consult.)
+func (m *Membership) IsUp(node string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns, ok := m.nodes[node]
+	return ok && ns.state == Up
+}
+
+// State returns the node's state and whether it is known.
+func (m *Membership) State(node string) (State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns, ok := m.nodes[node]
+	if !ok {
+		return Dead, false
+	}
+	return ns.state, true
+}
+
+// UpNodes returns the UP nodes in membership order.
+func (m *Membership) UpNodes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, n := range m.order {
+		if m.nodes[n].state == Up {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Counts returns the (up, suspect, dead) populations.
+func (m *Membership) Counts() (up, suspect, dead int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.countsLocked()
+}
+
+func (m *Membership) countsLocked() (up, suspect, dead int) {
+	for _, ns := range m.nodes {
+		switch ns.state {
+		case Up:
+			up++
+		case Suspect:
+			suspect++
+		case Dead:
+			dead++
+		}
+	}
+	return
+}
+
+func (m *Membership) publishLocked() {
+	up, suspect, dead := m.countsLocked()
+	m.gUp.Set(int64(up))
+	m.gSuspect.Set(int64(suspect))
+	m.gDead.Set(int64(dead))
+}
+
+// Advance moves the detector forward dt virtual seconds, processing one
+// heartbeat round per elapsed interval: every non-crashed, non-paused
+// node beats (the chaos plane may crash it, pause it, or deliver the
+// beat late), then staleness thresholds drive UP -> SUSPECT -> DEAD.
+// Fired events are returned and also delivered to watchers.
+func (m *Membership) Advance(dt float64) []Event {
+	var events []Event
+	m.mu.Lock()
+	for dt > 0 {
+		step := m.cfg.HeartbeatInterval
+		if dt < step {
+			// Partial intervals still advance the clock (staleness keeps
+			// growing) but land no fresh heartbeats.
+			m.now += dt
+			events = append(events, m.detectLocked()...)
+			break
+		}
+		dt -= step
+		m.now += step
+		m.beatLocked()
+		events = append(events, m.detectLocked()...)
+	}
+	m.publishLocked()
+	watchers := append([]func(Event){}, m.watchers...)
+	m.mu.Unlock()
+	m.deliver(watchers, events)
+	return events
+}
+
+// beatLocked lands one heartbeat round at m.now.
+func (m *Membership) beatLocked() {
+	for _, name := range m.order {
+		ns := m.nodes[name]
+		if ns.crashed || ns.state == Dead {
+			continue
+		}
+		if m.now < ns.pausedUntil {
+			continue // paused: heartbeat lost, staleness grows
+		}
+		// Chaos consultation order is the deterministic membership order,
+		// so a plan's Count/After budgets position faults reproducibly.
+		if m.plane.NodeCrash(name) {
+			ns.crashed = true
+			continue
+		}
+		if d := m.plane.NodePause(name); d > 0 {
+			ns.pausedUntil = m.now + d
+			continue
+		}
+		beat := m.now
+		if d := m.plane.NodeSlow(name); d > 0 {
+			beat -= d // the beat that lands now is d seconds stale
+		}
+		if beat > ns.lastBeat {
+			ns.lastBeat = beat
+		}
+	}
+}
+
+// detectLocked applies the staleness thresholds and returns transitions.
+func (m *Membership) detectLocked() []Event {
+	var events []Event
+	for _, name := range m.order {
+		ns := m.nodes[name]
+		if ns.state == Dead {
+			continue
+		}
+		stale := m.now - ns.lastBeat
+		var want State
+		switch {
+		case stale > m.cfg.DeadAfterSec:
+			want = Dead
+		case stale > m.cfg.SuspectAfterSec:
+			want = Suspect
+		default:
+			want = Up
+		}
+		if want != ns.state {
+			events = append(events, Event{Node: name, From: ns.state, To: want, At: m.now})
+			ns.state = want
+			m.ctrFlaps.Inc()
+		}
+	}
+	return events
+}
+
+func (m *Membership) deliver(watchers []func(Event), events []Event) {
+	for _, ev := range events {
+		for _, w := range watchers {
+			w(ev)
+		}
+	}
+}
+
+// MarkDead administratively declares the node DEAD (decommission /
+// fencing path), firing the transition like a detector decision.
+func (m *Membership) MarkDead(node string) error {
+	m.mu.Lock()
+	ns, ok := m.nodes[node]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: unknown node %q", node)
+	}
+	var events []Event
+	if ns.state != Dead {
+		events = append(events, Event{Node: node, From: ns.state, To: Dead, At: m.now})
+		ns.state = Dead
+		ns.crashed = true
+		m.ctrFlaps.Inc()
+		m.publishLocked()
+	}
+	watchers := append([]func(Event){}, m.watchers...)
+	m.mu.Unlock()
+	m.deliver(watchers, events)
+	return nil
+}
+
+// Join adds a fresh node (or revives a DEAD one) as UP with a current
+// heartbeat. Reviving publishes a Dead -> Up event; watchers treat it
+// as an empty rejoin (its old replicas were dropped at death).
+func (m *Membership) Join(node string) {
+	m.mu.Lock()
+	var events []Event
+	ns, ok := m.nodes[node]
+	if !ok {
+		m.nodes[node] = &nodeState{name: node, state: Up, lastBeat: m.now}
+		m.order = append(m.order, node)
+		events = append(events, Event{Node: node, From: Dead, To: Up, At: m.now})
+	} else if ns.state != Up {
+		events = append(events, Event{Node: node, From: ns.state, To: Up, At: m.now})
+		ns.state = Up
+		ns.crashed = false
+		ns.pausedUntil = 0
+		ns.lastBeat = m.now
+		m.ctrFlaps.Inc()
+	}
+	m.publishLocked()
+	watchers := append([]func(Event){}, m.watchers...)
+	m.mu.Unlock()
+	m.deliver(watchers, events)
+}

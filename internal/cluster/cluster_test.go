@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"hivempi/internal/chaos"
+	"hivempi/internal/metrics"
+	"hivempi/internal/testutil/leakcheck"
+)
+
+func newTestMembership(plan chaos.Plan) *Membership {
+	m := New(Config{Nodes: []string{"s1", "s2", "s3", "s4"}})
+	m.SetChaos(chaos.NewPlane(plan))
+	return m
+}
+
+// TestCrashToDead walks a crashed node through the full detector
+// timeline: UP while within the suspect threshold, SUSPECT past 2.5
+// intervals, DEAD past 6.
+func TestCrashToDead(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := newTestMembership(chaos.Plan{Specs: []chaos.Spec{
+		{Kind: chaos.NodeCrash, Node: "s2"},
+	}})
+	var events []Event
+	m.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	// The crash fires at the first heartbeat consultation (now=1); the
+	// node's last beat stays at 0 forever.
+	m.Advance(2) // now=2, stale=2 <= 2.5
+	if !m.IsUp("s2") {
+		t.Fatal("s2 suspect before the threshold")
+	}
+	m.Advance(1) // now=3, stale=3 > 2.5
+	if st, _ := m.State("s2"); st != Suspect {
+		t.Fatalf("s2 state = %v, want SUSPECT", st)
+	}
+	if m.IsUp("s2") {
+		t.Fatal("SUSPECT node reports up")
+	}
+	m.Advance(3) // now=6, stale=6: not yet past DeadAfterSec
+	if st, _ := m.State("s2"); st != Suspect {
+		t.Fatalf("s2 state = %v, want SUSPECT at the boundary", st)
+	}
+	m.Advance(1) // now=7, stale=7 > 6
+	if st, _ := m.State("s2"); st != Dead {
+		t.Fatalf("s2 state = %v, want DEAD", st)
+	}
+
+	want := []Event{
+		{Node: "s2", From: Up, To: Suspect, At: 3},
+		{Node: "s2", From: Suspect, To: Dead, At: 7},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	if got := m.UpNodes(); !reflect.DeepEqual(got, []string{"s1", "s3", "s4"}) {
+		t.Fatalf("UpNodes = %v", got)
+	}
+	up, suspect, dead := m.Counts()
+	if up != 3 || suspect != 0 || dead != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 3/0/1", up, suspect, dead)
+	}
+}
+
+// TestPauseFlapsAndRecovers pins the GC-pause analogue: heartbeats
+// freeze for DelaySec, the node flaps through SUSPECT, and the first
+// post-pause beat recovers it to UP without dying.
+func TestPauseFlapsAndRecovers(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := newTestMembership(chaos.Plan{Specs: []chaos.Spec{
+		{Kind: chaos.NodePause, Node: "s3", DelaySec: 4},
+	}})
+	var events []Event
+	m.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	// Pause fires at now=1 (pausedUntil=5): beats at 2,3,4 are lost,
+	// the beat at 5 lands again.
+	m.Advance(7)
+	want := []Event{
+		{Node: "s3", From: Up, To: Suspect, At: 3},
+		{Node: "s3", From: Suspect, To: Up, At: 5},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	if !m.IsUp("s3") {
+		t.Fatal("s3 did not recover after the pause")
+	}
+}
+
+// TestSlowBeatsFlapSuspect pins the slow-node semantics: a run of
+// heartbeats each arriving DelaySec late pushes staleness past the
+// suspect threshold without ever reaching DEAD, and the first on-time
+// beat recovers the node.
+func TestSlowBeatsFlapSuspect(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := newTestMembership(chaos.Plan{Specs: []chaos.Spec{
+		{Kind: chaos.NodeSlow, Node: "s4", After: 2, DelaySec: 3, Count: 3},
+	}})
+	var events []Event
+	m.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	// Clean beats at 1,2 (warm-up); slow beats at 3,4,5 are 3s stale so
+	// none moves lastBeat past 2; at now=5 stale=3 > 2.5 -> SUSPECT;
+	// clean beat at 6 recovers.
+	m.Advance(8)
+	want := []Event{
+		{Node: "s4", From: Up, To: Suspect, At: 5},
+		{Node: "s4", From: Suspect, To: Up, At: 6},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	if st, _ := m.State("s4"); st != Up {
+		t.Fatalf("s4 state = %v after recovery, want UP", st)
+	}
+}
+
+// TestJoinAndRevive covers operator actions: MarkDead fences a node,
+// Join revives it empty, and Join of a brand-new node extends the
+// membership.
+func TestJoinAndRevive(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := newTestMembership(chaos.Plan{})
+	var events []Event
+	m.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	if err := m.MarkDead("nope"); err == nil {
+		t.Fatal("MarkDead accepted an unknown node")
+	}
+	if err := m.MarkDead("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsUp("s1") {
+		t.Fatal("fenced node reports up")
+	}
+	m.Join("s1")
+	if !m.IsUp("s1") {
+		t.Fatal("revived node not up")
+	}
+	m.Join("s5")
+	if !m.IsUp("s5") {
+		t.Fatal("joined node not up")
+	}
+	if m.IsUp("s6") {
+		t.Fatal("unknown node reports up")
+	}
+	want := []Event{
+		{Node: "s1", From: Up, To: Dead, At: 0},
+		{Node: "s1", From: Dead, To: Up, At: 0},
+		{Node: "s5", From: Dead, To: Up, At: 0},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	// A fenced node stays dead through detector rounds (crashed flag),
+	// a revived one keeps beating.
+	if err := m.MarkDead("s2"); err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(10)
+	if st, _ := m.State("s2"); st != Dead {
+		t.Fatalf("fenced s2 = %v after advance, want DEAD", st)
+	}
+	if !m.IsUp("s1") || !m.IsUp("s5") {
+		t.Fatal("live nodes flapped without faults")
+	}
+}
+
+// TestMetricsGauges checks the published populations track transitions.
+func TestMetricsGauges(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := newTestMembership(chaos.Plan{Specs: []chaos.Spec{
+		{Kind: chaos.NodeCrash, Node: "s2"},
+	}})
+	r := metrics.NewRegistry()
+	m.SetMetrics(r)
+	if got := r.Gauge(metrics.GaugeClusterUp).Value(); got != 4 {
+		t.Fatalf("initial up gauge = %d, want 4", got)
+	}
+	m.Advance(7) // crash at 1, suspect at 3, dead at 7
+	if got := r.Gauge(metrics.GaugeClusterUp).Value(); got != 3 {
+		t.Fatalf("up gauge = %d, want 3", got)
+	}
+	if got := r.Gauge(metrics.GaugeClusterDead).Value(); got != 1 {
+		t.Fatalf("dead gauge = %d, want 1", got)
+	}
+	if got := r.Counter(metrics.CtrClusterFlaps).Value(); got != 2 {
+		t.Fatalf("transition counter = %d, want 2 (up->suspect->dead)", got)
+	}
+}
+
+// TestDeterministicSchedule runs the same plan twice and requires the
+// identical event tape — the property the chaos soak leans on.
+func TestDeterministicSchedule(t *testing.T) {
+	defer leakcheck.Check(t)()
+	run := func() []Event {
+		m := newTestMembership(chaos.Plan{Seed: 11, Specs: []chaos.Spec{
+			{Kind: chaos.NodeCrash, Node: "s2", After: 3},
+			{Kind: chaos.NodePause, Node: "s4", DelaySec: 4, After: 1},
+		}})
+		var events []Event
+		m.Subscribe(func(ev Event) { events = append(events, ev) })
+		for i := 0; i < 15; i++ {
+			m.Advance(1)
+		}
+		return events
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same plan diverged:\n a %+v\n b %+v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("plan produced no transitions")
+	}
+}
+
+// TestPartialAdvanceGrowsStaleness: sub-interval advances move the
+// clock (staleness accrues) without landing beats.
+func TestPartialAdvanceGrowsStaleness(t *testing.T) {
+	defer leakcheck.Check(t)()
+	m := newTestMembership(chaos.Plan{})
+	m.Advance(1) // beats land, lastBeat=1
+	m.Advance(0.6)
+	if got := m.Now(); got != 1.6 {
+		t.Fatalf("Now = %v, want 1.6", got)
+	}
+	if !m.IsUp("s1") {
+		t.Fatal("node flapped inside one interval")
+	}
+}

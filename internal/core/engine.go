@@ -84,22 +84,40 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 	numKeys := len(stage.Maps[0].Keys)
 	partKeys := stage.Shuffle.PartitionKeys
 
-	hosts := make([]string, 0, len(tasks)+numA)
-	for _, t := range tasks {
-		hosts = append(hosts, t.Host)
-	}
-	for i := 0; i < numA; i++ {
-		if len(conf.Slaves) > 0 {
-			hosts = append(hosts, conf.Slaves[i%len(conf.Slaves)])
-		} else {
-			hosts = append(hosts, "")
+	// Host assignment per attempt. The first attempt spawns the world
+	// from the static hostfile (tasks keep their planned locality, A
+	// ranks round-robin over conf.Slaves — the mpidrun hostfile is a
+	// stale view, exactly like a real deployment's). A rank landing on
+	// a host the membership knows is not UP dies at spawn (ErrNodeLost
+	// below), and relaunched attempts fail the placement over to
+	// surviving nodes.
+	attemptHosts := func(attempt int) []string {
+		hosts := make([]string, 0, len(tasks)+numA)
+		for _, t := range tasks {
+			h := t.Host
+			if attempt > 1 {
+				h = liveHost(env, h, t.Split.Hosts)
+			}
+			hosts = append(hosts, h)
 		}
+		for i := 0; i < numA; i++ {
+			h := ""
+			if len(conf.Slaves) > 0 {
+				h = conf.Slaves[i%len(conf.Slaves)]
+			}
+			if attempt > 1 {
+				h = liveHost(env, h, conf.Slaves)
+			}
+			hosts = append(hosts, h)
+		}
+		return hosts
 	}
 
 	return e.runWithRetries(env, stage, conf, func(attempt int) (*trace.Stage, []types.Row, error) {
 		// Each attempt is a fresh bipartite world: an MPI transport
 		// failure is fatal to its communicator, so recovery means
 		// relaunching the job, not patching the old one.
+		hosts := attemptHosts(attempt)
 		sinks := newShardedRows(numA)
 		job, err := datampi.NewJob(datampi.Config{
 			NumO: len(tasks),
@@ -130,6 +148,9 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			m.Attempts = attempt
 			if err := env.Chaos.TaskCrash(stage.ID, "o", o.Rank()); err != nil {
 				return err
+			}
+			if h := hosts[o.Rank()]; !env.NodeUp(h) {
+				return fmt.Errorf("%w: O rank %d on %s (stage %s)", exec.ErrNodeLost, o.Rank(), h, stage.ID)
 			}
 			if attempt > 1 {
 				if meta, pairs, ok := readCheckpoint(env, stage.ID, o.Rank()); ok {
@@ -177,6 +198,9 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			m.Attempts = attempt
 			if err := env.Chaos.TaskCrash(stage.ID, "a", a.Rank()); err != nil {
 				return err
+			}
+			if h := hosts[len(tasks)+a.Rank()]; !env.NodeUp(h) {
+				return fmt.Errorf("%w: A rank %d on %s (stage %s)", exec.ErrNodeLost, a.Rank(), h, stage.ID)
 			}
 			exec.ApplyStraggler(m, env.Chaos.StragglerDelay(stage.ID, "a", a.Rank()), conf)
 			out, closer, err := exec.BuildTaskOutput(env, stage, a.Rank(), sinks.sink(a.Rank()))
@@ -275,6 +299,21 @@ func (s *shardedRows) rows() []types.Row {
 // attempts back off exponentially (2s, 4s, 8s, ...).
 const retryBackoffBase = 2.0
 
+// liveHost returns h when the membership considers it schedulable,
+// otherwise the first UP fallback, otherwise "" (run hostless — the
+// relaunched world places the rank wherever capacity remains).
+func liveHost(env *exec.Env, h string, fallbacks []string) string {
+	if env.NodeUp(h) {
+		return h
+	}
+	for _, f := range fallbacks {
+		if f != "" && env.NodeUp(f) {
+			return f
+		}
+	}
+	return ""
+}
+
 // runWithRetries executes attempts of one stage until success or the
 // conf.MaxTaskAttempts budget is spent. Every attempt builds a fresh
 // sharded row collector (partial rows from failed attempts are
@@ -331,15 +370,23 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 	sem := make(chan struct{}, conf.MaxSlots())
 	var wg sync.WaitGroup
 	for i := range tasks {
+		host := tasks[i].Host
+		if attempt > 1 {
+			host = liveHost(env, host, tasks[i].Split.Hosts)
+		}
 		taskMetrics[i] = &trace.Task{ID: i, Kind: trace.KindOTask, Attempts: attempt,
-			Host: tasks[i].Host, CollectSizes: trace.NewSizeHistogram()}
+			Host: host, CollectSizes: trace.NewSizeHistogram()}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, host string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if err := env.Chaos.TaskCrash(stage.ID, "o", i); err != nil {
 				errs[i] = err
+				return
+			}
+			if !env.NodeUp(host) {
+				errs[i] = fmt.Errorf("%w: O rank %d on %s (stage %s)", exec.ErrNodeLost, i, host, stage.ID)
 				return
 			}
 			exec.ApplyStraggler(taskMetrics[i], env.Chaos.StragglerDelay(stage.ID, "o", i), conf)
@@ -354,7 +401,7 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 				return
 			}
 			errs[i] = closer()
-		}(i)
+		}(i, host)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"path"
 	"sort"
 	"strings"
@@ -33,11 +34,46 @@ var ErrNotFound = errors.New("dfs: file not found")
 // ErrExists is returned when creating a path that already exists.
 var ErrExists = errors.New("dfs: file exists")
 
+// ErrBlockUnavailable reports a block with no live replica; every
+// BlockLostError unwraps to it.
+var ErrBlockUnavailable = errors.New("dfs: no live replica for block")
+
+// ErrNoLiveNodes reports a write with zero UP nodes to place on.
+var ErrNoLiveNodes = errors.New("dfs: no live nodes to place block")
+
+// BlockLostError is the typed read failure for a block whose replicas
+// all lived on lost nodes. The scheduler uses the path to find and
+// relaunch the stage that produced the file.
+type BlockLostError struct {
+	Path  string
+	Block int
+}
+
+func (e *BlockLostError) Error() string {
+	return fmt.Sprintf("dfs: block %d of %s lost with its nodes", e.Block, e.Path)
+}
+
+// Unwrap makes errors.Is(err, ErrBlockUnavailable) hold.
+func (e *BlockLostError) Unwrap() error { return ErrBlockUnavailable }
+
 // Config describes the simulated DFS deployment.
 type Config struct {
 	BlockSize   int64    // bytes per block; DefaultBlockSize if 0
 	Replication int      // replicas per block; min(3, len(Nodes)) if 0
 	Nodes       []string // data node host names; ["localhost"] if empty
+
+	// Racks optionally names the rack of each node (parallel to Nodes;
+	// missing entries default to "default"). Only the rack-aware
+	// placement policy reads it.
+	Racks []string
+
+	// Seed seeds the placement RNG used for tie-breaking; the same
+	// (config, workload) pair always places identically.
+	Seed int64
+
+	// Policy picks replica nodes for new and re-replicated blocks;
+	// nil uses SpreadPolicy (least-loaded with balanced primaries).
+	Policy PlacementPolicy
 }
 
 // FileSystem is the namespace plus block store.
@@ -47,7 +83,20 @@ type FileSystem struct {
 	mu    sync.RWMutex
 	files map[string]*file
 
-	nextBlock  uint64
+	// Node liveness and placement state, guarded by mu. Node indices
+	// are stable for the filesystem's lifetime: dead nodes keep their
+	// slot (marked down) and joins append.
+	nodeIdx   map[string]int
+	down      []bool
+	load      []int // total replicas per node
+	primaries []int // blocks whose first replica is the node
+	rng       *rand.Rand
+
+	// recoverySec accumulates the virtual seconds Repair charged
+	// through the pricing hook (guarded by mu).
+	recoverySec  float64
+	repairCharge func(int64) float64 // guarded by faultMu; nil = no charge
+
 	bytesRead  atomic.Int64
 	bytesWrite atomic.Int64
 
@@ -69,6 +118,15 @@ type FileSystem struct {
 	ctrWrite    atomic.Pointer[metrics.Counter]
 	ctrMemRead  atomic.Pointer[metrics.Counter]
 	ctrMemWrite atomic.Pointer[metrics.Counter]
+
+	// Node-loss recovery metrics (cached for the same reason; the
+	// failover/lost counters sit on the read hot path).
+	ctrFailover    atomic.Pointer[metrics.Counter]
+	ctrLostBlocks  atomic.Pointer[metrics.Counter]
+	ctrRereplBlk   atomic.Pointer[metrics.Counter]
+	ctrRereplBytes atomic.Pointer[metrics.Counter]
+	gUnderRepl     atomic.Pointer[metrics.Gauge]
+	gDegraded      atomic.Pointer[metrics.Gauge]
 }
 
 // ErrInjectedFault is the error injected reads and writes wrap. It is
@@ -108,6 +166,30 @@ func (fs *FileSystem) SetMetrics(r *metrics.Registry) {
 	fs.ctrWrite.Store(r.Counter(metrics.CtrDFSWriteBytes))
 	fs.ctrMemRead.Store(r.Counter(metrics.CtrDFSMemReadBytes))
 	fs.ctrMemWrite.Store(r.Counter(metrics.CtrDFSMemWriteBytes))
+	fs.ctrFailover.Store(r.Counter(metrics.CtrDFSReadFailovers))
+	fs.ctrLostBlocks.Store(r.Counter(metrics.CtrDFSLostBlocks))
+	fs.ctrRereplBlk.Store(r.Counter(metrics.CtrDFSRereplBlocks))
+	fs.ctrRereplBytes.Store(r.Counter(metrics.CtrDFSRereplBytes))
+	fs.gUnderRepl.Store(r.Gauge(metrics.GaugeDFSUnderRepl))
+	fs.gDegraded.Store(r.Gauge(metrics.GaugeDFSDegradedRepl))
+	fs.mu.Lock()
+	fs.publishHealthLocked()
+	fs.mu.Unlock()
+}
+
+// SetRepairCharge installs the pricing hook Repair uses to convert
+// re-replicated bytes into virtual seconds (typically the perfmodel's
+// RereplicationSeconds). Nil disables charging.
+func (fs *FileSystem) SetRepairCharge(fn func(int64) float64) {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	fs.repairCharge = fn
+}
+
+func (fs *FileSystem) repairChargeFn() func(int64) float64 {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	return fs.repairCharge
 }
 
 // SetChaos attaches a fault-injection plane; nil detaches it.
@@ -158,7 +240,10 @@ type file struct {
 	size   int64
 }
 
-// New creates an empty file system.
+// New creates an empty file system. A Replication target above the
+// node count is kept (not clamped): blocks are placed on every node
+// there is, the shortfall is recorded as a degraded-replication gauge,
+// and Repair lazily restores the factor when nodes join.
 func New(cfg Config) *FileSystem {
 	if cfg.BlockSize <= 0 {
 		cfg.BlockSize = DefaultBlockSize
@@ -168,15 +253,42 @@ func New(cfg Config) *FileSystem {
 	}
 	if cfg.Replication <= 0 {
 		cfg.Replication = 3
+		if cfg.Replication > len(cfg.Nodes) {
+			cfg.Replication = len(cfg.Nodes)
+		}
 	}
-	if cfg.Replication > len(cfg.Nodes) {
-		cfg.Replication = len(cfg.Nodes)
+	cfg.Nodes = append([]string{}, cfg.Nodes...)
+	for len(cfg.Racks) < len(cfg.Nodes) {
+		cfg.Racks = append(cfg.Racks, "default")
 	}
-	return &FileSystem{cfg: cfg, files: make(map[string]*file)}
+	if cfg.Policy == nil {
+		cfg.Policy = SpreadPolicy{}
+	}
+	fs := &FileSystem{
+		cfg:       cfg,
+		files:     make(map[string]*file),
+		nodeIdx:   make(map[string]int, len(cfg.Nodes)),
+		down:      make([]bool, len(cfg.Nodes)),
+		load:      make([]int, len(cfg.Nodes)),
+		primaries: make([]int, len(cfg.Nodes)),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i, n := range cfg.Nodes {
+		fs.nodeIdx[n] = i
+	}
+	return fs
 }
 
-// Config returns the deployment configuration.
-func (fs *FileSystem) Config() Config { return fs.cfg }
+// Config returns the deployment configuration (Nodes is a copy; the
+// live slice grows when nodes join).
+func (fs *FileSystem) Config() Config {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	cfg := fs.cfg
+	cfg.Nodes = append([]string{}, fs.cfg.Nodes...)
+	cfg.Racks = append([]string{}, fs.cfg.Racks...)
+	return cfg
+}
 
 // BytesRead returns the cumulative bytes served to readers.
 func (fs *FileSystem) BytesRead() int64 { return fs.bytesRead.Load() }
@@ -298,18 +410,37 @@ func (fs *FileSystem) Rename(src, dst string) error {
 	return nil
 }
 
-// placeReplicas picks Replication distinct nodes for a new block,
-// rotating the primary across nodes for balance (round-robin placement,
-// a simplification of HDFS's rack-aware policy).
-func (fs *FileSystem) placeReplicas() []int {
-	id := fs.nextBlock
-	fs.nextBlock++
-	n := len(fs.cfg.Nodes)
-	reps := make([]int, 0, fs.cfg.Replication)
-	for i := 0; i < fs.cfg.Replication; i++ {
-		reps = append(reps, int(id+uint64(i))%n)
+// placeReplicasLocked picks up to Replication distinct UP nodes for a
+// new block through the placement policy, updating the load/primary
+// accounting. Fewer than the target is a degraded (under-replicated)
+// placement that Repair later fixes; zero UP nodes is an error.
+// Callers hold fs.mu.
+func (fs *FileSystem) placeReplicasLocked() ([]int, error) {
+	reps := fs.cfg.Policy.Place(fs.placementViewLocked(), fs.cfg.Replication, nil, fs.rng)
+	if len(reps) == 0 {
+		return nil, ErrNoLiveNodes
 	}
-	return reps
+	fs.primaries[reps[0]]++
+	for _, r := range reps {
+		fs.load[r]++
+	}
+	return reps, nil
+}
+
+// placementViewLocked snapshots the state policies read. The slices
+// alias fs state; policies must treat the view as read-only.
+func (fs *FileSystem) placementViewLocked() *PlacementView {
+	up := make([]bool, len(fs.cfg.Nodes))
+	for i := range up {
+		up[i] = !fs.down[i]
+	}
+	return &PlacementView{
+		Nodes:     fs.cfg.Nodes,
+		Racks:     fs.cfg.Racks,
+		Up:        up,
+		Load:      fs.load,
+		Primaries: fs.primaries,
+	}
 }
 
 // Create opens a new file for writing. The returned writer buffers into
@@ -356,7 +487,9 @@ func (w *Writer) Write(p []byte) (int, error) {
 	for len(p) > 0 {
 		room := bs - len(w.cur)
 		if room == 0 {
-			w.flushBlock()
+			if err := w.flushBlock(); err != nil {
+				return total - len(p), err
+			}
 			room = bs
 		}
 		n := len(p)
@@ -371,13 +504,19 @@ func (w *Writer) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-func (w *Writer) flushBlock() {
+func (w *Writer) flushBlock() error {
 	w.fs.mu.Lock()
-	b := &block{data: w.cur, replicas: w.fs.placeReplicas()}
+	reps, err := w.fs.placeReplicasLocked()
+	if err != nil {
+		w.fs.mu.Unlock()
+		return fmt.Errorf("%w (writing %s)", err, w.path)
+	}
+	b := &block{data: w.cur, replicas: reps}
 	w.f.blocks = append(w.f.blocks, b)
 	w.f.size += int64(len(w.cur))
 	w.fs.mu.Unlock()
 	w.cur = nil
+	return nil
 }
 
 // Close publishes the final partial block and decides the file's tier:
@@ -389,7 +528,9 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	if len(w.cur) > 0 {
-		w.flushBlock()
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
 	}
 	s := w.fs.memStore()
 	if s == nil {
@@ -464,6 +605,23 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 		bo := off % bs
 		r.fs.mu.RLock()
 		blk := r.f.blocks[bi]
+		// Serve the read from a live replica: when the primary's node is
+		// down the read fails over to a surviving copy; when every
+		// replica lived on lost nodes the block is gone for good.
+		live := -1
+		for _, rep := range blk.replicas {
+			if !r.fs.down[rep] {
+				live = rep
+				break
+			}
+		}
+		if live < 0 {
+			r.fs.mu.RUnlock()
+			return n, &BlockLostError{Path: r.path, Block: bi}
+		}
+		if len(blk.replicas) > 0 && live != blk.replicas[0] {
+			r.fs.ctrFailover.Load().Inc()
+		}
 		c := copy(p[n:], blk.data[bo:])
 		r.fs.mu.RUnlock()
 		n += c

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"hivempi/internal/chaos"
+	"hivempi/internal/testutil/leakcheck"
 )
 
 func newTestFS() *FileSystem {
@@ -20,6 +21,7 @@ func newTestFS() *FileSystem {
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	data := bytes.Repeat([]byte("hello dfs "), 50) // 500 bytes > several blocks
 	if err := fs.WriteFile("/a/b.txt", data); err != nil {
@@ -39,6 +41,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestCreateExistsAndOverwrite(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	if err := fs.WriteFile("/f", []byte("one")); err != nil {
 		t.Fatal(err)
@@ -56,6 +59,7 @@ func TestCreateExistsAndOverwrite(t *testing.T) {
 }
 
 func TestOpenMissing(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	if _, err := fs.Open("/nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("err = %v, want ErrNotFound", err)
@@ -66,6 +70,7 @@ func TestOpenMissing(t *testing.T) {
 }
 
 func TestListAndDeleteDir(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	for _, p := range []string{"/w/x/1", "/w/x/2", "/w/y/3", "/z"} {
 		if err := fs.WriteFile(p, []byte(p)); err != nil {
@@ -86,6 +91,7 @@ func TestListAndDeleteDir(t *testing.T) {
 }
 
 func TestRename(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	if err := fs.WriteFile("/src", []byte("payload")); err != nil {
 		t.Fatal(err)
@@ -106,6 +112,7 @@ func TestRename(t *testing.T) {
 }
 
 func TestSplitsAlignAndCover(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	data := make([]byte, 300) // block size 64 -> 5 blocks
 	for i := range data {
@@ -153,6 +160,7 @@ func TestSplitsAlignAndCover(t *testing.T) {
 }
 
 func TestReplicaPlacementBalance(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	data := make([]byte, 64*40)
 	if err := fs.WriteFile("/balance", data); err != nil {
@@ -172,6 +180,7 @@ func TestReplicaPlacementBalance(t *testing.T) {
 }
 
 func TestReaderSeek(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	if err := fs.WriteFile("/s", []byte("0123456789")); err != nil {
 		t.Fatal(err)
@@ -200,6 +209,7 @@ func TestReaderSeek(t *testing.T) {
 }
 
 func TestCounters(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	if err := fs.WriteFile("/c", make([]byte, 100)); err != nil {
 		t.Fatal(err)
@@ -216,6 +226,7 @@ func TestCounters(t *testing.T) {
 }
 
 func TestWriteAfterClose(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	w, err := fs.Create("/wc")
 	if err != nil {
@@ -233,6 +244,7 @@ func TestWriteAfterClose(t *testing.T) {
 }
 
 func TestPropertyRoundTripArbitrary(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := New(Config{BlockSize: 17, Nodes: []string{"a", "b"}})
 	i := 0
 	f := func(data []byte) bool {
@@ -266,6 +278,7 @@ func itoa(i int) string {
 }
 
 func TestInjectReadFault(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	if err := fs.WriteFile("/flaky", []byte("payload")); err != nil {
 		t.Fatal(err)
@@ -291,6 +304,7 @@ func TestInjectReadFault(t *testing.T) {
 }
 
 func TestInjectWriteFault(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	fs.InjectWriteFault("/out", 2)
 	for i := 0; i < 2; i++ {
@@ -318,6 +332,7 @@ func TestInjectWriteFault(t *testing.T) {
 // TestSetChaosPlane drives faults through an externally armed plan and
 // verifies reads and writes consult it.
 func TestSetChaosPlane(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newTestFS()
 	if err := fs.WriteFile("/warehouse/t/part-0", []byte("rows")); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,357 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hivempi/internal/metrics"
+	"hivempi/internal/testutil/leakcheck"
+)
+
+// The node-loss suite exercises the failure-domain half of the DFS:
+// read failover, replica drops on death, the re-replication pipeline
+// and the degraded-replication bookkeeping.
+
+func newLossFS() *FileSystem {
+	return New(Config{
+		BlockSize:   64,
+		Replication: 3,
+		Nodes:       []string{"n1", "n2", "n3", "n4"},
+		Seed:        7,
+	})
+}
+
+func TestReadFailoverOnSuspect(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := newLossFS()
+	r := metrics.NewRegistry()
+	fs.SetMetrics(r)
+	data := bytes.Repeat([]byte("xyz"), 100)
+	if err := fs.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Suspecting the primary of block 0 must leave the file readable
+	// through the surviving replicas.
+	splits, _ := fs.Splits("/f", 0)
+	primary := splits[0].Hosts[0]
+	fs.NodeSuspect(primary)
+	got, err := fs.ReadFile("/f")
+	if err != nil {
+		t.Fatalf("read with suspect primary: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover read returned wrong bytes")
+	}
+	if n := r.Counter(metrics.CtrDFSReadFailovers).Value(); n == 0 {
+		t.Fatal("failover counter did not move")
+	}
+	// Recovery clears the detour: no replicas were dropped.
+	fs.NodeUp(primary)
+	if fs.UnderReplicated() != 0 {
+		t.Fatal("suspect/recover dropped replicas")
+	}
+}
+
+func TestBlockLostWhenAllReplicasDie(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := newLossFS()
+	r := metrics.NewRegistry()
+	fs.SetMetrics(r)
+	if err := fs.WriteFile("/g", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	splits, _ := fs.Splits("/g", 0)
+	for _, h := range splits[0].Hosts {
+		fs.NodeDead(h)
+	}
+	_, err := fs.ReadFile("/g")
+	var lost *BlockLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("read of lost block: %v, want BlockLostError", err)
+	}
+	if lost.Path != "/g" || lost.Block != 0 {
+		t.Fatalf("lost = %+v", lost)
+	}
+	if !errors.Is(err, ErrBlockUnavailable) {
+		t.Fatal("BlockLostError does not unwrap to ErrBlockUnavailable")
+	}
+	if n := r.Counter(metrics.CtrDFSLostBlocks).Value(); n != 1 {
+		t.Fatalf("lost-blocks counter = %d, want 1", n)
+	}
+	// Repair cannot resurrect a block with zero replicas.
+	if st := fs.Repair(0); st.Blocks != 0 {
+		t.Fatalf("repair copied %d blocks out of nothing", st.Blocks)
+	}
+}
+
+func TestNodeDeathRepairRestoresFactor(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := newLossFS()
+	r := metrics.NewRegistry()
+	fs.SetMetrics(r)
+	fs.SetRepairCharge(func(n int64) float64 { return float64(n) / 1e6 })
+	data := make([]byte, 64*40)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("/big", data); err != nil {
+		t.Fatal(err)
+	}
+	fs.NodeDead("n2")
+	under := fs.UnderReplicated()
+	if under == 0 {
+		t.Fatal("node death left nothing under-replicated")
+	}
+	if g := r.Gauge(metrics.GaugeDFSUnderRepl).Value(); g != int64(under) {
+		t.Fatalf("under-replication gauge = %d, want %d", g, under)
+	}
+
+	st := fs.Repair(0)
+	if st.Blocks == 0 || st.Bytes == 0 {
+		t.Fatalf("repair did nothing: %+v", st)
+	}
+	if st.Seconds <= 0 {
+		t.Fatal("repair charged no virtual time through the hook")
+	}
+	if fs.UnderReplicated() != 0 {
+		t.Fatalf("factor not restored: %d blocks still under-replicated", fs.UnderReplicated())
+	}
+	if fs.RecoverySeconds() != st.Seconds {
+		t.Fatalf("RecoverySeconds = %v, want %v", fs.RecoverySeconds(), st.Seconds)
+	}
+	if n := r.Counter(metrics.CtrDFSRereplBlocks).Value(); n != st.Blocks {
+		t.Fatalf("rereplicated-blocks counter = %d, want %d", n, st.Blocks)
+	}
+
+	// No replica may sit on the dead node, and the data is intact.
+	fs.mu.RLock()
+	deadIdx := fs.nodeIdx["n2"]
+	for _, f := range fs.files {
+		for _, b := range f.blocks {
+			for _, rep := range b.replicas {
+				if rep == deadIdx {
+					t.Fatal("replica still placed on the dead node")
+				}
+			}
+			if len(b.replicas) != 3 {
+				t.Fatalf("block has %d replicas after repair, want 3", len(b.replicas))
+			}
+		}
+	}
+	fs.mu.RUnlock()
+	got, err := fs.ReadFile("/big")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-repair read mismatch (err=%v)", err)
+	}
+}
+
+func TestRepairBudgetAndPriority(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := newLossFS()
+	if err := fs.WriteFile("/b", make([]byte, 64*12)); err != nil {
+		t.Fatal(err)
+	}
+	fs.NodeDead("n1")
+	// A budget of ~3 blocks per pass leaves work pending; repeated
+	// passes drain it, mimicking the per-heartbeat bandwidth budget.
+	passes := 0
+	for fs.UnderReplicated() > 0 {
+		st := fs.Repair(3 * 64)
+		passes++
+		if st.Blocks == 0 && st.Pending > 0 {
+			t.Fatal("repair stalled with work pending")
+		}
+		if passes > 20 {
+			t.Fatal("repair did not converge")
+		}
+	}
+	if passes < 2 {
+		t.Fatalf("budget was not enforced: finished in %d pass(es)", passes)
+	}
+
+	// Priority: a block down to one replica repairs before a block
+	// missing only one copy.
+	fs2 := newLossFS()
+	if err := fs2.WriteFile("/p", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.WriteFile("/q", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	fs2.mu.Lock()
+	pb := fs2.files["/p"].blocks[0]
+	qb := fs2.files["/q"].blocks[0]
+	// Strip /p to a single replica, /q to two, adjusting load so the
+	// accounting stays consistent.
+	for _, rep := range pb.replicas[1:] {
+		fs2.load[rep]--
+	}
+	pb.replicas = pb.replicas[:1]
+	fs2.load[qb.replicas[2]]--
+	qb.replicas = qb.replicas[:2]
+	items := fs2.underReplicatedLocked()
+	fs2.mu.Unlock()
+	if len(items) != 2 || items[0].path != "/p" || items[0].live != 1 {
+		t.Fatalf("repair order = %+v, want /p (1 live) first", items)
+	}
+}
+
+// TestPostNodeLossBalance is the satellite companion to
+// TestReplicaPlacementBalance: after a death and a full repair the
+// survivors carry the replica load evenly.
+func TestPostNodeLossBalance(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := newLossFS()
+	if err := fs.WriteFile("/balance", make([]byte, 64*40)); err != nil {
+		t.Fatal(err)
+	}
+	fs.NodeDead("n3")
+	fs.Repair(0)
+	// 40 blocks x 3 replicas over 3 survivors -> exactly 40 each with
+	// least-loaded placement.
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	for i, name := range fs.cfg.Nodes {
+		want := 40
+		if name == "n3" {
+			want = 0
+		}
+		if fs.load[i] != want {
+			t.Errorf("node %s carries %d replicas after repair, want %d", name, fs.load[i], want)
+		}
+	}
+}
+
+// TestDegradedReplicationTarget pins satellite 2: a replication target
+// above the node count is kept, recorded as a degraded gauge, and
+// lazily healed when nodes join.
+func TestDegradedReplicationTarget(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := New(Config{
+		BlockSize:   64,
+		Replication: 5,
+		Nodes:       []string{"n1", "n2", "n3"},
+	})
+	r := metrics.NewRegistry()
+	fs.SetMetrics(r)
+	if g := r.Gauge(metrics.GaugeDFSDegradedRepl).Value(); g != 2 {
+		t.Fatalf("degraded gauge = %d, want 2 (target 5, 3 nodes)", g)
+	}
+	if err := fs.WriteFile("/d", make([]byte, 64*4)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.UnderReplicated() != 4 {
+		t.Fatalf("UnderReplicated = %d, want every block short of 5", fs.UnderReplicated())
+	}
+	// Repair without new nodes cannot help (Pending reported)...
+	if st := fs.Repair(0); st.Blocks != 0 || st.Pending != 4 {
+		t.Fatalf("degraded repair = %+v, want 0 copies, 4 pending", st)
+	}
+	// ...but joining nodes heals lazily.
+	fs.AddNode("n4", "")
+	fs.AddNode("n5", "")
+	if g := r.Gauge(metrics.GaugeDFSDegradedRepl).Value(); g != 0 {
+		t.Fatalf("degraded gauge = %d after joins, want 0", g)
+	}
+	if st := fs.Repair(0); st.Blocks != 8 {
+		t.Fatalf("post-join repair copied %d replicas, want 8 (2 x 4 blocks)", st.Blocks)
+	}
+	if fs.UnderReplicated() != 0 {
+		t.Fatal("factor not restored after joins")
+	}
+}
+
+func TestWritesSkipDownNodes(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := newLossFS()
+	fs.NodeSuspect("n4")
+	if err := fs.WriteFile("/w", make([]byte, 64*8)); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	i4 := fs.nodeIdx["n4"]
+	for _, b := range fs.files["/w"].blocks {
+		for _, rep := range b.replicas {
+			if rep == i4 {
+				t.Fatal("block placed on a down node")
+			}
+		}
+	}
+}
+
+func TestWriteFailsWithNoLiveNodes(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := newLossFS()
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		fs.NodeDead(n)
+	}
+	err := fs.WriteFile("/dead", make([]byte, 64))
+	if !errors.Is(err, ErrNoLiveNodes) {
+		t.Fatalf("write with zero up nodes: %v, want ErrNoLiveNodes", err)
+	}
+}
+
+func TestSeededPlacementDeterminism(t *testing.T) {
+	defer leakcheck.Check(t)()
+	place := func(seed int64) [][]string {
+		fs := New(Config{BlockSize: 64, Replication: 2, Nodes: []string{"a", "b", "c", "d"}, Seed: seed})
+		if err := fs.WriteFile("/f", make([]byte, 64*16)); err != nil {
+			t.Fatal(err)
+		}
+		splits, _ := fs.Splits("/f", 0)
+		out := make([][]string, len(splits))
+		for i, s := range splits {
+			out[i] = s.Hosts
+		}
+		return out
+	}
+	a, b := place(3), place(3)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("same seed placed differently at block %d", i)
+			}
+		}
+	}
+}
+
+func TestRackAwarePolicy(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fs := New(Config{
+		BlockSize:   64,
+		Replication: 3,
+		Nodes:       []string{"r1n1", "r1n2", "r2n1", "r2n2"},
+		Racks:       []string{"r1", "r1", "r2", "r2"},
+		Policy:      RackAwarePolicy{},
+	})
+	if err := fs.WriteFile("/rack", make([]byte, 64*12)); err != nil {
+		t.Fatal(err)
+	}
+	rackOf := map[string]string{"r1n1": "r1", "r1n2": "r1", "r2n1": "r2", "r2n2": "r2"}
+	splits, _ := fs.Splits("/rack", 0)
+	for i, s := range splits {
+		racks := map[string]bool{}
+		for _, h := range s.Hosts {
+			racks[rackOf[h]] = true
+		}
+		if len(racks) < 2 {
+			t.Fatalf("block %d replicas %v sit in a single rack", i, s.Hosts)
+		}
+		// HDFS-style: second and third replica share the remote rack.
+		if rackOf[s.Hosts[1]] != rackOf[s.Hosts[2]] {
+			t.Errorf("block %d: second/third replica on different racks %v", i, s.Hosts)
+		}
+		if rackOf[s.Hosts[0]] == rackOf[s.Hosts[1]] {
+			t.Errorf("block %d: first/second replica share rack %v", i, s.Hosts)
+		}
+	}
+	// Rack-aware repair: kill one node, factor restored while still
+	// spanning racks when possible.
+	fs.NodeDead("r2n1")
+	fs.Repair(0)
+	if fs.UnderReplicated() != 0 {
+		t.Fatal("rack-aware repair did not restore the factor")
+	}
+}

@@ -1,0 +1,154 @@
+package dfs
+
+import "math/rand"
+
+// PlacementView is the read-only cluster state a placement policy
+// consults: node names, rack labels, liveness, and the current replica
+// load. Slices alias live filesystem state — policies must not mutate
+// them or retain them past the call.
+type PlacementView struct {
+	Nodes     []string
+	Racks     []string
+	Up        []bool
+	Load      []int // total replicas per node
+	Primaries []int // blocks whose first replica is the node
+}
+
+// PlacementPolicy picks replica nodes for a block. Place returns up to
+// want distinct UP node indices, excluding the exclude set (a block's
+// surviving holders during re-replication). When exclude is empty the
+// first returned index is the block's primary. Fewer than want results
+// means degraded placement (not enough eligible nodes); policies never
+// return a down or excluded node. The RNG is the filesystem's seeded
+// generator, so ties break deterministically per (seed, workload).
+type PlacementPolicy interface {
+	Name() string
+	Place(v *PlacementView, want int, exclude []int, rng *rand.Rand) []int
+}
+
+// eligible lists the UP nodes outside the exclude set.
+func eligible(v *PlacementView, exclude []int) []int {
+	ex := make(map[int]bool, len(exclude))
+	for _, e := range exclude {
+		ex[e] = true
+	}
+	var out []int
+	for i := range v.Nodes {
+		if v.Up[i] && !ex[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pickMin removes and returns the candidate minimizing score, breaking
+// ties with a seeded draw so no node is systematically favored.
+func pickMin(cands *[]int, score func(int) int, rng *rand.Rand) int {
+	best, ties := 0, 1
+	for i := 1; i < len(*cands); i++ {
+		a, b := score((*cands)[i]), score((*cands)[best])
+		switch {
+		case a < b:
+			best, ties = i, 1
+		case a == b:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	n := (*cands)[best]
+	*cands = append((*cands)[:best], (*cands)[best+1:]...)
+	return n
+}
+
+// SpreadPolicy is the default placement: the primary goes to the node
+// with the fewest primaries (keeping map-task input locality balanced),
+// the remaining replicas to the least-loaded nodes. Ties break on total
+// load, then on a seeded draw, so balance survives node loss and joins.
+type SpreadPolicy struct{}
+
+// Name implements PlacementPolicy.
+func (SpreadPolicy) Name() string { return "spread" }
+
+// Place implements PlacementPolicy.
+func (SpreadPolicy) Place(v *PlacementView, want int, exclude []int, rng *rand.Rand) []int {
+	cands := eligible(v, exclude)
+	var out []int
+	for len(out) < want && len(cands) > 0 {
+		var score func(int) int
+		if len(out) == 0 && len(exclude) == 0 {
+			// Primary slot: balance primaries first, then load.
+			score = func(n int) int { return v.Primaries[n]*1024 + v.Load[n] }
+		} else {
+			score = func(n int) int { return v.Load[n] }
+		}
+		out = append(out, pickMin(&cands, score, rng))
+	}
+	return out
+}
+
+// RackAwarePolicy is the HDFS-style placement: first replica on the
+// least-loaded node (primaries balanced as in SpreadPolicy), second on
+// a different rack, third on the second's rack but a different node,
+// any further replicas least-loaded anywhere. With a single rack it
+// degenerates to SpreadPolicy.
+type RackAwarePolicy struct{}
+
+// Name implements PlacementPolicy.
+func (RackAwarePolicy) Name() string { return "rack-aware" }
+
+// Place implements PlacementPolicy.
+func (RackAwarePolicy) Place(v *PlacementView, want int, exclude []int, rng *rand.Rand) []int {
+	cands := eligible(v, exclude)
+	var out []int
+	rack := func(n int) string {
+		if n < len(v.Racks) {
+			return v.Racks[n]
+		}
+		return "default"
+	}
+	// Prefer removes and returns the least-loaded candidate satisfying
+	// ok, falling back to any candidate when none does (degraded rack
+	// diversity beats degraded replication).
+	prefer := func(ok func(int) bool, score func(int) int) int {
+		var pool []int
+		for _, c := range cands {
+			if ok(c) {
+				pool = append(pool, c)
+			}
+		}
+		if len(pool) == 0 {
+			pool = cands
+		}
+		n := pickMin(&pool, score, rng)
+		for i, c := range cands {
+			if c == n {
+				cands = append(cands[:i], cands[i+1:]...)
+				break
+			}
+		}
+		return n
+	}
+	loadScore := func(n int) int { return v.Load[n] }
+	for len(out) < want && len(cands) > 0 {
+		switch len(out) {
+		case 0:
+			if len(exclude) == 0 {
+				out = append(out, prefer(func(int) bool { return true },
+					func(n int) int { return v.Primaries[n]*1024 + v.Load[n] }))
+			} else {
+				out = append(out, prefer(func(int) bool { return true }, loadScore))
+			}
+		case 1:
+			r0 := rack(out[0])
+			out = append(out, prefer(func(n int) bool { return rack(n) != r0 }, loadScore))
+		case 2:
+			r1 := rack(out[1])
+			out = append(out, prefer(func(n int) bool { return rack(n) == r1 }, loadScore))
+		default:
+			out = append(out, prefer(func(int) bool { return true }, loadScore))
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package dfs
+
+import "sort"
+
+// This file is the node-loss half of the DFS: liveness transitions fed
+// by the cluster membership watcher (NodeSuspect / NodeDead / NodeUp /
+// AddNode) and the re-replication pipeline (Repair) that restores the
+// replication factor after a node dies. All state lives under fs.mu;
+// nothing here calls out while holding it, preserving the documented
+// fs.mu -> tierMu -> store.mu lock order.
+
+// RepairStats summarizes one Repair pass.
+type RepairStats struct {
+	Blocks  int64   // replicas copied
+	Bytes   int64   // bytes streamed for those copies
+	Seconds float64 // virtual seconds charged through SetRepairCharge
+	Pending int     // under-replicated blocks still waiting (budget ran out)
+}
+
+// NodeSuspect marks the node temporarily unavailable: reads fail over
+// to other replicas and writes skip it, but its replicas are kept — a
+// suspect node usually comes back.
+func (fs *FileSystem) NodeSuspect(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if i, ok := fs.nodeIdx[name]; ok {
+		fs.down[i] = true
+		fs.publishHealthLocked()
+	}
+}
+
+// NodeUp marks the node available again (suspicion cleared, or a fresh
+// node joining — unknown names are added to the cluster).
+func (fs *FileSystem) NodeUp(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	i, ok := fs.nodeIdx[name]
+	if !ok {
+		i = fs.addNodeLocked(name, "default")
+	}
+	fs.down[i] = false
+	fs.publishHealthLocked()
+}
+
+// NodeDead declares the node permanently lost: every replica it held
+// is dropped from the block map. Blocks that lose their last replica
+// are gone (reads return BlockLostError); the rest become
+// under-replicated until Repair restores the factor.
+func (fs *FileSystem) NodeDead(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	i, ok := fs.nodeIdx[name]
+	if !ok {
+		return
+	}
+	fs.down[i] = true
+	var lost int64
+	for _, f := range fs.files {
+		for _, b := range f.blocks {
+			for k := 0; k < len(b.replicas); k++ {
+				if b.replicas[k] != i {
+					continue
+				}
+				if k == 0 {
+					fs.primaries[i]--
+					if len(b.replicas) > 1 {
+						// A surviving replica inherits the primary role.
+						fs.primaries[b.replicas[1]]++
+					}
+				}
+				b.replicas = append(b.replicas[:k], b.replicas[k+1:]...)
+				fs.load[i]--
+				k--
+			}
+			if len(b.replicas) == 0 {
+				lost++
+			}
+		}
+	}
+	if lost > 0 {
+		fs.ctrLostBlocks.Load().Add(lost)
+	}
+	fs.publishHealthLocked()
+}
+
+// AddNode grows the cluster with a fresh, empty UP node (rack optional,
+// "" = default). Existing under-replicated blocks can then be repaired
+// onto it — the lazy re-replication path for a Replication target that
+// exceeded the original node count.
+func (fs *FileSystem) AddNode(name, rack string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if rack == "" {
+		rack = "default"
+	}
+	if i, ok := fs.nodeIdx[name]; ok {
+		fs.down[i] = false
+	} else {
+		fs.addNodeLocked(name, rack)
+	}
+	fs.publishHealthLocked()
+}
+
+func (fs *FileSystem) addNodeLocked(name, rack string) int {
+	i := len(fs.cfg.Nodes)
+	fs.cfg.Nodes = append(fs.cfg.Nodes, name)
+	fs.cfg.Racks = append(fs.cfg.Racks, rack)
+	fs.nodeIdx[name] = i
+	fs.down = append(fs.down, false)
+	fs.load = append(fs.load, 0)
+	fs.primaries = append(fs.primaries, 0)
+	return i
+}
+
+// NodeNames returns the node names in index order (dead nodes included;
+// indices are stable for the filesystem's lifetime).
+func (fs *FileSystem) NodeNames() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return append([]string{}, fs.cfg.Nodes...)
+}
+
+// UnderReplicated counts blocks whose live replica count is below the
+// replication target (lost blocks — zero replicas — excluded; they are
+// unrecoverable and counted by dfs.lost.blocks instead).
+func (fs *FileSystem) UnderReplicated() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.underReplicatedLocked())
+}
+
+// RecoverySeconds returns the cumulative virtual seconds Repair has
+// charged through the SetRepairCharge hook.
+func (fs *FileSystem) RecoverySeconds() float64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.recoverySec
+}
+
+type repairItem struct {
+	b    *block
+	live int
+	path string
+	idx  int
+}
+
+// underReplicatedLocked scans the block map for blocks needing copies,
+// ordered most-endangered first (fewest live replicas), then by path
+// and block index so the repair order is deterministic.
+func (fs *FileSystem) underReplicatedLocked() []repairItem {
+	var items []repairItem
+	for p, f := range fs.files {
+		for bi, b := range f.blocks {
+			if len(b.replicas) == 0 || len(b.replicas) >= fs.cfg.Replication {
+				continue
+			}
+			items = append(items, repairItem{b: b, live: len(b.replicas), path: p, idx: bi})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].live != items[j].live {
+			return items[i].live < items[j].live
+		}
+		if items[i].path != items[j].path {
+			return items[i].path < items[j].path
+		}
+		return items[i].idx < items[j].idx
+	})
+	return items
+}
+
+func (fs *FileSystem) upCountLocked() int {
+	n := 0
+	for _, d := range fs.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// publishHealthLocked refreshes the degraded-replication and
+// under-replication gauges after a liveness or topology change.
+func (fs *FileSystem) publishHealthLocked() {
+	short := fs.cfg.Replication - fs.upCountLocked()
+	if short < 0 {
+		short = 0
+	}
+	fs.gDegraded.Load().Set(int64(short))
+	fs.gUnderRepl.Load().Set(int64(len(fs.underReplicatedLocked())))
+}
+
+// Repair runs one re-replication pass: under-replicated blocks are
+// copied onto fresh UP nodes (most-endangered first) until the factor
+// is restored or budgetBytes is spent (<= 0 = unlimited). Each copy
+// streams one replica's bytes, priced into virtual seconds through the
+// SetRepairCharge hook; counters and the under-replication gauge are
+// updated. The pass is idempotent — with no failed nodes it is a no-op.
+func (fs *FileSystem) Repair(budgetBytes int64) RepairStats {
+	charge := fs.repairChargeFn()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var st RepairStats
+	items := fs.underReplicatedLocked()
+	for n, it := range items {
+		if budgetBytes > 0 && st.Bytes >= budgetBytes {
+			st.Pending = len(items) - n
+			break
+		}
+		want := fs.cfg.Replication - len(it.b.replicas)
+		got := fs.cfg.Policy.Place(fs.placementViewLocked(), want, it.b.replicas, fs.rng)
+		for _, g := range got {
+			it.b.replicas = append(it.b.replicas, g)
+			fs.load[g]++
+			st.Blocks++
+			st.Bytes += int64(len(it.b.data))
+		}
+		if len(it.b.replicas) < fs.cfg.Replication {
+			st.Pending++ // not enough eligible nodes yet (degraded target)
+		}
+	}
+	if st.Bytes > 0 {
+		fs.ctrRereplBlk.Load().Add(st.Blocks)
+		fs.ctrRereplBytes.Load().Add(st.Bytes)
+		if charge != nil {
+			st.Seconds = charge(st.Bytes)
+			fs.recoverySec += st.Seconds
+		}
+	}
+	fs.gUnderRepl.Load().Set(int64(len(fs.underReplicatedLocked())))
+	return st
+}

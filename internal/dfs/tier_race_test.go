@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hivempi/internal/imstore"
+	"hivempi/internal/testutil/leakcheck"
 )
 
 // TestCloseVsDeleteNoBudgetLeak is the regression test for the
@@ -15,6 +16,7 @@ import (
 // admission — leaving a deleted, unreachable path resident and its
 // budget leaked. Run under -race.
 func TestCloseVsDeleteNoBudgetLeak(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := New(Config{BlockSize: 1 << 10, Nodes: []string{"a", "b"}})
 	store := imstore.New(1 << 30)
 	store.AddRoot("/tmp/x")
@@ -57,6 +59,7 @@ func TestCloseVsDeleteNoBudgetLeak(t *testing.T) {
 // namespace, then losing to Rename's re-admission of the destination —
 // leaving a deleted path resident forever. Run under -race.
 func TestRenameVsDeleteDirNoBudgetLeak(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := New(Config{BlockSize: 1 << 10, Nodes: []string{"a", "b"}})
 	store := imstore.New(1 << 30)
 	store.AddRoot("/tmp/x")
@@ -105,6 +108,7 @@ func TestRenameVsDeleteDirNoBudgetLeak(t *testing.T) {
 // that the budget balances once the namespace is emptied. This is the
 // -race exerciser for the fs.mu -> tierMu -> store.mu lock ordering.
 func TestConcurrentAdmitReleaseStress(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := New(Config{BlockSize: 1 << 10, Nodes: []string{"a", "b", "c"}})
 	store := imstore.New(64 << 10) // small budget: admissions and rejections mix
 	store.AddRoot("/tmp/x")

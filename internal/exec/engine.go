@@ -95,7 +95,10 @@ type MapTaskSpec struct {
 
 // PlanMapTasks computes the task list for a stage: every input path of
 // every map work is chopped into splits; each split becomes a task
-// hosted on its first replica (data locality).
+// hosted on its first UP replica (data locality). DEAD and SUSPECT
+// nodes are blacklisted: when no live replica host remains the task
+// runs remote (Host empty, non-local), and the read either fails over
+// or surfaces BlockLostError for the scheduler's relaunch path.
 func PlanMapTasks(env *Env, stage *Stage, conf EngineConf) ([]MapTaskSpec, error) {
 	var tasks []MapTaskSpec
 	for mi := range stage.Maps {
@@ -105,11 +108,14 @@ func PlanMapTasks(env *Env, stage *Stage, conf EngineConf) ([]MapTaskSpec, error
 				return nil, fmt.Errorf("exec: splits for %s: %w", path, err)
 			}
 			for _, sp := range splits {
-				host := ""
-				if len(sp.Hosts) > 0 {
-					host = sp.Hosts[0]
+				host, local := "", false
+				for _, h := range sp.Hosts {
+					if env.NodeUp(h) {
+						host, local = h, true
+						break
+					}
 				}
-				tasks = append(tasks, MapTaskSpec{MapIdx: mi, Split: sp, Host: host, Local: true})
+				tasks = append(tasks, MapTaskSpec{MapIdx: mi, Split: sp, Host: host, Local: local})
 			}
 		}
 	}

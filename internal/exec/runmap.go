@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -13,6 +14,19 @@ import (
 	"hivempi/internal/types"
 )
 
+// NodeView is the engines' read-only window onto cluster membership:
+// schedulers consult it to blacklist non-UP hosts for task placement.
+// The cluster.Membership implements it.
+type NodeView interface {
+	IsUp(node string) bool
+}
+
+// ErrNodeLost reports a task that could not run because its host died
+// between planning and launch. The scheduler maps it (like lost-block
+// reads) to a stage retry on surviving nodes rather than an engine
+// fallback.
+var ErrNodeLost = errors.New("exec: task host lost")
+
 // Env gives the runtime access to the cluster substrate.
 type Env struct {
 	FS *dfs.FileSystem
@@ -24,6 +38,18 @@ type Env struct {
 	// stage traces into and thread down to the shuffle/storage layers
 	// (nil = no metrics; every consumer is nil-safe).
 	Metrics *metrics.Registry
+	// Nodes is the cluster-membership view used to skip dead hosts
+	// (nil = every host is considered UP).
+	Nodes NodeView
+}
+
+// NodeUp reports whether a host is schedulable: true with no membership
+// view attached or for the empty host (no locality constraint).
+func (e *Env) NodeUp(host string) bool {
+	if e == nil || e.Nodes == nil || host == "" {
+		return true
+	}
+	return e.Nodes.IsUp(host)
 }
 
 // SpeculativeDetectSec is the virtual time a speculative scheduler

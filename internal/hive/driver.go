@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"strings"
 
+	"hivempi/internal/cluster"
 	"hivempi/internal/exec"
 	"hivempi/internal/imstore"
 	"hivempi/internal/metrics"
 	"hivempi/internal/obs/comm"
+	"hivempi/internal/perfmodel"
 	"hivempi/internal/storage"
 	"hivempi/internal/trace"
 	"hivempi/internal/types"
@@ -57,11 +59,17 @@ type Driver struct {
 	DisableProjection     bool
 	DisablePushdown       bool
 
+	// Cluster is the node-membership failure detector (nil = no node
+	// failure domain). Attach with AttachCluster, which also wires the
+	// DFS liveness watcher and the re-replication pricing.
+	Cluster *cluster.Membership
+
 	querySeq    int
 	memAttached bool
 	memStore    *imstore.Store
 
 	metricsAttached bool
+	perfParams      *perfmodel.Params
 }
 
 // NewDriver builds a driver with the default layout.
@@ -313,6 +321,63 @@ func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSche
 		}
 	}
 	return res, outSch, nil
+}
+
+// AttachCluster wires the node-level failure domain into the driver:
+// the membership becomes the engines' host-liveness view, its state
+// transitions drive the DFS (SUSPECT fails reads over, DEAD drops the
+// node's replicas and queues re-replication, UP readmits), and the
+// re-replication pipeline is priced through the perfmodel params (nil =
+// defaults). The detector advances one heartbeat interval per completed
+// stage — the query execution clock and the failure detector share the
+// same virtual time.
+func (d *Driver) AttachCluster(m *cluster.Membership, p *perfmodel.Params) {
+	if p == nil {
+		def := perfmodel.DefaultParams()
+		p = &def
+	}
+	d.Cluster = m
+	d.perfParams = p
+	d.Env.Nodes = m
+	d.ensureMetrics()
+	m.SetMetrics(d.Env.Metrics)
+	fs := d.Env.FS
+	fs.SetRepairCharge(p.RereplicationSeconds)
+	m.Subscribe(func(ev cluster.Event) {
+		switch ev.To {
+		case cluster.Dead:
+			fs.NodeDead(ev.Node)
+		case cluster.Suspect:
+			fs.NodeSuspect(ev.Node)
+		case cluster.Up:
+			fs.NodeUp(ev.Node)
+		}
+	})
+}
+
+// tickCluster advances the failure detector by one heartbeat interval
+// and runs one bandwidth-bounded re-replication pass, attributing the
+// recovery charge to the stage that just completed (the repair traffic
+// shares the fabric with the query). No-op without an attached cluster.
+func (d *Driver) tickCluster(sr *exec.StageResult) {
+	m := d.Cluster
+	if m == nil {
+		return
+	}
+	interval := m.Interval()
+	m.Advance(interval)
+	c := d.perfParams.Cluster
+	bw := c.DiskReadBW
+	if c.NetBW < bw {
+		bw = c.NetBW
+	}
+	if c.DiskWriteBW < bw {
+		bw = c.DiskWriteBW
+	}
+	st := d.Env.FS.Repair(int64(bw * interval))
+	if st.Seconds > 0 && sr != nil && sr.Trace != nil {
+		sr.Trace.RereplicationSec += st.Seconds
+	}
 }
 
 // ensureMemTier lazily attaches the in-memory intermediate store

@@ -1,11 +1,15 @@
 package hive
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
+	"hivempi/internal/dfs"
 	"hivempi/internal/exec"
+	"hivempi/internal/metrics"
 )
 
 // Stage DAG scheduling. The planner emits stages in a valid topological
@@ -107,10 +111,12 @@ func (es *engineState) degradedName() string {
 func (d *Driver) runOneStage(st *exec.Stage, es *engineState) (*exec.StageResult, error) {
 	engine := es.current()
 	sr, err := engine.Run(d.Env, st, d.Conf)
-	if err != nil && d.Fallback != nil && d.Fallback.Name() != engine.Name() {
+	if err != nil && d.Fallback != nil && d.Fallback.Name() != engine.Name() && !nodeLossError(err) {
 		// Graceful degradation: wipe the stage's partial output and run
 		// it (and, via the shared state, the rest of the query) on the
-		// fallback engine.
+		// fallback engine. Node-loss failures are excluded — a lost block
+		// or dead host fails on any engine; those route to the DAG
+		// scheduler's relaunch path instead.
 		if st.Sink != nil && st.Sink.Dir != "" {
 			d.Env.FS.DeleteDir(st.Sink.Dir)
 		}
@@ -120,7 +126,34 @@ func (d *Driver) runOneStage(st *exec.Stage, es *engineState) (*exec.StageResult
 	if err != nil {
 		return nil, fmt.Errorf("stage %s: %w", st.ID, err)
 	}
+	d.tickCluster(sr)
 	return sr, nil
+}
+
+// nodeLossError reports failures caused by node death rather than by
+// the engine itself: a block whose replicas all died, or a rank whose
+// host died with its retry budget spent.
+func nodeLossError(err error) bool {
+	return errors.Is(err, dfs.ErrBlockUnavailable) || errors.Is(err, exec.ErrNodeLost)
+}
+
+// lostInputProducer maps a lost-block failure to the plan index of the
+// stage whose sink directory held the block (-1 when the block belongs
+// to no stage in this query — base table data, unrecoverable here).
+func lostInputProducer(stages []*exec.Stage, err error) int {
+	var lost *dfs.BlockLostError
+	if !errors.As(err, &lost) {
+		return -1
+	}
+	for j, st := range stages {
+		if st.Sink == nil || st.Sink.Dir == "" {
+			continue
+		}
+		if strings.HasPrefix(lost.Path, st.Sink.Dir+"/") || lost.Path == st.Sink.Dir {
+			return j
+		}
+	}
+	return -1
 }
 
 // stageConcurrency is the bound on concurrently running stages: the
@@ -146,6 +179,16 @@ func (d *Driver) stageConcurrency() int {
 // stage (no goroutine outlives the call) and returns the lowest-index
 // error alongside the partial results — completed stages keep their
 // entries so the driver can preserve their traces.
+//
+// Lost-node recovery: a stage failing because an input block died with
+// its nodes (BlockLostError naming a producer's sink) does not fail the
+// query. The producer is re-executed — its surviving partial sink is
+// wiped first — and the failed consumer waits on the relaunch instead
+// of the normal dependency edges (which already fired when the producer
+// completed the first time). Cascading losses recurse naturally: a
+// relaunched producer whose own inputs are gone relaunches *its*
+// producer, bounded by a total relaunch budget so a wedged cluster
+// (base data lost, no live replicas) still fails cleanly.
 func (d *Driver) runStagesDAG(stages []*exec.Stage, deps [][]int, es *engineState) ([]*exec.StageResult, error) {
 	n := len(stages)
 	results := make([]*exec.StageResult, n)
@@ -168,9 +211,39 @@ func (d *Driver) runStagesDAG(stages []*exec.Stage, deps [][]int, es *engineStat
 
 	doneCh := make(chan int)
 	running := 0
-	launched := 0
+	launched := 0 // distinct stages ever launched (relaunches excluded)
+	everLaunched := make([]bool, n)
 	failed := false
 	maxConc := d.stageConcurrency()
+
+	// Relaunch bookkeeping. relaunching[j] marks a producer being
+	// re-executed for its output, with the consumers parked in
+	// relaunchWaiters[j] until the fresh output exists; the budget
+	// bounds total re-executions per query.
+	relaunching := make([]bool, n)
+	relaunchWaiters := make([][]int, n)
+	relaunchBudget := n + 2
+
+	// recoverLostInput reroutes stage i's lost-block failure to a
+	// producer relaunch; false means the failure stands.
+	recoverLostInput := func(i int) bool {
+		j := lostInputProducer(stages, errs[i])
+		if j < 0 || j == i || relaunchBudget <= 0 {
+			return false
+		}
+		relaunchBudget--
+		errs[i] = nil
+		results[i] = nil
+		relaunchWaiters[j] = append(relaunchWaiters[j], i)
+		if !relaunching[j] {
+			relaunching[j] = true
+			// Wipe the surviving partial output so the re-execution
+			// publishes a complete, fresh sink.
+			d.Env.FS.DeleteDir(stages[j].Sink.Dir)
+			ready = insertSorted(ready, j)
+		}
+		return true
+	}
 
 	for {
 		for !failed && running < maxConc && len(ready) > 0 {
@@ -179,7 +252,10 @@ func (d *Driver) runStagesDAG(stages []*exec.Stage, deps [][]int, es *engineStat
 			i := ready[0]
 			ready = ready[1:]
 			running++
-			launched++
+			if !everLaunched[i] {
+				everLaunched[i] = true
+				launched++
+			}
 			go func(i int) {
 				results[i], errs[i] = d.runOneStage(stages[i], es)
 				doneCh <- i
@@ -191,7 +267,27 @@ func (d *Driver) runStagesDAG(stages []*exec.Stage, deps [][]int, es *engineStat
 		i := <-doneCh
 		running--
 		if errs[i] != nil {
+			if errors.Is(errs[i], dfs.ErrBlockUnavailable) && recoverLostInput(i) {
+				continue
+			}
 			failed = true
+			continue
+		}
+		if relaunching[i] {
+			// A producer re-executed for its lost output: only the parked
+			// consumers resume — the normal dependency edges fired when
+			// the stage completed the first time, and firing them again
+			// would corrupt the waiting counts.
+			relaunching[i] = false
+			if tr := results[i].Trace; tr != nil {
+				tr.Relaunched = true
+				d.Env.Metrics.Counter(metrics.CtrTasksRelaunched).
+					Add(int64(len(tr.Producers) + len(tr.Consumers)))
+			}
+			for _, w := range relaunchWaiters[i] {
+				ready = insertSorted(ready, w)
+			}
+			relaunchWaiters[i] = nil
 			continue
 		}
 		for _, dep := range dependents[i] {

@@ -61,6 +61,23 @@ const (
 	CtrDFSMemReadBytes  = "dfs.mem.read.bytes"
 	CtrDFSMemWriteBytes = "dfs.mem.write.bytes"
 
+	// internal/cluster (membership/failure-detector plane).
+	GaugeClusterUp      = "cluster.nodes.up"
+	GaugeClusterSuspect = "cluster.nodes.suspect"
+	GaugeClusterDead    = "cluster.nodes.dead"
+	CtrClusterFlaps     = "cluster.transitions"
+
+	// internal/dfs (node-loss recovery plane).
+	CtrDFSRereplBlocks   = "dfs.rereplicated.blocks"
+	CtrDFSRereplBytes    = "dfs.rereplicated.bytes"
+	CtrDFSReadFailovers  = "dfs.read.failover"
+	CtrDFSLostBlocks     = "dfs.lost.blocks"
+	GaugeDFSUnderRepl    = "dfs.underreplicated.blocks"
+	GaugeDFSDegradedRepl = "dfs.degraded.replication"
+
+	// hive scheduler (lost-node recovery).
+	CtrTasksRelaunched = "sched.tasks.relaunched"
+
 	// Driver-sampled imstore occupancy (gauges).
 	GaugeIMUsedBytes = "imstore.used.bytes"
 	GaugeIMHWMBytes  = "imstore.used.hwm.bytes"

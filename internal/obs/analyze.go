@@ -108,8 +108,14 @@ func stageRowsOut(st *trace.Stage) int64 {
 // empty when the stage ran clean on the first attempt.
 func stageFaultNotes(st *trace.Stage) string {
 	var parts []string
+	if st.Relaunched {
+		parts = append(parts, "relaunched (output lost with node)")
+	}
 	if st.Attempts > 1 {
 		parts = append(parts, fmt.Sprintf("attempts=%d", st.Attempts))
+	}
+	if st.RereplicationSec > 0 {
+		parts = append(parts, fmt.Sprintf("rereplication=%ss", fmtSec(st.RereplicationSec)))
 	}
 	if st.TaskRetries > 0 {
 		parts = append(parts, fmt.Sprintf("task_retries=%d", st.TaskRetries))

@@ -98,6 +98,12 @@ func buildStageSpan(st *trace.Stage, sr *perfmodel.StageTiming, compile float64)
 	if st.RetryBackoffSec > 0 {
 		ss.attr("retry_backoff_sec", fmtSec(st.RetryBackoffSec))
 	}
+	if st.Relaunched {
+		ss.attr("relaunched", "true")
+	}
+	if st.RereplicationSec > 0 {
+		ss.attr("rereplication_sec", fmtSec(st.RereplicationSec))
+	}
 	for j, sp := range sr.Producers {
 		var tt *trace.Task
 		if j < len(st.Producers) {

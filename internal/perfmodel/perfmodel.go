@@ -105,6 +105,26 @@ func (p *Params) engine(name string) EngineParams {
 	return p.Hadoop
 }
 
+// RereplicationSeconds prices copying n bytes of lost replicas onto
+// fresh nodes: each block streams disk -> network -> disk, so the
+// pipeline runs at the slowest of the three channels. The driver feeds
+// this to dfs.SetRepairCharge so recovery cost lands in the same
+// virtual-time currency as the stage timings.
+func (p *Params) RereplicationSeconds(n int64) float64 {
+	c := p.Cluster
+	bw := c.DiskReadBW
+	if c.NetBW < bw {
+		bw = c.NetBW
+	}
+	if c.DiskWriteBW < bw {
+		bw = c.DiskWriteBW
+	}
+	if bw <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(n) / bw
+}
+
 // TaskSpan is one scheduled task on the simulated cluster.
 type TaskSpan struct {
 	ID    int
@@ -424,7 +444,7 @@ func (p *Params) SimulateStage(st *trace.Stage) *StageTiming {
 	if st.Attempts > 1 {
 		out.Total += float64(st.Attempts-1) * e.JobStartup
 	}
-	out.Total += st.RetryBackoffSec + st.ChaosDelaySec
+	out.Total += st.RetryBackoffSec + st.ChaosDelaySec + st.RereplicationSec
 	out.MapShuffle = shuffleEnd - mapStart
 	out.Others = out.Total - out.Startup - out.MapShuffle
 	if out.Others < 0 {

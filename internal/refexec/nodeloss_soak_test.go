@@ -1,0 +1,183 @@
+package refexec
+
+import (
+	"testing"
+
+	"hivempi/internal/chaos"
+	"hivempi/internal/cluster"
+	"hivempi/internal/hive"
+	"hivempi/internal/metrics"
+	"hivempi/internal/testutil/leakcheck"
+	"hivempi/internal/tpch"
+)
+
+// Node-loss soak: the full TPC-H suite must return reference-identical
+// results while the cluster membership loses nodes underneath it. Three
+// seeded schedules cover the failure-domain surface:
+//
+//	crash-mid-stage:   one node fail-stops mid-run; reads fail over,
+//	                   stale-hostfile ranks retry onto survivors, and
+//	                   re-replication restores the factor.
+//	crash-during-repair: a second node dies while the first death's
+//	                   re-replication is still in flight; a fresh node
+//	                   joins mid-run and the factor is restored by end.
+//	slow-node-flap:    a node's heartbeats run late enough to flap it
+//	                   through SUSPECT without dying; reads fail over
+//	                   and no replica is dropped.
+//
+// Every schedule runs all 22 queries on one driver (the detector ticks
+// once per completed stage, so the faults land mid-workload), under
+// the race detector via `make soak` / `make check`.
+
+// newClusterDriver builds the standard refexec driver with the failure
+// domain attached: a 4-node membership with the default detector
+// timing, armed with the schedule's chaos plan.
+func newClusterDriver(t *testing.T, plan chaos.Plan) (*hive.Driver, *cluster.Membership, *chaos.Plane) {
+	t.Helper()
+	d := newDriver(t)
+	d.Conf.MaxTaskAttempts = 5
+	m := cluster.New(cluster.Config{Nodes: []string{"s1", "s2", "s3", "s4"}})
+	plane := chaos.NewPlane(plan)
+	m.SetChaos(plane)
+	d.AttachCluster(m, nil)
+	return d, m, plane
+}
+
+// runAll22 executes every TPC-H query on the driver and compares each
+// result to the reference executor, calling onQuery (if set) between
+// queries with the 1-based position.
+func runAll22(t *testing.T, d *hive.Driver, db *DB, onQuery func(i int)) {
+	t.Helper()
+	for q := 1; q <= 22; q++ {
+		script, err := tpch.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := lastRows(t, d, script)
+		want, err := Query(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsMatch(t, q, got, want)
+		if onQuery != nil {
+			onQuery(q)
+		}
+	}
+}
+
+func TestNodeLossSoakCrashMidStage(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db := Load(testSF, testSeed)
+	// s2 fail-stops at its 9th heartbeat consultation — a few stages
+	// into the workload — and is declared DEAD ~6 intervals later.
+	d, m, plane := newClusterDriver(t, chaos.Plan{Seed: 9, Specs: []chaos.Spec{
+		{Kind: chaos.NodeCrash, Node: "s2", After: 8},
+	}})
+
+	runAll22(t, d, db, nil)
+
+	if plane.Fired(chaos.NodeCrash) != 1 {
+		t.Fatal("the crash never fired; the soak proved nothing")
+	}
+	if st, _ := m.State("s2"); st != cluster.Dead {
+		t.Fatalf("s2 = %v at end of soak, want DEAD", st)
+	}
+	if g := d.Env.Metrics.Gauge(metrics.GaugeClusterDead).Value(); g != 1 {
+		t.Fatalf("cluster.nodes.dead = %d, want 1", g)
+	}
+	if n := d.Env.Metrics.Counter(metrics.CtrDFSRereplBlocks).Value(); n == 0 {
+		t.Fatal("node death triggered no re-replication")
+	}
+	if u := d.Env.FS.UnderReplicated(); u != 0 {
+		t.Fatalf("replication factor not restored: %d blocks under-replicated", u)
+	}
+	if n := d.Env.Metrics.Counter(metrics.CtrDFSLostBlocks).Value(); n != 0 {
+		t.Fatalf("%d blocks lost despite 3-way replication and one death", n)
+	}
+}
+
+func TestNodeLossSoakCrashDuringRereplication(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db := Load(testSF, testSeed)
+	// s2 dies first; s3's crash is armed two consultations later, so it
+	// falls while s2's replicas are still being re-replicated. With two
+	// of four nodes dead the 3-way factor is unsatisfiable until a
+	// fresh node (s5) joins mid-run.
+	d, m, plane := newClusterDriver(t, chaos.Plan{Seed: 17, Specs: []chaos.Spec{
+		{Kind: chaos.NodeCrash, Node: "s2", After: 6},
+		{Kind: chaos.NodeCrash, Node: "s3", After: 8},
+	}})
+
+	joined := false
+	runAll22(t, d, db, func(i int) {
+		if _, _, dead := m.Counts(); dead == 2 && !joined {
+			joined = true
+			m.Join("s5")
+		}
+	})
+
+	if plane.Fired(chaos.NodeCrash) != 2 {
+		t.Fatalf("%d crashes fired, want 2", plane.Fired(chaos.NodeCrash))
+	}
+	if !joined {
+		t.Fatal("both deaths never landed during the workload")
+	}
+	up, _, dead := m.Counts()
+	if dead != 2 || up != 3 {
+		t.Fatalf("end membership up=%d dead=%d, want 3 up (s1,s4,s5) / 2 dead", up, dead)
+	}
+	if n := d.Env.Metrics.Counter(metrics.CtrDFSRereplBlocks).Value(); n == 0 {
+		t.Fatal("no re-replication despite two deaths")
+	}
+	if u := d.Env.FS.UnderReplicated(); u != 0 {
+		t.Fatalf("factor not restored after s5 joined: %d blocks under-replicated", u)
+	}
+	if n := d.Env.Metrics.Counter(metrics.CtrDFSLostBlocks).Value(); n != 0 {
+		t.Fatalf("%d blocks lost; 3-way replication should survive staggered double death", n)
+	}
+	if d.Env.FS.RecoverySeconds() <= 0 {
+		t.Fatal("re-replication charged no virtual recovery time")
+	}
+}
+
+func TestNodeLossSoakSlowNodeFlap(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db := Load(testSF, testSeed)
+	// s4's heartbeats run 3s late for six consecutive intervals: past
+	// the 2.5s suspect threshold, well short of the 6s death threshold.
+	// The node flaps through SUSPECT (reads fail over) and recovers on
+	// its first on-time beat; no replica may be dropped.
+	d, m, plane := newClusterDriver(t, chaos.Plan{Seed: 23, Specs: []chaos.Spec{
+		{Kind: chaos.NodeSlow, Node: "s4", After: 5, DelaySec: 3, Count: 6},
+	}})
+	flapped := false
+	m.Subscribe(func(ev cluster.Event) {
+		if ev.Node == "s4" && ev.To == cluster.Suspect {
+			flapped = true
+		}
+	})
+
+	runAll22(t, d, db, nil)
+
+	if plane.Fired(chaos.NodeSlow) != 6 {
+		t.Fatalf("%d slow beats fired, want 6", plane.Fired(chaos.NodeSlow))
+	}
+	if !flapped {
+		t.Fatal("slow beats never pushed s4 into SUSPECT")
+	}
+	if st, _ := m.State("s4"); st != cluster.Up {
+		t.Fatalf("s4 = %v at end, want UP (flap must recover)", st)
+	}
+	if g := d.Env.Metrics.Gauge(metrics.GaugeClusterDead).Value(); g != 0 {
+		t.Fatalf("cluster.nodes.dead = %d, want 0 (suspicion must not kill)", g)
+	}
+	if n := d.Env.Metrics.Counter(metrics.CtrDFSReadFailovers).Value(); n == 0 {
+		t.Fatal("no read failed over during the suspicion window")
+	}
+	if n := d.Env.Metrics.Counter(metrics.CtrDFSLostBlocks).Value(); n != 0 {
+		t.Fatalf("%d blocks lost during a flap that dropped no node", n)
+	}
+	if u := d.Env.FS.UnderReplicated(); u != 0 {
+		t.Fatalf("flap left %d blocks under-replicated; suspicion must keep replicas", u)
+	}
+}

@@ -216,10 +216,12 @@ type Stage struct {
 	LaunchCommand string
 
 	// Fault-tolerance accounting.
-	Attempts        int     // job-level attempts (0 or 1 = ran once)
-	RetryBackoffSec float64 // virtual backoff spent between attempts
-	ChaosDelaySec   float64 // injected message delay charged to the stage
-	TaskRetries     int     // per-task re-executions within the job
+	Attempts         int     // job-level attempts (0 or 1 = ran once)
+	RetryBackoffSec  float64 // virtual backoff spent between attempts
+	ChaosDelaySec    float64 // injected message delay charged to the stage
+	TaskRetries      int     // per-task re-executions within the job
+	RereplicationSec float64 // DFS re-replication bandwidth charged after the stage
+	Relaunched       bool    // stage re-executed because its output died with a node
 
 	// DependsOn names the stages whose output this stage reads (the
 	// query's stage DAG). The perfmodel uses it for critical-path
