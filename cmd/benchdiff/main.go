@@ -3,12 +3,14 @@
 // numbers (BENCH_shuffle.json) gate hot-path changes:
 //
 //	go test -bench . -benchmem ./internal/kvio/ | benchfmt > /tmp/cur.json
-//	benchdiff -tol 0.30 BENCH_shuffle.json /tmp/cur.json
+//	benchdiff -tolerance 0.10 BENCH_shuffle.json /tmp/cur.json
 //
-// A benchmark regresses when its ns/op grows by more than -tol
-// (fractional, default 0.30: microbenchmark noise on shared runners
-// makes tighter gates flaky) or when it allocates more per op than the
-// baseline. Benchmarks present on only one side are reported but never
+// A benchmark regresses when its ns/op grows by more than -tolerance
+// (fractional; -tol is a short alias) or when it allocates more per op
+// than the baseline. CI runs the gate blocking at 0.10; PRs that
+// intentionally trade microbenchmark speed carry the
+// `bench-regression-ok` label to demote the step to advisory (see
+// README). Benchmarks present on only one side are reported but never
 // fail the diff — adding or retiring a benchmark is not a regression.
 package main
 
@@ -34,9 +36,10 @@ type Result struct {
 
 func main() {
 	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
-	tol := fs.Float64("tol", 0.30, "allowed fractional ns/op growth before a benchmark counts as regressed")
+	tol := fs.Float64("tolerance", 0.10, "allowed fractional ns/op growth before a benchmark counts as regressed")
+	fs.Float64Var(tol, "tol", 0.10, "alias for -tolerance")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol frac] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance frac] baseline.json current.json")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])

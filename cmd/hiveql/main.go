@@ -6,12 +6,16 @@
 //
 //	hiveql [-engine hadoop|datampi] [-dataset tpch|hibench|none]
 //	       [-size GB] [-format textfile|sequencefile|orc] [-f script.sql]
-//	       [-explain] [-analyze] [-comm report.json] [-heatmap]
+//	       [-explain] [-analyze] [-vectorized] [-comm report.json] [-heatmap]
 //
 // -analyze wraps each statement in EXPLAIN ANALYZE: the statement
 // executes and the plan is printed annotated with per-stage rows,
 // bytes, virtual seconds and engine (plus the counter snapshot).
 // EXPLAIN ANALYZE also works typed directly at the prompt.
+//
+// -vectorized routes map tasks through the columnar batch pipeline
+// (hive.exec.vectorized); output is byte-identical to row mode and
+// -analyze shows the per-stage batch counts.
 //
 // -comm writes the session's communication report (per-stage O x A
 // shuffle matrices with skew statistics) as JSON on exit; -heatmap
@@ -53,6 +57,7 @@ func run(args []string) error {
 	format := fs.String("format", "textfile", "table format: textfile, sequencefile or orc")
 	script := fs.String("f", "", "script file to execute (default: interactive)")
 	explain := fs.Bool("explain", false, "print the plan for each statement instead of running it")
+	vectorized := fs.Bool("vectorized", false, "columnar batch execution (hive.exec.vectorized); output is byte-identical to row mode")
 	analyze := fs.Bool("analyze", false, "run each statement and print its runtime-annotated plan (EXPLAIN ANALYZE)")
 	commOut := fs.String("comm", "", "write the session's communication report (skew matrices) to this JSON file")
 	heatmap := fs.Bool("heatmap", false, "print a text heatmap of each shuffle stage's communication matrix on exit")
@@ -77,6 +82,7 @@ func run(args []string) error {
 	})}
 	conf := exec.DefaultEngineConf()
 	conf.SpillDir = os.TempDir()
+	conf.Vectorized = *vectorized
 	d := hive.NewDriver(env, engine, conf)
 
 	bytesPerGB := int64(1 << 20)
@@ -180,6 +186,7 @@ func printResult(res *hive.Result, elapsed time.Duration) {
 			Statement:  res.Statement,
 			Stages:     res.Stages,
 			Overlapped: res.Overlapped,
+			CachedPlan: res.CachedPlan,
 		}
 		fmt.Print(obs.RenderAnalyzedPlan(q, res.Degraded, res.Metrics, nil))
 		fmt.Printf("-- %d row(s), %d stage(s), %s\n",

@@ -9,33 +9,46 @@ import (
 
 // MetricsHot flags per-call metrics.Registry lookups (Counter, Gauge,
 // Add, Histogram, Timer) inside functions reachable from the
-// shuffle/kvio hot paths.
+// shuffle/kvio/vectorized hot paths or the plan-cache statement path.
 // Registry lookups take the registry's read lock and hash the name on
 // every call; hot paths must cache the *Counter/*Gauge handle once at
 // setup (as datampi.NewJob and dfs.SetMetrics do) and hit the cached
 // atomic afterwards. Setup-shaped functions — New*/new*, Set*/set*,
-// init — are exempt: running once per job is the sanctioned pattern.
+// ensure*/Ensure*, init — are exempt: running once per job is the
+// sanctioned pattern.
 var MetricsHot = &Analyzer{
 	Name: "metricshot",
-	Doc:  "no per-call Registry lookups in functions reachable from shuffle/kvio hot paths",
+	Doc:  "no per-call Registry lookups in functions reachable from shuffle/kvio/vec or plan-cache hot paths",
 	Run:  runMetricsHot,
 }
 
 // hotRootPackages contribute every declared function as a hot-path
-// root (the shuffle library and the kv wire format).
-var hotRootPackages = []string{"kvio", "datampi"}
+// root (the shuffle library, the kv wire format, and the columnar
+// batch layer — vec runs per batch inside every vectorized operator).
+var hotRootPackages = []string{"kvio", "datampi", "vec"}
 
 // hotRootMethods are individual hot entry points outside those
-// packages: the dfs per-I/O paths.
-var hotRootMethods = map[string][]string{
-	"Writer": {"Write"},
-	"Reader": {"Read", "ReadAt"},
+// packages, keyed by internal package name, then receiver type name
+// ("" for free functions): the dfs per-I/O paths and the plan cache's
+// per-statement lookup/insert path in hive.
+var hotRootMethods = map[string]map[string][]string{
+	"dfs": {
+		"Writer": {"Write"},
+		"Reader": {"Read", "ReadAt"},
+	},
+	"hive": {
+		"PlanCache": {"lookup", "put"},
+		"Driver":    {"foldPlanCacheEvictions"},
+		"":          {"normalizePlanKey"},
+	},
 }
 
 // isSetupFunc reports whether the function is a once-per-job setup
 // site where Registry lookups are the sanctioned caching pattern.
+// ensure* counts: lazily-initialize-once helpers are setup that
+// happens to run on the first hot call.
 func isSetupFunc(name string) bool {
-	for _, p := range []string{"New", "new", "Set", "set"} {
+	for _, p := range []string{"New", "new", "Set", "set", "Ensure", "ensure"} {
 		if strings.HasPrefix(name, p) {
 			return true
 		}
@@ -45,24 +58,28 @@ func isSetupFunc(name string) bool {
 
 func runMetricsHot(prog *Program) []Diagnostic {
 	idx := prog.FuncIndex()
-	dfsPath := prog.ModulePath + "/internal/dfs"
 	metricsPath := prog.ModulePath + "/internal/metrics"
 
 	// Roots: the hot packages' functions (minus setup functions) plus
-	// the dfs I/O methods.
+	// the named per-package entry points.
 	rootOf := make(map[*types.Func]string)
 	for obj, fi := range idx {
 		if prog.internalPath(fi.Pkg, hotRootPackages...) && !isSetupFunc(obj.Name()) {
 			rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
 		}
-		if fi.Pkg.Path == dfsPath {
+		for pkgName, byType := range hotRootMethods {
+			if !prog.internalPath(fi.Pkg, pkgName) {
+				continue
+			}
+			recvName := ""
 			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
 				if n := recvNamed(sig.Recv().Type()); n != nil {
-					for _, m := range hotRootMethods[n.Obj().Name()] {
-						if obj.Name() == m {
-							rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
-						}
-					}
+					recvName = n.Obj().Name()
+				}
+			}
+			for _, m := range byType[recvName] {
+				if obj.Name() == m {
+					rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
 				}
 			}
 		}

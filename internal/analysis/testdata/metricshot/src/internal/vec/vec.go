@@ -1,0 +1,33 @@
+// vec side of the metricshot fixture: every function in the columnar
+// batch layer is a hot-path root (operators touch it once per batch),
+// so a per-call Registry lookup inside one is a violation while the
+// New*-shaped pool constructor stays exempt.
+package vec
+
+import "hivempi/internal/metrics"
+
+type Pool struct {
+	reg    *metrics.Registry
+	allocs *metrics.Counter
+}
+
+func NewPool(reg *metrics.Registry) *Pool {
+	// Setup-time lookup: allowed — this runs once per pool.
+	return &Pool{reg: reg, allocs: reg.Counter("vec.pool.allocs")}
+}
+
+func (p *Pool) Get(ncols int) int {
+	p.reg.Counter("vec.pool.allocs").Inc() // want "per-call Registry.Counter lookup"
+	p.allocs.Inc()                         // cached handle: allowed
+	return ncols
+}
+
+func (p *Pool) observe(n int) {
+	p.reg.Histogram("vec.batch.rows").Observe(int64(n)) // want "per-call Registry.Histogram lookup"
+}
+
+func (p *Pool) Put(n int) {
+	// Transitive reachability: the violation sits in observe, one call
+	// below this root.
+	p.observe(n)
+}

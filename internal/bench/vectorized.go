@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hivempi/internal/exec"
+	"hivempi/internal/hive"
+	"hivempi/internal/metrics"
+	"hivempi/internal/tpch"
+)
+
+// VectorizedResult is the `-exp vec` report: per-query simulated
+// runtimes row vs vectorized (hive.exec.vectorized) on ORC, plus the
+// compiled-plan cache's effect on a repeated statement.
+type VectorizedResult struct {
+	// Rows maps "Q<n>" -> (row-mode seconds, vectorized seconds).
+	Rows map[string][2]float64
+
+	// Plan cache: compile seconds charged to the first and the repeat
+	// execution of the same statement, and the cache counters after.
+	CompileFirst  float64
+	CompileCached float64
+	CacheHits     int64
+	CacheMisses   int64
+}
+
+// vecQueries are the scan/filter/aggregate-heavy TPC-H queries where
+// columnar execution pays: Q1 (wide aggregate), Q3 (join + agg), Q6
+// (selective scan), Q12 (join + case aggregation).
+var vecQueries = []int{1, 3, 6, 12}
+
+// Vectorized runs the vectorized-execution experiment at 20 GB ORC.
+func (r *Runner) Vectorized() (*VectorizedResult, error) {
+	out := &VectorizedResult{Rows: map[string][2]float64{}}
+	cl, err := r.loadTPCH(20, "orc")
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range vecQueries {
+		script, err := tpch.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		row := r.driver(cl, "datampi", nil)
+		rowT, err := r.simOne(row, script)
+		if err != nil {
+			return nil, err
+		}
+		vec := r.driver(cl, "datampi", func(c *exec.EngineConf) { c.Vectorized = true })
+		vecT, err := r.simOne(vec, script)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows[fmt.Sprintf("Q%d", q)] = [2]float64{rowT, vecT}
+	}
+
+	// Plan cache: the same statement twice on one driver. The repeat
+	// must hit the cache — no parse/plan, zero compile in the model.
+	d := r.driver(cl, "datampi", func(c *exec.EngineConf) { c.Vectorized = true })
+	q1, err := tpch.Query(1)
+	if err != nil {
+		return nil, err
+	}
+	d.Collector.Reset()
+	if _, err := d.Run(q1); err != nil {
+		return nil, err
+	}
+	if _, err := d.Run(q1); err != nil {
+		return nil, err
+	}
+	qs := d.Collector.Queries()
+	if len(qs) >= 2 {
+		out.CompileFirst = r.cfg.Params.SimulateQuery(qs[0]).Compile
+		out.CompileCached = r.cfg.Params.SimulateQuery(qs[len(qs)-1]).Compile
+	}
+	if cl.env.Metrics != nil {
+		out.CacheHits = cl.env.Metrics.Counter(metrics.CtrPlanCacheHits).Value()
+		out.CacheMisses = cl.env.Metrics.Counter(metrics.CtrPlanCacheMisses).Value()
+	}
+	return out, nil
+}
+
+// simOne runs one statement on a fresh collector and returns its
+// simulated wall time.
+func (r *Runner) simOne(d *hive.Driver, script string) (float64, error) {
+	d.Collector.Reset()
+	if _, err := d.Run(script); err != nil {
+		return 0, err
+	}
+	return r.cfg.Params.SimulateQueries(d.Collector.Queries()), nil
+}
+
+func (v *VectorizedResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Vectorized execution (ORC, 20 GB, simulated seconds):\n")
+	names := make([]string, 0, len(v.Rows))
+	for k := range v.Rows {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := v.Rows[n]
+		speedup := 0.0
+		if p[1] > 0 {
+			speedup = p[0] / p[1]
+		}
+		sb.WriteString(fmt.Sprintf("  %-4s row %8.1fs   vectorized %8.1fs   %0.2fx\n",
+			n, p[0], p[1], speedup))
+	}
+	sb.WriteString(fmt.Sprintf("  plan cache: compile %0.2fs first, %0.2fs cached (hits=%d misses=%d)\n",
+		v.CompileFirst, v.CompileCached, v.CacheHits, v.CacheMisses))
+	return sb.String()
+}

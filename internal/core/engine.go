@@ -184,7 +184,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 				rec.record(k, v)
 				return o.Send(k, v)
 			}
-			if err := exec.RunMapTask(env, stage, mapIdx, split, send, nil, m); err != nil {
+			if err := exec.RunMapTask(env, conf, stage, mapIdx, split, send, nil, m); err != nil {
 				return err
 			}
 			// Commit even when the task emitted nothing, so a retry
@@ -248,6 +248,7 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			MemUsedPercent: conf.MemUsedPercent,
 			SendQueueSize:  conf.SendQueueSize,
 			LaunchCommand:  cmdline,
+			Vectorized:     conf.Vectorized,
 		}
 		for i, m := range st.Producers {
 			m.LocalRead = tasks[i].Local
@@ -395,7 +396,7 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 				errs[i] = err
 				return
 			}
-			if err := exec.RunMapTask(env, stage, tasks[i].MapIdx, tasks[i].Split,
+			if err := exec.RunMapTask(env, conf, stage, tasks[i].MapIdx, tasks[i].Split,
 				nil, out, taskMetrics[i]); err != nil {
 				errs[i] = err
 				return
@@ -410,10 +411,11 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 		}
 	}
 	st := &trace.Stage{
-		Name:      stage.ID,
-		Engine:    e.Name(),
-		NumMaps:   len(tasks),
-		Producers: taskMetrics,
+		Name:       stage.ID,
+		Engine:     e.Name(),
+		NumMaps:    len(tasks),
+		Producers:  taskMetrics,
+		Vectorized: conf.Vectorized,
 	}
 	for i, m := range st.Producers {
 		m.LocalRead = tasks[i].Local

@@ -21,6 +21,7 @@ type AContext struct {
 	rank int
 
 	cache      []kvio.KV
+	kvScratch  []kvio.KV // receiveAll decode scratch, reused across rounds
 	cacheBytes int64
 	peakCache  int64
 	spills     []*os.File
@@ -67,10 +68,13 @@ func (a *AContext) receiveAll() error {
 		case tagDone:
 			doneCount++
 		case tagData:
-			kvs, err := kvio.DecodeAll(data)
+			// Pairs are copied into a.cache below, so one scratch []KV
+			// backing array serves every receive round.
+			kvs, err := kvio.DecodeAllInto(a.kvScratch[:0], data)
 			if err != nil {
 				return err
 			}
+			a.kvScratch = kvs[:0]
 			a.metrics.ShuffleInBytes += int64(len(data))
 			a.metrics.ShuffleInPairs += int64(len(kvs))
 			a.metrics.RecvRounds++

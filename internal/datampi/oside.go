@@ -36,6 +36,7 @@ type OContext struct {
 	pending   []*mpi.Request
 
 	metrics   *trace.Task
+	kvScratch []kvio.KV // flushPartition combiner decode scratch
 	pairIndex int64
 	flushMark []int64 // pairIndex at each flush, for timeline reconstruction
 	finalized bool
@@ -176,10 +177,14 @@ func (o *OContext) flushPartition(part int, force bool) error {
 		return nil
 	}
 	if o.job.cfg.Combiner != nil {
-		kvs, err := kvio.DecodeAll(data)
+		// runCombiner consumes kvs within the call (grouping copies key
+		// references only as long as data is alive), so the []KV backing
+		// array is reusable across flushes.
+		kvs, err := kvio.DecodeAllInto(o.kvScratch[:0], data)
 		if err != nil {
 			return fmt.Errorf("datampi: partition %d buffer corrupt: %w", part, err)
 		}
+		o.kvScratch = kvs[:0]
 		combineBase := o.metrics.CombineOutPairs
 		combined := o.runCombiner(kvs)
 		pairs = o.metrics.CombineOutPairs - combineBase

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"hivempi/internal/types"
+	"hivempi/internal/vec"
+)
+
+// benchExecBatch builds a lineitem-shaped batch: qty int, price float,
+// disc float, flag string.
+func benchExecBatch(n int) *vec.Batch {
+	rng := rand.New(rand.NewSource(3))
+	b := &vec.Batch{N: n}
+	b.Cols = []*vec.Vector{
+		vec.NewVector(types.KindInt, n),
+		vec.NewVector(types.KindFloat, n),
+		vec.NewVector(types.KindFloat, n),
+		vec.NewVector(types.KindString, n),
+	}
+	flags := []string{"A", "N", "R"}
+	for i := 0; i < n; i++ {
+		b.Cols[0].I64[i] = int64(rng.Intn(50))
+		b.Cols[1].F64[i] = rng.Float64() * 1000
+		b.Cols[2].F64[i] = rng.Float64() * 0.1
+		b.Cols[3].Str[i] = flags[rng.Intn(len(flags))]
+	}
+	return b
+}
+
+// benchFilterExpr is Q6-shaped: disc between bounds AND qty < 24.
+func benchFilterExpr() Expr {
+	return &Logic{Op: LogicAnd,
+		L: &Between{E: col(2), Lo: fLit(0.02), Hi: fLit(0.08)},
+		R: &Cmp{Op: CmpLT, L: col(0), R: iLit(24)},
+	}
+}
+
+func BenchmarkFilterRowEval(b *testing.B) {
+	e := benchFilterExpr()
+	batch := benchExecBatch(vec.DefaultSize)
+	var scratch types.Row
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kept := 0
+		for lane := 0; lane < batch.N; lane++ {
+			scratch = batch.Row(lane, scratch)
+			d, err := e.Eval(scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !d.IsNull() && d.Bool() {
+				kept++
+			}
+		}
+	}
+}
+
+func BenchmarkFilterKernel(b *testing.B) {
+	k := compileKernel(benchFilterExpr())
+	batch := benchExecBatch(vec.DefaultSize)
+	var out vec.Vector
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k(batch, &out); err != nil {
+			b.Fatal(err)
+		}
+		kept := 0
+		for lane := 0; lane < batch.N; lane++ {
+			if laneBool(&out, lane) {
+				kept++
+			}
+		}
+	}
+}
+
+// benchProjectExpr is Q1's revenue expression: price * (1 - disc).
+func benchProjectExpr() Expr {
+	return &BinOp{Op: OpMul, L: col(1),
+		R: &BinOp{Op: OpSub, L: fLit(1), R: col(2)}}
+}
+
+func BenchmarkProjectRowEval(b *testing.B) {
+	e := benchProjectExpr()
+	batch := benchExecBatch(vec.DefaultSize)
+	var scratch types.Row
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lane := 0; lane < batch.N; lane++ {
+			scratch = batch.Row(lane, scratch)
+			if _, err := e.Eval(scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkProjectKernel(b *testing.B) {
+	k := compileKernel(benchProjectExpr())
+	batch := benchExecBatch(vec.DefaultSize)
+	var out vec.Vector
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k(batch, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAggOps is a Q1-shaped map-side aggregation: group by flag,
+// sum(qty), sum(price*(1-disc)), count(*).
+func benchAggOps() []MapOp {
+	return []MapOp{&GroupByPartialOp{
+		Keys: []Expr{col(3)},
+		Aggs: []AggSpec{
+			{Kind: AggSum, Arg: col(0)},
+			{Kind: AggSum, Arg: benchProjectExpr()},
+			{Kind: AggCountStar},
+		},
+	}}
+}
+
+func BenchmarkGroupByPartialRow(b *testing.B) {
+	batch := benchExecBatch(vec.DefaultSize)
+	rows := make([]types.Row, batch.N)
+	for i := range rows {
+		rows[i] = batch.Row(i, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := buildChain(nil, benchAggOps(), func(types.Row) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if err := c.process(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByPartialVec(b *testing.B) {
+	batch := benchExecBatch(vec.DefaultSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := buildVecChain(nil, benchAggOps(), func(*vec.Batch) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.process(batch); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,6 +54,9 @@ type EngineConf struct {
 	// DisableSpeculation turns off speculative re-launch of straggler
 	// tasks (the zero value keeps speculation on).
 	DisableSpeculation bool
+	// Vectorized routes map tasks through the columnar batch pipeline
+	// (hive.exec.vectorized). Output is byte-identical to row mode.
+	Vectorized bool
 }
 
 // DefaultEngineConf mirrors the paper's testbed at 1:1000 scale.

@@ -104,26 +104,34 @@ func (b *BinOp) Eval(row types.Row) (types.Datum, error) {
 	if err != nil {
 		return types.Datum{}, err
 	}
+	return binOpDatums(b.Op, l, r)
+}
+
+// binOpDatums applies op to two evaluated operands. It is the single
+// scalar implementation shared by row-mode Eval and the vectorized
+// kernels' mixed-kind lanes, so both paths are bit-identical by
+// construction.
+func binOpDatums(op BinOpKind, l, r types.Datum) (types.Datum, error) {
 	if l.IsNull() || r.IsNull() {
 		return types.Null(), nil
 	}
 	intish := func(d types.Datum) bool {
 		return d.K == types.KindInt || d.K == types.KindBool || d.K == types.KindDate
 	}
-	if b.Op == OpDiv {
+	if op == OpDiv {
 		if r.Float() == 0 {
 			return types.Null(), nil // SQL x/0 -> NULL in Hive
 		}
 		return types.Float(l.Float() / r.Float()), nil
 	}
-	if b.Op == OpMod {
+	if op == OpMod {
 		if r.Int() == 0 {
 			return types.Null(), nil
 		}
 		return types.Int(l.Int() % r.Int()), nil
 	}
 	if intish(l) && intish(r) {
-		switch b.Op {
+		switch op {
 		case OpAdd:
 			return types.Int(l.I + r.I), nil
 		case OpSub:
@@ -132,7 +140,7 @@ func (b *BinOp) Eval(row types.Row) (types.Datum, error) {
 			return types.Int(l.I * r.I), nil
 		}
 	}
-	switch b.Op {
+	switch op {
 	case OpAdd:
 		return types.Float(l.Float() + r.Float()), nil
 	case OpSub:
@@ -140,7 +148,7 @@ func (b *BinOp) Eval(row types.Row) (types.Datum, error) {
 	case OpMul:
 		return types.Float(l.Float() * r.Float()), nil
 	}
-	return types.Datum{}, fmt.Errorf("exec: unknown binop %v", b.Op)
+	return types.Datum{}, fmt.Errorf("exec: unknown binop %v", op)
 }
 
 func (b *BinOp) String() string {
@@ -198,28 +206,42 @@ func (c *Cmp) Eval(row types.Row) (types.Datum, error) {
 	if err != nil {
 		return types.Datum{}, err
 	}
+	return cmpDatums(c.Op, l, r)
+}
+
+// cmpDatums compares two evaluated operands with SQL NULL semantics —
+// the shared scalar core of Cmp.Eval and the vectorized comparison
+// kernels' mixed-kind lanes.
+func cmpDatums(op CmpOpKind, l, r types.Datum) (types.Datum, error) {
 	if l.IsNull() || r.IsNull() {
 		return types.Null(), nil
 	}
 	v := types.Compare(l, r)
-	var out bool
-	switch c.Op {
-	case CmpEQ:
-		out = v == 0
-	case CmpNE:
-		out = v != 0
-	case CmpLT:
-		out = v < 0
-	case CmpLE:
-		out = v <= 0
-	case CmpGT:
-		out = v > 0
-	case CmpGE:
-		out = v >= 0
-	default:
-		return types.Datum{}, fmt.Errorf("exec: unknown cmp %v", c.Op)
+	out, err := cmpVerdict(op, v)
+	if err != nil {
+		return types.Datum{}, err
 	}
 	return types.Bool(out), nil
+}
+
+// cmpVerdict maps a three-way comparison result through op.
+func cmpVerdict(op CmpOpKind, v int) (bool, error) {
+	switch op {
+	case CmpEQ:
+		return v == 0, nil
+	case CmpNE:
+		return v != 0, nil
+	case CmpLT:
+		return v < 0, nil
+	case CmpLE:
+		return v <= 0, nil
+	case CmpGT:
+		return v > 0, nil
+	case CmpGE:
+		return v >= 0, nil
+	default:
+		return false, fmt.Errorf("exec: unknown cmp %v", op)
+	}
 }
 
 func (c *Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
@@ -701,10 +723,16 @@ func (c *Cast) Eval(row types.Row) (types.Datum, error) {
 	if err != nil {
 		return types.Datum{}, err
 	}
+	return castDatum(c.To, d)
+}
+
+// castDatum coerces one evaluated value — the shared scalar core of
+// Cast.Eval and the vectorized cast kernel's non-numeric lanes.
+func castDatum(to types.Kind, d types.Datum) (types.Datum, error) {
 	if d.IsNull() {
 		return types.Null(), nil
 	}
-	switch c.To {
+	switch to {
 	case types.KindInt:
 		return types.Int(d.Int()), nil
 	case types.KindFloat:
@@ -719,7 +747,7 @@ func (c *Cast) Eval(row types.Row) (types.Datum, error) {
 	case types.KindBool:
 		return types.Bool(d.Bool()), nil
 	default:
-		return types.Datum{}, fmt.Errorf("exec: cannot cast to %v", c.To)
+		return types.Datum{}, fmt.Errorf("exec: cannot cast to %v", to)
 	}
 }
 

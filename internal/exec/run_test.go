@@ -195,7 +195,7 @@ func TestRunMapTaskShuffleEmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	var pairs [][2][]byte
-	err := RunMapTask(env, stage, 0, wholeSplit(t, env, "/src"),
+	err := RunMapTask(env, EngineConf{}, stage, 0, wholeSplit(t, env, "/src"),
 		func(k, v []byte) error {
 			pairs = append(pairs, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
 			return nil

@@ -158,9 +158,11 @@ func buildChain(env *Env, ops []MapOp, sink RowSink) (*chain, error) {
 	return c, nil
 }
 
-// buildMapJoin loads the small table into a hash map keyed by the
-// encoded build keys, then streams probe rows through it.
-func buildMapJoin(env *Env, op *MapJoinOp, next RowSink) (RowSink, error) {
+// loadMapJoinTable runs the small-table side of a map join: it streams
+// the build input through its op chain into a hash map keyed by the
+// encoded build keys, returning the table and the small-side row
+// width. Shared by the row-mode and vectorized probe paths.
+func loadMapJoinTable(env *Env, op *MapJoinOp) (map[string][]types.Row, int, error) {
 	table := make(map[string][]types.Row)
 	smallWidth := op.SmallWidth
 	if smallWidth == 0 {
@@ -179,16 +181,16 @@ func buildMapJoin(env *Env, op *MapJoinOp, next RowSink) (RowSink, error) {
 	}
 	loader, err := buildChain(env, op.SmallOps, build)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for _, path := range op.Small.ResolvePaths(env.FS) {
 		sz, err := env.FS.Size(path)
 		if err != nil {
-			return nil, fmt.Errorf("exec: map join small table: %w", err)
+			return nil, 0, fmt.Errorf("exec: map join small table: %w", err)
 		}
 		rd, err := openInput(env, op.Small, dfs.Split{Path: path, Offset: 0, Length: sz})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		for {
 			row, err := rd.Next()
@@ -196,14 +198,24 @@ func buildMapJoin(env *Env, op *MapJoinOp, next RowSink) (RowSink, error) {
 				break
 			}
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if err := loader.process(row); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 	}
 	if err := loader.close(); err != nil {
+		return nil, 0, err
+	}
+	return table, smallWidth, nil
+}
+
+// buildMapJoin loads the small table into a hash map keyed by the
+// encoded build keys, then streams probe rows through it.
+func buildMapJoin(env *Env, op *MapJoinOp, next RowSink) (RowSink, error) {
+	table, smallWidth, err := loadMapJoinTable(env, op)
+	if err != nil {
 		return nil, err
 	}
 	nulls := make(types.Row, smallWidth)
@@ -326,9 +338,14 @@ func openInput(env *Env, in TableInput, split dfs.Split) (storage.RowReader, err
 
 // RunMapTask executes one map-side task: read the split, run the op
 // chain and either emit shuffle pairs (Keys set) or hand rows to out.
-// It fills the task's trace record with input/output counters.
-func RunMapTask(env *Env, stage *Stage, mapIdx int, split dfs.Split,
+// It fills the task's trace record with input/output counters. With
+// conf.Vectorized set, the task runs the columnar batch pipeline
+// instead (same pairs and rows, batch-at-a-time execution).
+func RunMapTask(env *Env, conf EngineConf, stage *Stage, mapIdx int, split dfs.Split,
 	emit KVEmit, out RowSink, metrics *trace.Task) error {
+	if conf.Vectorized {
+		return runMapTaskVec(env, stage, mapIdx, split, emit, out, metrics)
+	}
 	mw := &stage.Maps[mapIdx]
 
 	var descs []bool

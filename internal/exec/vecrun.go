@@ -1,0 +1,463 @@
+package exec
+
+// Vectorized map-task execution: the same operator chain as runmap.go,
+// but pushing column batches instead of rows. Each operator compiles
+// its expressions once (compileKernel) and then processes whole batches
+// per call. Operators that rearrange rows (filter, join, aggregate)
+// work in place or emit pooled output batches; the terminal sink
+// serializes shuffle pairs or hands materialized rows to the caller,
+// so everything downstream of the map task is unchanged — the two
+// modes are byte-identical on the wire.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hivempi/internal/dfs"
+	"hivempi/internal/storage"
+	"hivempi/internal/trace"
+	"hivempi/internal/types"
+	"hivempi/internal/vec"
+)
+
+// batchSink consumes one batch. The batch is only valid for the
+// duration of the call — operators reuse and pool batches aggressively.
+type batchSink func(b *vec.Batch) error
+
+// vchain is a built vectorized pipeline: push batches into process,
+// then close (flushing blocking operators front-to-back).
+type vchain struct {
+	process batchSink
+	closers []func() error
+}
+
+func (c *vchain) close() error {
+	for _, f := range c.closers {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildVecChain compiles the op list into a push pipeline ending at
+// sink, mirroring buildChain's structure back-to-front.
+func buildVecChain(env *Env, ops []MapOp, sink batchSink) (*vchain, error) {
+	c := &vchain{process: sink}
+	for i := len(ops) - 1; i >= 0; i-- {
+		next := c.process
+		switch op := ops[i].(type) {
+		case *FilterOp:
+			k := compileKernel(op.Cond)
+			var cond vec.Vector
+			var mask []bool
+			c.process = func(b *vec.Batch) error {
+				if err := k(b, &cond); err != nil {
+					return err
+				}
+				if cap(mask) < b.N {
+					mask = make([]bool, b.N)
+				}
+				mask = mask[:b.N]
+				for i := 0; i < b.N; i++ {
+					mask[i] = laneBool(&cond, i)
+				}
+				b.Compact(mask)
+				if b.N == 0 {
+					return nil
+				}
+				return next(b)
+			}
+		case *SelectOp:
+			ks := make([]vkernel, len(op.Exprs))
+			for j, e := range op.Exprs {
+				ks[j] = compileKernel(e)
+			}
+			c.process = func(b *vec.Batch) error {
+				out := vec.Get(len(ks))
+				defer vec.Put(out)
+				for j, k := range ks {
+					if err := k(b, out.Cols[j]); err != nil {
+						return err
+					}
+				}
+				out.N = b.N
+				return next(out)
+			}
+		case *LimitOp:
+			left := op.N
+			c.process = func(b *vec.Batch) error {
+				if left <= 0 {
+					return nil
+				}
+				if b.N > left {
+					b.N = left
+				}
+				left -= b.N
+				return next(b)
+			}
+		case *MapJoinOp:
+			p, err := buildVecMapJoin(env, op, next)
+			if err != nil {
+				return nil, err
+			}
+			c.process = p
+		case *GroupByPartialOp:
+			p, closer := buildVecGroupByPartial(op, next)
+			c.process = p
+			c.closers = append([]func() error{closer}, c.closers...)
+		default:
+			return nil, fmt.Errorf("exec: unknown map op %T", ops[i])
+		}
+	}
+	return c, nil
+}
+
+// buildVecMapJoin shares the row-mode build phase (loadMapJoinTable)
+// and probes it with kernel-computed keys, packing join results into
+// datum-mode output batches.
+func buildVecMapJoin(env *Env, op *MapJoinOp, next batchSink) (batchSink, error) {
+	table, smallWidth, err := loadMapJoinTable(env, op)
+	if err != nil {
+		return nil, err
+	}
+	keyKs := make([]vkernel, len(op.ProbeKeys))
+	for i, k := range op.ProbeKeys {
+		keyKs[i] = compileKernel(k)
+	}
+	outer := op.Outer
+	keyVs := make([]vec.Vector, len(keyKs))
+	return func(b *vec.Batch) error {
+		for i, k := range keyKs {
+			if err := k(b, &keyVs[i]); err != nil {
+				return err
+			}
+		}
+		width := len(b.Cols) + smallWidth
+		out := vec.Get(width)
+		defer vec.Put(out)
+		for _, v := range out.Cols {
+			v.Reset(vec.KindAny, vec.DefaultSize)
+		}
+		n := 0
+		flush := func() error {
+			if n == 0 {
+				return nil
+			}
+			out.N = n
+			if err := next(out); err != nil {
+				return err
+			}
+			for _, v := range out.Cols {
+				v.Reset(vec.KindAny, vec.DefaultSize)
+			}
+			n = 0
+			return nil
+		}
+		var keyBuf []byte
+		emit := func(lane int, small types.Row) error {
+			for c := range b.Cols {
+				out.Cols[c].SetDatum(n, b.Cols[c].Datum(lane))
+			}
+			for c := 0; c < smallWidth; c++ {
+				if small == nil || c >= len(small) {
+					out.Cols[len(b.Cols)+c].SetDatum(n, types.Null())
+				} else {
+					out.Cols[len(b.Cols)+c].SetDatum(n, small[c])
+				}
+			}
+			n++
+			if n == vec.DefaultSize {
+				return flush()
+			}
+			return nil
+		}
+		for lane := 0; lane < b.N; lane++ {
+			keyBuf = keyBuf[:0]
+			anyNull := false
+			for i := range keyVs {
+				d := keyVs[i].Datum(lane)
+				if d.IsNull() {
+					anyNull = true
+				}
+				keyBuf = types.AppendKeyDatum(keyBuf, d, false)
+			}
+			matches := table[string(keyBuf)]
+			if anyNull {
+				matches = nil // NULL keys never join
+			}
+			if len(matches) == 0 {
+				if outer {
+					if err := emit(lane, nil); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			for _, m := range matches {
+				if err := emit(lane, m); err != nil {
+					return err
+				}
+			}
+		}
+		return flush()
+	}, nil
+}
+
+// buildVecGroupByPartial is the batch form of map-side hash
+// aggregation: key and argument expressions evaluate per batch, then
+// each lane updates its group's AggStates via UpdateDatum (the same
+// accumulation Update performs after its own Arg eval).
+func buildVecGroupByPartial(op *GroupByPartialOp, next batchSink) (batchSink, func() error) {
+	maxEntries := op.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = DefaultHashAggEntries
+	}
+	keyKs := make([]vkernel, len(op.Keys))
+	for i, k := range op.Keys {
+		keyKs[i] = compileKernel(k)
+	}
+	// CountStar has no argument expression; a nil kernel marks it and
+	// the update passes a null datum (UpdateDatum counts regardless).
+	argKs := make([]vkernel, len(op.Aggs))
+	for i, spec := range op.Aggs {
+		if spec.Arg != nil {
+			argKs[i] = compileKernel(spec.Arg)
+		}
+	}
+	type entry struct {
+		keys   []types.Datum
+		states []*AggState
+	}
+	groups := make(map[string]*entry)
+
+	flush := func() error {
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var out *vec.Batch
+		defer func() {
+			if out != nil {
+				vec.Put(out)
+			}
+		}()
+		n := 0
+		emitBatch := func() error {
+			if n == 0 {
+				return nil
+			}
+			out.N = n
+			if err := next(out); err != nil {
+				return err
+			}
+			for _, v := range out.Cols {
+				v.Reset(vec.KindAny, vec.DefaultSize)
+			}
+			n = 0
+			return nil
+		}
+		for _, k := range keys {
+			e := groups[k]
+			row := make(types.Row, 0, len(e.keys)+len(e.states)*2)
+			row = append(row, e.keys...)
+			for _, st := range e.states {
+				row = append(row, st.EmitPartial()...)
+			}
+			if out == nil {
+				out = vec.Get(len(row))
+				for _, v := range out.Cols {
+					v.Reset(vec.KindAny, vec.DefaultSize)
+				}
+			}
+			for c, d := range row {
+				out.Cols[c].SetDatum(n, d)
+			}
+			n++
+			if n == vec.DefaultSize {
+				if err := emitBatch(); err != nil {
+					return err
+				}
+			}
+		}
+		groups = make(map[string]*entry)
+		return emitBatch()
+	}
+
+	keyVs := make([]vec.Vector, len(keyKs))
+	argVs := make([]vec.Vector, len(argKs))
+	process := func(b *vec.Batch) error {
+		for i, k := range keyKs {
+			if err := k(b, &keyVs[i]); err != nil {
+				return err
+			}
+		}
+		for i, k := range argKs {
+			if k == nil {
+				continue
+			}
+			if err := k(b, &argVs[i]); err != nil {
+				return err
+			}
+		}
+		var kb []byte
+		for lane := 0; lane < b.N; lane++ {
+			kb = kb[:0]
+			keyVals := make([]types.Datum, len(keyKs))
+			for i := range keyVs {
+				d := keyVs[i].Datum(lane)
+				keyVals[i] = d
+				kb = types.AppendKeyDatum(kb, d, false)
+			}
+			e, ok := groups[string(kb)]
+			if !ok {
+				e = &entry{keys: keyVals, states: make([]*AggState, len(op.Aggs))}
+				for i, spec := range op.Aggs {
+					e.states[i] = NewAggState(spec)
+				}
+				groups[string(kb)] = e
+			}
+			for i, st := range e.states {
+				var d types.Datum
+				if argKs[i] != nil {
+					d = argVs[i].Datum(lane)
+				}
+				st.UpdateDatum(d)
+			}
+			if len(groups) >= maxEntries {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return process, flush
+}
+
+// runMapTaskVec is RunMapTask's columnar twin: batch scan, vectorized
+// chain, and a terminal that serializes the same shuffle pairs (or
+// materializes the same rows) row mode produces.
+func runMapTaskVec(env *Env, stage *Stage, mapIdx int, split dfs.Split,
+	emit KVEmit, out RowSink, metrics *trace.Task) error {
+	mw := &stage.Maps[mapIdx]
+
+	var descs []bool
+	if stage.Shuffle != nil {
+		descs = stage.Shuffle.SortDescs
+	}
+
+	var terminal batchSink
+	switch {
+	case mw.Keys != nil:
+		tagByte := byte(mw.Tag)
+		keyKs := make([]vkernel, len(mw.Keys))
+		for i, k := range mw.Keys {
+			keyKs[i] = compileKernel(k)
+		}
+		valKs := make([]vkernel, len(mw.Values))
+		for i, v := range mw.Values {
+			valKs[i] = compileKernel(v)
+		}
+		keyVs := make([]vec.Vector, len(keyKs))
+		valVs := make([]vec.Vector, len(valKs))
+		valRow := make(types.Row, len(valKs))
+		terminal = func(b *vec.Batch) error {
+			for i, k := range keyKs {
+				if err := k(b, &keyVs[i]); err != nil {
+					return err
+				}
+			}
+			for i, k := range valKs {
+				if err := k(b, &valVs[i]); err != nil {
+					return err
+				}
+			}
+			for lane := 0; lane < b.N; lane++ {
+				// Fresh key/value buffers per pair: emit implementations
+				// (collectors, send buffers) may retain them.
+				var key []byte
+				for i := range keyVs {
+					desc := false
+					if descs != nil && i < len(descs) {
+						desc = descs[i]
+					}
+					key = types.AppendKeyDatum(key, keyVs[i].Datum(lane), desc)
+				}
+				for i := range valVs {
+					valRow[i] = valVs[i].Datum(lane)
+				}
+				val := types.EncodeRow([]byte{tagByte}, valRow)
+				if metrics != nil {
+					metrics.OutputRecords++
+					metrics.OutputBytes += int64(len(key) + len(val))
+				}
+				if err := emit(key, val); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case out != nil:
+		terminal = func(b *vec.Batch) error {
+			for lane := 0; lane < b.N; lane++ {
+				row := b.Row(lane, nil)
+				if metrics != nil {
+					metrics.OutputRecords++
+				}
+				if err := out(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	default:
+		return fmt.Errorf("exec: map task %s/%d has neither shuffle nor sink", stage.ID, mapIdx)
+	}
+
+	c, err := buildVecChain(env, mw.Ops, terminal)
+	if err != nil {
+		return err
+	}
+	if split.Path == "" {
+		return c.close()
+	}
+	rd, err := storage.OpenSplitBatch(env.FS, split, mw.Input.Format, mw.Input.Schema,
+		mw.Input.Projection, mw.Input.Predicate)
+	if err != nil {
+		return err
+	}
+	b := vec.Get(mw.Input.Schema.Len())
+	defer vec.Put(b)
+	for {
+		err := rd.NextBatch(b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if metrics != nil {
+			metrics.InputRecords += int64(b.N)
+			metrics.Batches++
+		}
+		if err := c.process(b); err != nil {
+			return err
+		}
+	}
+	if metrics != nil {
+		var in int64
+		if pr, ok := rd.(storage.PhysicalReader); ok {
+			in = pr.PhysicalBytes()
+		} else {
+			in = split.Length
+		}
+		metrics.InputBytes += in
+		if env.FS.MemResident(split.Path) {
+			metrics.MemReadBytes += in
+		}
+	}
+	return c.close()
+}

@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hivempi/internal/types"
+	"hivempi/internal/vec"
+)
+
+// randBatch builds a batch of typed columns seeded with random values
+// and random NULLs: col 0 int, col 1 float, col 2 string, col 3 bool,
+// col 4 date, col 5 mixed-kind (KindAny). The mixed column forces the
+// kernels off their typed fast paths onto the scalar helpers.
+func randBatch(rng *rand.Rand, n int) *vec.Batch {
+	b := &vec.Batch{N: n}
+	kinds := []types.Kind{
+		types.KindInt, types.KindFloat, types.KindString,
+		types.KindBool, types.KindDate, vec.KindAny,
+	}
+	for _, k := range kinds {
+		b.Cols = append(b.Cols, vec.NewVector(k, n))
+	}
+	words := []string{"apple", "applet", "banana", "", "a%b", "SMALL BOX", "PROMO", "promo box"}
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			b.Cols[0].SetNull(i)
+		} else {
+			b.Cols[0].I64[i] = int64(rng.Intn(21) - 10)
+		}
+		if rng.Intn(4) == 0 {
+			b.Cols[1].SetNull(i)
+		} else {
+			b.Cols[1].F64[i] = rng.Float64()*20 - 10
+		}
+		if rng.Intn(4) == 0 {
+			b.Cols[2].SetNull(i)
+		} else {
+			b.Cols[2].Str[i] = words[rng.Intn(len(words))]
+		}
+		if rng.Intn(4) == 0 {
+			b.Cols[3].SetNull(i)
+		} else {
+			b.Cols[3].I64[i] = int64(rng.Intn(2))
+		}
+		if rng.Intn(4) == 0 {
+			b.Cols[4].SetNull(i)
+		} else {
+			b.Cols[4].I64[i] = int64(rng.Intn(1000))
+		}
+		switch rng.Intn(4) {
+		case 0:
+			b.Cols[5].SetDatum(i, types.Null())
+		case 1:
+			b.Cols[5].SetDatum(i, types.Int(int64(rng.Intn(10))))
+		case 2:
+			b.Cols[5].SetDatum(i, types.Float(rng.Float64()*5))
+		case 3:
+			b.Cols[5].SetDatum(i, types.String(words[rng.Intn(len(words))]))
+		}
+	}
+	return b
+}
+
+// assertKernelMatchesEval runs e both ways over randomized batches and
+// requires every lane's datum bit-identical (EncodeRow bytes) to the
+// row-mode Eval of the same lane.
+func assertKernelMatchesEval(t *testing.T, name string, e Expr, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	k := compileKernel(e)
+	var out vec.Vector
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(2*vec.DefaultSize)
+		b := randBatch(rng, n)
+		if err := k(b, &out); err != nil {
+			t.Fatalf("%s: kernel: %v", name, err)
+		}
+		var scratch types.Row
+		for i := 0; i < n; i++ {
+			scratch = b.Row(i, scratch)
+			want, err := e.Eval(scratch)
+			if err != nil {
+				t.Fatalf("%s: eval lane %d: %v", name, i, err)
+			}
+			got := out.Datum(i)
+			gb := types.EncodeRow(nil, types.Row{got})
+			wb := types.EncodeRow(nil, types.Row{want})
+			if !bytes.Equal(gb, wb) {
+				t.Fatalf("%s trial %d lane %d: kernel %v, Eval %v (row %v)",
+					name, trial, i, got, want, scratch)
+			}
+		}
+	}
+}
+
+// TestVecCmpNullSemantics: every comparison op, over typed, mixed and
+// NULL-const operands, must yield exactly what cmpDatums yields per
+// lane — NULL operands compare to NULL, never true/false.
+func TestVecCmpNullSemantics(t *testing.T) {
+	ops := []CmpOpKind{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE}
+	operands := [][2]Expr{
+		{col(0), col(1)},                       // int vs float
+		{col(0), &Const{D: types.Int(3)}},      // int vs const
+		{col(1), &Const{D: types.Float(0.5)}},  // float vs const
+		{col(2), &Const{D: types.String("b")}}, // string vs const
+		{col(4), col(0)},                       // date vs int
+		{col(5), col(0)},                       // mixed vs int
+		{col(0), &Const{D: types.Null()}},      // vs NULL const
+	}
+	for _, op := range ops {
+		for oi, o := range operands {
+			e := &Cmp{Op: op, L: o[0], R: o[1]}
+			assertKernelMatchesEval(t, fmt.Sprintf("cmp/%v/%d", op, oi), e, int64(100+oi))
+		}
+	}
+}
+
+// TestVecLogicNullSemantics: AND/OR/NOT must keep Kleene three-valued
+// truth tables (NULL AND false = false, NULL OR true = true, ...).
+func TestVecLogicNullSemantics(t *testing.T) {
+	boolish := []Expr{
+		col(3),
+		&Cmp{Op: CmpGT, L: col(0), R: &Const{D: types.Int(0)}},
+		&Const{D: types.Null()},
+		&Const{D: types.Bool(true)},
+		&Const{D: types.Bool(false)},
+	}
+	for li, l := range boolish {
+		for ri, r := range boolish {
+			and := &Logic{Op: LogicAnd, L: l, R: r}
+			or := &Logic{Op: LogicOr, L: l, R: r}
+			assertKernelMatchesEval(t, fmt.Sprintf("and/%d-%d", li, ri), and, int64(200+li*8+ri))
+			assertKernelMatchesEval(t, fmt.Sprintf("or/%d-%d", li, ri), or, int64(300+li*8+ri))
+		}
+		not := &Logic{Op: LogicNot, L: l}
+		assertKernelMatchesEval(t, fmt.Sprintf("not/%d", li), not, int64(400+li))
+	}
+}
+
+// TestVecLikeNullSemantics: NULL input stays NULL; patterns exercise
+// %, _ and literal-only matching over the string column.
+func TestVecLikeNullSemantics(t *testing.T) {
+	for pi, pat := range []string{"%app%", "a_b", "banana", "%BOX", "", "%"} {
+		for _, neg := range []bool{false, true} {
+			e := &Like{E: col(2), Pattern: pat, Negate: neg}
+			assertKernelMatchesEval(t, fmt.Sprintf("like/%d/neg=%t", pi, neg), e, int64(500+pi))
+		}
+	}
+	// LIKE over a non-string column routes through the fallback cast.
+	assertKernelMatchesEval(t, "like/mixed", &Like{E: col(5), Pattern: "%a%"}, 540)
+}
+
+// TestVecCaseNullSemantics: NULL conditions are not-taken (not errors),
+// a missing ELSE yields NULL, and arm values keep their lane kinds.
+func TestVecCaseNullSemantics(t *testing.T) {
+	cases := []*Case{
+		{Whens: []CaseWhen{
+			{Cond: &Cmp{Op: CmpGT, L: col(0), R: &Const{D: types.Int(0)}}, Value: col(1)},
+			{Cond: col(3), Value: &Const{D: types.String("arm2")}},
+		}, Else: col(5)},
+		{Whens: []CaseWhen{
+			{Cond: &Const{D: types.Null()}, Value: &Const{D: types.Int(1)}},
+			{Cond: &Cmp{Op: CmpLT, L: col(1), R: col(0)}, Value: col(2)},
+		}}, // no ELSE: NULL
+		{Whens: []CaseWhen{
+			{Cond: &Const{D: types.Bool(true)}, Value: col(0)},
+		}, Else: &Const{D: types.Int(-1)}},
+	}
+	for ci, c := range cases {
+		assertKernelMatchesEval(t, fmt.Sprintf("case/%d", ci), c, int64(600+ci))
+	}
+}
+
+// TestVecInNullSemantics: NULL probe yields NULL; a NULL list element
+// turns a non-match into NULL (x IN (..., NULL) is never false).
+func TestVecInNullSemantics(t *testing.T) {
+	lists := [][]Expr{
+		{&Const{D: types.Int(1)}, &Const{D: types.Int(2)}, &Const{D: types.Int(3)}},
+		{&Const{D: types.Int(1)}, &Const{D: types.Null()}},
+		{&Const{D: types.String("apple")}, &Const{D: types.String("banana")}},
+		{col(0), &Const{D: types.Int(0)}}, // non-const member
+	}
+	for li, list := range lists {
+		for _, neg := range []bool{false, true} {
+			for _, probe := range []Expr{col(0), col(5)} {
+				e := &In{E: probe, List: list, Negate: neg}
+				assertKernelMatchesEval(t, fmt.Sprintf("in/%d/neg=%t", li, neg), e, int64(700+li))
+			}
+		}
+	}
+}
+
+// TestVecBetweenNullSemantics: NULL in any of the three operands
+// propagates exactly as the scalar path decides.
+func TestVecBetweenNullSemantics(t *testing.T) {
+	bounds := [][2]Expr{
+		{&Const{D: types.Int(-3)}, &Const{D: types.Int(3)}},
+		{&Const{D: types.Float(-1.5)}, &Const{D: types.Float(4.5)}},
+		{&Const{D: types.Null()}, &Const{D: types.Int(5)}},
+		{col(0), col(1)}, // column bounds
+	}
+	for bi, bd := range bounds {
+		for _, neg := range []bool{false, true} {
+			for _, probe := range []Expr{col(0), col(1), col(5)} {
+				e := &Between{E: probe, Lo: bd[0], Hi: bd[1], Negate: neg}
+				assertKernelMatchesEval(t, fmt.Sprintf("between/%d/neg=%t", bi, neg), e, int64(800+bi))
+			}
+		}
+	}
+}
+
+// TestVecBinOpNullSemantics rides along: arithmetic over NULLs and
+// mixed kinds (including div/mod by zero lanes) must match binOpDatums.
+func TestVecBinOpNullSemantics(t *testing.T) {
+	ops := []BinOpKind{OpAdd, OpSub, OpMul, OpDiv, OpMod}
+	operands := [][2]Expr{
+		{col(0), col(0)},
+		{col(0), col(1)},
+		{col(1), &Const{D: types.Float(2.5)}},
+		{col(5), col(0)},
+		{col(0), &Const{D: types.Null()}},
+	}
+	for _, op := range ops {
+		for oi, o := range operands {
+			e := &BinOp{Op: op, L: o[0], R: o[1]}
+			assertKernelMatchesEval(t, fmt.Sprintf("binop/%v/%d", op, oi), e, int64(900+oi))
+		}
+	}
+}
+
+// TestVecIsNullSemantics: IS NULL / IS NOT NULL over every column kind.
+func TestVecIsNullSemantics(t *testing.T) {
+	for ci := 0; ci < 6; ci++ {
+		for _, neg := range []bool{false, true} {
+			e := &IsNull{E: col(ci), Negate: neg}
+			assertKernelMatchesEval(t, fmt.Sprintf("isnull/%d/neg=%t", ci, neg), e, int64(1000+ci))
+		}
+	}
+}

@@ -59,6 +59,12 @@ type Driver struct {
 	DisableProjection     bool
 	DisablePushdown       bool
 
+	// DisablePlanCache turns off the compiled-plan cache (on by
+	// default); PlanCacheEntries overrides its LRU capacity (0 =
+	// DefaultPlanCacheEntries).
+	DisablePlanCache bool
+	PlanCacheEntries int
+
 	// Cluster is the node-membership failure detector (nil = no node
 	// failure domain). Attach with AttachCluster, which also wires the
 	// DFS liveness watcher and the re-replication pricing.
@@ -67,6 +73,12 @@ type Driver struct {
 	querySeq    int
 	memAttached bool
 	memStore    *imstore.Store
+
+	planCache    *PlanCache
+	pcEvReported int64
+	// Plan-cache counter handles, cached by ensureMetrics so the
+	// per-statement path never pays a registry lookup (metricshot).
+	pcHits, pcMisses, pcEvictions *metrics.Counter
 
 	metricsAttached bool
 	perfParams      *perfmodel.Params
@@ -98,6 +110,9 @@ type Result struct {
 	// Analyzed marks an EXPLAIN ANALYZE result: the statement really
 	// executed and Stages/Metrics carry its runtime profile.
 	Analyzed bool
+	// CachedPlan marks that the statement was served from the
+	// compiled-plan cache (parse and plan were skipped).
+	CachedPlan bool
 	// Overlapped reports that the stages ran DAG-parallel, so virtual
 	// time follows the critical path rather than the serial sum.
 	Overlapped bool
@@ -128,13 +143,60 @@ func abbreviate(s string) string {
 	return s
 }
 
-// Execute runs one statement.
+// Execute runs one statement. Cacheable SELECTs consult the
+// compiled-plan cache first: a hit skips parse and plan entirely and
+// re-executes the cached stage DAG (byte-identical output — only the
+// compile work disappears).
 func (d *Driver) Execute(sql string) (*Result, error) {
+	if res, hit, err := d.executeCachedPlan(sql); hit {
+		return res, err
+	}
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	return d.executeStmt(sql, stmt)
+}
+
+// executeCachedPlan tries to serve sql from the plan cache. hit
+// reports whether the cache answered (res/err are only meaningful
+// then); a miss falls through to the normal parse/plan path.
+func (d *Driver) executeCachedPlan(sql string) (res *Result, hit bool, err error) {
+	if d.DisablePlanCache {
+		return nil, false, nil
+	}
+	key, lits, analyzed, cacheable := normalizePlanKey(sql)
+	if !cacheable {
+		return nil, false, nil
+	}
+	d.ensureMetrics()
+	if d.planCache == nil {
+		d.planCache = NewPlanCache(d.PlanCacheEntries)
+	}
+	e := d.planCache.lookup(key, lits, d.MS.Version(), d.planFingerprint())
+	d.foldPlanCacheEvictions()
+	if e == nil {
+		d.pcMisses.Inc()
+		return nil, false, nil
+	}
+	d.pcHits.Inc()
+	res, _, err = d.executePlan(sql, e.stages, e.outSch, e.qtmp, true)
+	if res != nil {
+		// An EXPLAIN ANALYZE served from the cache still renders the
+		// annotated plan — with the compile span gone.
+		res.Analyzed = analyzed
+	}
+	return res, true, err
+}
+
+// foldPlanCacheEvictions publishes the cache's eviction count into the
+// registry as a delta since the last fold.
+func (d *Driver) foldPlanCacheEvictions() {
+	_, _, ev := d.planCache.Stats()
+	if ev > d.pcEvReported {
+		d.pcEvictions.Add(ev - d.pcEvReported)
+		d.pcEvReported = ev
+	}
 }
 
 func (d *Driver) executeStmt(sql string, stmt Statement) (*Result, error) {
@@ -178,6 +240,7 @@ func (d *Driver) executeStmt(sql string, stmt Statement) (*Result, error) {
 				len(outSch), t.Name, t.Schema.Len())
 		}
 		t.Stats = gatherStats(res, t.Schema)
+		d.MS.BumpVersion() // new data + stats invalidate cached plans
 		return res, nil
 	case *SelectStmt:
 		res, _, err := d.runQuery(sql, s, dest{collect: true})
@@ -263,19 +326,46 @@ func (d *Driver) runQuery(sql string, s *SelectStmt, dst dest) (*Result, relSche
 	if err != nil {
 		return nil, nil, err
 	}
+	if !d.DisablePlanCache && dst.collect {
+		if key, lits, _, cacheable := normalizePlanKey(sql); cacheable {
+			d.ensureMetrics()
+			if d.planCache == nil {
+				d.planCache = NewPlanCache(d.PlanCacheEntries)
+			}
+			d.planCache.put(&planEntry{
+				key: key, literals: lits,
+				msVersion:   d.MS.Version(),
+				fingerprint: d.planFingerprint(),
+				stages:      stages, outSch: outSch, qtmp: qtmp,
+			})
+			d.foldPlanCacheEvictions()
+		}
+	}
+	return d.executePlan(sql, stages, outSch, qtmp, false)
+}
+
+// executePlan runs a planned stage DAG: the tail of runQuery, shared
+// with cached-plan re-execution (cached marks the trace so the
+// perfmodel drops the compile charge).
+func (d *Driver) executePlan(sql string, stages []*exec.Stage, outSch relSchema,
+	qtmp string, cached bool) (*Result, relSchema, error) {
 	d.ensureMemTier()
 	d.ensureMetrics()
 	before := d.Env.Metrics.Snapshot()
 	if d.Collector != nil {
 		d.Collector.BeginQuery(sql)
+		if cached {
+			d.Collector.MarkCachedPlan()
+		}
 	}
 	defer d.Env.FS.DeleteDir(qtmp)
 
-	res := &Result{Statement: sql, Schema: outSch.toSchema()}
+	res := &Result{Statement: sql, Schema: outSch.toSchema(), CachedPlan: cached}
 	deps := StageDeps(stages)
 	es := &engineState{engine: d.Engine}
 
 	var results []*exec.StageResult
+	var err error
 	if d.SerialStages || len(stages) < 2 {
 		for _, st := range stages {
 			sr, err := d.runOneStage(st, es)
@@ -403,6 +493,11 @@ func (d *Driver) ensureMetrics() {
 	if !d.metricsAttached {
 		d.Env.FS.SetMetrics(d.Env.Metrics)
 		d.metricsAttached = true
+	}
+	if d.pcHits == nil {
+		d.pcHits = d.Env.Metrics.Counter(metrics.CtrPlanCacheHits)
+		d.pcMisses = d.Env.Metrics.Counter(metrics.CtrPlanCacheMisses)
+		d.pcEvictions = d.Env.Metrics.Counter(metrics.CtrPlanCacheEvictions)
 	}
 }
 
@@ -576,6 +671,7 @@ func (d *Driver) LoadTableData(table string, part int, rows []types.Row) error {
 	}
 	t.Stats.Rows += int64(len(rows))
 	t.Stats.RawBytes += raw
+	d.MS.BumpVersion() // new data + stats invalidate cached plans
 	return w.Close()
 }
 

@@ -50,13 +50,31 @@ func EstimateRowBytes(s *types.Schema) int64 {
 
 // Metastore maps table names to metadata (the paper's Hive Metastore).
 type Metastore struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version int64
 }
 
 // NewMetastore returns an empty metastore.
 func NewMetastore() *Metastore {
 	return &Metastore{tables: make(map[string]*Table)}
+}
+
+// Version counts metadata mutations (DDL, data loads, stats updates).
+// The compiled-plan cache keys on it: any change invalidates plans
+// built against the old catalog.
+func (m *Metastore) Version() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version
+}
+
+// BumpVersion marks a metadata mutation performed outside the
+// metastore's own methods (direct Stats writes after data loads).
+func (m *Metastore) BumpVersion() {
+	m.mu.Lock()
+	m.version++
+	m.mu.Unlock()
 }
 
 // Create registers a table; it fails if the name exists.
@@ -67,6 +85,7 @@ func (m *Metastore) Create(t *Table) error {
 		return fmt.Errorf("hive: table %s already exists", t.Name)
 	}
 	m.tables[t.Name] = t
+	m.version++
 	return nil
 }
 
@@ -94,6 +113,7 @@ func (m *Metastore) Drop(name string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.tables, name)
+	m.version++
 }
 
 // Names lists registered tables.

@@ -232,3 +232,63 @@ func TestMergePropertyCountPreserved(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSortMatchesReference drives the radix path against a stdlib
+// reference sort on randomized inputs: mixed key lengths, shared
+// prefixes, embedded zero bytes, duplicate keys (the value tiebreak
+// checked via sequence-stamped values).
+func TestSortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(3000)
+		kvs := make([]KV, n)
+		for i := range kvs {
+			kl := rng.Intn(12)
+			key := make([]byte, kl)
+			for j := range key {
+				// Narrow alphabet with zero bytes → many dupes/prefixes.
+				key[j] = byte(rng.Intn(4) * 0x40)
+			}
+			kvs[i] = KV{Key: key, Value: []byte{byte(i), byte(i >> 8)}}
+		}
+		want := make([]KV, n)
+		copy(want, kvs)
+		sort.SliceStable(want, func(i, j int) bool {
+			if c := bytes.Compare(want[i].Key, want[j].Key); c != 0 {
+				return c < 0
+			}
+			return bytes.Compare(want[i].Value, want[j].Value) < 0
+		})
+		Sort(kvs)
+		for i := range kvs {
+			if !bytes.Equal(kvs[i].Key, want[i].Key) || !bytes.Equal(kvs[i].Value, want[i].Value) {
+				t.Fatalf("trial %d: pair %d = (%q,%v), want (%q,%v)",
+					trial, i, kvs[i].Key, kvs[i].Value, want[i].Key, want[i].Value)
+			}
+		}
+	}
+}
+
+func TestDecodeAllIntoReusesBacking(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 64; i++ {
+		buf = AppendKV(buf, []byte{byte(i)}, []byte("v"))
+	}
+	scratch, err := DecodeAllInto(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scratch) != 64 {
+		t.Fatalf("decoded %d pairs, want 64", len(scratch))
+	}
+	again, err := DecodeAllInto(scratch[:0], buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &scratch[0] {
+		t.Error("DecodeAllInto reallocated despite sufficient capacity")
+	}
+	if got, _ := CountPairs(buf); got != 64 {
+		t.Errorf("CountPairs = %d, want 64", got)
+	}
+}

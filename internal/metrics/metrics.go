@@ -78,6 +78,11 @@ const (
 	// hive scheduler (lost-node recovery).
 	CtrTasksRelaunched = "sched.tasks.relaunched"
 
+	// hive driver compiled-plan cache.
+	CtrPlanCacheHits      = "hive.plancache.hits"
+	CtrPlanCacheMisses    = "hive.plancache.misses"
+	CtrPlanCacheEvictions = "hive.plancache.evictions"
+
 	// Driver-sampled imstore occupancy (gauges).
 	GaugeIMUsedBytes = "imstore.used.bytes"
 	GaugeIMHWMBytes  = "imstore.used.hwm.bytes"

@@ -85,12 +85,12 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			if err != nil {
 				return err
 			}
-			if err := exec.RunMapTask(env, stage, t.MapIdx, t.Split, nil, out, m.Metrics()); err != nil {
+			if err := exec.RunMapTask(env, conf, stage, t.MapIdx, t.Split, nil, out, m.Metrics()); err != nil {
 				return err
 			}
 			return closer()
 		}
-		return exec.RunMapTask(env, stage, t.MapIdx, t.Split, m.Emit, nil, m.Metrics())
+		return exec.RunMapTask(env, conf, stage, t.MapIdx, t.Split, m.Emit, nil, m.Metrics())
 	}
 
 	var reduceBody hadoop.ReduceBody
@@ -135,13 +135,14 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 	}
 
 	st := &trace.Stage{
-		Name:      stage.ID,
-		Engine:    e.Name(),
-		NumMaps:   len(tasks),
-		NumReds:   numReduces,
-		Producers: job.MapMetrics(),
-		Consumers: job.ReduceMetrics(),
-		Comm:      job.Comm(),
+		Name:       stage.ID,
+		Engine:     e.Name(),
+		NumMaps:    len(tasks),
+		NumReds:    numReduces,
+		Producers:  job.MapMetrics(),
+		Consumers:  job.ReduceMetrics(),
+		Comm:       job.Comm(),
+		Vectorized: conf.Vectorized,
 	}
 	for i, m := range st.Producers {
 		m.LocalRead = tasks[i].Local

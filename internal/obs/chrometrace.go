@@ -67,6 +67,12 @@ func WriteChromeTrace(w io.Writer, queries []*trace.Query, p *perfmodel.Params) 
 		lanes := newLaneTable(p.Cluster.SlotsPerNode)
 		stageEnd := map[string]float64{} // stage name -> end ts (for flows)
 		for _, ss := range root.Children {
+			if ss.Kind != SpanStage {
+				// The query-level compile span rides on the stage row but
+				// keeps its own category.
+				events = append(events, spanEvent(ss, string(ss.Kind), pid, 0))
+				continue
+			}
 			events = append(events, spanEvent(ss, "stage", pid, 0))
 			stageEnd[ss.Name] = ss.End
 			events = append(events, commCounterEvents(stagesByName[ss.Name], ss, pid, p)...)

@@ -143,13 +143,18 @@ func TestBuildQuerySpansHierarchy(t *testing.T) {
 	p := perfmodel.DefaultParams()
 	q := dagQuery()
 	root, sim := BuildQuerySpans(q, &p)
-	if root.Kind != SpanQuery || len(root.Children) != 3 {
+	if root.Kind != SpanQuery || len(root.Children) != 4 {
+		// 3 stage spans followed by the query-level compile span.
 		t.Fatalf("root: kind=%s children=%d", root.Kind, len(root.Children))
 	}
 	if math.Abs(root.End-sim.Total) > 1e-9 {
 		t.Errorf("root end %f != sim total %f", root.End, sim.Total)
 	}
-	for i, ss := range root.Children {
+	if last := root.Children[3]; last.Kind != SpanPhase || last.Name != "compile" ||
+		math.Abs(last.End-sim.Compile) > 1e-9 {
+		t.Fatalf("trailing span = %s %q [%f,%f], want compile phase", last.Kind, last.Name, last.Start, last.End)
+	}
+	for i, ss := range root.Children[:3] {
 		if ss.Kind != SpanStage {
 			t.Fatalf("child %d kind = %s", i, ss.Kind)
 		}

@@ -73,6 +73,16 @@ func BuildQuerySpans(q *trace.Query, p *perfmodel.Params) (*Span, *perfmodel.Que
 		}
 		root.Children = append(root.Children, buildStageSpan(st, sim.Stages[i], sim.Compile))
 	}
+	// Stage spans come first (consumers index them positionally); the
+	// compile span rides at the end. A plan-cache hit skips parse/plan
+	// entirely, so the span is absent for cached statements.
+	if q.CachedPlan {
+		root.attr("plan_cache", "hit")
+	} else if sim.Compile > 0 {
+		root.Children = append(root.Children, &Span{
+			Name: "compile", Kind: SpanPhase, Start: 0, End: sim.Compile,
+		})
+	}
 	return root, sim
 }
 
@@ -86,6 +96,10 @@ func buildStageSpan(st *trace.Stage, sr *perfmodel.StageTiming, compile float64)
 		Engine: st.Engine,
 	}
 	ss.attr("engine", st.Engine)
+	if st.Vectorized {
+		ss.attr("vectorized", "true")
+		ss.attr("batches", strconv.FormatInt(stageBatches(st), 10))
+	}
 	if len(st.DependsOn) > 0 {
 		ss.attr("depends_on", strings.Join(st.DependsOn, ","))
 	}

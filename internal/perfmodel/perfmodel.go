@@ -60,6 +60,21 @@ type Params struct {
 	Hadoop  EngineParams
 	DataMPI EngineParams
 	Compile float64 // per-query HiveQL compile seconds
+	// VectorizedCPUFactor scales per-record map CPU for stages that ran
+	// the columnar batch pipeline (kernel loops amortize per-row
+	// dispatch). 0 falls back to the default.
+	VectorizedCPUFactor float64
+}
+
+// defaultVectorizedCPUFactor reflects the measured batch-kernel win on
+// per-record operator CPU (see BENCH_vec.json).
+const defaultVectorizedCPUFactor = 0.45
+
+func (p *Params) vectorizedCPUFactor() float64 {
+	if p.VectorizedCPUFactor > 0 {
+		return p.VectorizedCPUFactor
+	}
+	return defaultVectorizedCPUFactor
 }
 
 // DefaultParams is calibrated against the paper's §V numbers (TPC-H Q9
@@ -240,7 +255,11 @@ func (p *Params) mapTaskDuration(st *trace.Stage, t *trace.Task) (dur, readT, co
 		memBW = c.NetBW * 0.7
 	}
 	readT = diskIn/readBW + memIn/memBW
-	computeT = recs*c.CPUPerRecord + in*c.CPUPerByte
+	perRecord := c.CPUPerRecord
+	if st.Vectorized {
+		perRecord *= p.vectorizedCPUFactor()
+	}
+	computeT = recs*perRecord + in*c.CPUPerByte
 
 	if st.Engine == "datampi" {
 		e := p.DataMPI
@@ -468,7 +487,11 @@ type QueryTiming struct {
 // dependencies (sum along dependency chains, max over parallel
 // branches) and the total is compile plus the DAG's makespan.
 func (p *Params) SimulateQuery(q *trace.Query) *QueryTiming {
-	out := &QueryTiming{Compile: p.Compile}
+	compile := p.Compile
+	if q.CachedPlan {
+		compile = 0 // plan served from the compiled-plan cache
+	}
+	out := &QueryTiming{Compile: compile}
 	finish := make(map[string]float64, len(q.Stages))
 	var makespan float64
 	for _, st := range q.Stages {
@@ -491,7 +514,7 @@ func (p *Params) SimulateQuery(q *trace.Query) *QueryTiming {
 		}
 		out.Stages = append(out.Stages, sim)
 	}
-	out.Total = p.Compile + makespan
+	out.Total = compile + makespan
 	return out
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"hivempi/internal/dfs"
 	"hivempi/internal/types"
+	"hivempi/internal/vec"
 )
 
 // Format selects a table file format.
@@ -119,6 +120,69 @@ func OpenSplit(fs *dfs.FileSystem, split dfs.Split, f Format, schema *types.Sche
 	default:
 		return nil, fmt.Errorf("storage: unknown format %v", f)
 	}
+}
+
+// BatchReader iterates column batches; NextBatch fills b (whose
+// column count must match the schema) and returns io.EOF at end of
+// input. Unprojected columns come back all-null, mirroring row mode.
+type BatchReader interface {
+	NextBatch(b *vec.Batch) error
+}
+
+// OpenSplitBatch returns a batch reader over one input split. ORC
+// serves batches natively from its pruned column streams; row formats
+// are adapted by accumulating rows into datum-mode batches, so the
+// vectorized path is available for every format.
+func OpenSplitBatch(fs *dfs.FileSystem, split dfs.Split, f Format, schema *types.Schema,
+	projection []int, predicate *Predicate) (BatchReader, error) {
+	if f == FormatORC {
+		r, err := fs.Open(split.Path)
+		if err != nil {
+			return nil, err
+		}
+		return newORCSplitReader(r, split.Offset, split.Length, schema, projection, predicate)
+	}
+	rd, err := OpenSplit(fs, split, f, schema, projection, predicate)
+	if err != nil {
+		return nil, err
+	}
+	return &rowBatchAdapter{rd: rd, width: schema.Len()}, nil
+}
+
+// rowBatchAdapter packs a RowReader's rows into datum-mode batches.
+type rowBatchAdapter struct {
+	rd    RowReader
+	width int
+	eof   bool
+}
+
+func (a *rowBatchAdapter) NextBatch(b *vec.Batch) error {
+	if a.eof {
+		return io.EOF
+	}
+	for ci := 0; ci < a.width; ci++ {
+		b.Cols[ci].Reset(vec.KindAny, vec.DefaultSize)
+	}
+	n := 0
+	for n < vec.DefaultSize {
+		row, err := a.rd.Next()
+		if err == io.EOF {
+			a.eof = true
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for ci := 0; ci < a.width && ci < len(row); ci++ {
+			b.Cols[ci].SetDatum(n, row[ci])
+		}
+		n++
+	}
+	if n == 0 {
+		return io.EOF
+	}
+	b.N = n
+	return nil
 }
 
 // ReadAll reads every row of a file (testing and small-table helper).

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"hivempi/internal/types"
+	"hivempi/internal/vec"
 )
 
 // Column stream encodings for the ORC-like format. Each column of a
@@ -305,6 +306,99 @@ func encodeColumn(kind types.Kind, col []types.Datum) ([]byte, error) {
 		return appendStrings(buf, vals), nil
 	default:
 		return nil, fmt.Errorf("storage: orc cannot encode kind %v", kind)
+	}
+}
+
+// decodedColumn holds one column's raw decoded streams (presence flags
+// plus the dense non-null value array) before row or batch
+// materialization. The batch path copies straight from these into
+// vec.Vector payloads, skipping per-row Datum construction entirely.
+type decodedColumn struct {
+	kind    types.Kind
+	present []bool
+	ints    []int64
+	floats  []float64
+	strs    []string
+	vi      int // cursor into the dense value stream
+}
+
+// decodeColumnStreams reverses encodeColumn into raw streams.
+func decodeColumnStreams(kind types.Kind, buf []byte) (*decodedColumn, error) {
+	present, pos, err := decodePresence(buf)
+	if err != nil {
+		return nil, err
+	}
+	dc := &decodedColumn{kind: kind, present: present}
+	nPresent := 0
+	for _, p := range present {
+		if p {
+			nPresent++
+		}
+	}
+	switch kind {
+	case types.KindBool, types.KindInt, types.KindDate:
+		dc.ints, _, err = decodeInts(buf[pos:])
+		if err != nil {
+			return nil, err
+		}
+		if len(dc.ints) < nPresent {
+			return nil, fmt.Errorf("storage: orc int column short")
+		}
+	case types.KindFloat:
+		dc.floats, _, err = decodeFloats(buf[pos:])
+		if err != nil {
+			return nil, err
+		}
+		if len(dc.floats) < nPresent {
+			return nil, fmt.Errorf("storage: orc float column short")
+		}
+	case types.KindString:
+		dc.strs, _, err = decodeStrings(buf[pos:])
+		if err != nil {
+			return nil, err
+		}
+		if len(dc.strs) < nPresent {
+			return nil, fmt.Errorf("storage: orc string column short")
+		}
+	default:
+		return nil, fmt.Errorf("storage: orc cannot decode kind %v", kind)
+	}
+	return dc, nil
+}
+
+// fillVector copies rows [row, row+n) into v. The ORC presence bit is
+// SET for present values; the vec convention is the inverse (bit set =
+// NULL), converted here.
+func (dc *decodedColumn) fillVector(v *vec.Vector, row, n int) {
+	v.Reset(dc.kind, n)
+	switch dc.kind {
+	case types.KindBool, types.KindInt, types.KindDate:
+		for i := 0; i < n; i++ {
+			if dc.present[row+i] {
+				v.I64[i] = dc.ints[dc.vi]
+				dc.vi++
+			} else {
+				v.SetNull(i)
+			}
+		}
+	case types.KindFloat:
+		for i := 0; i < n; i++ {
+			if dc.present[row+i] {
+				v.F64[i] = dc.floats[dc.vi]
+				dc.vi++
+			} else {
+				v.SetNull(i)
+			}
+		}
+	case types.KindString:
+		for i := 0; i < n; i++ {
+			if dc.present[row+i] {
+				v.Str[i] = dc.strs[dc.vi]
+				dc.vi++
+			} else {
+				v.SetNull(i)
+			}
+		}
 	}
 }
 

@@ -186,6 +186,10 @@ type Task struct {
 	BufPeakBytes  int64
 	ForcedFlushes int64
 	RecvRounds    int64
+
+	// Batches counts the column batches the vectorized map path
+	// processed (0 for row-mode tasks).
+	Batches int64
 }
 
 // SendEvent records one flush from the buffer manager to the wire:
@@ -227,6 +231,10 @@ type Stage struct {
 	// query's stage DAG). The perfmodel uses it for critical-path
 	// virtual-time accounting when the query ran DAG-overlapped.
 	DependsOn []string
+
+	// Vectorized marks that the stage's map tasks ran the columnar
+	// batch pipeline; the perfmodel discounts per-record CPU for it.
+	Vectorized bool
 
 	// Comm is the per-(producer, consumer) communication matrix the
 	// engine recorded for this stage's shuffle (nil for map-only stages
@@ -277,6 +285,10 @@ type Query struct {
 	// scheduling): virtual time is then the critical path through the
 	// stage DAG instead of the serial sum.
 	Overlapped bool
+	// CachedPlan marks that the driver served this statement from the
+	// compiled-plan cache, skipping parse/plan (the perfmodel then drops
+	// the compile charge from the query's virtual time).
+	CachedPlan bool
 }
 
 // Collector accumulates stages from concurrently running tasks.
@@ -307,6 +319,18 @@ func (c *Collector) MarkOverlapped() {
 		c.queries = append(c.queries, c.current)
 	}
 	c.current.Overlapped = true
+}
+
+// MarkCachedPlan flags the current query as served from the
+// compiled-plan cache (creating an anonymous query if none was begun).
+func (c *Collector) MarkCachedPlan() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current == nil {
+		c.current = &Query{Statement: "(anonymous)"}
+		c.queries = append(c.queries, c.current)
+	}
+	c.current.CachedPlan = true
 }
 
 // AddStage appends a completed stage to the current query (creating an

@@ -1,0 +1,80 @@
+package vec
+
+import (
+	"testing"
+
+	"hivempi/internal/types"
+)
+
+// benchBatch builds a DefaultSize batch with an int, a float and a
+// string column, every 16th lane NULL.
+func benchBatch() *Batch {
+	b := &Batch{N: DefaultSize}
+	b.Cols = []*Vector{
+		NewVector(types.KindInt, DefaultSize),
+		NewVector(types.KindFloat, DefaultSize),
+		NewVector(types.KindString, DefaultSize),
+	}
+	for i := 0; i < DefaultSize; i++ {
+		b.Cols[0].I64[i] = int64(i % 97)
+		b.Cols[1].F64[i] = float64(i) * 0.25
+		b.Cols[2].Str[i] = "lane"
+		if i%16 == 0 {
+			b.Cols[1].SetNull(i)
+		}
+	}
+	return b
+}
+
+func BenchmarkBatchCompact(b *testing.B) {
+	src := benchBatch()
+	mask := make([]bool, DefaultSize)
+	for i := range mask {
+		mask[i] = i%3 != 0
+	}
+	scratch := &Batch{Cols: []*Vector{{}, {}, {}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c, v := range scratch.Cols {
+			v.CopyFrom(src.Cols[c], src.N)
+		}
+		scratch.N = src.N
+		scratch.Compact(mask)
+	}
+}
+
+func BenchmarkBatchRowMaterialize(b *testing.B) {
+	src := benchBatch()
+	var row types.Row
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row = src.Row(i%src.N, row)
+	}
+}
+
+func BenchmarkVectorSetDatum(b *testing.B) {
+	v := NewVector(KindAny, DefaultSize)
+	d := types.Float(3.25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.SetDatum(i%DefaultSize, d)
+	}
+}
+
+// BenchmarkPoolCycle measures the steady-state Get/Reset/Put loop every
+// operator runs per batch.
+func BenchmarkPoolCycle(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Get(4)
+		for _, v := range out.Cols {
+			v.Reset(KindAny, DefaultSize)
+		}
+		out.N = DefaultSize
+		Put(out)
+	}
+}
