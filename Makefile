@@ -62,6 +62,8 @@ bench:
 		| tee /dev/stderr | $(GO) run ./cmd/benchfmt > BENCH_shuffle.json
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/vec/ ./internal/exec/ ./internal/storage/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchfmt > BENCH_vec.json
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/adapt/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchfmt > BENCH_skew.json
 
 # benchdiff re-runs the shuffle and vectorized microbenchmarks and
 # compares them to the committed BENCH_shuffle.json / BENCH_vec.json
@@ -79,6 +81,9 @@ benchdiff:
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/vec/ ./internal/exec/ ./internal/storage/ \
 		| $(GO) run ./cmd/benchfmt > /tmp/bench_vec_current.json
 	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOL) BENCH_vec.json /tmp/bench_vec_current.json
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/adapt/ \
+		| $(GO) run ./cmd/benchfmt > /tmp/bench_skew_current.json
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOL) BENCH_skew.json /tmp/bench_skew_current.json
 
 # comm runs TPC-H Q1 (aggregate) + Q9 (join) on DataMPI at quick scale
 # and writes the communication report — per-stage O x A shuffle

@@ -7,12 +7,19 @@
 // Repeated runs of the same benchmark (`-count N`) collapse to the
 // fastest one — best-of-N is the noise-robust estimator for
 // microbenchmarks, since interference only ever slows a run down.
+//
+// Benchmarks that appear in fewer runs than the rest (a run that
+// crashed mid-suite, an OOM-killed package) are reported to stderr;
+// when more than 10% of the benchmark names are short of runs the
+// merge exits non-zero, so benchdiff never silently compares against
+// a quietly-shrunken baseline.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,11 +36,27 @@ type Result struct {
 	AllocsOp   int64   `json:"allocs_per_op"`
 }
 
+// missingRunsThreshold is the fraction of benchmark names allowed to
+// be short of runs before the merge fails.
+const missingRunsThreshold = 0.10
+
 func main() {
+	if err := run(os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}
+
+// run merges the benchmark stream from r into a best-of-N JSON report
+// on w, warning about undercounted benchmarks on stderr. It returns an
+// error when reading/encoding fails or when too many benchmarks are
+// missing runs.
+func run(r io.Reader, w io.Writer, stderr io.Writer) error {
 	var results []Result
 	index := map[string]int{}
+	counts := map[string]int{}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
@@ -43,29 +66,53 @@ func main() {
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
-		if r, ok := parseBench(line); ok {
-			r.Package = pkg
-			key := r.Package + "." + r.Name
+		if res, ok := parseBench(line); ok {
+			res.Package = pkg
+			key := res.Package + "." + res.Name
+			counts[key]++
 			if i, seen := index[key]; seen {
-				if r.NsPerOp < results[i].NsPerOp {
-					results[i] = r
+				if res.NsPerOp < results[i].NsPerOp {
+					results[i] = res
 				}
 				continue
 			}
 			index[key] = len(results)
-			results = append(results, r)
+			results = append(results, res)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchfmt:", err)
-		os.Exit(1)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
+
+	// Every benchmark should appear in every run (`-count N` yields N
+	// lines per name); a name short of the modal count came from a run
+	// that died partway. Surface each one, and fail the merge when the
+	// shrinkage passes the threshold.
+	runs := 0
+	for _, c := range counts {
+		if c > runs {
+			runs = c
+		}
+	}
+	missing := 0
+	for _, res := range results { // results order = first-seen order, deterministic
+		key := res.Package + "." + res.Name
+		if c := counts[key]; c < runs {
+			missing++
+			fmt.Fprintf(stderr, "benchfmt: %s appears in %d/%d runs (partial suite?)\n", key, c, runs)
+		}
+	}
+
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "benchfmt:", err)
-		os.Exit(1)
+		return err
 	}
+	if len(results) > 0 && float64(missing) > missingRunsThreshold*float64(len(results)) {
+		return fmt.Errorf("%d of %d benchmarks missing from some runs (>%d%%)",
+			missing, len(results), int(missingRunsThreshold*100))
+	}
+	return nil
 }
 
 // parseBench parses one benchmark result line, e.g.

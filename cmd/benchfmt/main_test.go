@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchStripsGOMAXPROCS(t *testing.T) {
+	r, ok := parseBench("BenchmarkSend-8   1000000   603.0 ns/op   12 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkSend" {
+		t.Fatalf("name = %q, want BenchmarkSend", r.Name)
+	}
+	if r.Iterations != 1000000 || r.NsPerOp != 603.0 || r.BytesPerOp != 12 || r.AllocsOp != 0 {
+		t.Fatalf("parsed %+v", r)
+	}
+}
+
+func TestParseBenchRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX-8 notanumber 10 ns/op",
+		"BenchmarkX-8 100 10 B/op", // no ns/op metric
+	} {
+		if _, ok := parseBench(line); ok {
+			t.Errorf("parseBench(%q) accepted", line)
+		}
+	}
+}
+
+// runOn drives run() over a literal stream and returns the decoded
+// report, the stderr text and the error.
+func runOn(t *testing.T, in string) ([]Result, string, error) {
+	t.Helper()
+	var out, errBuf strings.Builder
+	err := run(strings.NewReader(in), &out, &errBuf)
+	var results []Result
+	if out.Len() > 0 {
+		if jerr := json.Unmarshal([]byte(out.String()), &results); jerr != nil {
+			t.Fatalf("output is not JSON: %v\n%s", jerr, out.String())
+		}
+	}
+	return results, errBuf.String(), err
+}
+
+func TestRunBestOfN(t *testing.T) {
+	in := `pkg: hivempi/internal/kvio
+BenchmarkSort-8 100 500.0 ns/op
+BenchmarkSort-8 100 450.0 ns/op
+BenchmarkSort-8 100 480.0 ns/op
+`
+	results, stderr, err := runOn(t, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stderr != "" {
+		t.Fatalf("unexpected warnings: %s", stderr)
+	}
+	if len(results) != 1 || results[0].NsPerOp != 450.0 {
+		t.Fatalf("best-of-3 merge got %+v", results)
+	}
+	if results[0].Package != "hivempi/internal/kvio" {
+		t.Fatalf("package = %q", results[0].Package)
+	}
+}
+
+// A benchmark present in only some runs must be called out on stderr,
+// and the merge must fail once the shrinkage exceeds 10% of the names.
+func TestRunFailsOnMissingBenchmarks(t *testing.T) {
+	in := `pkg: p
+BenchmarkA-8 100 10.0 ns/op
+BenchmarkB-8 100 20.0 ns/op
+BenchmarkA-8 100 11.0 ns/op
+`
+	results, stderr, err := runOn(t, in)
+	if err == nil {
+		t.Fatal("want non-nil error when 1 of 2 benchmarks is missing a run")
+	}
+	if !strings.Contains(stderr, "p.BenchmarkB") || !strings.Contains(stderr, "1/2 runs") {
+		t.Fatalf("stderr did not name the short benchmark: %q", stderr)
+	}
+	// The report itself is still emitted — the caller decides whether a
+	// partial baseline is usable.
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+}
+
+// Below the 10% threshold the short names still warn but the merge
+// succeeds: one flaky benchmark must not block the whole suite.
+func TestRunToleratesFewMissing(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("pkg: p\n")
+	for run := 0; run < 2; run++ {
+		for _, name := range []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K"} {
+			if name == "K" && run == 1 {
+				continue // 1 of 11 short: 9.1%, under the gate
+			}
+			sb.WriteString("Benchmark" + name + "-8 100 10.0 ns/op\n")
+		}
+	}
+	results, stderr, err := runOn(t, sb.String())
+	if err != nil {
+		t.Fatalf("1 of 11 short should pass the 10%% gate: %v", err)
+	}
+	if !strings.Contains(stderr, "p.BenchmarkK") {
+		t.Fatalf("short benchmark not warned: %q", stderr)
+	}
+	if len(results) != 11 {
+		t.Fatalf("got %d results", len(results))
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	results, stderr, err := runOn(t, "nothing benchmark-shaped here\n")
+	if err != nil || stderr != "" {
+		t.Fatalf("empty stream: err=%v stderr=%q", err, stderr)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results from empty stream", len(results))
+	}
+}

@@ -43,7 +43,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	scale := fs.Int64("scale", 1<<20, "bytes generated per paper-GB (1<<20 = 1:1000)")
 	quick := fs.Bool("quick", false, "shortcut for -scale 131072 (1:8000)")
-	expList := fs.String("exp", "all", "experiments: table1,fig1,fig2,fig6,fig8,fig9,fig10,table2,fig11,fig12,fig13,table3,ablations,fault,dag,nodeloss,vec")
+	expList := fs.String("exp", "all", "experiments: table1,fig1,fig2,fig6,fig8,fig9,fig10,table2,fig11,fig12,fig13,table3,ablations,fault,dag,nodeloss,vec,skew")
 	seed := fs.Int64("seed", 42, "dataset generator seed")
 	tracePath := fs.String("trace", "", "write a Chrome trace of a DAG-parallel TPC-H Q9 run to this file")
 	commPath := fs.String("comm", "", "write the communication report of TPC-H Q1+Q9 on DataMPI to this file")
@@ -87,6 +87,7 @@ func run(args []string) error {
 		{"dag", func() (fmt.Stringer, error) { return r.DAGOverlap(20) }},
 		{"nodeloss", func() (fmt.Stringer, error) { return r.NodeLossRecovery(20) }},
 		{"vec", func() (fmt.Stringer, error) { return r.Vectorized() }},
+		{"skew", func() (fmt.Stringer, error) { return r.SkewAdaptive() }},
 	}
 
 	if !all {

@@ -6,7 +6,8 @@
 //
 //	hiveql [-engine hadoop|datampi] [-dataset tpch|hibench|none]
 //	       [-size GB] [-format textfile|sequencefile|orc] [-f script.sql]
-//	       [-explain] [-analyze] [-vectorized] [-comm report.json] [-heatmap]
+//	       [-explain] [-analyze] [-vectorized] [-adaptive]
+//	       [-mapjoin-threshold bytes] [-comm report.json] [-heatmap]
 //
 // -analyze wraps each statement in EXPLAIN ANALYZE: the statement
 // executes and the plan is printed annotated with per-stage rows,
@@ -16,6 +17,14 @@
 // -vectorized routes map tasks through the columnar batch pipeline
 // (hive.exec.vectorized); output is byte-identical to row mode and
 // -analyze shows the per-stage batch counts.
+//
+// -adaptive turns on the skew-adaptive runtime (internal/adapt):
+// observed partition histograms from completed stages repartition
+// downstream skewed shuffles, and -analyze shows the per-stage
+// "skew-adapted: split=N fused=M" decisions. Output stays
+// byte-identical. -mapjoin-threshold sets the map-join small-table
+// cutoff (hive.mapjoin.smalltable.filesize; 1 forces shuffle joins,
+// handy for demonstrating adaptation on dimension joins).
 //
 // -comm writes the session's communication report (per-stage O x A
 // shuffle matrices with skew statistics) as JSON on exit; -heatmap
@@ -58,6 +67,8 @@ func run(args []string) error {
 	script := fs.String("f", "", "script file to execute (default: interactive)")
 	explain := fs.Bool("explain", false, "print the plan for each statement instead of running it")
 	vectorized := fs.Bool("vectorized", false, "columnar batch execution (hive.exec.vectorized); output is byte-identical to row mode")
+	adaptive := fs.Bool("adaptive", false, "skew-adaptive runtime: observed partition histograms repartition downstream skewed stages (output stays byte-identical)")
+	mapJoinThreshold := fs.Int64("mapjoin-threshold", 0, "map-join small-table cutoff in bytes, hive.mapjoin.smalltable.filesize (0 = default 256KB; 1 forces shuffle joins)")
 	analyze := fs.Bool("analyze", false, "run each statement and print its runtime-annotated plan (EXPLAIN ANALYZE)")
 	commOut := fs.String("comm", "", "write the session's communication report (skew matrices) to this JSON file")
 	heatmap := fs.Bool("heatmap", false, "print a text heatmap of each shuffle stage's communication matrix on exit")
@@ -84,6 +95,8 @@ func run(args []string) error {
 	conf.SpillDir = os.TempDir()
 	conf.Vectorized = *vectorized
 	d := hive.NewDriver(env, engine, conf)
+	d.AdaptiveSkew = *adaptive
+	d.MapJoinThresholdBytes = *mapJoinThreshold
 
 	bytesPerGB := int64(1 << 20)
 	switch *dataset {

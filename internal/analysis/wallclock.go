@@ -14,7 +14,10 @@ import (
 // from the model, not the host clock (it audited clean — keep it so).
 // cluster is the failure detector: its heartbeat timeline IS virtual
 // time, so a wall-clock read there breaks detector determinism.
-var virtualTimePackages = []string{"perfmodel", "core", "datampi", "hive", "obs", "chaos", "bench", "cluster"}
+// adapt feeds observed stage statistics back into scheduling — a
+// wall-clock read there would make repartition decisions run-order
+// dependent.
+var virtualTimePackages = []string{"perfmodel", "core", "datampi", "hive", "obs", "chaos", "bench", "cluster", "adapt"}
 
 // forbiddenTimeFuncs are the package-level time functions that read or
 // schedule against the wall clock. Pure-value helpers (time.Duration

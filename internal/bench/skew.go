@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hivempi/internal/exec"
+	"hivempi/internal/hive"
+	"hivempi/internal/types"
+)
+
+// SkewAdaptiveResult is the `-exp skew` report: the same skewed join
+// workload with the skew-adaptive runtime off and on. The workload
+// first materializes a CTAS whose final shuffle-join stage sinks into
+// the table's warehouse directory — on the adaptive arm that stage's
+// partition histogram is observed, and the measured query reading the
+// table gets its heavy partition split / light partitions fused.
+type SkewAdaptiveResult struct {
+	BaseReducers     int // reducer count of the observed CTAS join stage
+	MeasuredReducers int // natural reducer count of the measured join
+	HotKeys          int // distinct hot keys colliding in one base bucket
+
+	OffSec float64 // simulated seconds, adaptation off
+	OnSec  float64 // simulated seconds, adaptation on
+
+	SplitParts int // extra ranks the heavy partitions were split onto
+	FusedParts int // light partitions folded into shared ranks
+}
+
+// Factor is the virtual-makespan win of the adaptive arm.
+func (s *SkewAdaptiveResult) Factor() float64 {
+	if s.OnSec <= 0 {
+		return 0
+	}
+	return s.OffSec / s.OnSec
+}
+
+// Skew workload sizing. BytesPerReducer is pinned (independent of the
+// data scale) so both the probe and the measured arms plan the same
+// multi-reducer shuffles, and the hot keys — chosen to collide in one
+// FNV bucket of that reducer count — stay hot at any -scale.
+const (
+	skewRows        = 48_000
+	skewHotKeys     = 48
+	skewBgKeys      = 600
+	skewBPR         = 32 << 10
+	skewCTAS        = `DROP TABLE IF EXISTS joined; CREATE TABLE joined AS SELECT b.k AS k, b.v AS v FROM big b JOIN dim d ON b.k = d.k;`
+	skewMeasured    = `SELECT d.g, count(*) AS c, min(j.v) AS lo, max(j.v) AS hi FROM joined j JOIN dim d ON j.k = d.k GROUP BY d.g ORDER BY d.g;`
+	skewSeedTablesQ = `CREATE TABLE big (k bigint, v bigint); CREATE TABLE dim (k bigint, g string);`
+)
+
+// SkewAdaptive runs the skew-adaptation experiment.
+//
+// A probe arm first learns the reducer geometry the planner gives this
+// workload. Hot keys are then chosen so their shuffle-key hashes all
+// land in bucket 0 of that geometry: ~70% of the fact volume collapses
+// onto one reducer of the non-adaptive arm, while the adaptive arm —
+// having observed the CTAS sink's partition histogram — splits the
+// heavy bucket across many ranks (the hot keys are distinct, so their
+// groups redistribute) and fuses the starved light buckets.
+func (r *Runner) SkewAdaptive() (*SkewAdaptiveResult, error) {
+	out := &SkewAdaptiveResult{}
+	mut := func(c *exec.EngineConf) { c.BytesPerReducer = skewBPR }
+
+	// Probe: identical table sizes (keys and values are all 4-digit, so
+	// any key choice yields byte-identical file sizes), placeholder hot
+	// set, adaptation off. Records the base and measured reducer counts.
+	probe, err := r.skewDriver(mut, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := seedSkewData(probe, placeholderHot()); err != nil {
+		return nil, err
+	}
+	if out.BaseReducers, err = skewMaxReds(probe, skewCTAS); err != nil {
+		return nil, err
+	}
+	if out.MeasuredReducers, err = skewMaxReds(probe, skewMeasured); err != nil {
+		return nil, err
+	}
+
+	hot := chooseHotKeys(out.BaseReducers, out.MeasuredReducers, skewHotKeys)
+	out.HotKeys = len(hot)
+
+	// Measured arms: fresh identically-seeded clusters, adaptation off
+	// then on. Only the SELECT is measured; the CTAS run beforehand is
+	// what feeds the adaptive arm its observations.
+	for _, adaptive := range []bool{false, true} {
+		d, err := r.skewDriver(mut, adaptive)
+		if err != nil {
+			return nil, err
+		}
+		if err := seedSkewData(d, hot); err != nil {
+			return nil, err
+		}
+		if _, err := d.Run(skewCTAS); err != nil {
+			return nil, err
+		}
+		sec, err := r.simOne(d, skewMeasured)
+		if err != nil {
+			return nil, err
+		}
+		if adaptive {
+			out.OnSec = sec
+			for _, q := range d.Collector.Queries() {
+				for _, st := range q.Stages {
+					out.SplitParts += st.AdaptSplit
+					out.FusedParts += st.AdaptFused
+				}
+			}
+		} else {
+			out.OffSec = sec
+		}
+	}
+	return out, nil
+}
+
+// skewDriver builds a driver on its own fresh cluster with the skew
+// workload's shuffle geometry (shuffle joins forced, pinned reducer
+// sizing) and the adapt runtime switched as requested.
+func (r *Runner) skewDriver(mut func(*exec.EngineConf), adaptive bool) (*hive.Driver, error) {
+	cl := r.newCluster()
+	d := r.driver(cl, "datampi", mut)
+	d.MapJoinThresholdBytes = 1
+	d.AdaptiveSkew = adaptive
+	return d, nil
+}
+
+// placeholderHot is the probe arm's stand-in hot set: the first keys of
+// the candidate range. Which keys are hot does not change table sizes,
+// so the probe's reducer geometry matches the measured arms'.
+func placeholderHot() []int {
+	hot := make([]int, skewHotKeys)
+	for i := range hot {
+		hot[i] = 1000 + i
+	}
+	return hot
+}
+
+// chooseHotKeys picks up to n distinct 4-digit keys whose shuffle-key
+// encodings all hash into bucket 0 under both reducer counts — the
+// exact partition function the engine applies (FNV-1a over the
+// order-preserving key encoding). If the joint residue class is too
+// thin (only possible when the two counts differ), collision under the
+// base count alone is kept, since that is the space the adapt runtime
+// redistributes.
+func chooseHotKeys(baseReds, measuredReds, n int) []int {
+	pick := func(both bool) []int {
+		var hot []int
+		for k := 1000; k <= 9999 && len(hot) < n; k++ {
+			key := types.EncodeKey(nil, []types.Datum{types.Int(int64(k))}, nil)
+			if exec.PartitionForKey(key, 0, 1, baseReds) != 0 {
+				continue
+			}
+			if both && measuredReds != baseReds &&
+				exec.PartitionForKey(key, 0, 1, measuredReds) != 0 {
+				continue
+			}
+			hot = append(hot, k)
+		}
+		return hot
+	}
+	hot := pick(true)
+	if len(hot) < n/4 {
+		hot = pick(false)
+	}
+	return hot
+}
+
+// seedSkewData creates and loads the skewed fact table and its
+// dimension: ~70% of the fact rows carry one of the hot keys, the rest
+// spread uniformly over a background key set; every key maps to one of
+// three dimension groups. Deterministic, so every arm holds
+// byte-identical tables.
+func seedSkewData(d *hive.Driver, hot []int) error {
+	if _, err := d.Run(skewSeedTablesQ); err != nil {
+		return err
+	}
+	bg := make([]int, skewBgKeys)
+	for j := range bg {
+		bg[j] = 1000 + j*15
+	}
+	lcg := uint64(88172645463325252)
+	next := func(n int) int {
+		lcg ^= lcg << 13
+		lcg ^= lcg >> 7
+		lcg ^= lcg << 17
+		return int(lcg % uint64(n))
+	}
+	rows := make([]types.Row, skewRows)
+	for i := range rows {
+		var k int
+		if next(10) < 7 {
+			k = hot[next(len(hot))]
+		} else {
+			k = bg[next(len(bg))]
+		}
+		rows[i] = types.Row{types.Int(int64(k)), types.Int(int64(1000 + next(9000)))}
+	}
+	// Four part files so the fact scan fans out over the map slots.
+	part := len(rows) / 4
+	for p := 0; p < 4; p++ {
+		hi := (p + 1) * part
+		if p == 3 {
+			hi = len(rows)
+		}
+		if err := d.LoadTableData("big", p, rows[p*part:hi]); err != nil {
+			return err
+		}
+	}
+	keys := map[int]bool{}
+	for _, k := range hot {
+		keys[k] = true
+	}
+	for _, k := range bg {
+		keys[k] = true
+	}
+	distinct := make([]int, 0, len(keys))
+	for k := range keys {
+		distinct = append(distinct, k)
+	}
+	sort.Ints(distinct)
+	dim := make([]types.Row, len(distinct))
+	for i, k := range distinct {
+		dim[i] = types.Row{types.Int(int64(k)), types.String(fmt.Sprintf("g%d", k%3))}
+	}
+	return d.LoadTableData("dim", 0, dim)
+}
+
+// skewMaxReds runs a script on a fresh collector and returns the
+// largest reducer count among its stages — the workload's join stage,
+// which every other stage undercuts.
+func skewMaxReds(d *hive.Driver, script string) (int, error) {
+	d.Collector.Reset()
+	if _, err := d.Run(script); err != nil {
+		return 0, err
+	}
+	reds := 0
+	for _, q := range d.Collector.Queries() {
+		for _, st := range q.Stages {
+			if st.NumReds > reds {
+				reds = st.NumReds
+			}
+		}
+	}
+	return reds, nil
+}
+
+func (s *SkewAdaptiveResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Skew-adaptive repartitioning (hot-bucket join, simulated seconds):\n")
+	sb.WriteString(fmt.Sprintf("  geometry: %d base reducers, %d measured, %d hot keys in bucket 0\n",
+		s.BaseReducers, s.MeasuredReducers, s.HotKeys))
+	sb.WriteString(fmt.Sprintf("  adaptation off %8.1fs\n", s.OffSec))
+	sb.WriteString(fmt.Sprintf("  adaptation on  %8.1fs   (split=%d fused=%d)\n",
+		s.OnSec, s.SplitParts, s.FusedParts))
+	sb.WriteString(fmt.Sprintf("  makespan win   %8.2fx\n", s.Factor()))
+	return sb.String()
+}

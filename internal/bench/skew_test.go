@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ISSUE's acceptance bar: adaptive repartitioning must show at
+// least a 1.15x virtual-makespan win on the seeded hot-bucket join.
+func TestSkewAdaptiveGain(t *testing.T) {
+	r := quickRunner(t)
+	res, err := r.SkewAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SplitParts == 0 {
+		t.Error("adaptive arm split no partition; the heavy bucket was not redistributed")
+	}
+	if f := res.Factor(); f < 1.15 {
+		t.Errorf("makespan win %.2fx below the 1.15x bar", f)
+	}
+	if res.BaseReducers < 2 || res.MeasuredReducers < 2 {
+		t.Errorf("degenerate reducer geometry: base=%d measured=%d (skew needs a multi-reducer shuffle)",
+			res.BaseReducers, res.MeasuredReducers)
+	}
+	if res.HotKeys < skewHotKeys/4 {
+		t.Errorf("only %d hot keys collide in bucket 0; the heavy bucket cannot split usefully", res.HotKeys)
+	}
+	out := res.String()
+	if !strings.Contains(out, "makespan win") || !strings.Contains(out, "split=") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+	t.Log("\n" + out)
+}

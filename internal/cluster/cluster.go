@@ -93,6 +93,7 @@ type Membership struct {
 	order    []string // deterministic iteration order
 	plane    *chaos.Plane
 	watchers []func(Event)
+	epoch    int64 // membership generation: bumped on every state transition
 
 	gUp, gSuspect, gDead *metrics.Gauge
 	ctrFlaps             *metrics.Counter
@@ -187,6 +188,17 @@ func (m *Membership) UpNodes() []string {
 		}
 	}
 	return out
+}
+
+// Epoch returns the membership generation counter: it advances on
+// every node state transition (detector or administrative) and on
+// every join, so any two calls straddling a topology change observe
+// different values. The plan cache folds it into its fingerprint so a
+// compiled plan never outlives the cluster shape it was sized for.
+func (m *Membership) Epoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
 }
 
 // Counts returns the (up, suspect, dead) populations.
@@ -297,6 +309,7 @@ func (m *Membership) detectLocked() []Event {
 		if want != ns.state {
 			events = append(events, Event{Node: name, From: ns.state, To: want, At: m.now})
 			ns.state = want
+			m.epoch++
 			m.ctrFlaps.Inc()
 		}
 	}
@@ -325,6 +338,7 @@ func (m *Membership) MarkDead(node string) error {
 		events = append(events, Event{Node: node, From: ns.state, To: Dead, At: m.now})
 		ns.state = Dead
 		ns.crashed = true
+		m.epoch++
 		m.ctrFlaps.Inc()
 		m.publishLocked()
 	}
@@ -344,6 +358,7 @@ func (m *Membership) Join(node string) {
 	if !ok {
 		m.nodes[node] = &nodeState{name: node, state: Up, lastBeat: m.now}
 		m.order = append(m.order, node)
+		m.epoch++
 		events = append(events, Event{Node: node, From: Dead, To: Up, At: m.now})
 	} else if ns.state != Up {
 		events = append(events, Event{Node: node, From: ns.state, To: Up, At: m.now})
@@ -351,6 +366,7 @@ func (m *Membership) Join(node string) {
 		ns.crashed = false
 		ns.pausedUntil = 0
 		ns.lastBeat = m.now
+		m.epoch++
 		m.ctrFlaps.Inc()
 	}
 	m.publishLocked()

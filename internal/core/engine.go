@@ -54,6 +54,13 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 	}
 	inputBytes := exec.SizingBytes(stage, tasks)
 	numA := exec.ReducerCount(stage, conf, len(tasks), inputBytes)
+	ad := conf.Adaptation
+	if ad.Repartitions() {
+		// The adapt runtime re-sized the consumer side from the
+		// producer's observed partition bytes; the planned count is
+		// superseded wholesale.
+		numA = ad.NumTargets
+	}
 
 	if stage.Shuffle == nil {
 		return e.runWithRetries(env, stage, conf, func(attempt int) (*trace.Stage, []types.Row, error) {
@@ -84,31 +91,26 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 	numKeys := len(stage.Maps[0].Keys)
 	partKeys := stage.Shuffle.PartitionKeys
 
-	// Host assignment per attempt. The first attempt spawns the world
-	// from the static hostfile (tasks keep their planned locality, A
-	// ranks round-robin over conf.Slaves — the mpidrun hostfile is a
-	// stale view, exactly like a real deployment's). A rank landing on
-	// a host the membership knows is not UP dies at spawn (ErrNodeLost
-	// below), and relaunched attempts fail the placement over to
-	// surviving nodes.
-	attemptHosts := func(attempt int) []string {
+	// Host assignment per attempt. O tasks keep their planned locality
+	// and A ranks round-robin over conf.Slaves (or take the adapt
+	// runtime's skew-aware placement), but every attempt — including
+	// the first — fails placement over to a surviving node when the
+	// membership already knows the planned host is not UP. liveHost is
+	// a no-op on a healthy cluster; skipping it on attempt 1 used to
+	// make a cached plan re-executed after a node death (with the
+	// default single-attempt budget) land ranks on the dead host and
+	// fail outright instead of rescheduling.
+	attemptHosts := func() []string {
 		hosts := make([]string, 0, len(tasks)+numA)
 		for _, t := range tasks {
-			h := t.Host
-			if attempt > 1 {
-				h = liveHost(env, h, t.Split.Hosts)
-			}
-			hosts = append(hosts, h)
+			hosts = append(hosts, liveHost(env, t.Host, t.Split.Hosts))
 		}
 		for i := 0; i < numA; i++ {
-			h := ""
-			if len(conf.Slaves) > 0 {
+			h := ad.HostFor(i)
+			if h == "" && len(conf.Slaves) > 0 {
 				h = conf.Slaves[i%len(conf.Slaves)]
 			}
-			if attempt > 1 {
-				h = liveHost(env, h, conf.Slaves)
-			}
-			hosts = append(hosts, h)
+			hosts = append(hosts, liveHost(env, h, conf.Slaves))
 		}
 		return hosts
 	}
@@ -117,12 +119,15 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		// Each attempt is a fresh bipartite world: an MPI transport
 		// failure is fatal to its communicator, so recovery means
 		// relaunching the job, not patching the old one.
-		hosts := attemptHosts(attempt)
+		hosts := attemptHosts()
 		sinks := newShardedRows(numA)
 		job, err := datampi.NewJob(datampi.Config{
 			NumO: len(tasks),
 			NumA: numA,
 			Partitioner: func(key []byte, n int) int {
+				if ad.Repartitions() {
+					return ad.Partition(key, partKeys, numKeys)
+				}
 				return exec.PartitionForKey(key, partKeys, numKeys, n)
 			},
 			SendBufferBytes: conf.SendBufferBytes,
@@ -202,6 +207,12 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			if h := hosts[len(tasks)+a.Rank()]; !env.NodeUp(h) {
 				return fmt.Errorf("%w: A rank %d on %s (stage %s)", exec.ErrNodeLost, a.Rank(), h, stage.ID)
 			}
+			if ad.MarkPredictive(a.Rank()) {
+				// Predicted-heavy partition on a suspect/slow node: the
+				// backup copy is already racing this one, so a straggler
+				// here is cut at the predictive detection latency.
+				m.PredictiveSpec = true
+			}
 			exec.ApplyStraggler(m, env.Chaos.StragglerDelay(stage.ID, "a", a.Rank()), conf)
 			out, closer, err := exec.BuildTaskOutput(env, stage, a.Rank(), sinks.sink(a.Rank()))
 			if err != nil {
@@ -249,6 +260,11 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 			SendQueueSize:  conf.SendQueueSize,
 			LaunchCommand:  cmdline,
 			Vectorized:     conf.Vectorized,
+		}
+		if ad != nil {
+			st.AdaptSplit = ad.SplitParts
+			st.AdaptFused = ad.FusedParts
+			st.AdaptSec = ad.PlanCostSec
 		}
 		for i, m := range st.Producers {
 			m.LocalRead = tasks[i].Local
@@ -371,10 +387,9 @@ func (e *Engine) runMapOnly(env *exec.Env, stage *exec.Stage, conf exec.EngineCo
 	sem := make(chan struct{}, conf.MaxSlots())
 	var wg sync.WaitGroup
 	for i := range tasks {
-		host := tasks[i].Host
-		if attempt > 1 {
-			host = liveHost(env, host, tasks[i].Split.Hosts)
-		}
+		// Fail dead planned hosts over on every attempt (no-op while the
+		// planned host is UP), mirroring attemptHosts above.
+		host := liveHost(env, tasks[i].Host, tasks[i].Split.Hosts)
 		taskMetrics[i] = &trace.Task{ID: i, Kind: trace.KindOTask, Attempts: attempt,
 			Host: host, CollectSizes: trace.NewSizeHistogram()}
 		wg.Add(1)

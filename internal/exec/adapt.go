@@ -1,0 +1,124 @@
+package exec
+
+// Skew-adaptive shuffle geometry. A ShuffleAdaptation is computed by
+// the adapt runtime (internal/adapt) from a completed producer stage's
+// partition-byte statistics and handed to the engines through
+// EngineConf.Adaptation: it rewrites the consumer count, the
+// partition map (splitting heavy base buckets across several ranks by
+// a secondary key hash and fusing light ones onto shared ranks),
+// pins predicted-heavy ranks to lightly loaded hosts, and marks ranks
+// for predictive speculation.
+//
+// Correctness: Partition is a pure function of the key's partition
+// prefix, so a group never straddles two consumer ranks — splitting a
+// heavy BUCKET spreads its distinct keys, never the rows of one key.
+// Downstream results stay byte-identical because the kvio merge order
+// is content-determined (key bytes, then value bytes).
+
+// PredictiveDetectSec is the virtual detection latency of the
+// predictive speculation path: a task the adapt runtime already
+// flagged (heavy partition on a SUSPECT/slow node) has its backup
+// launched at stage start, so an injected straggler delay is capped
+// well below the observation-based SpeculativeDetectSec.
+const PredictiveDetectSec = 0.3
+
+// ShuffleAdaptation rewrites one shuffle stage's consumer geometry.
+// The zero value (nil pointer) means "no adaptation"; engines must
+// treat every field independently so a combiner-only adaptation
+// (NumTargets == 0) leaves the partition map untouched.
+type ShuffleAdaptation struct {
+	// BaseParts is the partition count the producer statistics were
+	// observed at. Keys hash into this base space first, exactly like
+	// the producer's PartitionForKey did, so the observed per-bucket
+	// byte weights line up with the buckets being split or fused.
+	BaseParts int
+	// Targets[b] lists the consumer ranks serving base bucket b: one
+	// rank for pass-through and fused buckets, several for split ones.
+	Targets [][]int
+	// NumTargets is the rewritten consumer count (1 + max target rank).
+	NumTargets int
+	// Hosts[i] places target rank i (skew-aware A placement); an empty
+	// string or missing entry falls back to the engine's round-robin.
+	Hosts []string
+	// Speculate[i] predictively speculates target rank i.
+	Speculate []bool
+	// SplitParts / FusedParts count the rewritten base buckets, for the
+	// stage trace and the EXPLAIN ANALYZE "skew-adapted" line.
+	SplitParts int
+	FusedParts int
+	// PlanCostSec is the virtual cost of computing this adaptation,
+	// charged on the stage trace (perfmodel.AdaptPlanSeconds).
+	PlanCostSec float64
+	// HashAggEntries overrides the map-side combiner hash capacity for
+	// the stage's own GroupByPartialOps (0 = keep the planned value).
+	// Only set when every affected aggregate merges exactly.
+	HashAggEntries int
+}
+
+// Repartitions reports whether the adaptation rewrites the partition
+// map (as opposed to combiner-strength only).
+func (ad *ShuffleAdaptation) Repartitions() bool {
+	return ad != nil && ad.NumTargets > 0 && len(ad.Targets) == ad.BaseParts
+}
+
+// splitSeed decorrelates the secondary hash from the base FNV pass so
+// the distinct keys of one heavy bucket — which by construction
+// collide in the base space — spread across the bucket's target ranks.
+const splitSeed = fnvOffset64 ^ 0x9E3779B97F4A7C15
+
+// Partition maps a shuffle key to its consumer rank under the
+// adaptation. partitionKeys/totalKeys mirror PartitionForKey.
+func (ad *ShuffleAdaptation) Partition(key []byte, partitionKeys, totalKeys int) int {
+	prefix := key
+	if partitionKeys > 0 && partitionKeys < totalKeys {
+		prefix = keyPrefix(key, partitionKeys)
+	}
+	base := int(fnvHash(prefix, fnvOffset64) % uint64(ad.BaseParts))
+	t := ad.Targets[base]
+	if len(t) == 1 {
+		return t[0]
+	}
+	return t[fnvHash(prefix, splitSeed)%uint64(len(t))]
+}
+
+// MarkPredictive flags the consumer rank's task for predictive
+// speculation when the adaptation asked for it. Nil-safe.
+func (ad *ShuffleAdaptation) MarkPredictive(rank int) bool {
+	return ad != nil && rank < len(ad.Speculate) && ad.Speculate[rank]
+}
+
+// HostFor returns the adapted placement of consumer rank i, or "" when
+// the engine should keep its default.
+func (ad *ShuffleAdaptation) HostFor(i int) string {
+	if ad == nil || i >= len(ad.Hosts) {
+		return ""
+	}
+	return ad.Hosts[i]
+}
+
+// adaptOps applies the adaptation's combiner-strength override to the
+// stage's own (top-level) GroupByPartialOps, copying the op so shared
+// cached plans are never mutated. Returns ops unchanged when there is
+// nothing to override.
+func adaptOps(ops []MapOp, conf EngineConf) []MapOp {
+	ad := conf.Adaptation
+	if ad == nil || ad.HashAggEntries <= 0 {
+		return ops
+	}
+	out := ops
+	copied := false
+	for i, op := range ops {
+		gb, ok := op.(*GroupByPartialOp)
+		if !ok {
+			continue
+		}
+		if !copied {
+			out = append([]MapOp(nil), ops...)
+			copied = true
+		}
+		dup := *gb
+		dup.MaxEntries = ad.HashAggEntries
+		out[i] = &dup
+	}
+	return out
+}

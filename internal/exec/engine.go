@@ -57,6 +57,11 @@ type EngineConf struct {
 	// Vectorized routes map tasks through the columnar batch pipeline
 	// (hive.exec.vectorized). Output is byte-identical to row mode.
 	Vectorized bool
+	// Adaptation, when non-nil, is the skew-adaptive rewrite of this
+	// stage's shuffle geometry computed by internal/adapt from the
+	// producer's observed partition statistics (nil = planned geometry).
+	// Per-stage: the scheduler sets it on a copy of the shared conf.
+	Adaptation *ShuffleAdaptation
 }
 
 // DefaultEngineConf mirrors the paper's testbed at 1:1000 scale.

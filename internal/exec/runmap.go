@@ -70,8 +70,14 @@ func ApplyStraggler(m *trace.Task, delaySec float64, conf EngineConf) {
 		m.StragglerDelaySec += delaySec
 		return
 	}
-	if delaySec > SpeculativeDetectSec {
-		delaySec = SpeculativeDetectSec
+	detect := SpeculativeDetectSec
+	if m.PredictiveSpec {
+		// The adapt runtime already launched a backup for this task at
+		// stage start, so the slow copy is abandoned almost immediately.
+		detect = PredictiveDetectSec
+	}
+	if delaySec > detect {
+		delaySec = detect
 	}
 	m.Speculative = true
 	m.StragglerDelaySec += delaySec
@@ -344,7 +350,7 @@ func openInput(env *Env, in TableInput, split dfs.Split) (storage.RowReader, err
 func RunMapTask(env *Env, conf EngineConf, stage *Stage, mapIdx int, split dfs.Split,
 	emit KVEmit, out RowSink, metrics *trace.Task) error {
 	if conf.Vectorized {
-		return runMapTaskVec(env, stage, mapIdx, split, emit, out, metrics)
+		return runMapTaskVec(env, conf, stage, mapIdx, split, emit, out, metrics)
 	}
 	mw := &stage.Maps[mapIdx]
 
@@ -383,7 +389,7 @@ func RunMapTask(env *Env, conf EngineConf, stage *Stage, mapIdx int, split dfs.S
 		return fmt.Errorf("exec: map task %s/%d has neither shuffle nor sink", stage.ID, mapIdx)
 	}
 
-	c, err := buildChain(env, mw.Ops, terminal)
+	c, err := buildChain(env, adaptOps(mw.Ops, conf), terminal)
 	if err != nil {
 		return err
 	}
@@ -466,16 +472,23 @@ func PartitionForKey(key []byte, partitionKeys, totalKeys, numReducers int) int 
 	if partitionKeys > 0 && partitionKeys < totalKeys {
 		prefix = keyPrefix(key, partitionKeys)
 	}
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range prefix {
-		h ^= uint64(b)
-		h *= prime64
+	return int(fnvHash(prefix, fnvOffset64) % uint64(numReducers))
+}
+
+// FNV-1a parameters; fnvOffset64 doubles as the base seed, and the
+// adaptation's split pass reseeds to decorrelate.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvHash(b []byte, seed uint64) uint64 {
+	h := seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
 	}
-	return int(h % uint64(numReducers))
+	return h
 }
 
 // keyPrefix returns the encoded bytes of the first n key columns.

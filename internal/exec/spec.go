@@ -30,12 +30,18 @@ type TableInput struct {
 // Format aliases storage.Format for plan construction convenience.
 type Format = storage.Format
 
-// ResolvePaths returns the concrete data files at run time.
+// ResolvePaths returns the concrete data files at run time. Explicit
+// Paths win: a base-table scan pins the files enumerated at plan time
+// and keeps Dir only as the table's identity (observation keying);
+// intermediate inputs list their producer's directory at run time.
 func (in *TableInput) ResolvePaths(fs *dfs.FileSystem) []string {
+	if len(in.Paths) > 0 {
+		return in.Paths
+	}
 	if in.Dir != "" {
 		return fs.List(in.Dir)
 	}
-	return in.Paths
+	return nil
 }
 
 // MapOp is one operator in the map-side chain.

@@ -340,7 +340,7 @@ func buildVecGroupByPartial(op *GroupByPartialOp, next batchSink) (batchSink, fu
 // runMapTaskVec is RunMapTask's columnar twin: batch scan, vectorized
 // chain, and a terminal that serializes the same shuffle pairs (or
 // materializes the same rows) row mode produces.
-func runMapTaskVec(env *Env, stage *Stage, mapIdx int, split dfs.Split,
+func runMapTaskVec(env *Env, conf EngineConf, stage *Stage, mapIdx int, split dfs.Split,
 	emit KVEmit, out RowSink, metrics *trace.Task) error {
 	mw := &stage.Maps[mapIdx]
 
@@ -417,7 +417,7 @@ func runMapTaskVec(env *Env, stage *Stage, mapIdx int, split dfs.Split,
 		return fmt.Errorf("exec: map task %s/%d has neither shuffle nor sink", stage.ID, mapIdx)
 	}
 
-	c, err := buildVecChain(env, mw.Ops, terminal)
+	c, err := buildVecChain(env, adaptOps(mw.Ops, conf), terminal)
 	if err != nil {
 		return err
 	}

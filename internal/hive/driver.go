@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hivempi/internal/adapt"
 	"hivempi/internal/cluster"
 	"hivempi/internal/exec"
 	"hivempi/internal/imstore"
@@ -64,6 +65,15 @@ type Driver struct {
 	// DefaultPlanCacheEntries).
 	DisablePlanCache bool
 	PlanCacheEntries int
+
+	// AdaptiveSkew enables the skew-adaptive runtime (internal/adapt):
+	// completed stages' partition statistics feed repartitioning,
+	// placement, combiner sizing and predictive speculation of
+	// downstream stages. SkewCVThreshold is hive.skew.cv.threshold
+	// (<=0 = adapt.DefaultCVThreshold).
+	AdaptiveSkew    bool
+	SkewCVThreshold float64
+	adaptRT         *adapt.Runtime
 
 	// Cluster is the node-membership failure detector (nil = no node
 	// failure domain). Attach with AttachCluster, which also wires the
@@ -362,7 +372,7 @@ func (d *Driver) executePlan(sql string, stages []*exec.Stage, outSch relSchema,
 
 	res := &Result{Statement: sql, Schema: outSch.toSchema(), CachedPlan: cached}
 	deps := StageDeps(stages)
-	es := &engineState{engine: d.Engine}
+	es := &engineState{engine: d.Engine, stages: stages, adapt: d.adaptRuntime()}
 
 	var results []*exec.StageResult
 	var err error
@@ -411,6 +421,23 @@ func (d *Driver) executePlan(sql string, stages []*exec.Stage, outSch relSchema,
 		}
 	}
 	return res, outSch, nil
+}
+
+// adaptRuntime lazily builds the skew-adaptive runtime. It lives for
+// the driver's lifetime, not one statement's: warehouse directories
+// persist across queries, so partition statistics observed while
+// materializing a table adapt every later statement that reads it
+// (and cached-plan re-runs learn from their own earlier executions).
+func (d *Driver) adaptRuntime() *adapt.Runtime {
+	if !d.AdaptiveSkew {
+		return nil
+	}
+	if d.adaptRT == nil {
+		d.adaptRT = adapt.New(d.SkewCVThreshold)
+	}
+	d.adaptRT.Cluster = d.Cluster
+	d.adaptRT.Params = d.perfParams
+	return d.adaptRT
 }
 
 // AttachCluster wires the node-level failure domain into the driver:

@@ -10,6 +10,7 @@ import (
 	"hivempi/internal/exec"
 	"hivempi/internal/metrics"
 	"hivempi/internal/testutil/leakcheck"
+	"hivempi/internal/trace"
 )
 
 // Node-level failure-domain tests: the DAG scheduler's lost-output
@@ -164,9 +165,11 @@ func TestSchedulerBlacklistsDeadNodes(t *testing.T) {
 
 // TestRankLossRetriesOntoSurvivors: a node dying mid-query after the
 // first stage leaves later stages holding a stale hostfile — their A
-// ranks were planned round-robin over all slaves. The spawn failure
-// (ErrNodeLost) must be absorbed by the stage retry budget, failing the
-// lost ranks over to surviving hosts.
+// ranks were planned round-robin over all slaves. Placement now
+// consults the membership on every attempt, so the lost ranks fail
+// over to surviving hosts at spawn time without spending the retry
+// budget (the budget remains the backstop for deaths the detector has
+// not yet noticed).
 func TestRankLossRetriesOntoSurvivors(t *testing.T) {
 	defer leakcheck.Check(t)()
 	env := &exec.Env{FS: dfs.New(dfs.Config{
@@ -197,16 +200,22 @@ func TestRankLossRetriesOntoSurvivors(t *testing.T) {
 	if len(res.Rows) != 3 {
 		t.Fatalf("got %d groups, want 3", len(res.Rows))
 	}
-	// With two replicas per block no data was lost; recovery shows up as
-	// stage retries (rank failover), not relaunches.
-	retried := 0
+	// With two replicas per block no data was lost, and the membership
+	// knew about the death before the later stages launched: their ranks
+	// fail over at placement time, so no retry budget is spent...
 	for _, st := range res.Stages {
 		if st.Attempts > 1 {
-			retried++
+			t.Errorf("stage %s burned %d attempts; placement should have failed over at spawn",
+				st.Name, st.Attempts)
 		}
 	}
-	if retried == 0 {
-		t.Fatal("no stage recorded a retry despite a rank on the dead host")
+	// ...and the last stage (planned strictly after the death tick)
+	// schedules nothing on the dead host.
+	last := res.Stages[len(res.Stages)-1]
+	for _, task := range append(append([]*trace.Task{}, last.Producers...), last.Consumers...) {
+		if task.Host == "s1" {
+			t.Fatalf("stage %s placed a task on the dead node", last.Name)
+		}
 	}
 	if u := d.Env.FS.UnderReplicated(); u != 0 {
 		t.Fatalf("%d blocks under-replicated after query-time repair", u)

@@ -177,8 +177,16 @@ func normalizePlanKey(sql string) (key string, literals []string, analyzed, cach
 
 // planFingerprint captures the driver knobs that change what the
 // planner emits; plans compiled under different knobs never collide.
+// The cluster epoch rides along so a plan sized for one topology is
+// invalidated by any membership transition — a cache hit after a node
+// death used to replay reducer counts and task placement for the dead
+// shape.
 func (d *Driver) planFingerprint() string {
-	return fmt.Sprintf("mj=%d|agg=%t|proj=%t|push=%t|vec=%t",
+	var epoch int64
+	if d.Cluster != nil {
+		epoch = d.Cluster.Epoch()
+	}
+	return fmt.Sprintf("mj=%d|agg=%t|proj=%t|push=%t|vec=%t|ce=%d",
 		d.MapJoinThresholdBytes, d.DisableMapAggregation,
-		d.DisableProjection, d.DisablePushdown, d.Conf.Vectorized)
+		d.DisableProjection, d.DisablePushdown, d.Conf.Vectorized, epoch)
 }

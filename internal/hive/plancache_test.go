@@ -4,7 +4,10 @@ import (
 	"testing"
 
 	"hivempi/internal/core"
+	"hivempi/internal/dfs"
+	"hivempi/internal/exec"
 	"hivempi/internal/metrics"
+	"hivempi/internal/trace"
 	"hivempi/internal/types"
 )
 
@@ -184,5 +187,63 @@ func TestPlanCacheOnlySelects(t *testing.T) {
 	}
 	if _, _, _, ok := normalizePlanKey("EXPLAIN SELECT 1 FROM t"); ok {
 		t.Fatal("plain EXPLAIN never executes and must not be cacheable")
+	}
+}
+
+// A cached plan must not survive a cluster-membership change: the
+// compiled stages bake in task placement assumptions, and re-executing
+// them verbatim after a node died used to schedule ranks onto the dead
+// host. The cluster epoch is part of the plan fingerprint, so the death
+// forces a recompile and the fresh run places nothing on non-UP nodes.
+func TestPlanCacheInvalidatedByNodeDeath(t *testing.T) {
+	env := &exec.Env{FS: dfs.New(dfs.Config{
+		BlockSize:   8 << 10,
+		Replication: 2,
+		Nodes:       []string{"s1", "s2", "s3"},
+	})}
+	conf := exec.DefaultEngineConf()
+	conf.SpillDir = t.TempDir()
+	conf.Slaves = []string{"s1", "s2", "s3"}
+	conf.SlotsPerNode = 2
+	d := NewDriver(env, core.New(), conf)
+	seedSales(t, d)
+	m := fastDetector(d)
+	d.AttachCluster(m, nil)
+
+	first := query(t, d, pcQuery)
+	if first.CachedPlan {
+		t.Fatal("first execution must compile")
+	}
+	if res := query(t, d, pcQuery); !res.CachedPlan {
+		t.Fatal("re-run on the unchanged cluster must hit the cache")
+	}
+
+	if err := m.MarkDead("s3"); err != nil {
+		t.Fatal(err)
+	}
+	res := query(t, d, pcQuery)
+	if res.CachedPlan {
+		t.Fatal("node death must change the plan fingerprint (stale cache hit)")
+	}
+	for _, st := range res.Stages {
+		for _, task := range append(append([]*trace.Task{}, st.Producers...), st.Consumers...) {
+			if task.Host == "s3" {
+				t.Fatalf("stage %s scheduled a task on the dead node", st.Name)
+			}
+		}
+	}
+	a, b := rowsBytes(first), rowsBytes(res)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("row counts differ after node death: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs after node death", i)
+		}
+	}
+
+	// The post-death geometry is itself cacheable again.
+	if res := query(t, d, pcQuery); !res.CachedPlan {
+		t.Fatal("stable post-death cluster must cache the recompiled plan")
 	}
 }

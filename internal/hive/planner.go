@@ -276,8 +276,14 @@ func (p *Planner) fromRelation(ref TableRef, stages *[]*exec.Stage) (*relation, 
 	}
 	return &relation{
 		input: exec.TableInput{
-			Table:  t.Name,
-			Paths:  paths,
+			Table: t.Name,
+			Paths: paths,
+			// Dir carries the table's location as its identity: the
+			// adapt runtime keys partition-histogram observations by
+			// directory, so a scan of a just-materialized table finds
+			// the distribution its producer recorded. Paths still pin
+			// the scanned files (ResolvePaths prefers them).
+			Dir:    t.Location,
 			Format: t.Format,
 			Schema: t.Schema,
 		},

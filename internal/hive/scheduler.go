@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"hivempi/internal/adapt"
 	"hivempi/internal/dfs"
 	"hivempi/internal/exec"
 	"hivempi/internal/metrics"
@@ -83,6 +84,12 @@ type engineState struct {
 	mu       sync.Mutex
 	engine   exec.Engine
 	degraded string // fallback engine name once degraded, else ""
+
+	// Skew-adaptive context, set once before any stage runs: the full
+	// plan (for reader-safety analysis) and the driver's adapt runtime
+	// (nil = adaptation off). The runtime locks internally.
+	stages []*exec.Stage
+	adapt  *adapt.Runtime
 }
 
 func (es *engineState) current() exec.Engine {
@@ -110,7 +117,14 @@ func (es *engineState) degradedName() string {
 // the DAG scheduler's stage goroutines.
 func (d *Driver) runOneStage(st *exec.Stage, es *engineState) (*exec.StageResult, error) {
 	engine := es.current()
-	sr, err := engine.Run(d.Env, st, d.Conf)
+	conf := d.Conf
+	if es.adapt != nil {
+		// Per-stage conf copy: the adaptation is computed from producer
+		// stages observed so far (upstream stages always complete — and
+		// are observed — before the DAG scheduler releases a consumer).
+		conf.Adaptation = es.adapt.Decide(st, es.stages, &conf)
+	}
+	sr, err := engine.Run(d.Env, st, conf)
 	if err != nil && d.Fallback != nil && d.Fallback.Name() != engine.Name() && !nodeLossError(err) {
 		// Graceful degradation: wipe the stage's partial output and run
 		// it (and, via the shared state, the rest of the query) on the
@@ -121,10 +135,13 @@ func (d *Driver) runOneStage(st *exec.Stage, es *engineState) (*exec.StageResult
 			d.Env.FS.DeleteDir(st.Sink.Dir)
 		}
 		es.degrade(d.Fallback)
-		sr, err = d.Fallback.Run(d.Env, st, d.Conf)
+		sr, err = d.Fallback.Run(d.Env, st, conf)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("stage %s: %w", st.ID, err)
+	}
+	if es.adapt != nil {
+		es.adapt.Observe(st, sr.Trace)
 	}
 	d.tickCluster(sr)
 	return sr, nil

@@ -41,6 +41,10 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		hosts[i] = t.Host
 	}
 	numReduces := exec.ReducerCount(stage, conf, len(tasks), inputBytes)
+	ad := conf.Adaptation
+	if ad.Repartitions() {
+		numReduces = ad.NumTargets
+	}
 
 	var mu sync.Mutex
 	var rows []types.Row
@@ -61,6 +65,9 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		NumMaps:    len(tasks),
 		NumReduces: numReduces,
 		Partitioner: func(key []byte, n int) int {
+			if ad.Repartitions() {
+				return ad.Partition(key, partKeys, numKeys)
+			}
 			return exec.PartitionForKey(key, partKeys, numKeys, n)
 		},
 		SortBufferBytes: conf.SortBufferBytes,
@@ -98,6 +105,9 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		reduceBody = func(r *hadoop.ReduceContext) error {
 			if err := env.Chaos.TaskCrash(stage.ID, "reduce", r.TaskID()); err != nil {
 				return err
+			}
+			if ad.MarkPredictive(r.TaskID()) {
+				r.Metrics().PredictiveSpec = true
 			}
 			exec.ApplyStraggler(r.Metrics(), env.Chaos.StragglerDelay(stage.ID, "reduce", r.TaskID()), conf)
 			out, closer, err := exec.BuildTaskOutput(env, stage, r.TaskID(), collect)
@@ -148,9 +158,16 @@ func (e *Engine) Run(env *exec.Env, stage *exec.Stage, conf exec.EngineConf) (*e
 		m.LocalRead = tasks[i].Local
 	}
 	for i, r := range st.Consumers {
-		if len(conf.Slaves) > 0 {
+		if h := ad.HostFor(i); h != "" && env.NodeUp(h) {
+			r.Host = h
+		} else if len(conf.Slaves) > 0 {
 			r.Host = conf.Slaves[i%len(conf.Slaves)]
 		}
+	}
+	if ad != nil {
+		st.AdaptSplit = ad.SplitParts
+		st.AdaptFused = ad.FusedParts
+		st.AdaptSec = ad.PlanCostSec
 	}
 	// Surface per-task re-executions at the stage level (the attempt
 	// counts themselves stay on each task for the perfmodel).

@@ -74,6 +74,10 @@ func RenderAnalyzedPlan(q *trace.Query, degraded string, metricsSnap map[string]
 				fmt.Fprintf(&sb, "  %s\n", line)
 			}
 		}
+		if st.AdaptSplit > 0 || st.AdaptFused > 0 {
+			fmt.Fprintf(&sb, "  skew-adapted: split=%d fused=%d (replan %ss)\n",
+				st.AdaptSplit, st.AdaptFused, fmtSec(st.AdaptSec))
+		}
 		if len(st.DependsOn) > 0 {
 			fmt.Fprintf(&sb, "  depends on: %s\n", strings.Join(st.DependsOn, ", "))
 		}
@@ -138,7 +142,7 @@ func stageFaultNotes(st *trace.Stage) string {
 	if st.RetryBackoffSec > 0 {
 		parts = append(parts, fmt.Sprintf("retry_backoff=%ss", fmtSec(st.RetryBackoffSec)))
 	}
-	var recovered, speculative int
+	var recovered, speculative, predicted int
 	for _, t := range append(append([]*trace.Task{}, st.Producers...), st.Consumers...) {
 		if t.Recovered {
 			recovered++
@@ -146,12 +150,18 @@ func stageFaultNotes(st *trace.Stage) string {
 		if t.Speculative {
 			speculative++
 		}
+		if t.PredictiveSpec {
+			predicted++
+		}
 	}
 	if recovered > 0 {
 		parts = append(parts, fmt.Sprintf("recovered=%d", recovered))
 	}
 	if speculative > 0 {
 		parts = append(parts, fmt.Sprintf("speculative=%d", speculative))
+	}
+	if predicted > 0 {
+		parts = append(parts, fmt.Sprintf("predicted_spec=%d", predicted))
 	}
 	return strings.Join(parts, " ")
 }

@@ -46,11 +46,14 @@ type Skew struct {
 }
 
 // SkewOf computes the skew statistics of one byte distribution,
-// keeping the k heaviest non-zero entries. Returns nil for empty or
-// all-zero distributions.
+// keeping the k heaviest non-zero entries. The function is total:
+// empty and all-zero distributions yield a zero-valued Skew (CV=0,
+// max/mean=0) rather than NaN — a division by the zero mean here used
+// to leak NaN into comm_report.json and poison every BuildReport
+// aggregate downstream.
 func SkewOf(values []int64, k int) *Skew {
 	if len(values) == 0 {
-		return nil
+		return &Skew{}
 	}
 	var sum, max int64
 	for _, v := range values {
@@ -59,10 +62,12 @@ func SkewOf(values []int64, k int) *Skew {
 			max = v
 		}
 	}
-	if sum == 0 {
-		return nil
-	}
 	mean := float64(sum) / float64(len(values))
+	if mean <= 0 {
+		// Zero-mean guard: no bytes moved, so there is no imbalance to
+		// quantify. CV and max/mean are 0 by definition, never 0/0.
+		return &Skew{MaxBytes: max}
+	}
 	var varSum float64
 	for _, v := range values {
 		d := float64(v) - mean
@@ -172,9 +177,14 @@ func AnalyzeStage(st *trace.Stage, p *perfmodel.Params) *StageComm {
 	if st.Engine == "datampi" && !st.NonBlocking {
 		sync = p.DataMPI.BlockingSync
 	}
+	netBW := p.Cluster.NetBW
+	if netBW <= 0 {
+		// Degenerate params must not turn column bytes into +Inf waits.
+		netBW = math.Inf(1)
+	}
 	sc.AWaitSecPerRank = make([]float64, sc.NumConsumers)
 	for a := 0; a < sc.NumConsumers; a++ {
-		w := float64(sc.ColBytes[a]) * p.ScaleUp / p.Cluster.NetBW
+		w := float64(sc.ColBytes[a]) * p.ScaleUp / netBW
 		if a < len(colMsgs) {
 			w += float64(colMsgs[a]) * sync
 		}
@@ -364,7 +374,32 @@ func (sc *StageComm) validate() error {
 	if rowSum != sc.TotalBytes || colSum != sc.TotalBytes {
 		return fmt.Errorf("row sum %d / col sum %d != total %d", rowSum, colSum, sc.TotalBytes)
 	}
+	for name, sk := range map[string]*Skew{"producer_skew": sc.ProducerSkew, "partition_skew": sc.PartitionSkew} {
+		if sk == nil {
+			continue
+		}
+		for field, v := range map[string]float64{"mean_bytes": sk.MeanBytes, "max_mean_ratio": sk.MaxMeanRatio, "cv": sk.CV} {
+			if !isFiniteStat(v) {
+				return fmt.Errorf("%s.%s is %v, want finite", name, field, v)
+			}
+		}
+	}
+	if !isFiniteStat(sc.AWaitSec) {
+		return fmt.Errorf("a_wait_sec is %v, want finite", sc.AWaitSec)
+	}
+	for a, w := range sc.AWaitSecPerRank {
+		if !isFiniteStat(w) {
+			return fmt.Errorf("a_wait_sec_per_rank[%d] is %v, want finite", a, w)
+		}
+	}
 	return nil
+}
+
+// isFiniteStat rejects the NaN/Inf values that a zero mean or zero
+// bandwidth used to produce; they are not representable in JSON and
+// break every consumer of the report.
+func isFiniteStat(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // WriteJSON serializes the report deterministically (indented, fixed

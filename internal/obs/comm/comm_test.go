@@ -22,8 +22,20 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestSkewOf(t *testing.T) {
 	defer leakcheck.Check(t)()
-	if comm.SkewOf(nil, 3) != nil || comm.SkewOf([]int64{0, 0}, 3) != nil {
-		t.Error("empty/all-zero distributions must yield nil skew")
+	// Empty and all-zero distributions are defined, not NaN: CV=0,
+	// max/mean=0 (the historical 0/0 here is the comm_report poisoner).
+	for _, degenerate := range []*comm.Skew{comm.SkewOf(nil, 3), comm.SkewOf([]int64{0, 0}, 3)} {
+		if degenerate == nil {
+			t.Fatal("degenerate distribution must yield a zero skew, not nil")
+		}
+		for _, v := range []float64{degenerate.CV, degenerate.MaxMeanRatio, degenerate.MeanBytes} {
+			if v != 0 || math.IsNaN(v) {
+				t.Errorf("degenerate skew stat = %v, want exactly 0", v)
+			}
+		}
+		if len(degenerate.Top) != 0 {
+			t.Errorf("degenerate skew kept top cells: %+v", degenerate.Top)
+		}
 	}
 	s := comm.SkewOf([]int64{100, 100, 100, 100}, 3)
 	if s.MaxMeanRatio != 1 || s.CV != 0 {
@@ -208,6 +220,29 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	if err := r.Validate(); err == nil {
 		t.Error("ragged matrix not caught")
 	}
+
+	// NaN/Inf skew statistics (the historical zero-mean bug) must be
+	// rejected so they can never reach comm_report.json again.
+	r = mk()
+	r.Queries[0].Stages[0].PartitionSkew.CV = math.NaN()
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "finite") {
+		t.Errorf("NaN cv not rejected: %v", err)
+	}
+	r = mk()
+	r.Queries[0].Stages[0].ProducerSkew.MaxMeanRatio = math.Inf(1)
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "finite") {
+		t.Errorf("Inf max/mean not rejected: %v", err)
+	}
+	r = mk()
+	r.Queries[0].Stages[0].AWaitSec = math.Inf(1)
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "a_wait_sec") {
+		t.Errorf("Inf a-wait not rejected: %v", err)
+	}
+	r = mk()
+	r.Queries[0].Stages[0].AWaitSecPerRank[1] = math.NaN()
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "a_wait_sec_per_rank") {
+		t.Errorf("NaN per-rank a-wait not rejected: %v", err)
+	}
 }
 
 func TestRenderHeatmap(t *testing.T) {
@@ -341,9 +376,19 @@ func TestSeededSkewDetection(t *testing.T) {
 func TestReportGoldenSchema(t *testing.T) {
 	defer leakcheck.Check(t)()
 	p := perfmodel.DefaultParams()
+	// The second stage carries an all-zero consumer column: its skew
+	// stats must serialize as finite zeros, never NaN (regression case
+	// for the zero-mean bug).
+	zeroCol := &trace.Stage{
+		Name: "zerocol", Engine: "datampi", NumReds: 2,
+		Producers: []*trace.Task{
+			{PartitionBytes: []int64{64, 0}},
+			{PartitionBytes: []int64{192, 0}},
+		},
+	}
 	rep := comm.BuildReport([]*trace.Query{
 		{Statement: "SELECT k, count(*) FROM t GROUP BY k", Overlapped: true,
-			Stages: []*trace.Stage{skewStage(), {Name: "ddl"}}},
+			Stages: []*trace.Stage{skewStage(), zeroCol, {Name: "ddl"}}},
 	}, &p)
 	if err := rep.Validate(); err != nil {
 		t.Fatal(err)

@@ -140,6 +140,19 @@ func (p *Params) RereplicationSeconds(n int64) float64 {
 	return float64(n) / bw
 }
 
+// AdaptPlanSeconds prices one skew-adaptive replan: reading the
+// producer's partition histogram (baseParts entries) and emitting the
+// rewritten target map (numTargets entries) is master-side work, a
+// fixed decision overhead plus a per-entry scan cost. The adapt
+// runtime stamps this on the adaptation it hands the engine, and
+// SimulateStage charges it on the stage's critical path.
+func (p *Params) AdaptPlanSeconds(baseParts, numTargets int) float64 {
+	if baseParts <= 0 {
+		return 0
+	}
+	return 0.05 + 0.002*float64(baseParts+numTargets)
+}
+
 // TaskSpan is one scheduled task on the simulated cluster.
 type TaskSpan struct {
 	ID    int
@@ -463,7 +476,7 @@ func (p *Params) SimulateStage(st *trace.Stage) *StageTiming {
 	if st.Attempts > 1 {
 		out.Total += float64(st.Attempts-1) * e.JobStartup
 	}
-	out.Total += st.RetryBackoffSec + st.ChaosDelaySec + st.RereplicationSec
+	out.Total += st.RetryBackoffSec + st.ChaosDelaySec + st.RereplicationSec + st.AdaptSec
 	out.MapShuffle = shuffleEnd - mapStart
 	out.Others = out.Total - out.Startup - out.MapShuffle
 	if out.Others < 0 {

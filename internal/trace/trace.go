@@ -177,6 +177,7 @@ type Task struct {
 	Attempts          int     // execution attempts (0 or 1 = ran once)
 	StragglerDelaySec float64 // virtual slowdown charged to this task
 	Speculative       bool    // a speculative duplicate was launched
+	PredictiveSpec    bool    // backup pre-launched on predicted skew, not observed lag
 	Recovered         bool    // output replayed from a checkpoint
 
 	// Communication-plane accounting (datampi). Producers: peak Send
@@ -226,6 +227,12 @@ type Stage struct {
 	TaskRetries      int     // per-task re-executions within the job
 	RereplicationSec float64 // DFS re-replication bandwidth charged after the stage
 	Relaunched       bool    // stage re-executed because its output died with a node
+
+	// Skew-adaptive accounting: base buckets split/fused by the adapt
+	// runtime before launch, and the virtual planning cost charged.
+	AdaptSplit int
+	AdaptFused int
+	AdaptSec   float64
 
 	// DependsOn names the stages whose output this stage reads (the
 	// query's stage DAG). The perfmodel uses it for critical-path
