@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench benchdiff obscheck trace comm soak
+.PHONY: build test race vet fmt lint sarif check bench benchdiff obscheck trace comm soak
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,18 @@ fmt:
 
 # lint runs the project-specific analyzers (cmd/hivelint): wall-clock
 # use in virtual-time packages, leaked MPI requests, lock-order cycles,
-# per-call metric lookups on hot paths, unsignalled goroutines. Exits
-# non-zero on any diagnostic.
+# per-call metric lookups on hot paths, unsignalled goroutines, and the
+# determinism dataflow suite (map-order leaks into emission sinks,
+# order-dependent float accumulation, per-iteration allocations on
+# benchmarked hot paths). Exits non-zero on any finding not in the
+# committed .hivelint-baseline.json.
 lint:
 	$(GO) run ./cmd/hivelint
+
+# sarif emits the same findings as SARIF 2.1.0 for code scanning
+# (fresh findings are errors; baselined ones stay visible as notes).
+sarif:
+	$(GO) run ./cmd/hivelint -sarif > hivelint.sarif
 
 # obscheck vets and race-tests the observability plane (the metrics
 # registry and the span/Chrome-trace exporter) explicitly; `race`

@@ -130,10 +130,15 @@ func Diff(w io.Writer, base, cur []Result, tol float64) int {
 		fmt.Fprintf(w, "  %-8s %-40s %12.1f -> %12.1f ns/op (%+6.1f%%)  %d -> %d allocs/op\n",
 			verdict, k, b.NsPerOp, c.NsPerOp, delta*100, b.AllocsOp, c.AllocsOp)
 	}
+	gone := make([]string, 0, len(baseBy))
 	for k := range baseBy {
 		if _, ok := curBy[k]; !ok {
-			fmt.Fprintf(w, "  gone     %-40s (in baseline only)\n", k)
+			gone = append(gone, k)
 		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Fprintf(w, "  gone     %-40s (in baseline only)\n", k)
 	}
 	return regressions
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"hivempi/internal/hibench"
 	"hivempi/internal/tpch"
@@ -54,26 +55,39 @@ func run(args []string) error {
 			"orders":   orders,
 			"lineitem": lines,
 		}
-		for name, rows := range tables {
-			if err := writeTable(filepath.Join(*out, name+".tbl"), rows); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s: %d rows\n", name+".tbl", len(rows))
+		if err := writeTables(*out, tables); err != nil {
+			return err
 		}
 	case "hibench":
 		nr, nu := hibench.Sizes(*bytes)
 		g := &hibench.Generator{Seed: *seed, Rankings: nr, UserVisits: nu}
-		for name, rows := range map[string][]types.Row{
+		tables := map[string][]types.Row{
 			"rankings":   g.GenRankings(),
 			"uservisits": g.GenUserVisits(),
-		} {
-			if err := writeTable(filepath.Join(*out, name+".tbl"), rows); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s: %d rows\n", name+".tbl", len(rows))
+		}
+		if err := writeTables(*out, tables); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	return nil
+}
+
+// writeTables writes each table and reports progress in sorted name
+// order, so the tool's output is identical across runs.
+func writeTables(dir string, tables map[string][]types.Row) error {
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := tables[name]
+		if err := writeTable(filepath.Join(dir, name+".tbl"), rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d rows\n", name+".tbl", len(rows))
 	}
 	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"hivempi/internal/analysis"
+)
+
+// The findings baseline (.hivelint-baseline.json at the module root,
+// committed) holds accepted pre-existing findings. A finding matched by
+// the baseline stays visible in every report but does not fail the
+// run; anything not in the baseline blocks. Entries match on
+// (analyzer, file, message) — line numbers shift too easily to key on.
+// Regenerate with `hivelint -write-baseline` only when accepting a
+// finding is a deliberate, reviewed decision; the preferred route for
+// a justified exemption is an inline //lint:ignore with a reason.
+
+type baselineFile struct {
+	Comment  string          `json:"comment,omitempty"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// loadBaseline reads the baseline file; a missing file is an empty
+// baseline, any other failure is an error (a corrupt baseline must not
+// silently unblock CI).
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return map[string]int{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	base := make(map[string]int, len(bf.Findings))
+	for _, e := range bf.Findings {
+		base[baselineKey(e.Analyzer, e.File, e.Message)]++
+	}
+	return base, nil
+}
+
+// splitBaseline partitions diagnostics into fresh (blocking) and
+// baselined (visible, non-blocking). Each baseline entry absorbs at
+// most one diagnostic, so a second identical finding still blocks.
+func splitBaseline(diags []analysis.Diagnostic, base map[string]int) (fresh, baselined []analysis.Diagnostic) {
+	remaining := make(map[string]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey(d.Analyzer, d.File, d.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined = append(baselined, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, baselined
+}
+
+// writeBaselineFile records the current findings as the new baseline.
+func writeBaselineFile(path string, diags []analysis.Diagnostic) error {
+	bf := baselineFile{
+		Comment:  "Accepted pre-existing hivelint findings: visible in every report, non-blocking. Regenerate with hivelint -write-baseline; prefer inline //lint:ignore with a reason for new exemptions.",
+		Findings: make([]baselineEntry, 0, len(diags)),
+	}
+	for _, d := range diags {
+		bf.Findings = append(bf.Findings, baselineEntry{Analyzer: d.Analyzer, File: d.File, Message: d.Message})
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -3,17 +3,24 @@
 // diagnostic. It is the static half of the tier-1 gate: make lint runs
 // it, and make check runs make lint.
 //
-//	hivelint            # human-readable diagnostics on stdout
-//	hivelint -json      # machine-readable diagnostics + summary
-//	hivelint -list      # list the analyzers and their docs
+//	hivelint                  # human-readable diagnostics on stdout
+//	hivelint -json            # machine-readable diagnostics + summary
+//	hivelint -sarif           # SARIF 2.1.0 (GitHub code scanning)
+//	hivelint -list            # list the analyzers and their docs
+//	hivelint -write-baseline  # accept current findings as the baseline
 //
 // Suppressions: a comment of the form
 //
 //	//lint:ignore hivelint/<analyzer> <reason>
 //
 // on (or on the line before) the offending line silences that analyzer
-// there. The reason is mandatory, and stale suppressions are themselves
+// there. The reason is mandatory, and stale suppressions (matching
+// nothing, or naming an unregistered analyzer) are themselves
 // diagnostics.
+//
+// Baseline: findings listed in .hivelint-baseline.json at the module
+// root are reported in every output mode but do not fail the run; new
+// findings always do. See cmd/hivelint/baseline.go.
 package main
 
 import (
@@ -31,13 +38,17 @@ type jsonReport struct {
 	Packages    int                   `json:"packages"`
 	Analyzers   []string              `json:"analyzers"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Baselined   []analysis.Diagnostic `json:"baselined,omitempty"`
 	Counts      map[string]int        `json:"counts"`
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	baselinePath := flag.String("baseline", "", "findings baseline file (default: <root>/.hivelint-baseline.json)")
+	writeBaseline := flag.Bool("write-baseline", false, "accept the current findings as the baseline and exit")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -66,16 +77,36 @@ func main() {
 	diags := analysis.RunAnalyzers(prog, analyzers)
 
 	// Report paths relative to the module root so output is stable
-	// across checkouts.
+	// across checkouts (and matches the committed baseline).
 	for i := range diags {
 		if rel, err := filepath.Rel(dir, diags[i].File); err == nil {
 			diags[i].File = filepath.ToSlash(rel)
 		}
 	}
 
-	if *jsonOut {
+	bp := *baselinePath
+	if bp == "" {
+		bp = filepath.Join(dir, ".hivelint-baseline.json")
+	}
+	if *writeBaseline {
+		if err := writeBaselineFile(bp, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "hivelint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "hivelint: wrote %d finding(s) to %s\n", len(diags), bp)
+		return
+	}
+	base, err := loadBaseline(bp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hivelint: baseline:", err)
+		os.Exit(2)
+	}
+	fresh, baselined := splitBaseline(diags, base)
+
+	switch {
+	case *jsonOut:
 		counts := make(map[string]int)
-		for _, d := range diags {
+		for _, d := range fresh {
 			counts[d.Analyzer]++
 		}
 		names := make([]string, len(analyzers))
@@ -86,7 +117,8 @@ func main() {
 			ModulePath:  prog.ModulePath,
 			Packages:    len(prog.Packages),
 			Analyzers:   names,
-			Diagnostics: diags,
+			Diagnostics: fresh,
+			Baselined:   baselined,
 			Counts:      counts,
 		}
 		if rep.Diagnostics == nil {
@@ -98,14 +130,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hivelint:", err)
 			os.Exit(2)
 		}
-	} else {
-		for _, d := range diags {
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, analyzers, fresh, baselined); err != nil {
+			fmt.Fprintln(os.Stderr, "hivelint:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range baselined {
+			fmt.Printf("%s (baselined, not blocking)\n", d)
+		}
+		for _, d := range fresh {
 			fmt.Println(d)
 		}
-		fmt.Fprintf(os.Stderr, "hivelint: %d package(s), %d analyzer(s), %d diagnostic(s)\n",
-			len(prog.Packages), len(analyzers), len(diags))
+		fmt.Fprintf(os.Stderr, "hivelint: %d package(s), %d analyzer(s), %d diagnostic(s), %d baselined\n",
+			len(prog.Packages), len(analyzers), len(fresh), len(baselined))
 	}
-	if len(diags) > 0 {
+	if len(fresh) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hivempi/internal/analysis"
+)
+
+func mkdiag(analyzer, file, msg string, line int) analysis.Diagnostic {
+	return analysis.Diagnostic{Analyzer: analyzer, File: file, Line: line, Col: 1, Message: msg}
+}
+
+// The baseline absorbs known findings (once each) and leaves new ones
+// blocking, even when the known finding moved to a different line.
+func TestSplitBaseline(t *testing.T) {
+	known := mkdiag("maporder", "internal/exec/emit.go", "order leak", 10)
+	moved := mkdiag("maporder", "internal/exec/emit.go", "order leak", 99)
+	dup := mkdiag("maporder", "internal/exec/emit.go", "order leak", 120)
+	novel := mkdiag("hotalloc", "internal/kvio/decode.go", "uncapped append", 5)
+
+	base := map[string]int{baselineKey("maporder", "internal/exec/emit.go", "order leak"): 1}
+
+	fresh, baselined := splitBaseline([]analysis.Diagnostic{moved, dup, novel}, base)
+	if len(baselined) != 1 || baselined[0].Line != moved.Line {
+		t.Fatalf("baselined = %v, want just the moved finding", baselined)
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want the duplicate and the novel finding to block", fresh)
+	}
+	_ = known
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	diags := []analysis.Diagnostic{
+		mkdiag("floatorder", "internal/adapt/hist.go", "float accumulation order", 42),
+	}
+	if err := writeBaselineFile(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, baselined := splitBaseline(diags, base)
+	if len(fresh) != 0 || len(baselined) != 1 {
+		t.Fatalf("round-tripped baseline must absorb its own findings: fresh=%v baselined=%v", fresh, baselined)
+	}
+}
+
+func TestLoadBaselineMissingIsEmpty(t *testing.T) {
+	base, err := loadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || len(base) != 0 {
+		t.Fatalf("missing baseline must load empty: base=%v err=%v", base, err)
+	}
+}
+
+func TestLoadBaselineCorruptFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("corrupt baseline must not silently unblock the gate")
+	}
+}
+
+// SARIF output must be valid 2.1.0 with one rule per analyzer, error
+// level for fresh findings and note/unchanged for baselined ones.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	fresh := []analysis.Diagnostic{mkdiag("maporder", "a.go", "leak", 3)}
+	baselined := []analysis.Diagnostic{mkdiag("hotalloc", "b.go", "alloc", 7)}
+	if err := writeSARIF(&buf, analysis.All(), fresh, baselined); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if got, want := len(run.Tool.Driver.Rules), len(analysis.All())+1; got != want {
+		t.Fatalf("rules = %d, want %d (all analyzers plus suppress)", got, want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	byRule := map[string]sarifResult{}
+	for _, r := range run.Results {
+		byRule[r.RuleID] = r
+	}
+	if r := byRule["maporder"]; r.Level != "error" || r.BaselineState != "new" {
+		t.Errorf("fresh finding: level=%q state=%q, want error/new", r.Level, r.BaselineState)
+	}
+	if r := byRule["hotalloc"]; r.Level != "note" || r.BaselineState != "unchanged" {
+		t.Errorf("baselined finding: level=%q state=%q, want note/unchanged", r.Level, r.BaselineState)
+	}
+	if r := byRule["maporder"]; len(r.Locations) != 1 ||
+		!strings.HasSuffix(r.Locations[0].PhysicalLocation.ArtifactLocation.URI, "a.go") {
+		t.Errorf("fresh finding location = %+v, want a.go", r.Locations)
+	}
+}

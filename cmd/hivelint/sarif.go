@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"hivempi/internal/analysis"
+)
+
+// SARIF 2.1.0 output, the static-analysis interchange format GitHub
+// code scanning ingests. Fresh findings are level "error"; baselined
+// ones are "note" with baselineState "unchanged" so they stay visible
+// in the scan without failing it.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID        string          `json:"ruleId"`
+	Level         string          `json:"level"`
+	Message       sarifMessage    `json:"message"`
+	Locations     []sarifLocation `json:"locations"`
+	BaselineState string          `json:"baselineState,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders fresh and baselined diagnostics as one SARIF run.
+// Diagnostic file paths must already be module-relative.
+func writeSARIF(w io.Writer, analyzers []*analysis.Analyzer, fresh, baselined []analysis.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "suppress",
+		ShortDescription: sarifMessage{Text: "lint:ignore directives must be well-formed, justified and live"},
+	})
+
+	results := make([]sarifResult, 0, len(fresh)+len(baselined))
+	for _, d := range fresh {
+		results = append(results, sarifResultFor(d, "error", "new"))
+	}
+	for _, d := range baselined {
+		results = append(results, sarifResultFor(d, "note", "unchanged"))
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hivelint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func sarifResultFor(d analysis.Diagnostic, level, state string) sarifResult {
+	return sarifResult{
+		RuleID:        d.Analyzer,
+		Level:         level,
+		Message:       sarifMessage{Text: d.Message},
+		BaselineState: state,
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: d.File, URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			},
+		}},
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hivempi/internal/exec"
+	"hivempi/internal/testutil/leakcheck"
 	"hivempi/internal/trace"
 )
 
@@ -56,6 +57,7 @@ func consumerStage(dir string, numReds int) *exec.Stage {
 // A 10x-heavy partition must split across several consumer ranks, and
 // those ranks must land on distinct hosts (the ISSUE's unit test).
 func TestHeavyPartitionSplitsOntoDistinctRanks(t *testing.T) {
+	defer leakcheck.Check(t)()
 	rt := New(0)
 	conf := testConf()
 	observeProducer(rt, "tmp/skew", []int64{1000, 100, 100, 100})
@@ -100,6 +102,7 @@ func TestHeavyPartitionSplitsOntoDistinctRanks(t *testing.T) {
 // straddling) and must actually spread a heavy bucket's distinct keys
 // over its target ranks.
 func TestPartitionSpreadsKeysDeterministically(t *testing.T) {
+	defer leakcheck.Check(t)()
 	rt := New(0)
 	conf := testConf()
 	observeProducer(rt, "tmp/spread", []int64{1000, 100, 100, 100})
@@ -130,6 +133,7 @@ func TestPartitionSpreadsKeysDeterministically(t *testing.T) {
 // Light partitions (pass-through weight below half the mean) fuse onto
 // a shared rank.
 func TestLightPartitionsFuse(t *testing.T) {
+	defer leakcheck.Check(t)()
 	rt := New(0)
 	conf := testConf()
 	// 2 slots: the heavy bucket cannot split, so the light buckets'
@@ -159,6 +163,7 @@ func TestLightPartitionsFuse(t *testing.T) {
 // A balanced distribution below the CV threshold keeps its planned
 // geometry.
 func TestBalancedInputNotRepartitioned(t *testing.T) {
+	defer leakcheck.Check(t)()
 	rt := New(0)
 	conf := testConf()
 	observeProducer(rt, "tmp/flat", []int64{100, 110, 100, 120})
@@ -171,6 +176,7 @@ func TestBalancedInputNotRepartitioned(t *testing.T) {
 // Decide must refuse every stage shape whose output depends on the
 // partition map.
 func TestEligibilityGates(t *testing.T) {
+	defer leakcheck.Check(t)()
 	rt := New(0)
 	observeProducer(rt, "tmp/gate", []int64{1000, 100, 100, 100})
 
@@ -234,6 +240,7 @@ func TestEligibilityGates(t *testing.T) {
 // The heaviest predicted rank must go to the host with the least
 // observed load.
 func TestPlacementPrefersLeastLoadedHost(t *testing.T) {
+	defer leakcheck.Check(t)()
 	rt := New(0)
 	conf := testConf()
 	rt.Observe(&exec.Stage{ID: "warm"}, &trace.Stage{Producers: []*trace.Task{
@@ -260,6 +267,7 @@ func TestPlacementPrefersLeastLoadedHost(t *testing.T) {
 // A heavy rank forced onto a historically slow host gets its backup
 // pre-launched (predictive speculation).
 func TestPredictiveSpeculationOnSlowHost(t *testing.T) {
+	defer leakcheck.Check(t)()
 	rt := New(0)
 	conf := testConf()
 	conf.Slaves = []string{"n1", "n2"}
@@ -290,6 +298,7 @@ func TestPredictiveSpeculationOnSlowHost(t *testing.T) {
 // aggregates only, larger hash when the combiner compresses well,
 // smaller when it never hits.
 func TestCombinerStrengthSelection(t *testing.T) {
+	defer leakcheck.Check(t)()
 	mkStage := func(kind exec.AggKind) *exec.Stage {
 		s := consumerStage("tmp/comb", 4)
 		s.Maps[0].Ops = []exec.MapOp{&exec.GroupByPartialOp{

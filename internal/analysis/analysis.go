@@ -113,14 +113,38 @@ func collectSuppressions(prog *Program) ([]suppression, []Diagnostic) {
 // RunAnalyzers runs the analyzers over the program, applies lint:ignore
 // suppressions and returns the surviving diagnostics sorted by
 // position. Unused suppressions are reported so stale exemptions do not
-// accumulate.
+// accumulate, and a suppression naming an analyzer that is not in the
+// running set (a typo, or a retired analyzer) is reported as stale
+// rather than silently skipped — a directive that can never fire is
+// worse than none, because it reads as an audited exemption.
 func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var all []Diagnostic
+	known := make(map[string]bool, len(analyzers))
+	names := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
 		all = append(all, a.Run(prog)...)
+		known[a.Name] = true
+		names = append(names, a.Name)
 	}
+	sort.Strings(names)
 	sups, diags := collectSuppressions(prog)
 	used := make([]bool, len(sups))
+	for i, s := range sups {
+		unknown := false
+		for n := range s.analyzers {
+			if !known[n] {
+				diags = append(diags, diag(prog, "suppress", s.pos,
+					"lint:ignore %s%s names no registered analyzer; the directive is stale (known: %s)",
+					SuppressPrefix, n, strings.Join(names, ", ")))
+				unknown = true
+			}
+		}
+		// Mark it used so the typo is not double-reported through the
+		// generic suppresses-nothing path below.
+		if unknown {
+			used[i] = true
+		}
+	}
 	for _, d := range all {
 		hit := false
 		for i, s := range sups {

@@ -35,8 +35,11 @@ type expectation struct {
 // Run loads the fixture rooted at dir/src and checks the analyzer's
 // diagnostics (after suppression filtering) against the fixture's want
 // comments: every want must be matched by a diagnostic on its line,
-// and every diagnostic must be claimed by a want.
-func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+// and every diagnostic must be claimed by a want. It takes testing.TB
+// so the harness itself is testable against a recording TB (see
+// analysistest_test.go); a fixture that fails to parse or type-check
+// is a Fatalf, never a silent skip.
+func Run(t testing.TB, dir string, a *analysis.Analyzer) {
 	t.Helper()
 	root := filepath.Join(dir, "src")
 	dirs, err := analysis.DiscoverDirs(root)
@@ -75,7 +78,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 // collectWants scans every fixture file for want comments. It reads
 // the files directly (rather than through the AST) so wants attached
 // to any token position are found uniformly.
-func collectWants(t *testing.T, fset *token.FileSet, root string) []expectation {
+func collectWants(t testing.TB, fset *token.FileSet, root string) []expectation {
 	t.Helper()
 	var wants []expectation
 	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {

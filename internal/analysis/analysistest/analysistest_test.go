@@ -1,0 +1,99 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hivempi/internal/analysis"
+	"hivempi/internal/analysis/analysistest"
+	"hivempi/internal/testutil/leakcheck"
+)
+
+// recordingTB intercepts the harness's failure calls so the harness
+// itself can be tested. Fatalf panics with stopRun to model
+// testing.T.Fatalf's goroutine exit.
+type recordingTB struct {
+	testing.TB
+	failed bool
+	fatal  string
+	errs   []string
+}
+
+type stopRun struct{}
+
+func (r *recordingTB) Helper() {}
+
+func (r *recordingTB) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.fatal = fmt.Sprintf(format, args...)
+	panic(stopRun{})
+}
+
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.failed = true
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+}
+
+// runRecorded runs the harness against a recording TB, absorbing the
+// Fatalf panic.
+func runRecorded(t *testing.T, dir string, a *analysis.Analyzer) *recordingTB {
+	t.Helper()
+	rec := &recordingTB{TB: t}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopRun); !ok {
+					panic(r)
+				}
+			}
+		}()
+		analysistest.Run(rec, dir, a)
+	}()
+	return rec
+}
+
+// Want comments spread across multiple files of one fixture package
+// are all collected and matched.
+func TestMultiFileFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
+	analysistest.Run(t, "testdata/multifile", analysis.Wallclock)
+}
+
+// A want on the same line as a (stale) lint:ignore directive claims
+// the stale-suppression diagnostic reported at that line.
+func TestWantOnSuppressionLine(t *testing.T) {
+	defer leakcheck.Check(t)()
+	analysistest.Run(t, "testdata/suppressline", analysis.Wallclock)
+}
+
+// A fixture that fails to type-check must fail the test loudly, not
+// skip silently: every want in an unloadable fixture would otherwise
+// rot unnoticed.
+func TestBrokenFixtureFailsLoudly(t *testing.T) {
+	defer leakcheck.Check(t)()
+	rec := runRecorded(t, "testdata/broken", analysis.Wallclock)
+	if !rec.failed {
+		t.Fatal("broken fixture did not fail the harness")
+	}
+	if !strings.Contains(rec.fatal, "load fixture") {
+		t.Fatalf("broken fixture failure = %q, want a loud load failure naming the fixture", rec.fatal)
+	}
+}
+
+// The harness reports both direction of mismatch: a diagnostic with no
+// want is unexpected, and a want with no diagnostic is unmatched. The
+// multifile fixture run under the wrong analyzer produces only
+// unmatched wants (mpireq reports nothing there).
+func TestUnmatchedWantsReported(t *testing.T) {
+	defer leakcheck.Check(t)()
+	rec := runRecorded(t, "testdata/multifile", analysis.MPIReq)
+	if !rec.failed || len(rec.errs) == 0 {
+		t.Fatal("running the wrong analyzer must leave wants unmatched and fail")
+	}
+	for _, e := range rec.errs {
+		if !strings.Contains(e, "expected diagnostic containing") {
+			t.Fatalf("unexpected harness error %q", e)
+		}
+	}
+}

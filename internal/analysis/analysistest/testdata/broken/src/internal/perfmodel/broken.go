@@ -1,0 +1,6 @@
+// This fixture does not type-check. The harness must fail loudly on
+// it — a fixture that silently fails to load would let every want in
+// it rot unnoticed.
+package perfmodel
+
+func broken() int { return undefinedIdentifier }

@@ -1,0 +1,7 @@
+// Multi-file fixture: want comments in every file of the package must
+// be collected and matched, not just the first file read.
+package perfmodel
+
+import "time"
+
+func fileANow() time.Time { return time.Now() } // want "time.Now reads the wall clock"

@@ -1,0 +1,7 @@
+package perfmodel
+
+import "time"
+
+func fileBSince(t0 time.Time) time.Duration { return time.Since(t0) } // want "time.Since reads the wall clock"
+
+func fileBOK(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,10 @@
+// A want comment may share a line with a lint:ignore directive: the
+// harness scans raw source lines, so expectations attached to
+// directive lines are honored. The stale directive below is diagnosed
+// at its own position, and the want on that same line claims it.
+package perfmodel
+
+func nothingToSuppress() int {
+	//lint:ignore hivelint/wallclock this directive is stale by design // want "suppresses nothing"
+	return 1
+}

@@ -1,6 +1,8 @@
 package analysis
 
 // All returns the full hivelint analyzer suite, in reporting order.
+// The determinism analyzers (maporder, floatorder) share one dataflow
+// pass, and everything shares the Program's single type-check pass.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MPIReq, LockOrder, MetricsHot, CtxLeak}
+	return []*Analyzer{Wallclock, MPIReq, LockOrder, MetricsHot, CtxLeak, MapOrder, FloatOrder, HotAlloc}
 }

@@ -5,6 +5,7 @@ import (
 
 	"hivempi/internal/analysis"
 	"hivempi/internal/analysis/analysistest"
+	"hivempi/internal/testutil/leakcheck"
 )
 
 // Each analyzer must fail on its seeded fixture violations and stay
@@ -12,21 +13,41 @@ import (
 // every analyzer demonstrated against a fixture).
 
 func TestWallclockFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
 	analysistest.Run(t, "testdata/wallclock", analysis.Wallclock)
 }
 
 func TestMPIReqFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
 	analysistest.Run(t, "testdata/mpireq", analysis.MPIReq)
 }
 
 func TestLockOrderFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
 	analysistest.Run(t, "testdata/lockorder", analysis.LockOrder)
 }
 
 func TestMetricsHotFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
 	analysistest.Run(t, "testdata/metricshot", analysis.MetricsHot)
 }
 
 func TestCtxLeakFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
 	analysistest.Run(t, "testdata/ctxleak", analysis.CtxLeak)
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
+	analysistest.Run(t, "testdata/maporder", analysis.MapOrder)
+}
+
+func TestFloatOrderFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
+	analysistest.Run(t, "testdata/floatorder", analysis.FloatOrder)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	defer leakcheck.Check(t)()
+	analysistest.Run(t, "testdata/hotalloc", analysis.HotAlloc)
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
 // FuncInfo pairs a declared function (or method) with its body.
@@ -34,6 +35,82 @@ func (prog *Program) FuncIndex() map[*types.Func]*FuncInfo {
 	}
 	prog.funcIndex = idx
 	return idx
+}
+
+// HotPathFuncs returns every function reachable over static call edges
+// from the benchmarked hot-path roots (HotRootPackages plus
+// HotRootMethods, minus setup-shaped functions), mapped to the display
+// name of the root that reached it. metricshot and hotalloc share this
+// reachability set — and, because it is cached on the Program, pay for
+// the BFS once per hivelint run.
+func (prog *Program) HotPathFuncs() map[*types.Func]string {
+	if prog.hotFuncs != nil {
+		return prog.hotFuncs
+	}
+	idx := prog.FuncIndex()
+
+	// Roots: the hot packages' functions (minus setup functions) plus
+	// the named per-package entry points.
+	rootOf := make(map[*types.Func]string)
+	for obj, fi := range idx {
+		if prog.internalPath(fi.Pkg, HotRootPackages...) && !isSetupFunc(obj.Name()) {
+			rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
+		}
+		for pkgName, byType := range HotRootMethods {
+			if !prog.internalPath(fi.Pkg, pkgName) {
+				continue
+			}
+			recvName := ""
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if n := recvNamed(sig.Recv().Type()); n != nil {
+					recvName = n.Obj().Name()
+				}
+			}
+			for _, m := range byType[recvName] {
+				if obj.Name() == m {
+					rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
+				}
+			}
+		}
+	}
+
+	// BFS over static call edges; remember which root reached each
+	// function for the diagnostic message.
+	via := make(map[*types.Func]string, len(rootOf))
+	queue := make([]*types.Func, 0, len(rootOf))
+	roots := make([]*types.Func, 0, len(rootOf))
+	for obj := range rootOf {
+		roots = append(roots, obj)
+	}
+	sort.Slice(roots, func(i, j int) bool { return rootOf[roots[i]] < rootOf[roots[j]] })
+	for _, obj := range roots {
+		via[obj] = rootOf[obj]
+		queue = append(queue, obj)
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		fi := idx[obj]
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c := Callee(fi.Pkg, call)
+			if c == nil {
+				return true
+			}
+			if _, known := idx[c]; known {
+				if _, seen := via[c]; !seen {
+					via[c] = via[obj]
+					queue = append(queue, c)
+				}
+			}
+			return true
+		})
+	}
+	prog.hotFuncs = via
+	return via
 }
 
 // Callee resolves the static callee of a call expression: the declared

@@ -5,11 +5,9 @@ import (
 	"go/types"
 )
 
-// ctxLeakPackages are the packages whose goroutines must signal
-// completion: the DAG stage scheduler, the DataMPI engine core and the
-// shuffle library. PR 3's runStagesDAG leak — stage goroutines parked
-// on a send nobody drained — is the regression class this check pins.
-var ctxLeakPackages = []string{"hive", "core", "datampi"}
+// The scoped package set lives in roots.go (CtxLeakPackages). PR 3's
+// runStagesDAG leak — stage goroutines parked on a send nobody
+// drained — is the regression class this check pins.
 
 // CtxLeak requires every goroutine spawned in the scheduler/engine
 // packages to contain a completion signal: a channel send or receive, a
@@ -26,7 +24,7 @@ func runCtxLeak(prog *Program) []Diagnostic {
 	idx := prog.FuncIndex()
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {
-		if !prog.internalPath(pkg, ctxLeakPackages...) {
+		if !prog.internalPath(pkg, CtxLeakPackages...) {
 			continue
 		}
 		for _, f := range pkg.Files {

@@ -1,0 +1,32 @@
+package analysis
+
+// FloatOrder is the determinism analyzer for exact aggregates: it
+// reports float32/float64 accumulation (sum += v, prod *= v,
+// acc = acc + v) whose operand order derives from a nondeterministic
+// source — a map range, select arrival order, or an order-tainted
+// collection per the dataflow engine. Float addition is not
+// associative: reordering the operands changes the low bits of the
+// sum, which is precisely how PR 7's concurrent-sender arrival order
+// turned into non-byte-identical TPC-H aggregates.
+//
+// Scope is the exact-aggregate plane (FloatOrderPackages in roots.go):
+// the operator layer (exec), the kv merge layer (kvio) and the
+// adaptive runtime (adapt), whose histogram folds feed scheduling
+// decisions that must replay identically. Per-key accumulation into a
+// map element (m[k] += v) is order-independent and exempt.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "float accumulation in exec/kvio/adapt must not fold operands in map-range/arrival order",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range prog.Flow().Findings("float-accum") {
+		if !prog.internalPath(f.Pkg, FloatOrderPackages...) {
+			continue
+		}
+		diags = append(diags, diag(prog, "floatorder", f.Pos, "%s", f.Message))
+	}
+	return diags
+}

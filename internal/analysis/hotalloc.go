@@ -1,0 +1,396 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags per-iteration allocations inside functions reachable
+// from the benchmarked hot paths (the shared HotPathFuncs set: kvio
+// decode, datampi flush, vec kernels, dfs I/O, the plan-cache lookup
+// path). The alloc counts committed in BENCH_shuffle.json /
+// BENCH_vec.json are part of the tier-1 bench gate (≤1 alloc/op on
+// decode and send); this analyzer catches the regressions before the
+// benchmark does, and explains them better:
+//
+//   - string concatenation with + inside a loop (one allocation per
+//     iteration; build once outside or use an indexed byte slice)
+//   - fmt.Sprintf/Sprint/Sprintln inside a loop (allocates and boxes
+//     every operand every iteration)
+//   - a closure capturing outer variables inside a loop (the closure
+//     and its captured-variable cells escape per iteration)
+//   - append in a loop to a slice declared with no capacity in the
+//     same function (per-iteration growth; preallocate with
+//     make(T, 0, n))
+//   - an explicit conversion to any/interface{} inside a loop (boxes
+//     the value per iteration)
+//
+// Error/cold branches are exempt: a statement inside an if-block or
+// switch/select case that terminates (return, panic, break, continue,
+// goto) executes at most once per loop exit, not per iteration. Also
+// exempt: fmt.Errorf (error construction is the cold path by
+// definition), appends to []error (failure collection, not
+// per-record), and closures passed to `go` (the goroutine spawn
+// dominates the closure allocation).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no per-iteration allocations (uncapped append, string concat, Sprintf, escaping closures, boxing) on benchmarked hot paths",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(prog *Program) []Diagnostic {
+	idx := prog.FuncIndex()
+	hot := prog.HotPathFuncs()
+	var diags []Diagnostic
+	for obj, root := range hot {
+		fi := idx[obj]
+		// Setup-shaped functions run once per job, not per record.
+		if isSetupFunc(obj.Name()) {
+			continue
+		}
+		w := &hotAllocWalker{
+			prog:      prog,
+			pkg:       fi.Pkg,
+			fn:        obj,
+			root:      root,
+			zeroCap:   zeroCapSlices(fi.Pkg, fi.Decl.Body),
+			benchFile: benchBaselineFor(fi.Pkg),
+		}
+		w.walk(fi.Decl.Body, false)
+		diags = append(diags, w.diags...)
+	}
+	return diags
+}
+
+// benchBaselineFor names the committed benchmark baseline that prices
+// the package's hot path, for the diagnostic message.
+func benchBaselineFor(pkg *Package) string {
+	switch {
+	case pkg.Path == "hivempi/internal/vec", pkg.Path == "hivempi/internal/exec", pkg.Path == "hivempi/internal/storage":
+		return "BENCH_vec.json"
+	default:
+		return "BENCH_shuffle.json"
+	}
+}
+
+// zeroCapSlices collects the slice variables declared in this function
+// with no capacity: `var x []T`, `x := []T{}`, `x := make([]T, 0)`.
+func zeroCapSlices(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(name *ast.Ident, val ast.Expr) {
+		obj := pkg.Info.Defs[name]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		if val == nil { // var x []T
+			out[obj] = true
+			return
+		}
+		switch v := ast.Unparen(val).(type) {
+		case *ast.CompositeLit:
+			if len(v.Elts) == 0 {
+				out[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					// make([]T, 0) or make([]T, 0, 0): no real capacity.
+					capArg := v.Args[len(v.Args)-1]
+					if tv, ok := pkg.Info.Types[capArg]; ok && tv.Value != nil &&
+						constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0)) {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							var val ast.Expr
+							if i < len(vs.Values) {
+								val = vs.Values[i]
+							}
+							mark(name, val)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				for i, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && i < len(st.Rhs) {
+						mark(id, st.Rhs[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type hotAllocWalker struct {
+	prog      *Program
+	pkg       *Package
+	fn        *types.Func
+	root      string
+	zeroCap   map[types.Object]bool
+	benchFile string
+	diags     []Diagnostic
+}
+
+// walk traverses the body; inLoop tracks whether the current node
+// executes once per loop iteration (cold terminating branches reset
+// it).
+func (w *hotAllocWalker) walk(n ast.Node, inLoop bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			w.walk(st.Init, inLoop)
+			w.walkExprIn(st.Cond, inLoop)
+			w.walk(st.Post, true)
+			w.walk(st.Body, true)
+			return false
+		case *ast.RangeStmt:
+			w.walkExprIn(st.X, inLoop)
+			w.walk(st.Body, true)
+			return false
+		case *ast.IfStmt:
+			w.walk(st.Init, inLoop)
+			w.walkExprIn(st.Cond, inLoop)
+			// A terminating if-body is a cold exit path, not a
+			// per-iteration cost.
+			w.walk(st.Body, inLoop && !terminates(st.Body))
+			w.walk(st.Else, inLoop)
+			return false
+		case *ast.SwitchStmt:
+			w.walk(st.Init, inLoop)
+			w.walkExprIn(st.Tag, inLoop)
+			w.walkCases(st.Body, inLoop)
+			return false
+		case *ast.TypeSwitchStmt:
+			w.walk(st.Init, inLoop)
+			w.walk(st.Assign, inLoop)
+			w.walkCases(st.Body, inLoop)
+			return false
+		case *ast.SelectStmt:
+			w.walkCases(st.Body, inLoop)
+			return false
+		case *ast.GoStmt:
+			// The goroutine spawn itself allocates a stack; the closure
+			// passed to `go` is not the marginal cost.
+			if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				for _, a := range st.Call.Args {
+					w.walkExprIn(a, inLoop)
+				}
+				w.walk(fl.Body, false)
+				return false
+			}
+		case *ast.FuncLit:
+			if inLoop && capturesOuter(w.pkg, st) {
+				w.flag(st.Pos(), "closure capturing outer variables allocated per loop iteration; hoist it out of the loop or pass state explicitly")
+			}
+			// The literal's own body runs at an unknown point.
+			w.walk(st.Body, false)
+			return false
+		case *ast.BinaryExpr:
+			if inLoop && st.Op == token.ADD && w.isStringConcat(st) {
+				w.flag(st.Pos(), "string concatenation with + inside a loop allocates per iteration; write into a reused []byte or strings.Builder hoisted out of the loop")
+			}
+		case *ast.CallExpr:
+			if inLoop {
+				w.checkCall(st)
+			}
+		}
+		return true
+	})
+}
+
+func (w *hotAllocWalker) walkExprIn(e ast.Expr, inLoop bool) {
+	if e != nil {
+		w.walk(e, inLoop)
+	}
+}
+
+// walkCases walks a switch/type-switch/select body; a case whose body
+// terminates the loop iteration is cold (lexer default-arms that
+// Sprintf an error and return are the canonical shape).
+func (w *hotAllocWalker) walkCases(body *ast.BlockStmt, inLoop bool) {
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.walkExprIn(e, inLoop)
+			}
+			hot := inLoop && !caseTerminates(cc.Body)
+			for _, sub := range cc.Body {
+				w.walk(sub, hot)
+			}
+		case *ast.CommClause:
+			w.walk(cc.Comm, inLoop)
+			hot := inLoop && !caseTerminates(cc.Body)
+			for _, sub := range cc.Body {
+				w.walk(sub, hot)
+			}
+		}
+	}
+}
+
+func (w *hotAllocWalker) checkCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "append" && len(call.Args) > 0 {
+				if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					obj := w.pkg.Info.Uses[base]
+					if obj == nil {
+						obj = w.pkg.Info.Defs[base]
+					}
+					if obj != nil && w.zeroCap[obj] && !isErrorSlice(obj.Type()) {
+						w.flag(call.Pos(), "append inside a loop grows "+base.Name+", declared with no capacity; preallocate with make(..., 0, n) to keep the hot path at its committed alloc budget")
+					}
+				}
+			}
+			return
+		}
+	}
+	callee := Callee(w.pkg, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		// Errorf is exempt: error construction is the cold path.
+		switch callee.Name() {
+		case "Sprintf", "Sprint", "Sprintln":
+			w.flag(call.Pos(), "fmt."+callee.Name()+" inside a loop allocates and boxes its operands per iteration; format once outside the loop or append to a reused buffer")
+		}
+		return
+	}
+	// Explicit boxing: any(x) / interface{}(x) conversions in the loop.
+	if len(call.Args) == 1 && callee == nil {
+		if tv, ok := w.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			if iface, isIface := tv.Type.Underlying().(*types.Interface); isIface && iface.NumMethods() == 0 {
+				if atv, ok := w.pkg.Info.Types[call.Args[0]]; ok {
+					if _, already := atv.Type.Underlying().(*types.Interface); !already {
+						w.flag(call.Pos(), "conversion to any inside a loop boxes the value per iteration; keep the concrete type on the hot path")
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *hotAllocWalker) isStringConcat(be *ast.BinaryExpr) bool {
+	tv, ok := w.pkg.Info.Types[be]
+	if !ok || tv.Value != nil { // constant-folded concat costs nothing
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (w *hotAllocWalker) flag(pos token.Pos, msg string) {
+	w.diags = append(w.diags, diag(w.prog, "hotalloc", pos,
+		"%s (in %s, reachable from hot path %s; alloc budget committed in %s)",
+		msg, funcDisplayName(w.fn), w.root, w.benchFile))
+}
+
+// terminates reports whether a block's last statement unconditionally
+// leaves the surrounding loop iteration (return, panic, break,
+// continue, goto).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil {
+		return false
+	}
+	return terminatesList(b.List)
+}
+
+func terminatesList(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch st := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		return isPanicCall(st.X)
+	}
+	return false
+}
+
+// caseTerminates is the stricter variant for switch/select case
+// bodies: only return and panic leave the loop. A case ending in
+// `continue` still runs its body every iteration, and a plain `break`
+// inside a case only leaves the switch, not the loop.
+func caseTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch st := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		return isPanicCall(st.X)
+	}
+	return false
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// isErrorSlice reports whether t is []error: failure-collection
+// appends happen on error paths, not per successful record.
+func isErrorSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	n, ok := sl.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// capturesOuter reports whether the literal references any variable
+// declared outside it (the captured cells escape with the closure).
+func capturesOuter(pkg *Package, fl *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		// Package-level variables are not captured cells.
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		// Declared outside the literal's extent → captured.
+		if v.Pos() < fl.Pos() || v.Pos() > fl.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

@@ -42,6 +42,8 @@ type Program struct {
 	ByPath     map[string]*Package
 
 	funcIndex map[*types.Func]*FuncInfo // built lazily by FuncIndex
+	hotFuncs  map[*types.Func]string    // built lazily by HotPathFuncs
+	flow      *Dataflow                 // built lazily by Flow
 }
 
 // moduleImporter resolves module-internal import paths from the set of

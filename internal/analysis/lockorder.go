@@ -9,14 +9,11 @@ import (
 	"strings"
 )
 
-// lockScopePackages are the packages whose mutexes participate in the
-// cross-layer acquisition graph: the dfs namespace lock, the imstore
-// budget lock, the metrics registry lock and the cluster membership
-// lock. PR 3 fixed races exactly here (dfs rename/delete vs imstore
+// The lock-scope package set lives in roots.go (LockScopePackages).
+// PR 3 fixed races exactly there (dfs rename/delete vs imstore
 // residency), and its fix depends on the documented order fs.mu ->
 // tierMu -> store.mu staying acyclic; the membership fires its watcher
 // callbacks (which take fs.mu) outside m.mu for the same reason.
-var lockScopePackages = []string{"dfs", "imstore", "metrics", "cluster"}
 
 // LockOrder builds the mutex acquisition graph of the storage
 // substrate from source — an edge A -> B means some function acquires B
@@ -90,7 +87,7 @@ func runLockOrder(prog *Program) []Diagnostic {
 	// transitive set takes locks.
 	var edges []lockEdge
 	for _, pkg := range prog.Packages {
-		if !prog.internalPath(pkg, lockScopePackages...) {
+		if !prog.internalPath(pkg, LockScopePackages...) {
 			continue
 		}
 		for _, f := range pkg.Files {

@@ -1,0 +1,29 @@
+package analysis
+
+// MapOrder is the determinism analyzer for output order: it reports
+// every place where map iteration order (or select arrival order)
+// flows into an order-sensitive sink — the kvio encoders, the shuffle
+// send path, the comm_report/Chrome-trace writers, io/bufio/bytes/
+// strings writers and fmt output — without passing through a
+// canonicalizing sort. This is exactly the leak class behind PR 7's
+// latent kvio tie-break bug, caught at lint time instead of six PRs
+// later.
+//
+// The analysis is the shared determinism dataflow engine (dataflow.go):
+// value-flow with inter-procedural summaries, so a helper that emits
+// its slice parameter verbatim propagates the obligation to sort back
+// to its callers, and a helper that returns a map's keys unsorted
+// propagates the taint forward.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map-range/select order must not reach encoders, shuffle flush or result output without a canonicalizing sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range prog.Flow().Findings("order-leak") {
+		diags = append(diags, diag(prog, "maporder", f.Pos, "%s", f.Message))
+	}
+	return diags
+}

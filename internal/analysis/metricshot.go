@@ -3,7 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -22,26 +21,9 @@ var MetricsHot = &Analyzer{
 	Run:  runMetricsHot,
 }
 
-// hotRootPackages contribute every declared function as a hot-path
-// root (the shuffle library, the kv wire format, and the columnar
-// batch layer — vec runs per batch inside every vectorized operator).
-var hotRootPackages = []string{"kvio", "datampi", "vec"}
-
-// hotRootMethods are individual hot entry points outside those
-// packages, keyed by internal package name, then receiver type name
-// ("" for free functions): the dfs per-I/O paths and the plan cache's
-// per-statement lookup/insert path in hive.
-var hotRootMethods = map[string]map[string][]string{
-	"dfs": {
-		"Writer": {"Write"},
-		"Reader": {"Read", "ReadAt"},
-	},
-	"hive": {
-		"PlanCache": {"lookup", "put"},
-		"Driver":    {"foldPlanCacheEvictions"},
-		"":          {"normalizePlanKey"},
-	},
-}
+// The hot-path root tables live in roots.go (HotRootPackages,
+// HotRootMethods); metricshot and hotalloc share them through
+// HotPathFuncs.
 
 // isSetupFunc reports whether the function is a once-per-job setup
 // site where Registry lookups are the sanctioned caching pattern.
@@ -59,67 +41,7 @@ func isSetupFunc(name string) bool {
 func runMetricsHot(prog *Program) []Diagnostic {
 	idx := prog.FuncIndex()
 	metricsPath := prog.ModulePath + "/internal/metrics"
-
-	// Roots: the hot packages' functions (minus setup functions) plus
-	// the named per-package entry points.
-	rootOf := make(map[*types.Func]string)
-	for obj, fi := range idx {
-		if prog.internalPath(fi.Pkg, hotRootPackages...) && !isSetupFunc(obj.Name()) {
-			rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
-		}
-		for pkgName, byType := range hotRootMethods {
-			if !prog.internalPath(fi.Pkg, pkgName) {
-				continue
-			}
-			recvName := ""
-			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
-				if n := recvNamed(sig.Recv().Type()); n != nil {
-					recvName = n.Obj().Name()
-				}
-			}
-			for _, m := range byType[recvName] {
-				if obj.Name() == m {
-					rootOf[obj] = fi.Pkg.Pkg.Name() + "." + funcDisplayName(obj)
-				}
-			}
-		}
-	}
-
-	// BFS over static call edges; remember which root reached each
-	// function for the diagnostic message.
-	via := make(map[*types.Func]string, len(rootOf))
-	queue := make([]*types.Func, 0, len(rootOf))
-	roots := make([]*types.Func, 0, len(rootOf))
-	for obj := range rootOf {
-		roots = append(roots, obj)
-	}
-	sort.Slice(roots, func(i, j int) bool { return rootOf[roots[i]] < rootOf[roots[j]] })
-	for _, obj := range roots {
-		via[obj] = rootOf[obj]
-		queue = append(queue, obj)
-	}
-	for len(queue) > 0 {
-		obj := queue[0]
-		queue = queue[1:]
-		fi := idx[obj]
-		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			c := Callee(fi.Pkg, call)
-			if c == nil {
-				return true
-			}
-			if _, known := idx[c]; known {
-				if _, seen := via[c]; !seen {
-					via[c] = via[obj]
-					queue = append(queue, c)
-				}
-			}
-			return true
-		})
-	}
+	via := prog.HotPathFuncs()
 
 	var diags []Diagnostic
 	for obj, root := range via {

@@ -1,0 +1,114 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"hivempi/internal/analysis"
+	"hivempi/internal/testutil/leakcheck"
+)
+
+// TestVirtualTimeRootsCoverage asserts the shared roots table actually
+// covers the virtual-time plane: every internal package that imports
+// internal/perfmodel (the virtual clock itself) must be listed in
+// VirtualTimePackages, so the wallclock analyzer scans it. PRs 6 and 8
+// each had to remember to hand-extend three separate hardcoded lists;
+// this test turns the omission into a loud failure instead of a silent
+// determinism hole.
+func TestVirtualTimeRootsCoverage(t *testing.T) {
+	defer leakcheck.Check(t)()
+	root := moduleRoot(t)
+	importers := packagesImporting(t, root, "hivempi/internal/perfmodel")
+	for _, pkg := range importers {
+		if pkg == "perfmodel" {
+			continue // the clock itself is in the table already
+		}
+		if !slices.Contains(analysis.VirtualTimePackages, pkg) {
+			t.Errorf("internal/%s imports internal/perfmodel but is missing from analysis.VirtualTimePackages; add it to roots.go so wallclock scans it", pkg)
+		}
+	}
+	// The table must also not drift ahead of reality: every listed
+	// package has to exist, or the analyzer scope silently shrinks when
+	// a package is renamed.
+	for _, pkg := range analysis.VirtualTimePackages {
+		if _, err := os.Stat(filepath.Join(root, "internal", filepath.FromSlash(pkg))); err != nil {
+			t.Errorf("analysis.VirtualTimePackages lists internal/%s, which does not exist: %v", pkg, err)
+		}
+	}
+	for _, pkg := range append(slices.Clone(analysis.LockScopePackages), analysis.CtxLeakPackages...) {
+		if _, err := os.Stat(filepath.Join(root, "internal", filepath.FromSlash(pkg))); err != nil {
+			t.Errorf("analysis roots table lists internal/%s, which does not exist: %v", pkg, err)
+		}
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// packagesImporting returns the internal/-relative package dirs whose
+// non-test files import the given path. Imports are read syntactically
+// (parser.ImportsOnly) so the test stays fast — no type-checking.
+func packagesImporting(t *testing.T, root, importPath string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	base := filepath.Join(root, "internal")
+	err := filepath.Walk(base, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			if name := fi.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == importPath {
+				rel, err := filepath.Rel(base, filepath.Dir(path))
+				if err != nil {
+					return err
+				}
+				seen[filepath.ToSlash(rel)] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := make([]string, 0, len(seen))
+	for p := range seen {
+		pkgs = append(pkgs, p)
+	}
+	slices.Sort(pkgs)
+	return pkgs
+}

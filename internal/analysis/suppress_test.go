@@ -5,13 +5,17 @@ import (
 	"testing"
 
 	"hivempi/internal/analysis"
+	"hivempi/internal/testutil/leakcheck"
 )
 
 // TestSuppressions covers the suppression policy end to end: a
 // well-formed lint:ignore silences the diagnostic on the next line, a
-// reason-less directive is rejected (and silences nothing), and a
-// directive matching no diagnostic is reported as stale.
+// reason-less directive is rejected (and silences nothing), a
+// directive matching no diagnostic is reported as stale, and a
+// directive naming an unregistered analyzer (a typo) is reported as
+// stale rather than silently skipped.
 func TestSuppressions(t *testing.T) {
+	defer leakcheck.Check(t)()
 	root := "testdata/suppress/src"
 	dirs, err := analysis.DiscoverDirs(root)
 	if err != nil {
@@ -23,7 +27,7 @@ func TestSuppressions(t *testing.T) {
 	}
 	diags := analysis.RunAnalyzers(prog, []*analysis.Analyzer{analysis.Wallclock})
 
-	var gotWallclock, gotNoReason, gotStale int
+	var gotWallclock, gotNoReason, gotStale, gotUnknown int
 	for _, d := range diags {
 		switch {
 		case d.Analyzer == "wallclock":
@@ -32,19 +36,25 @@ func TestSuppressions(t *testing.T) {
 			gotNoReason++
 		case strings.Contains(d.Message, "suppresses nothing"):
 			gotStale++
+		case strings.Contains(d.Message, "names no registered analyzer"):
+			gotUnknown++
 		default:
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
 	}
-	// suppressedOK's violation is silenced; noReason's is not (its
-	// directive is invalid), so exactly one wallclock diagnostic.
-	if gotWallclock != 1 {
-		t.Errorf("wallclock diagnostics = %d, want 1 (suppressed site must be silent, reason-less site must not be)", gotWallclock)
+	// suppressedOK's violation is silenced; noReason's and
+	// unknownAnalyzer's are not (their directives are invalid), so
+	// exactly two wallclock diagnostics.
+	if gotWallclock != 2 {
+		t.Errorf("wallclock diagnostics = %d, want 2 (suppressed site must be silent; reason-less and typoed sites must not be)", gotWallclock)
 	}
 	if gotNoReason != 1 {
 		t.Errorf("missing-reason diagnostics = %d, want 1", gotNoReason)
 	}
 	if gotStale != 1 {
 		t.Errorf("stale-suppression diagnostics = %d, want 1", gotStale)
+	}
+	if gotUnknown != 1 {
+		t.Errorf("unknown-analyzer diagnostics = %d, want 1 (typoed target must be reported, not skipped)", gotUnknown)
 	}
 }

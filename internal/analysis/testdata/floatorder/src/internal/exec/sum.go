@@ -1,0 +1,87 @@
+// Fixture for the floatorder analyzer: float folds whose operand order
+// derives from a map range or select arrival order are violations —
+// float addition is not associative, so the sum's low bits depend on
+// iteration order. Sorted folds and per-key map accumulation are not.
+package exec
+
+import "sort"
+
+func badMapSum(parts map[int]float64) float64 {
+	var sum float64
+	for _, p := range parts {
+		sum += p // want "float accumulation order derives from map iteration order"
+	}
+	return sum
+}
+
+func badExplicitForm(parts map[int]float64) float64 {
+	total := 0.0
+	for _, p := range parts {
+		total = total + p // want "float accumulation order derives from map iteration order"
+	}
+	return total
+}
+
+func badProduct(weights map[string]float64) float64 {
+	prod := 1.0
+	for _, w := range weights {
+		prod *= w // want "float accumulation order derives from map iteration order"
+	}
+	return prod
+}
+
+func okSortedSum(parts map[int]float64) float64 {
+	keys := make([]int, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += parts[k]
+	}
+	return sum
+}
+
+// Per-key accumulation lands each value on its own key regardless of
+// iteration order: exempt.
+func okPerKey(pairs map[string]float64, acc map[string]float64) {
+	for k, v := range pairs {
+		acc[k] += v
+	}
+}
+
+// Integer folds are associative: exempt.
+func okIntSum(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// The PR 7 bug class: concurrent senders deliver float partial sums in
+// arrival order; folding them as they arrive makes the total depend on
+// scheduling.
+func badArrivalMerge(parts <-chan float64, done <-chan struct{}) float64 {
+	var total float64
+	for {
+		select {
+		case p := <-parts:
+			total += p // want "float accumulation order derives from select arrival order"
+		case <-done:
+			return total
+		}
+	}
+}
+
+// A tainted float copy keeps its mark: the fold through the
+// intermediate still fires.
+func badThroughCopy(parts map[int]float64) float64 {
+	var sum float64
+	for _, p := range parts {
+		v := p
+		sum += v // want "float accumulation order derives from map iteration order"
+	}
+	return sum
+}

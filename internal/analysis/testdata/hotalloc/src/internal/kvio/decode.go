@@ -1,0 +1,132 @@
+// Fixture for the hotalloc analyzer: kvio is a hot-root package, so
+// every non-setup function here is on the benchmarked hot path.
+// Per-iteration allocations (uncapped append, string concat, Sprintf,
+// escaping closures, any-boxing) are violations; preallocated slices,
+// cold error paths, goroutine spawns and setup functions are not.
+package kvio
+
+import (
+	"errors"
+	"fmt"
+
+	"hivempi/internal/util"
+)
+
+type KV struct{ Key, Val []byte }
+
+var errEmptyKey = errors.New("empty key")
+
+func badAppend(kvs []KV) [][]byte {
+	var out [][]byte
+	for _, kv := range kvs {
+		out = append(out, kv.Key) // want "append inside a loop grows out, declared with no capacity"
+	}
+	return out
+}
+
+func okPrealloc(kvs []KV) [][]byte {
+	out := make([][]byte, 0, len(kvs))
+	for _, kv := range kvs {
+		out = append(out, kv.Key)
+	}
+	return out
+}
+
+func badConcat(keys []string) string {
+	s := ""
+	for _, k := range keys {
+		s = s + k // want "string concatenation with + inside a loop"
+	}
+	return s
+}
+
+func badSprintf(kvs []KV) []string {
+	out := make([]string, 0, len(kvs))
+	for i, kv := range kvs {
+		out = append(out, fmt.Sprintf("%d:%s", i, kv.Key)) // want "fmt.Sprintf inside a loop"
+	}
+	return out
+}
+
+func badClosure(kvs []KV, emit func(func() []byte)) {
+	for _, kv := range kvs {
+		kv := kv
+		emit(func() []byte { return kv.Key }) // want "closure capturing outer variables allocated per loop iteration"
+	}
+}
+
+func badBox(vals []int64, sink []any) []any {
+	for _, v := range vals {
+		sink = append(sink, any(v)) // want "conversion to any inside a loop boxes the value"
+	}
+	return sink
+}
+
+// Reachability: helpers called from a hot root are hot even in another
+// package — see util.Grow's want in its own file.
+func callsHelper(keys []string) []string {
+	return util.Grow(keys)
+}
+
+// Terminating if-bodies are cold exit paths; fmt.Errorf is the cold
+// path by definition.
+func okColdError(kvs []KV) error {
+	for i, kv := range kvs {
+		if len(kv.Key) == 0 {
+			return fmt.Errorf("record %d: %w", i, errEmptyKey)
+		}
+	}
+	return nil
+}
+
+// A switch case ending in return is cold too.
+func okColdSwitch(kvs []KV) error {
+	for _, kv := range kvs {
+		switch {
+		case len(kv.Key) == 0:
+			return fmt.Errorf("bad record %q", kv.Key)
+		default:
+		}
+	}
+	return nil
+}
+
+// But a case that falls through to the next iteration runs hot.
+func badHotCase(kvs []KV) string {
+	s := ""
+	for _, kv := range kvs {
+		switch {
+		case len(kv.Key) > 0:
+			s = s + string(kv.Key) // want "string concatenation with + inside a loop"
+		}
+	}
+	return s
+}
+
+// The goroutine spawn dominates the closure allocation: exempt.
+func okGoClosure(kvs []KV, ch chan<- []byte) {
+	for _, kv := range kvs {
+		kv := kv
+		go func() { ch <- kv.Key }()
+	}
+}
+
+// []error collection happens on failure paths, not per record: exempt.
+func okErrorCollect(kvs []KV) []error {
+	var errs []error
+	for _, kv := range kvs {
+		if len(kv.Key) == 0 {
+			errs = append(errs, errEmptyKey)
+		}
+	}
+	return errs
+}
+
+// Setup-shaped functions run once per job: exempt.
+func NewIndex(names []string) map[string]string {
+	idx := make(map[string]string, len(names))
+	for i, n := range names {
+		idx[n] = fmt.Sprintf("col%d", i)
+	}
+	return idx
+}

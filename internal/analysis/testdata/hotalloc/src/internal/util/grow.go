@@ -1,0 +1,20 @@
+// util is not a hot-root package, but Grow is called from kvio, so the
+// BFS marks it hot and prices its per-iteration growth.
+package util
+
+func Grow(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // want "append inside a loop grows out, declared with no capacity"
+	}
+	return out
+}
+
+// Unreachable from any hot root: not priced.
+func coldHelper(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

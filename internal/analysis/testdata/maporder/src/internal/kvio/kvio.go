@@ -1,0 +1,23 @@
+// Fixture stub of the kvio surface the maporder sink/sanitizer tables
+// reference: the wire encoder (AppendKV), the run writer, and the
+// canonicalizing Sort.
+package kvio
+
+// KV is one key/value record.
+type KV struct{ Key, Val []byte }
+
+// AppendKV encodes one record onto dst (order-sensitive sink).
+func AppendKV(dst, k, v []byte) []byte {
+	return append(append(dst, k...), v...)
+}
+
+// Sort canonicalizes record order (sanitizer).
+func Sort(kvs []KV) {}
+
+// Writer is the run writer (order-sensitive sink).
+type Writer struct{ buf []byte }
+
+func (w *Writer) Write(kv KV) error {
+	w.buf = AppendKV(w.buf, kv.Key, kv.Val)
+	return nil
+}

@@ -19,3 +19,8 @@ func stale() int {
 	//lint:ignore hivelint/wallclock nothing on the next line violates anything
 	return 1
 }
+
+func unknownAnalyzer() time.Time {
+	//lint:ignore hivelint/wallclokc typo in the analyzer name must be reported, not skipped
+	return time.Now()
+}

@@ -5,19 +5,8 @@ import (
 	"go/types"
 )
 
-// virtualTimePackages are the packages whose timing model is the
-// deterministic virtual clock (perfmodel seconds threaded through
-// traces and spans). A stray wall-clock read or an unseeded RNG in any
-// of them silently corrupts determinism and resume-safety, so both are
-// forbidden mechanically.
-// bench rides along: its numbers feed the paper tables and must come
-// from the model, not the host clock (it audited clean — keep it so).
-// cluster is the failure detector: its heartbeat timeline IS virtual
-// time, so a wall-clock read there breaks detector determinism.
-// adapt feeds observed stage statistics back into scheduling — a
-// wall-clock read there would make repartition decisions run-order
-// dependent.
-var virtualTimePackages = []string{"perfmodel", "core", "datampi", "hive", "obs", "chaos", "bench", "cluster", "adapt"}
+// The virtual-time package set lives in roots.go (VirtualTimePackages)
+// so every scope-sensitive analyzer shares one table.
 
 // forbiddenTimeFuncs are the package-level time functions that read or
 // schedule against the wall clock. Pure-value helpers (time.Duration
@@ -49,7 +38,7 @@ var Wallclock = &Analyzer{
 func runWallclock(prog *Program) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {
-		if !prog.internalPath(pkg, virtualTimePackages...) {
+		if !prog.internalPath(pkg, VirtualTimePackages...) {
 			continue
 		}
 		for _, f := range pkg.Files {

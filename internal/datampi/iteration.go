@@ -51,16 +51,19 @@ func (j *IterativeJob) Run(maxIter int, oBody OIterBody, aBody AIterBody) error 
 	if maxIter <= 0 {
 		return fmt.Errorf("datampi: maxIter %d must be positive", maxIter)
 	}
+	// The wrappers are hoisted out of the loop (allocated once, not per
+	// round); `it` is written before each sequential round starts, so
+	// the closures always observe the current iteration.
+	var it int
+	oFn := func(o *OContext) error { return oBody(it, o) }
+	aFn := func(a *AContext) error { return aBody(it, a) }
 	for iter := 0; iter < maxIter; iter++ {
 		inner, err := NewJob(j.cfg)
 		if err != nil {
 			return err
 		}
-		it := iter
-		err = inner.Run(
-			func(o *OContext) error { return oBody(it, o) },
-			func(a *AContext) error { return aBody(it, a) },
-		)
+		it = iter
+		err = inner.Run(oFn, aFn)
 		if err != nil {
 			return fmt.Errorf("datampi: iteration %d: %w", iter, err)
 		}

@@ -83,7 +83,7 @@ func (wd *watchdog) satisfy(ch chan message) {
 // is about to wake, so it is not an edge — in deterministic (src, tag)
 // order.
 func (wd *watchdog) blockedEdges(r int) []*parkedWait {
-	var out []*parkedWait
+	out := make([]*parkedWait, 0, len(wd.waits[r]))
 	for _, w := range wd.waits[r] {
 		if w.src >= 0 && !w.satisfied && len(w.ch) == 0 {
 			out = append(out, w)
@@ -103,7 +103,8 @@ func (wd *watchdog) blockedEdges(r int) []*parkedWait {
 // renders it deterministically: edges are explored in sorted order, so
 // the same deadlock always produces the same report.
 func (wd *watchdog) findCycle(start int) string {
-	var path []*parkedWait
+	// A cycle visits each rank at most once, bounding the path.
+	path := make([]*parkedWait, 0, len(wd.waits))
 	visited := make(map[int]bool)
 	var dfs func(r int) bool
 	dfs = func(r int) bool {
