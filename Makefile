@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint sarif check bench benchdiff obscheck trace comm soak
+.PHONY: build test race vet fmt lint sarif check bench benchdiff obscheck trace comm soak bundles
 
 build:
 	$(GO) build ./...
@@ -73,25 +73,35 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/adapt/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchfmt > BENCH_skew.json
 
+# bundles captures run bundles (hivempi.bundle/v1) into BUNDLE_DIR:
+# the seeded skew A/B pair (adaptation off vs. on — the reference
+# regression for attribution) plus a Q1+Q9 capture bundle. Diff any two
+# with `go run ./cmd/tracediff`.
+BUNDLE_DIR ?= bundles
+bundles:
+	$(GO) run ./cmd/benchsuite -quick -exp skew -bundle $(BUNDLE_DIR)
+
 # benchdiff re-runs the shuffle and vectorized microbenchmarks and
 # compares them to the committed BENCH_shuffle.json / BENCH_vec.json
 # baselines; it fails on a ns/op regression past BENCH_TOL (or any
 # allocs/op growth). CI runs this blocking at the default 10%; label a
 # PR `bench-regression-ok` to demote the gate to advisory when a
 # regression is intentional (see README). Override locally with e.g.
-# `make benchdiff BENCH_TOL=0.30` on noisy machines.
+# `make benchdiff BENCH_TOL=0.30` on noisy machines. When the gate
+# trips, -attr appends tracediff attribution from the BUNDLE_DIR pairs
+# so the failure names the regressing category, not just a percentage.
 BENCH_TOL ?= 0.10
-benchdiff:
+benchdiff: bundles
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) \
 		./internal/kvio/ ./internal/datampi/ ./internal/dfs/ \
 		| $(GO) run ./cmd/benchfmt > /tmp/bench_current.json
-	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOL) BENCH_shuffle.json /tmp/bench_current.json
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOL) -attr $(BUNDLE_DIR) BENCH_shuffle.json /tmp/bench_current.json
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/vec/ ./internal/exec/ ./internal/storage/ \
 		| $(GO) run ./cmd/benchfmt > /tmp/bench_vec_current.json
-	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOL) BENCH_vec.json /tmp/bench_vec_current.json
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOL) -attr $(BUNDLE_DIR) BENCH_vec.json /tmp/bench_vec_current.json
 	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/adapt/ \
 		| $(GO) run ./cmd/benchfmt > /tmp/bench_skew_current.json
-	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOL) BENCH_skew.json /tmp/bench_skew_current.json
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOL) -attr $(BUNDLE_DIR) BENCH_skew.json /tmp/bench_skew_current.json
 
 # comm runs TPC-H Q1 (aggregate) + Q9 (join) on DataMPI at quick scale
 # and writes the communication report — per-stage O x A shuffle

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hivempi/internal/obs/bundle"
+	"hivempi/internal/perfmodel"
+	"hivempi/internal/trace"
+)
+
+func fabricateBundle(t *testing.T, path, label string, consumerBytes []int64) {
+	t.Helper()
+	st := &trace.Stage{Name: "stage-1", Engine: "datampi", NumMaps: 1, NumReds: len(consumerBytes)}
+	var total int64
+	for _, b := range consumerBytes {
+		total += b
+	}
+	parts := make([]int64, len(consumerBytes))
+	copy(parts, consumerBytes)
+	st.Producers = []*trace.Task{{
+		ID: 0, Kind: trace.KindOTask, InputBytes: 64 << 10, InputRecords: 1000,
+		ShuffleOutBytes: total, ShuffleOutPairs: 400, PartitionBytes: parts, LocalRead: true,
+	}}
+	for a, b := range consumerBytes {
+		st.Consumers = append(st.Consumers, &trace.Task{
+			ID: a, Kind: trace.KindATask, ShuffleInBytes: b, ShuffleInPairs: b / 16, WriteBytes: b / 4,
+		})
+	}
+	p := perfmodel.DefaultParams()
+	b := bundle.Build(bundle.BuildInput{
+		Label:   label,
+		Queries: []*trace.Query{{Statement: "SELECT 1", Stages: []*trace.Stage{st}}},
+	}, &p)
+	if err := bundle.WriteFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrintAttribution: with a bundle pair on disk, a tripped gate's
+// attribution names the pair and the dominant category.
+func TestPrintAttribution(t *testing.T) {
+	dir := t.TempDir()
+	fabricateBundle(t, filepath.Join(dir, "skew.off.bundle.json"), "skew.off", []int64{160 << 10, 8 << 10})
+	fabricateBundle(t, filepath.Join(dir, "skew.on.bundle.json"), "skew.on", []int64{84 << 10, 84 << 10})
+
+	var sb strings.Builder
+	printAttribution(&sb, dir)
+	out := sb.String()
+	for _, frag := range []string{"attribution (skew)", "skew.off", "skew.on", "makespan"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("attribution output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestPrintAttributionEmptyDir: no pairs is a note, not a failure.
+func TestPrintAttributionEmptyDir(t *testing.T) {
+	var sb strings.Builder
+	printAttribution(&sb, t.TempDir())
+	if !strings.Contains(sb.String(), "no bundle pairs") {
+		t.Errorf("expected no-pairs note, got:\n%s", sb.String())
+	}
+}

@@ -12,6 +12,12 @@
 // `bench-regression-ok` label to demote the step to advisory (see
 // README). Benchmarks present on only one side are reported but never
 // fail the diff — adding or retiring a benchmark is not a regression.
+//
+// With -attr dir, a tripped gate additionally prints critical-path
+// attribution from any run-bundle pairs found in dir
+// (<name>.<arm>.bundle.json, produced by `benchsuite -bundle dir`), so
+// the failure names the category — shuffle, await_skew, recovery, … —
+// behind the slowdown instead of a bare percentage.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"hivempi/internal/obs/bundle"
 )
 
 // Result mirrors cmd/benchfmt's schema.
@@ -38,8 +46,9 @@ func main() {
 	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
 	tol := fs.Float64("tolerance", 0.10, "allowed fractional ns/op growth before a benchmark counts as regressed")
 	fs.Float64Var(tol, "tol", 0.10, "alias for -tolerance")
+	attr := fs.String("attr", "", "directory of run-bundle pairs; on a tripped gate, print tracediff attribution for each pair")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance frac] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance frac] [-attr bundledir] baseline.json current.json")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -58,9 +67,36 @@ func main() {
 	regressions := Diff(os.Stdout, base, cur, *tol)
 	if regressions > 0 {
 		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%% tolerance\n", regressions, *tol*100)
+		if *attr != "" {
+			printAttribution(os.Stdout, *attr)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: no regressions beyond %.0f%% tolerance\n", *tol*100)
+}
+
+// printAttribution renders tracediff attribution for every run-bundle
+// pair under dir. Attribution is best-effort context on an already
+// tripped gate: problems reading bundles are reported, never fatal.
+func printAttribution(w io.Writer, dir string) {
+	pairs, err := bundle.FindPairs(dir)
+	if err != nil {
+		fmt.Fprintf(w, "benchdiff: attribution unavailable: %v\n", err)
+		return
+	}
+	if len(pairs) == 0 {
+		fmt.Fprintf(w, "benchdiff: no bundle pairs under %s (run `benchsuite -bundle %s` to capture)\n", dir, dir)
+		return
+	}
+	for _, p := range pairs {
+		r, err := bundle.DiffPair(p)
+		if err != nil {
+			fmt.Fprintf(w, "benchdiff: attribution for %s: %v\n", p.Name, err)
+			continue
+		}
+		fmt.Fprintf(w, "\nattribution (%s):\n", p.Name)
+		r.Render(w)
+	}
 }
 
 func fatal(err error) {

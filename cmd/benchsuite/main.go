@@ -6,18 +6,25 @@
 // Usage:
 //
 //	benchsuite [-scale N] [-exp list] [-quick] [-trace out.json]
-//	           [-comm report.json]
+//	           [-comm report.json] [-queries 1,9] [-bundle dir]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -scale sets bytes generated per paper-GB (default 1 MiB = 1:1000).
 // -exp selects experiments by name (comma separated), e.g.
 // "table1,fig9,table2"; default runs everything, "none" runs no
-// experiment (useful with -trace or -comm alone).
-// -trace writes the Chrome trace-event JSON of a DAG-parallel TPC-H Q9
-// run to the given file (open in Perfetto); typically combined with
-// "-exp dag".
-// -comm runs TPC-H Q1 (aggregate) and Q9 (join) on DataMPI and writes
-// their communication report — per-stage shuffle matrices with skew
-// statistics — to the given JSON file.
+// experiment (useful with the export flags alone).
+// -trace, -comm and -bundle all export from one shared capture run of
+// the -queries TPC-H set (default 1,9) on DataMPI: -trace writes the
+// Chrome trace-event timeline (open in Perfetto), -comm the
+// communication report (per-stage shuffle matrices with skew
+// statistics), and -bundle a hivempi.bundle/v1 run bundle into the
+// given directory for `tracediff` / `benchdiff -attr`. With -bundle
+// set, bundle-aware experiments also write their own bundles there —
+// `-exp skew -bundle dir` leaves the skew.{off,on} A/B pair behind.
+// -cpuprofile / -memprofile capture wall-clock pprof profiles of the
+// whole run, with per-query/stage/engine labels on stage execution, so
+// hot-path work (kvio decode, vec kernels) can be profiled per query
+// (`go tool pprof -tagfocus query=...`).
 package main
 
 import (
@@ -25,6 +32,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,8 +56,12 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shortcut for -scale 131072 (1:8000)")
 	expList := fs.String("exp", "all", "experiments: table1,fig1,fig2,fig6,fig8,fig9,fig10,table2,fig11,fig12,fig13,table3,ablations,fault,dag,nodeloss,vec,skew")
 	seed := fs.Int64("seed", 42, "dataset generator seed")
-	tracePath := fs.String("trace", "", "write a Chrome trace of a DAG-parallel TPC-H Q9 run to this file")
-	commPath := fs.String("comm", "", "write the communication report of TPC-H Q1+Q9 on DataMPI to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace of the captured TPC-H queries to this file")
+	commPath := fs.String("comm", "", "write the communication report of the captured TPC-H queries to this file")
+	queryList := fs.String("queries", "1,9", "TPC-H queries the -trace/-comm/-bundle capture run executes")
+	bundleDir := fs.String("bundle", "", "write hivempi.bundle/v1 run bundles into this directory (capture run + bundle-aware experiments)")
+	cpuProfile := fs.String("cpuprofile", "", "write a wall-clock CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +72,50 @@ func run(args []string) error {
 	}
 	cfg.Seed = *seed
 	r := bench.NewRunner(cfg)
+	r.BundleDir = *bundleDir
+
+	if *cpuProfile != "" || *memProfile != "" {
+		// Wall-clock profiling is the one place the harness leaves
+		// virtual time: label stage executions so samples slice per
+		// query/stage/engine.
+		r.ProfileLabels = true
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote CPU profile to %s (try: go tool pprof -tags %s)\n", *cpuProfile, *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite: memprofile:", err)
+				return
+			}
+			fmt.Printf("wrote heap profile to %s\n", *memProfile)
+		}()
+	}
+
+	queries, err := parseQueries(*queryList)
+	if err != nil {
+		return err
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
@@ -102,7 +161,7 @@ func run(args []string) error {
 		}
 	}
 	if want["none"] {
-		// "-exp none" runs only the export paths (-trace / -comm).
+		// "-exp none" runs only the export paths (-trace/-comm/-bundle).
 		sel = func(string) bool { return false }
 	}
 
@@ -121,35 +180,82 @@ func run(args []string) error {
 		fmt.Printf("  [%s completed in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 
-	if *tracePath != "" {
-		var buf bytes.Buffer
-		events, err := r.TraceDAG(9, 20, &buf)
+	// One shared capture run feeds every export sink, so -trace, -comm
+	// and -bundle describe the same execution of the same queries. 5 GB
+	// matches the committed BENCH_comm.json snapshot's scale.
+	if *tracePath != "" || *commPath != "" || *bundleDir != "" {
+		cap, err := r.CaptureQueries(queries, 5)
 		if err != nil {
-			return fmt.Errorf("trace export: %w", err)
+			return fmt.Errorf("capture run: %w", err)
 		}
-		// Schema sanity check before publishing the file: every event
-		// must carry a name, a known phase and non-negative timestamps.
-		if _, err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
-			return fmt.Errorf("trace export produced invalid JSON: %w", err)
+		if *tracePath != "" {
+			var buf bytes.Buffer
+			events, err := r.WriteTrace(cap, &buf)
+			if err != nil {
+				return fmt.Errorf("trace export: %w", err)
+			}
+			// Schema sanity check before publishing the file: every event
+			// must carry a name, a known phase and non-negative timestamps.
+			if _, err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+				return fmt.Errorf("trace export produced invalid JSON: %w", err)
+			}
+			if err := os.WriteFile(*tracePath, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
+				events, *tracePath)
 		}
-		if err := os.WriteFile(*tracePath, buf.Bytes(), 0o644); err != nil {
-			return err
+		if *commPath != "" {
+			var buf bytes.Buffer
+			nq, stages, err := r.WriteComm(cap, &buf)
+			if err != nil {
+				return fmt.Errorf("comm report: %w", err)
+			}
+			if err := os.WriteFile(*commPath, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote comm report (%d queries, %d shuffle stages) to %s\n",
+				nq, stages, *commPath)
 		}
-		fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
-			events, *tracePath)
-	}
-
-	if *commPath != "" {
-		var buf bytes.Buffer
-		queries, stages, err := r.CommReport(5, &buf)
-		if err != nil {
-			return fmt.Errorf("comm report: %w", err)
+		if *bundleDir != "" {
+			if err := os.MkdirAll(*bundleDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*bundleDir, "capture.run.bundle.json")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			werr := r.WriteBundle(cap, "capture.run", f)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("bundle export: %w", werr)
+			}
+			if cerr != nil {
+				return cerr
+			}
+			fmt.Printf("wrote run bundle (%d queries) to %s\n", len(cap.Queries), path)
 		}
-		if err := os.WriteFile(*commPath, buf.Bytes(), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote comm report (%d queries, %d shuffle stages) to %s\n",
-			queries, stages, *commPath)
 	}
 	return nil
+}
+
+// parseQueries parses the -queries flag: comma-separated TPC-H numbers.
+func parseQueries(s string) ([]int, error) {
+	var qs []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 || n > 22 {
+			return nil, fmt.Errorf("-queries: %q is not a TPC-H query number (1-22)", part)
+		}
+		qs = append(qs, n)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("-queries: empty query list")
+	}
+	return qs, nil
 }

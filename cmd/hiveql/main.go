@@ -29,6 +29,11 @@
 // -comm writes the session's communication report (per-stage O x A
 // shuffle matrices with skew statistics) as JSON on exit; -heatmap
 // additionally prints each matrix as a text heatmap.
+//
+// -bundle writes the session's run bundle (hivempi.bundle/v1) on exit:
+// the full span tree with virtual-time phases, per-statement metric
+// deltas, per-stage comm matrices, adapt decisions and cost breakdown,
+// ready for `tracediff` against another session's bundle.
 package main
 
 import (
@@ -46,6 +51,7 @@ import (
 	"hivempi/internal/hive"
 	"hivempi/internal/mrengine"
 	"hivempi/internal/obs"
+	"hivempi/internal/obs/bundle"
 	"hivempi/internal/obs/comm"
 	"hivempi/internal/tpch"
 	"hivempi/internal/trace"
@@ -71,6 +77,7 @@ func run(args []string) error {
 	mapJoinThreshold := fs.Int64("mapjoin-threshold", 0, "map-join small-table cutoff in bytes, hive.mapjoin.smalltable.filesize (0 = default 256KB; 1 forces shuffle joins)")
 	analyze := fs.Bool("analyze", false, "run each statement and print its runtime-annotated plan (EXPLAIN ANALYZE)")
 	commOut := fs.String("comm", "", "write the session's communication report (skew matrices) to this JSON file")
+	bundleOut := fs.String("bundle", "", "write the session's run bundle (hivempi.bundle/v1) to this JSON file on exit")
 	heatmap := fs.Bool("heatmap", false, "print a text heatmap of each shuffle stage's communication matrix on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,20 +123,46 @@ func run(args []string) error {
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
 
+	var infos []bundle.StatementInfo
 	if *script != "" {
 		data, err := os.ReadFile(*script)
 		if err != nil {
 			return err
 		}
-		if err := execute(d, string(data), *explain, *analyze); err != nil {
+		if err := execute(d, string(data), *explain, *analyze, &infos); err != nil {
 			return err
 		}
-		return writeCommReport(d, *commOut, *heatmap)
+		if err := writeCommReport(d, *commOut, *heatmap); err != nil {
+			return err
+		}
+		return writeBundle(d, *bundleOut, infos)
 	}
-	if err := repl(d, *explain, *analyze); err != nil {
+	if err := repl(d, *explain, *analyze, &infos); err != nil {
 		return err
 	}
-	return writeCommReport(d, *commOut, *heatmap)
+	if err := writeCommReport(d, *commOut, *heatmap); err != nil {
+		return err
+	}
+	return writeBundle(d, *bundleOut, infos)
+}
+
+// writeBundle serializes the session's run bundle — span tree,
+// per-statement metric deltas, comm matrices, adapt decisions — to
+// path (no-op when -bundle was not given).
+func writeBundle(d *hive.Driver, path string, infos []bundle.StatementInfo) error {
+	if path == "" {
+		return nil
+	}
+	b := bundle.Build(bundle.BuildInput{
+		Label:      "hiveql",
+		Queries:    d.Collector.Queries(),
+		Statements: infos,
+	}, nil)
+	if err := bundle.WriteFile(path, b); err != nil {
+		return err
+	}
+	fmt.Printf("run bundle: %d quer(ies) -> %s\n", len(b.Queries), path)
+	return nil
 }
 
 // writeCommReport renders the session's communication-plane report:
@@ -173,7 +206,7 @@ func writeCommReport(d *hive.Driver, path string, heatmap bool) error {
 	return nil
 }
 
-func execute(d *hive.Driver, script string, explain, analyze bool) error {
+func execute(d *hive.Driver, script string, explain, analyze bool, infos *[]bundle.StatementInfo) error {
 	for _, stmt := range hive.SplitStatements(script) {
 		if !strings.HasPrefix(strings.ToLower(stmt), "explain") {
 			switch {
@@ -187,6 +220,13 @@ func execute(d *hive.Driver, script string, explain, analyze bool) error {
 		res, err := d.Execute(stmt)
 		if err != nil {
 			return err
+		}
+		if infos != nil {
+			*infos = append(*infos, bundle.StatementInfo{
+				Statement: res.Statement,
+				Metrics:   res.Metrics,
+				Degraded:  res.Degraded,
+			})
 		}
 		printResult(res, time.Since(start))
 	}
@@ -219,7 +259,7 @@ func printResult(res *hive.Result, elapsed time.Duration) {
 	fmt.Printf("-- %d row(s), %d stage(s), %s\n", len(res.Rows), len(res.Stages), elapsed.Round(time.Millisecond))
 }
 
-func repl(d *hive.Driver, explain, analyze bool) error {
+func repl(d *hive.Driver, explain, analyze bool, infos *[]bundle.StatementInfo) error {
 	fmt.Println(`enter HiveQL statements terminated by ";" (quit/exit to leave; \q <n> runs TPC-H query n)`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -238,7 +278,7 @@ func repl(d *hive.Driver, explain, analyze bool) error {
 				q, err := tpch.Query(n)
 				if err != nil {
 					fmt.Println("error:", err)
-				} else if err := execute(d, q, explain, analyze); err != nil {
+				} else if err := execute(d, q, explain, analyze, infos); err != nil {
 					fmt.Println("error:", err)
 				}
 				fmt.Print("hiveql> ")
@@ -251,7 +291,7 @@ func repl(d *hive.Driver, explain, analyze bool) error {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.Contains(line, ";") {
-			if err := execute(d, buf.String(), explain, analyze); err != nil {
+			if err := execute(d, buf.String(), explain, analyze, infos); err != nil {
 				fmt.Println("error:", err)
 			}
 			buf.Reset()

@@ -1,0 +1,69 @@
+// Command tracediff aligns two run bundles (hivempi.bundle/v1) stage
+// by stage, extracts both critical paths, and attributes the
+// end-to-end virtual-time delta to named categories: compile, scan,
+// compute, combiner, shuffle, await_skew, write, recovery, adapt.
+//
+// Usage:
+//
+//	tracediff [-json report.json] base.bundle.json cur.bundle.json
+//
+// The ranked text report goes to stdout; -json additionally writes the
+// machine-readable hivempi.tracediff/v1 report. Exit status is 0 on a
+// successful diff (regardless of the delta's sign) and 2 on any error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hivempi/internal/obs/bundle"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracediff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.String("json", "", "also write the machine-readable report to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tracediff [-json report.json] base.bundle.json cur.bundle.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := bundle.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracediff: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+	cur, err := bundle.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracediff: %s: %v\n", fs.Arg(1), err)
+		return 2
+	}
+	r := bundle.Diff(base, cur)
+	r.Render(stdout)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracediff: %v\n", err)
+			return 2
+		}
+		werr := r.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(stderr, "tracediff: writing %s: %v %v\n", *jsonOut, werr, cerr)
+			return 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hivempi/internal/obs/bundle"
+	"hivempi/internal/perfmodel"
+	"hivempi/internal/testutil/leakcheck"
+	"hivempi/internal/trace"
+)
+
+func writeTestBundle(t *testing.T, path, label string, consumerBytes []int64) {
+	t.Helper()
+	st := &trace.Stage{Name: "stage-1", Engine: "datampi", NumMaps: 1, NumReds: len(consumerBytes)}
+	var total int64
+	for _, b := range consumerBytes {
+		total += b
+	}
+	parts := make([]int64, len(consumerBytes))
+	copy(parts, consumerBytes)
+	st.Producers = []*trace.Task{{
+		ID: 0, Kind: trace.KindOTask, InputBytes: 64 << 10, InputRecords: 1000,
+		ShuffleOutBytes: total, ShuffleOutPairs: 500, PartitionBytes: parts, LocalRead: true,
+	}}
+	for a, b := range consumerBytes {
+		st.Consumers = append(st.Consumers, &trace.Task{
+			ID: a, Kind: trace.KindATask, ShuffleInBytes: b, ShuffleInPairs: b / 16, WriteBytes: b / 4,
+		})
+	}
+	p := perfmodel.DefaultParams()
+	b := bundle.Build(bundle.BuildInput{
+		Label:   label,
+		Queries: []*trace.Query{{Statement: "SELECT 1", Stages: []*trace.Stage{st}}},
+	}, &p)
+	if err := bundle.WriteFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracediffEndToEnd(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.bundle.json")
+	curPath := filepath.Join(dir, "cur.bundle.json")
+	jsonPath := filepath.Join(dir, "report.json")
+	writeTestBundle(t, basePath, "base", []int64{64 << 10, 64 << 10})
+	writeTestBundle(t, curPath, "cur", []int64{200 << 10, 8 << 10})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", jsonPath, basePath, curPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"base", "cur", "makespan"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), bundle.DiffSchema) {
+		t.Error("JSON report missing schema marker")
+	}
+}
+
+func TestTracediffBadArgs(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one.json"}, &out, &errb); code != 2 {
+		t.Errorf("missing arg: exit %d", code)
+	}
+	if code := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errb); code != 2 {
+		t.Errorf("unreadable bundle: exit %d", code)
+	}
+}

@@ -25,9 +25,12 @@ package analysis
 //   - obs/comm renders comm-plane skew statistics measured in virtual
 //     seconds; it imports perfmodel directly, so it is in the set (the
 //     roots coverage test would flag its absence).
+//   - obs/bundle serializes the run record whose every duration is
+//     virtual seconds; a wall-clock read there would make two captures
+//     of the same run diff non-zero.
 var VirtualTimePackages = []string{
 	"perfmodel", "core", "datampi", "hive", "obs", "obs/comm",
-	"chaos", "bench", "cluster", "adapt",
+	"obs/bundle", "chaos", "bench", "cluster", "adapt",
 }
 
 // LockScopePackages are the packages whose mutexes participate in the
@@ -61,6 +64,12 @@ var HotRootMethods = map[string]map[string][]string{
 		"PlanCache": {"lookup", "put"},
 		"Driver":    {"foldPlanCacheEvictions"},
 		"":          {"normalizePlanKey"},
+	},
+	// bundle.categorize runs per stage on every bundle capture and
+	// inside the benchdiff attribution path; keeping it alloc- and
+	// lookup-clean keeps capture zero-cost enough to leave on in CI.
+	"obs/bundle": {
+		"": {"categorize"},
 	},
 }
 

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"hivempi/internal/obs/bundle"
+)
+
+// TestSkewBundleAttribution is the seeded regression-attribution test
+// of the acceptance criteria: run the `-exp skew` A/B pair (adaptation
+// off vs. on) with bundle capture, then diff the two bundles the way
+// `tracediff skew.off skew.on` would — with the off arm as the
+// "current" (slower) side, i.e. the known injected slowdown of
+// disabling adapt on a skewed join. tracediff must blame the
+// shuffle/A-wait category for at least half the makespan delta, and
+// its category sums must reconcile with the critical-path totals to
+// within 1%.
+func TestSkewBundleAttribution(t *testing.T) {
+	r := quickRunner(t)
+	r.BundleDir = t.TempDir()
+	res, err := r.SkewAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pairs, err := bundle.FindPairs(r.BundleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Name != "skew" {
+		t.Fatalf("expected the skew bundle pair, got %+v", pairs)
+	}
+	// Pair order is lexicographic (off before on); the injected
+	// regression is adapt OFF, so diff with "on" as base.
+	p := pairs[0]
+	base, err := bundle.ReadFile(p.CurPath) // skew.on — the fast arm
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := bundle.ReadFile(p.BasePath) // skew.off — the regression
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bundle.Diff(base, cur)
+
+	// The bundles' totals are the experiment's own measured arms.
+	if math.Abs(d.BaseSec-res.OnSec) > 1e-6*(1+res.OnSec) {
+		t.Errorf("bundle base total %.3f != OnSec %.3f", d.BaseSec, res.OnSec)
+	}
+	if math.Abs(d.CurSec-res.OffSec) > 1e-6*(1+res.OffSec) {
+		t.Errorf("bundle cur total %.3f != OffSec %.3f", d.CurSec, res.OffSec)
+	}
+	if d.DeltaSec <= 0 {
+		t.Fatalf("disabling adapt should regress: delta=%.3f", d.DeltaSec)
+	}
+
+	// Category sums reconcile with the critical-path makespan delta
+	// (acceptance bound is 1%; the construction is exact to float eps).
+	var sum float64
+	for _, v := range d.Categories {
+		sum += v
+	}
+	if math.Abs(sum-d.DeltaSec) > 0.01*math.Abs(d.DeltaSec) {
+		t.Errorf("category sums %.6f drift >1%% from makespan delta %.6f", sum, d.DeltaSec)
+	}
+
+	// ≥50% of the delta lands on the skewed shuffle's wait category.
+	skew := d.Categories[bundle.CatAwaitSkew]
+	if skew < 0.5*d.DeltaSec {
+		t.Errorf("await_skew attributed %.3fs of %.3fs delta (<50%%): %v",
+			skew, d.DeltaSec, d.Categories)
+	}
+
+	// The adaptive arm's bundle records the adapt decisions that the
+	// off arm lacks — the evidence trail for the attribution.
+	var splits int
+	for _, q := range base.Queries {
+		for _, st := range q.Stages {
+			if st.Adapt != nil {
+				splits += st.Adapt.Split
+			}
+		}
+	}
+	if splits == 0 {
+		t.Error("adaptive arm's bundle carries no adapt split decisions")
+	}
+}

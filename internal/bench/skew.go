@@ -85,7 +85,9 @@ func (r *Runner) SkewAdaptive() (*SkewAdaptiveResult, error) {
 
 	// Measured arms: fresh identically-seeded clusters, adaptation off
 	// then on. Only the SELECT is measured; the CTAS run beforehand is
-	// what feeds the adaptive arm its observations.
+	// what feeds the adaptive arm its observations. With BundleDir set,
+	// each arm's measured run lands as skew.{off,on}.bundle.json — the
+	// seeded A/B pair tracediff and `benchdiff -attr` attribute.
 	for _, adaptive := range []bool{false, true} {
 		d, err := r.skewDriver(mut, adaptive)
 		if err != nil {
@@ -97,11 +99,15 @@ func (r *Runner) SkewAdaptive() (*SkewAdaptiveResult, error) {
 		if _, err := d.Run(skewCTAS); err != nil {
 			return nil, err
 		}
-		sec, err := r.simOne(d, skewMeasured)
+		d.Collector.Reset()
+		results, err := d.Run(skewMeasured)
 		if err != nil {
 			return nil, err
 		}
+		sec := r.cfg.Params.SimulateQueries(d.Collector.Queries())
+		arm := "skew.off"
 		if adaptive {
+			arm = "skew.on"
 			out.OnSec = sec
 			for _, q := range d.Collector.Queries() {
 				for _, st := range q.Stages {
@@ -111,6 +117,9 @@ func (r *Runner) SkewAdaptive() (*SkewAdaptiveResult, error) {
 			}
 		} else {
 			out.OffSec = sec
+		}
+		if err := r.writeRunBundle(arm, arm, d, results); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

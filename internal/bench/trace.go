@@ -3,54 +3,77 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
+	"hivempi/internal/hive"
 	"hivempi/internal/obs"
+	"hivempi/internal/obs/bundle"
 	"hivempi/internal/obs/comm"
 	"hivempi/internal/tpch"
+	"hivempi/internal/trace"
 )
 
-// TraceDAG runs one multi-stage TPC-H query DAG-parallel on DataMPI and
-// writes the Chrome trace-event JSON of its simulated timeline to w
-// (open the file in Perfetto / chrome://tracing). Returns the number of
-// events written.
-func (r *Runner) TraceDAG(q, sizeGB int, w io.Writer) (int, error) {
-	cl, err := r.loadTPCH(sizeGB, "textfile")
-	if err != nil {
-		return 0, err
-	}
-	script, err := tpch.Query(q)
-	if err != nil {
-		return 0, err
-	}
-	d := r.driver(cl, "datampi", nil)
-	d.Collector.Reset()
-	if _, err := d.Run(script); err != nil {
-		return 0, fmt.Errorf("trace %s: %w", tpch.QueryName(q), err)
-	}
-	return obs.WriteChromeTrace(w, d.Collector.Queries(), &r.cfg.Params)
+// Capture is one instrumented run: the collected stage traces plus the
+// per-statement results, ready to export as a Chrome trace, a comm
+// report, or a run bundle. One capture feeds all three sinks, so
+// `benchsuite -trace/-comm/-bundle` share a single execution instead
+// of each hardcoding its own query set.
+type Capture struct {
+	QueryNums  []int
+	Queries    []*trace.Query
+	Statements []bundle.StatementInfo
 }
 
-// CommReport runs one AGGREGATE-shaped and one JOIN-shaped TPC-H query
-// (Q1 and Q9) on DataMPI and writes the validated communication report
-// — per-stage shuffle matrices with skew statistics — as JSON to w.
-// Returns the number of queries and analyzed shuffle stages.
-func (r *Runner) CommReport(sizeGB int, w io.Writer) (queries, stages int, err error) {
+// CaptureQueries runs the given TPC-H queries DAG-parallel on DataMPI
+// over a fresh sizeGB cluster and returns the capture.
+func (r *Runner) CaptureQueries(qs []int, sizeGB int) (*Capture, error) {
 	cl, err := r.loadTPCH(sizeGB, "textfile")
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	d := r.driver(cl, "datampi", nil)
 	d.Collector.Reset()
-	for _, q := range []int{1, 9} {
+	c := &Capture{QueryNums: qs}
+	for _, q := range qs {
 		script, err := tpch.Query(q)
 		if err != nil {
-			return 0, 0, err
+			return nil, err
 		}
-		if _, err := d.Run(script); err != nil {
-			return 0, 0, fmt.Errorf("comm report %s: %w", tpch.QueryName(q), err)
+		results, err := d.Run(script)
+		if err != nil {
+			return nil, fmt.Errorf("capture %s: %w", tpch.QueryName(q), err)
 		}
+		c.Statements = append(c.Statements, statementInfos(results)...)
 	}
-	rep := comm.BuildReport(d.Collector.Queries(), &r.cfg.Params)
+	c.Queries = d.Collector.Queries()
+	return c, nil
+}
+
+// statementInfos converts driver results to bundle statement records.
+func statementInfos(results []*hive.Result) []bundle.StatementInfo {
+	infos := make([]bundle.StatementInfo, 0, len(results))
+	for _, res := range results {
+		infos = append(infos, bundle.StatementInfo{
+			Statement: res.Statement,
+			Metrics:   res.Metrics,
+			Degraded:  res.Degraded,
+		})
+	}
+	return infos
+}
+
+// WriteTrace exports the capture's Chrome trace-event timeline (open
+// in Perfetto / chrome://tracing). Returns the number of events.
+func (r *Runner) WriteTrace(c *Capture, w io.Writer) (int, error) {
+	return obs.WriteChromeTrace(w, c.Queries, &r.cfg.Params)
+}
+
+// WriteComm exports the capture's validated communication report —
+// per-stage shuffle matrices with skew statistics. Returns the number
+// of queries and analyzed shuffle stages.
+func (r *Runner) WriteComm(c *Capture, w io.Writer) (queries, stages int, err error) {
+	rep := comm.BuildReport(c.Queries, &r.cfg.Params)
 	if err := rep.Validate(); err != nil {
 		return 0, 0, err
 	}
@@ -61,4 +84,60 @@ func (r *Runner) CommReport(sizeGB int, w io.Writer) (queries, stages int, err e
 		stages += len(q.Stages)
 	}
 	return len(rep.Queries), stages, nil
+}
+
+// WriteBundle exports the capture as a validated hivempi.bundle/v1 run
+// bundle under the given label.
+func (r *Runner) WriteBundle(c *Capture, label string, w io.Writer) error {
+	b := bundle.Build(bundle.BuildInput{
+		Label:      label,
+		Queries:    c.Queries,
+		Statements: c.Statements,
+	}, &r.cfg.Params)
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	return bundle.WriteJSON(w, b)
+}
+
+// writeRunBundle snapshots a driver's collected queries plus statement
+// results into <BundleDir>/<name>.bundle.json. No-op when BundleDir is
+// unset, so capture stays zero-cost for ordinary runs.
+func (r *Runner) writeRunBundle(name, label string, d *hive.Driver, results []*hive.Result) error {
+	if r.BundleDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.BundleDir, 0o755); err != nil {
+		return err
+	}
+	b := bundle.Build(bundle.BuildInput{
+		Label:      label,
+		Queries:    d.Collector.Queries(),
+		Statements: statementInfos(results),
+	}, &r.cfg.Params)
+	return bundle.WriteFile(filepath.Join(r.BundleDir, name+".bundle.json"), b)
+}
+
+// TraceDAG runs one multi-stage TPC-H query DAG-parallel on DataMPI and
+// writes the Chrome trace-event JSON of its simulated timeline to w
+// (open the file in Perfetto / chrome://tracing). Returns the number of
+// events written.
+func (r *Runner) TraceDAG(q, sizeGB int, w io.Writer) (int, error) {
+	c, err := r.CaptureQueries([]int{q}, sizeGB)
+	if err != nil {
+		return 0, err
+	}
+	return r.WriteTrace(c, w)
+}
+
+// CommReport runs one AGGREGATE-shaped and one JOIN-shaped TPC-H query
+// (Q1 and Q9) on DataMPI and writes the validated communication report
+// — per-stage shuffle matrices with skew statistics — as JSON to w.
+// Returns the number of queries and analyzed shuffle stages.
+func (r *Runner) CommReport(sizeGB int, w io.Writer) (queries, stages int, err error) {
+	c, err := r.CaptureQueries([]int{1, 9}, sizeGB)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.WriteComm(c, w)
 }

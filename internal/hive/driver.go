@@ -41,6 +41,13 @@ type Driver struct {
 	// MapJoinThresholdBytes is forwarded to the planner.
 	MapJoinThresholdBytes int64
 
+	// ProfileLabels wraps each stage execution in pprof labels
+	// (query/stage/engine) so wall-clock CPU and heap profiles can be
+	// sliced per query and per stage. Off by default: the labels cost a
+	// context allocation per stage, and the virtual-time plane never
+	// needs them.
+	ProfileLabels bool
+
 	// SerialStages disables DAG stage scheduling: stages run strictly
 	// one after another in plan order (the pre-DAG driver behaviour,
 	// kept for baselines and A/B benchmarks).
@@ -373,6 +380,9 @@ func (d *Driver) executePlan(sql string, stages []*exec.Stage, outSch relSchema,
 	res := &Result{Statement: sql, Schema: outSch.toSchema(), CachedPlan: cached}
 	deps := StageDeps(stages)
 	es := &engineState{engine: d.Engine, stages: stages, adapt: d.adaptRuntime()}
+	if d.ProfileLabels {
+		es.query = abbreviate(sql)
+	}
 
 	var results []*exec.StageResult
 	var err error

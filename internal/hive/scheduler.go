@@ -1,8 +1,10 @@
 package hive
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -90,6 +92,11 @@ type engineState struct {
 	// (nil = adaptation off). The runtime locks internally.
 	stages []*exec.Stage
 	adapt  *adapt.Runtime
+
+	// query, when non-empty, labels this query's stage executions in
+	// wall-clock pprof profiles (Driver.ProfileLabels). Immutable after
+	// construction, so stage goroutines read it without the mutex.
+	query string
 }
 
 func (es *engineState) current() exec.Engine {
@@ -124,7 +131,7 @@ func (d *Driver) runOneStage(st *exec.Stage, es *engineState) (*exec.StageResult
 		// are observed — before the DAG scheduler releases a consumer).
 		conf.Adaptation = es.adapt.Decide(st, es.stages, &conf)
 	}
-	sr, err := engine.Run(d.Env, st, conf)
+	sr, err := d.runLabeled(es, st, engine, conf)
 	if err != nil && d.Fallback != nil && d.Fallback.Name() != engine.Name() && !nodeLossError(err) {
 		// Graceful degradation: wipe the stage's partial output and run
 		// it (and, via the shared state, the rest of the query) on the
@@ -135,7 +142,7 @@ func (d *Driver) runOneStage(st *exec.Stage, es *engineState) (*exec.StageResult
 			d.Env.FS.DeleteDir(st.Sink.Dir)
 		}
 		es.degrade(d.Fallback)
-		sr, err = d.Fallback.Run(d.Env, st, conf)
+		sr, err = d.runLabeled(es, st, d.Fallback, conf)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("stage %s: %w", st.ID, err)
@@ -145,6 +152,25 @@ func (d *Driver) runOneStage(st *exec.Stage, es *engineState) (*exec.StageResult
 	}
 	d.tickCluster(sr)
 	return sr, nil
+}
+
+// runLabeled executes one stage on one engine, tagging the execution
+// with pprof labels (query/stage/engine) when the driver asked for
+// them — so `benchsuite -cpuprofile` samples group by query and stage
+// in `go tool pprof -tagfocus`. The unlabeled path adds no allocation:
+// virtual-time runs never pay for wall-clock observability.
+func (d *Driver) runLabeled(es *engineState, st *exec.Stage, engine exec.Engine,
+	conf exec.EngineConf) (*exec.StageResult, error) {
+	if es.query == "" {
+		return engine.Run(d.Env, st, conf)
+	}
+	var sr *exec.StageResult
+	var err error
+	labels := pprof.Labels("query", es.query, "stage", st.ID, "engine", engine.Name())
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		sr, err = engine.Run(d.Env, st, conf)
+	})
+	return sr, err
 }
 
 // nodeLossError reports failures caused by node death rather than by

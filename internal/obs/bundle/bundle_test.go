@@ -1,0 +1,247 @@
+package bundle_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hivempi/internal/obs/bundle"
+	"hivempi/internal/perfmodel"
+	"hivempi/internal/testutil/leakcheck"
+	"hivempi/internal/trace"
+)
+
+// synthStage builds a datampi shuffle stage whose consumers receive the
+// given per-rank bytes (the skew knob of these tests).
+func synthStage(name string, deps []string, consumerBytes []int64) *trace.Stage {
+	st := &trace.Stage{
+		Name:      name,
+		Engine:    "datampi",
+		NumMaps:   2,
+		NumReds:   len(consumerBytes),
+		DependsOn: deps,
+	}
+	var total int64
+	for _, b := range consumerBytes {
+		total += b
+	}
+	for o := 0; o < 2; o++ {
+		parts := make([]int64, len(consumerBytes))
+		for a, b := range consumerBytes {
+			parts[a] = b / 2
+		}
+		st.Producers = append(st.Producers, &trace.Task{
+			ID: o, Kind: trace.KindOTask, Host: "slave1",
+			InputBytes: 64 << 10, InputRecords: 2000, LocalRead: true,
+			ShuffleOutBytes: total / 2, ShuffleOutPairs: 1000,
+			PartitionBytes: parts, CombineInPairs: 500, CombineOutPairs: 200,
+			ForcedFlushes: int64(o + 1),
+		})
+	}
+	for a, b := range consumerBytes {
+		st.Consumers = append(st.Consumers, &trace.Task{
+			ID: a, Kind: trace.KindATask, Host: "slave2",
+			ShuffleInBytes: b, ShuffleInPairs: b / 16,
+			WriteBytes: b / 4, OutputRecords: b / 32,
+		})
+	}
+	return st
+}
+
+// mapOnlyStage builds a scan-only stage (no shuffle).
+func mapOnlyStage(name string) *trace.Stage {
+	return &trace.Stage{
+		Name: name, Engine: "datampi", NumMaps: 2,
+		Producers: []*trace.Task{
+			{ID: 0, Kind: trace.KindOTask, InputBytes: 32 << 10, InputRecords: 900, LocalRead: true, WriteBytes: 8 << 10},
+			{ID: 1, Kind: trace.KindOTask, InputBytes: 32 << 10, InputRecords: 900, LocalRead: true, WriteBytes: 8 << 10},
+		},
+	}
+}
+
+// synthQuery is a three-stage overlapped DAG: two independent producers
+// feeding a join, the second branch carrying the skewed shuffle.
+func synthQuery(stmt string, skewed []int64) *trace.Query {
+	s1 := mapOnlyStage("stage-1")
+	s2 := synthStage("stage-2", nil, skewed)
+	s3 := synthStage("stage-3", []string{"stage-1", "stage-2"}, []int64{40 << 10, 44 << 10})
+	return &trace.Query{Statement: stmt, Stages: []*trace.Stage{s1, s2, s3}, Overlapped: true}
+}
+
+func params() *perfmodel.Params {
+	p := perfmodel.DefaultParams()
+	return &p
+}
+
+func synthBundle(label string, skewed []int64) *bundle.Bundle {
+	return bundle.Build(bundle.BuildInput{
+		Label:   label,
+		Queries: []*trace.Query{synthQuery("SELECT a FROM t GROUP BY a", skewed)},
+		Statements: []bundle.StatementInfo{{
+			Statement: "SELECT a FROM t GROUP BY a",
+			Metrics:   map[string]int64{"shuffle.bytes": 123, "datampi.await.p95": 42},
+		}},
+		Events: []bundle.ClusterEvent{{Node: "slave3", From: "up", To: "suspect", At: 12.5}},
+	}, params())
+}
+
+// TestBundleRoundTrip is the golden schema check: what WriteJSON
+// encodes, ReadJSON decodes back to a byte-identical re-encoding.
+func TestBundleRoundTrip(t *testing.T) {
+	defer leakcheck.Check(t)()
+	b := synthBundle("roundtrip", []int64{96 << 10, 8 << 10, 8 << 10, 8 << 10})
+	if err := b.Validate(); err != nil {
+		t.Fatalf("built bundle fails validation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := bundle.WriteJSON(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bundle.ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode of our own encoding failed: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := bundle.WriteJSON(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoded bundle differs from the original encoding (lossy round trip)")
+	}
+	if got.Label != "roundtrip" || len(got.Queries) != 1 || len(got.Events) != 1 {
+		t.Errorf("decoded shape wrong: label=%q queries=%d events=%d",
+			got.Label, len(got.Queries), len(got.Events))
+	}
+	q := got.Queries[0]
+	if q.Metrics["shuffle.bytes"] != 123 || q.Metrics["datampi.await.p95"] != 42 {
+		t.Errorf("statement metrics lost in round trip: %v", q.Metrics)
+	}
+	if q.Spans == nil || len(q.Spans.Children) == 0 {
+		t.Error("span tree missing from bundle")
+	}
+	if len(q.Stages) != 3 || q.Stages[1].Comm == nil {
+		t.Fatalf("stage records incomplete: %d stages", len(q.Stages))
+	}
+	if q.Stages[1].Comm.PartitionSkew == nil {
+		t.Error("comm skew statistics missing from bundle stage")
+	}
+}
+
+// TestUnknownSchemaRejected: a bundle from a future (or corrupted)
+// schema version must be refused, not misparsed.
+func TestUnknownSchemaRejected(t *testing.T) {
+	defer leakcheck.Check(t)()
+	b := synthBundle("v2", []int64{32 << 10, 32 << 10})
+	var buf bytes.Buffer
+	if err := bundle.WriteJSON(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	mutated := bytes.Replace(buf.Bytes(), []byte(bundle.Schema), []byte("hivempi.bundle/v999"), 1)
+	if _, err := bundle.ReadJSON(bytes.NewReader(mutated)); err == nil {
+		t.Fatal("unknown schema version was accepted")
+	} else if !strings.Contains(err.Error(), "hivempi.bundle/v999") {
+		t.Errorf("rejection should name the offending schema, got: %v", err)
+	}
+}
+
+// TestCategoryReconciliation: per stage, the categories sum to the
+// stage total; per query, compile plus the critical path's categories
+// sum to the query total — within float noise, far inside the 1%
+// acceptance bound.
+func TestCategoryReconciliation(t *testing.T) {
+	defer leakcheck.Check(t)()
+	b := synthBundle("recon", []int64{200 << 10, 4 << 10, 4 << 10, 4 << 10})
+	for _, q := range b.Queries {
+		for _, st := range q.Stages {
+			var sum float64
+			for _, c := range bundle.Categories {
+				sum += st.Categories[c]
+			}
+			if d := math.Abs(sum - st.TotalSec); d > 1e-6*(1+st.TotalSec) {
+				t.Errorf("stage %s: categories sum %.9f != total %.9f", st.Name, sum, st.TotalSec)
+			}
+		}
+		pc := q.PathCategories()
+		var sum float64
+		for _, c := range bundle.Categories {
+			sum += pc[c]
+		}
+		if d := math.Abs(sum - q.TotalSec); d > 1e-6*(1+q.TotalSec) {
+			t.Errorf("critical-path sum %.9f != query total %.9f", sum, q.TotalSec)
+		}
+	}
+}
+
+// TestSkewLandsInAwaitCategory: a heavily skewed shuffle must charge
+// its reduce-phase excess to await_skew, and a balanced copy of the
+// same stage must not.
+func TestSkewLandsInAwaitCategory(t *testing.T) {
+	defer leakcheck.Check(t)()
+	skewed := synthBundle("skewed", []int64{400 << 10, 2 << 10, 2 << 10, 2 << 10})
+	balanced := synthBundle("balanced", []int64{100 << 10, 102 << 10, 100 << 10, 104 << 10})
+	sk := skewed.Queries[0].Stages[1].Categories[bundle.CatAwaitSkew]
+	bl := balanced.Queries[0].Stages[1].Categories[bundle.CatAwaitSkew]
+	if sk <= bl {
+		t.Errorf("skewed stage await_skew=%.3f <= balanced %.3f", sk, bl)
+	}
+	if sk <= 0 {
+		t.Errorf("skewed stage charged no await_skew (%.3f)", sk)
+	}
+}
+
+// TestPlanKeysStableUnderRenumbering: the same plan with every stage
+// renamed (a replan that renumbered stages) yields identical plan keys,
+// so tracediff still aligns the runs.
+func TestPlanKeysStableUnderRenumbering(t *testing.T) {
+	defer leakcheck.Check(t)()
+	mk := func(names [3]string) *trace.Query {
+		s1 := mapOnlyStage(names[0])
+		s2 := synthStage(names[1], nil, []int64{32 << 10, 32 << 10})
+		s3 := synthStage(names[2], []string{names[0], names[1]}, []int64{16 << 10, 16 << 10})
+		return &trace.Query{Statement: "q", Stages: []*trace.Stage{s1, s2, s3}, Overlapped: true}
+	}
+	a := bundle.Build(bundle.BuildInput{Queries: []*trace.Query{mk([3]string{"stage-1", "stage-2", "stage-3"})}}, params())
+	b := bundle.Build(bundle.BuildInput{Queries: []*trace.Query{mk([3]string{"stage-7", "stage-4", "stage-9"})}}, params())
+	for i := range a.Queries[0].Stages {
+		ak, bk := a.Queries[0].Stages[i].PlanKey, b.Queries[0].Stages[i].PlanKey
+		if ak != bk {
+			t.Errorf("stage %d: plan key %q != %q after renumbering", i, ak, bk)
+		}
+	}
+	if a.Queries[0].PlanKey != b.Queries[0].PlanKey {
+		t.Error("query plan key changed under stage renumbering")
+	}
+	// Sibling disambiguation: two structurally identical stages must get
+	// distinct keys, in plan order.
+	twin := &trace.Query{Statement: "twins", Stages: []*trace.Stage{
+		synthStage("stage-1", nil, []int64{8 << 10, 8 << 10}),
+		synthStage("stage-2", nil, []int64{8 << 10, 8 << 10}),
+	}}
+	tb := bundle.Build(bundle.BuildInput{Queries: []*trace.Query{twin}}, params())
+	k0, k1 := tb.Queries[0].Stages[0].PlanKey, tb.Queries[0].Stages[1].PlanKey
+	if k0 == k1 {
+		t.Errorf("identical siblings share plan key %q", k0)
+	}
+}
+
+// TestValidateCatchesCorruption: hand-broken category sums and totals
+// must fail validation.
+func TestValidateCatchesCorruption(t *testing.T) {
+	defer leakcheck.Check(t)()
+	b := synthBundle("corrupt", []int64{64 << 10, 64 << 10})
+	b.Queries[0].Stages[1].Categories[bundle.CatCompute] += 5
+	if err := b.Validate(); err == nil {
+		t.Error("inflated category sum passed validation")
+	}
+	b = synthBundle("corrupt2", []int64{64 << 10, 64 << 10})
+	b.Queries[0].TotalSec *= 2
+	if err := b.Validate(); err == nil {
+		t.Error("inconsistent query total passed validation")
+	}
+	b = synthBundle("corrupt3", []int64{64 << 10, 64 << 10})
+	b.Queries[0].Stages[0].Categories["made_up"] = 0
+	if err := b.Validate(); err == nil {
+		t.Error("unknown category passed validation")
+	}
+}

@@ -1,0 +1,440 @@
+// Critical-path extraction and cross-run attribution: the tracediff
+// half of the bundle plane. Two bundles are aligned query-by-query (in
+// run order) and stage-by-stage (over structural plan keys, robust to
+// stage renumbering); each query's critical path is walked through its
+// stage DAG, and the end-to-end virtual-time delta is attributed to the
+// named categories. Category deltas sum to the makespan delta exactly —
+// the same reconciliation invariant Validate enforces per bundle.
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DiffSchema identifies the tracediff JSON layout.
+const DiffSchema = "hivempi.tracediff/v1"
+
+// CriticalPath returns the indices of the stages on the query's
+// virtual-time critical path, in execution order. A serial query's
+// path is every stage (they ran back to back); an overlapped query's
+// path walks back from the last-finishing stage through the dependency
+// whose finish time gates each start.
+func (q *QueryRecord) CriticalPath() []int {
+	n := len(q.Stages)
+	if n == 0 {
+		return nil
+	}
+	if !q.Overlapped {
+		path := make([]int, n)
+		for i := range path {
+			path[i] = i
+		}
+		return path
+	}
+	byName := make(map[string]int, n)
+	for i, st := range q.Stages {
+		byName[st.Name] = i
+	}
+	finish := func(i int) float64 { return q.Stages[i].StartSec + q.Stages[i].TotalSec }
+	cur := 0
+	for i := 1; i < n; i++ {
+		if finish(i) > finish(cur) {
+			cur = i
+		}
+	}
+	path := []int{cur}
+	for {
+		best := -1
+		for _, dep := range q.Stages[cur].DependsOn {
+			j, ok := byName[dep]
+			if !ok {
+				continue
+			}
+			if best < 0 || finish(j) > finish(best) || (finish(j) == finish(best) && j < best) {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		path = append(path, best)
+		cur = best
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// PathCategories sums the critical path's per-stage categories plus the
+// compile charge; by construction the result reconciles with TotalSec.
+func (q *QueryRecord) PathCategories() map[string]float64 {
+	out := make(map[string]float64, len(Categories))
+	out[CatCompile] = q.CompileSec
+	for _, i := range q.CriticalPath() {
+		for _, c := range Categories {
+			out[c] += q.Stages[i].Categories[c]
+		}
+	}
+	return out
+}
+
+// pathKeys returns the plan keys along the critical path.
+func (q *QueryRecord) pathKeys() []string {
+	path := q.CriticalPath()
+	keys := make([]string, len(path))
+	for i, j := range path {
+		keys[i] = q.Stages[j].PlanKey
+	}
+	return keys
+}
+
+// DiffReport is the machine-readable attribution of a bundle pair.
+type DiffReport struct {
+	Schema    string `json:"schema"`
+	BaseLabel string `json:"base_label,omitempty"`
+	CurLabel  string `json:"cur_label,omitempty"`
+
+	BaseSec  float64 `json:"base_sec"`
+	CurSec   float64 `json:"cur_sec"`
+	DeltaSec float64 `json:"delta_sec"`
+
+	// Categories attributes DeltaSec: summed per-category deltas over
+	// every aligned query's critical path (they sum to DeltaSec).
+	Categories map[string]float64 `json:"categories"`
+
+	// PathShifted reports that at least one query's critical path runs
+	// through structurally different stages in the two bundles.
+	PathShifted bool `json:"path_shifted,omitempty"`
+	// QueryCountMismatch flags bundles with different statement counts;
+	// unpaired queries contribute their whole path to the delta.
+	QueryCountMismatch bool `json:"query_count_mismatch,omitempty"`
+
+	Queries []*QueryDiff `json:"queries"`
+}
+
+// QueryDiff is one aligned statement pair.
+type QueryDiff struct {
+	Statement string `json:"statement"`
+
+	BaseSec  float64 `json:"base_sec"`
+	CurSec   float64 `json:"cur_sec"`
+	DeltaSec float64 `json:"delta_sec"`
+
+	PathShifted bool     `json:"path_shifted,omitempty"`
+	BasePath    []string `json:"base_path,omitempty"` // stage names on the path
+	CurPath     []string `json:"cur_path,omitempty"`
+
+	Base  map[string]float64 `json:"base_categories"`
+	Cur   map[string]float64 `json:"cur_categories"`
+	Delta map[string]float64 `json:"delta_categories"`
+
+	Stages []*StageDiff `json:"stages,omitempty"`
+}
+
+// StageDiff is one plan-key-aligned stage pair (or an unmatched stage,
+// with the missing side zeroed and the name empty).
+type StageDiff struct {
+	PlanKey  string `json:"plan_key"`
+	BaseName string `json:"base_name,omitempty"`
+	CurName  string `json:"cur_name,omitempty"`
+
+	BaseSec  float64 `json:"base_sec"`
+	CurSec   float64 `json:"cur_sec"`
+	DeltaSec float64 `json:"delta_sec"`
+
+	OnPathBase bool `json:"on_path_base,omitempty"`
+	OnPathCur  bool `json:"on_path_cur,omitempty"`
+
+	BaseShuffleBytes int64 `json:"base_shuffle_bytes,omitempty"`
+	CurShuffleBytes  int64 `json:"cur_shuffle_bytes,omitempty"`
+}
+
+// Diff aligns two bundles and attributes the virtual-makespan delta
+// (cur minus base) to categories along the critical paths.
+func Diff(base, cur *Bundle) *DiffReport {
+	r := &DiffReport{
+		Schema:     DiffSchema,
+		BaseLabel:  base.Label,
+		CurLabel:   cur.Label,
+		Categories: make(map[string]float64, len(Categories)),
+	}
+	n := len(base.Queries)
+	if len(cur.Queries) != n {
+		r.QueryCountMismatch = true
+		if len(cur.Queries) < n {
+			n = len(cur.Queries)
+		}
+	}
+	for i := 0; i < n; i++ {
+		qd := diffQuery(base.Queries[i], cur.Queries[i])
+		r.Queries = append(r.Queries, qd)
+		r.BaseSec += qd.BaseSec
+		r.CurSec += qd.CurSec
+		if qd.PathShifted {
+			r.PathShifted = true
+		}
+		for _, c := range Categories {
+			r.Categories[c] += qd.Delta[c]
+		}
+	}
+	// Unpaired queries: their whole critical path lands in the delta.
+	for i := n; i < len(base.Queries); i++ {
+		q := base.Queries[i]
+		r.BaseSec += q.TotalSec
+		pc := q.PathCategories()
+		for _, c := range Categories {
+			r.Categories[c] -= pc[c]
+		}
+	}
+	for i := n; i < len(cur.Queries); i++ {
+		q := cur.Queries[i]
+		r.CurSec += q.TotalSec
+		pc := q.PathCategories()
+		for _, c := range Categories {
+			r.Categories[c] += pc[c]
+		}
+	}
+	r.DeltaSec = r.CurSec - r.BaseSec
+	return r
+}
+
+func diffQuery(base, cur *QueryRecord) *QueryDiff {
+	qd := &QueryDiff{
+		Statement: base.Statement,
+		BaseSec:   base.TotalSec,
+		CurSec:    cur.TotalSec,
+		DeltaSec:  cur.TotalSec - base.TotalSec,
+		Base:      base.PathCategories(),
+		Cur:       cur.PathCategories(),
+		Delta:     make(map[string]float64, len(Categories)),
+	}
+	for _, c := range Categories {
+		qd.Delta[c] = qd.Cur[c] - qd.Base[c]
+	}
+	basePath, curPath := base.CriticalPath(), cur.CriticalPath()
+	for _, i := range basePath {
+		qd.BasePath = append(qd.BasePath, base.Stages[i].Name)
+	}
+	for _, i := range curPath {
+		qd.CurPath = append(qd.CurPath, cur.Stages[i].Name)
+	}
+	bk, ck := base.pathKeys(), cur.pathKeys()
+	qd.PathShifted = !equalStrings(bk, ck)
+
+	// Stage-level alignment over plan keys (all stages, not just the
+	// path), so per-stage deltas survive renumbering.
+	onBase := pathSet(basePath)
+	onCur := pathSet(curPath)
+	curBy := make(map[string]int, len(cur.Stages))
+	for j, st := range cur.Stages {
+		curBy[st.PlanKey] = j
+	}
+	matched := make(map[int]bool, len(cur.Stages))
+	for i, bs := range base.Stages {
+		sd := &StageDiff{
+			PlanKey:          bs.PlanKey,
+			BaseName:         bs.Name,
+			BaseSec:          bs.TotalSec,
+			OnPathBase:       onBase[i],
+			BaseShuffleBytes: bs.ShuffleBytes,
+		}
+		if j, ok := curBy[bs.PlanKey]; ok {
+			cs := cur.Stages[j]
+			matched[j] = true
+			sd.CurName = cs.Name
+			sd.CurSec = cs.TotalSec
+			sd.OnPathCur = onCur[j]
+			sd.CurShuffleBytes = cs.ShuffleBytes
+		}
+		sd.DeltaSec = sd.CurSec - sd.BaseSec
+		qd.Stages = append(qd.Stages, sd)
+	}
+	for j, cs := range cur.Stages {
+		if matched[j] {
+			continue
+		}
+		qd.Stages = append(qd.Stages, &StageDiff{
+			PlanKey:         cs.PlanKey,
+			CurName:         cs.Name,
+			CurSec:          cs.TotalSec,
+			DeltaSec:        cs.TotalSec,
+			OnPathCur:       onCur[j],
+			CurShuffleBytes: cs.ShuffleBytes,
+		})
+	}
+	return qd
+}
+
+func pathSet(path []int) map[int]bool {
+	s := make(map[int]bool, len(path))
+	for _, i := range path {
+		s[i] = true
+	}
+	return s
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rankedCategories returns category names ordered by |delta| descending
+// (ties alphabetically), dropping zero entries.
+func rankedCategories(delta map[string]float64) []string {
+	out := make([]string, 0, len(Categories))
+	for _, c := range Categories {
+		if delta[c] != 0 {
+			out = append(out, c)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := math.Abs(delta[out[i]]), math.Abs(delta[out[j]])
+		if di != dj {
+			return di > dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Render writes the human-readable attribution report.
+func (r *DiffReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "tracediff: %s -> %s\n", orDefault(r.BaseLabel, "base"), orDefault(r.CurLabel, "current"))
+	pct := 0.0
+	if r.BaseSec > 0 {
+		pct = 100 * r.DeltaSec / r.BaseSec
+	}
+	fmt.Fprintf(w, "  virtual makespan %10.1fs -> %10.1fs   (%+.1fs, %+.1f%%)\n",
+		r.BaseSec, r.CurSec, r.DeltaSec, pct)
+	if r.QueryCountMismatch {
+		fmt.Fprintf(w, "  WARNING: bundles record different statement counts; unpaired queries attributed whole\n")
+	}
+	if r.PathShifted {
+		fmt.Fprintf(w, "  NOTE: critical path SHIFTED between runs (see per-query paths below)\n")
+	}
+	fmt.Fprintf(w, "  critical-path delta by category:\n")
+	total := math.Abs(r.DeltaSec)
+	for _, c := range rankedCategories(r.Categories) {
+		share := 0.0
+		if total > 0 {
+			share = 100 * math.Abs(r.Categories[c]) / total
+		}
+		fmt.Fprintf(w, "    %-10s %+10.1fs   (%5.1f%% of |delta|)\n", c, r.Categories[c], share)
+	}
+	for _, qd := range r.Queries {
+		fmt.Fprintf(w, "  query: %s\n", abbreviate(qd.Statement))
+		fmt.Fprintf(w, "    %10.1fs -> %10.1fs  (%+.1fs)\n", qd.BaseSec, qd.CurSec, qd.DeltaSec)
+		if qd.PathShifted {
+			fmt.Fprintf(w, "    path shifted: [%s] -> [%s]\n",
+				strings.Join(qd.BasePath, " "), strings.Join(qd.CurPath, " "))
+		}
+		ranked := rankedCategories(qd.Delta)
+		if len(ranked) > 3 {
+			ranked = ranked[:3]
+		}
+		for _, c := range ranked {
+			fmt.Fprintf(w, "    %-10s %+10.1fs\n", c, qd.Delta[c])
+		}
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// Pair is one <name>.<arm>.bundle.json pair found in a directory; the
+// lexicographically first arm is the baseline (so skew.off diffs
+// against skew.on the intuitive way round).
+type Pair struct {
+	Name              string
+	BaseArm, CurArm   string
+	BasePath, CurPath string
+}
+
+// FindPairs scans dir for bundle files named <name>.<arm>.bundle.json
+// and returns every name with exactly two arms, sorted by name. Files
+// not matching the convention (or names with one or three-plus arms)
+// are skipped — a lone capture bundle next to an A/B pair is fine.
+func FindPairs(dir string) ([]Pair, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	const suffix = ".bundle.json"
+	arms := make(map[string][]string)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		stem := strings.TrimSuffix(name, suffix)
+		dot := strings.LastIndex(stem, ".")
+		if dot <= 0 || dot == len(stem)-1 {
+			continue
+		}
+		arms[stem[:dot]] = append(arms[stem[:dot]], stem[dot+1:])
+	}
+	names := make([]string, 0, len(arms))
+	for n, a := range arms {
+		if len(a) == 2 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	pairs := make([]Pair, 0, len(names))
+	for _, n := range names {
+		a := arms[n]
+		sort.Strings(a)
+		pairs = append(pairs, Pair{
+			Name:     n,
+			BaseArm:  a[0],
+			CurArm:   a[1],
+			BasePath: filepath.Join(dir, n+"."+a[0]+suffix),
+			CurPath:  filepath.Join(dir, n+"."+a[1]+suffix),
+		})
+	}
+	return pairs, nil
+}
+
+// DiffPair loads and diffs one discovered pair.
+func DiffPair(p Pair) (*DiffReport, error) {
+	base, err := ReadFile(p.BasePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := ReadFile(p.CurPath)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(base, cur), nil
+}
+
+// WriteJSON serializes the diff report (indented, deterministic).
+func (r *DiffReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

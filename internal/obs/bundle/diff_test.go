@@ -1,0 +1,167 @@
+package bundle_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hivempi/internal/obs/bundle"
+	"hivempi/internal/testutil/leakcheck"
+	"hivempi/internal/trace"
+)
+
+// TestDiffAttributesSkewDelta is the unit-level version of the seeded
+// regression test: the same plan run skewed vs. balanced must show a
+// delta predominantly attributed to await_skew, and the category sums
+// must reconcile exactly with the makespan delta.
+func TestDiffAttributesSkewDelta(t *testing.T) {
+	defer leakcheck.Check(t)()
+	base := synthBundle("balanced", []int64{104 << 10, 100 << 10, 102 << 10, 106 << 10})
+	cur := synthBundle("skewed", []int64{400 << 10, 4 << 10, 4 << 10, 4 << 10})
+	r := bundle.Diff(base, cur)
+
+	if r.Schema != bundle.DiffSchema {
+		t.Errorf("diff schema = %q", r.Schema)
+	}
+	if r.DeltaSec <= 0 {
+		t.Fatalf("skewed run should be slower: delta=%.3f", r.DeltaSec)
+	}
+	var sum float64
+	for _, d := range r.Categories {
+		sum += d
+	}
+	if math.Abs(sum-r.DeltaSec) > 1e-6*(1+math.Abs(r.DeltaSec)) {
+		t.Errorf("category deltas sum %.9f != makespan delta %.9f", sum, r.DeltaSec)
+	}
+	skew := r.Categories[bundle.CatAwaitSkew]
+	if skew < 0.5*r.DeltaSec {
+		t.Errorf("await_skew attributed %.3fs of %.3fs delta (<50%%): %v",
+			skew, r.DeltaSec, r.Categories)
+	}
+	if len(r.Queries) != 1 {
+		t.Fatalf("expected 1 query diff, got %d", len(r.Queries))
+	}
+	qd := r.Queries[0]
+	if qd.PathShifted {
+		// Same plan on both sides; only durations changed.
+		t.Error("path flagged as shifted for identical plans")
+	}
+	var qsum float64
+	for _, d := range qd.Delta {
+		qsum += d
+	}
+	if math.Abs(qsum-qd.DeltaSec) > 1e-6*(1+math.Abs(qd.DeltaSec)) {
+		t.Errorf("query category deltas sum %.9f != query delta %.9f", qsum, qd.DeltaSec)
+	}
+	// Stage alignment: all three stages pair up by plan key.
+	if len(qd.Stages) != 3 {
+		t.Errorf("expected 3 aligned stages, got %d", len(qd.Stages))
+	}
+	for _, sd := range qd.Stages {
+		if sd.BaseName == "" || sd.CurName == "" {
+			t.Errorf("stage %s failed to align: base=%q cur=%q", sd.PlanKey, sd.BaseName, sd.CurName)
+		}
+	}
+}
+
+// TestDiffFlagsShiftedPath: when the plan itself changes (extra stage),
+// the diff must carry the shifted-critical-path flag.
+func TestDiffFlagsShiftedPath(t *testing.T) {
+	defer leakcheck.Check(t)()
+	base := synthBundle("a", []int64{64 << 10, 64 << 10})
+	cur := synthBundle("b", []int64{64 << 10, 64 << 10})
+	// Graft an extra stage onto cur's plan so the key sequence differs.
+	q := synthQuery("SELECT a FROM t GROUP BY a", []int64{64 << 10, 64 << 10})
+	q.Stages = append(q.Stages, synthStage("stage-4", []string{"stage-3"}, []int64{8 << 10, 8 << 10}))
+	cur2 := bundle.Build(bundle.BuildInput{Label: cur.Label, Queries: []*trace.Query{q}}, params())
+	r := bundle.Diff(base, cur2)
+	if len(r.Queries) != 1 || !r.Queries[0].PathShifted {
+		t.Error("plan change did not set PathShifted")
+	}
+	if !r.PathShifted {
+		t.Error("report-level PathShifted not set")
+	}
+}
+
+// TestDiffQueryCountMismatch: unpaired queries are attributed whole and
+// flagged, never silently dropped.
+func TestDiffQueryCountMismatch(t *testing.T) {
+	defer leakcheck.Check(t)()
+	base := synthBundle("a", []int64{64 << 10, 64 << 10})
+	cur := synthBundle("b", []int64{64 << 10, 64 << 10})
+	cur.Queries = append(cur.Queries, cur.Queries[0])
+	r := bundle.Diff(base, cur)
+	if !r.QueryCountMismatch {
+		t.Error("query count mismatch not flagged")
+	}
+	var sum float64
+	for _, d := range r.Categories {
+		sum += d
+	}
+	if math.Abs(sum-r.DeltaSec) > 1e-6*(1+math.Abs(r.DeltaSec)) {
+		t.Errorf("with unpaired query, category sum %.9f != delta %.9f", sum, r.DeltaSec)
+	}
+}
+
+// TestRenderReport: the text report names the dominant category and
+// both labels.
+func TestRenderReport(t *testing.T) {
+	defer leakcheck.Check(t)()
+	base := synthBundle("balanced", []int64{100 << 10, 100 << 10, 100 << 10, 100 << 10})
+	cur := synthBundle("skewed", []int64{380 << 10, 8 << 10, 8 << 10, 8 << 10})
+	r := bundle.Diff(base, cur)
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"balanced", "skewed", bundle.CatAwaitSkew, "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	var jb bytes.Buffer
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), bundle.DiffSchema) {
+		t.Error("JSON report missing schema marker")
+	}
+}
+
+// TestFindPairs: bundle-pair discovery over the <name>.<arm>.bundle.json
+// convention, lexicographically-first arm as baseline.
+func TestFindPairs(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dir := t.TempDir()
+	write := func(name string, b *bundle.Bundle) {
+		if err := bundle.WriteFile(filepath.Join(dir, name), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("skew.off.bundle.json", synthBundle("skew.off", []int64{64 << 10, 64 << 10}))
+	write("skew.on.bundle.json", synthBundle("skew.on", []int64{64 << 10, 64 << 10}))
+	write("lonely.run.bundle.json", synthBundle("lonely.run", []int64{64 << 10, 64 << 10}))
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := bundle.FindPairs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("expected 1 pair, got %d: %+v", len(pairs), pairs)
+	}
+	p := pairs[0]
+	if p.Name != "skew" || p.BaseArm != "off" || p.CurArm != "on" {
+		t.Errorf("pair = %+v", p)
+	}
+	r, err := bundle.DiffPair(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaseLabel != "skew.off" || r.CurLabel != "skew.on" {
+		t.Errorf("pair diff labels: %q -> %q", r.BaseLabel, r.CurLabel)
+	}
+}

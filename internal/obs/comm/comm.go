@@ -134,6 +134,13 @@ type StageComm struct {
 	RecvRounds    int64 `json:"recv_rounds,omitempty"`
 	WaitRounds    int64 `json:"wait_rounds,omitempty"` // blocking-style rounds
 
+	// ForcedFlushesPerRank is the per-producer breakdown of
+	// ForcedFlushes (index = O-rank), present when the stage's producer
+	// tasks were recorded one per rank — so tracediff can attribute a
+	// wait-time delta to the rank whose buffer thrashed without
+	// re-deriving it from raw task traces.
+	ForcedFlushesPerRank []int64 `json:"forced_flushes_per_rank,omitempty"`
+
 	// Virtual per-consumer wait: the perfmodel network time to absorb
 	// each consumer's column plus the blocking-sync charge per message
 	// (blocking datampi stages only). Seconds of virtual time.
@@ -159,12 +166,22 @@ func AnalyzeStage(st *trace.Stage, p *perfmodel.Params) *StageComm {
 	}
 	sc.ProducerSkew = SkewOf(sc.RowBytes, TopK)
 	sc.PartitionSkew = SkewOf(sc.ColBytes, TopK)
-	for _, t := range st.Producers {
+	perRank := len(st.Producers) == sc.NumProducers && sc.NumProducers > 0
+	if perRank {
+		sc.ForcedFlushesPerRank = make([]int64, sc.NumProducers)
+	}
+	for i, t := range st.Producers {
 		if t.BufPeakBytes > sc.BufPeakBytes {
 			sc.BufPeakBytes = t.BufPeakBytes
 		}
 		sc.ForcedFlushes += t.ForcedFlushes
 		sc.WaitRounds += t.WaitRounds
+		if perRank {
+			sc.ForcedFlushesPerRank[i] = t.ForcedFlushes
+		}
+	}
+	if perRank && sc.ForcedFlushes == 0 {
+		sc.ForcedFlushesPerRank = nil
 	}
 	for _, t := range st.Consumers {
 		sc.RecvRounds += t.RecvRounds
@@ -390,6 +407,23 @@ func (sc *StageComm) validate() error {
 	for a, w := range sc.AWaitSecPerRank {
 		if !isFiniteStat(w) {
 			return fmt.Errorf("a_wait_sec_per_rank[%d] is %v, want finite", a, w)
+		}
+	}
+	if sc.ForcedFlushesPerRank != nil {
+		if len(sc.ForcedFlushesPerRank) != sc.NumProducers {
+			return fmt.Errorf("forced_flushes_per_rank has %d entries, stage has %d producers",
+				len(sc.ForcedFlushesPerRank), sc.NumProducers)
+		}
+		var sum int64
+		for o, n := range sc.ForcedFlushesPerRank {
+			if n < 0 {
+				return fmt.Errorf("forced_flushes_per_rank[%d] is negative (%d)", o, n)
+			}
+			sum += n
+		}
+		if sum != sc.ForcedFlushes {
+			return fmt.Errorf("forced_flushes_per_rank sums to %d, forced_flushes says %d",
+				sum, sc.ForcedFlushes)
 		}
 	}
 	return nil

@@ -134,6 +134,13 @@ func TestAnalyzeStage(t *testing.T) {
 		t.Errorf("a-wait total = %g, want %g", sc.AWaitSec, want0+want1)
 	}
 
+	// Per-rank forced-flush breakdown: one entry per O-rank, summing to
+	// the stage total (producer 0 flushed twice, producer 1 never).
+	if len(sc.ForcedFlushesPerRank) != 2 ||
+		sc.ForcedFlushesPerRank[0] != 2 || sc.ForcedFlushesPerRank[1] != 0 {
+		t.Errorf("forced flushes per rank = %v, want [2 0]", sc.ForcedFlushesPerRank)
+	}
+
 	if s := sc.Summary(); !strings.Contains(s, "2x2 matrix") ||
 		!strings.Contains(s, "hot A0") || !strings.Contains(s, "a-wait") {
 		t.Errorf("summary line incomplete: %q", s)
@@ -242,6 +249,19 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	r.Queries[0].Stages[0].AWaitSecPerRank[1] = math.NaN()
 	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "a_wait_sec_per_rank") {
 		t.Errorf("NaN per-rank a-wait not rejected: %v", err)
+	}
+
+	// Per-rank forced flushes must cover every producer and sum to the
+	// stage total.
+	r = mk()
+	r.Queries[0].Stages[0].ForcedFlushesPerRank = r.Queries[0].Stages[0].ForcedFlushesPerRank[:1]
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "forced_flushes_per_rank") {
+		t.Errorf("short per-rank flush vector not rejected: %v", err)
+	}
+	r = mk()
+	r.Queries[0].Stages[0].ForcedFlushesPerRank[0]++
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "forced_flushes_per_rank") {
+		t.Errorf("per-rank flush sum mismatch not rejected: %v", err)
 	}
 }
 
